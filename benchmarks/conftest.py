@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+Every benchmark regenerates one table or figure of the paper: it times
+the central computation with pytest-benchmark, prints the table, and
+writes it to ``results/<name>.txt`` so the reproduction's outputs are
+inspectable after a ``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Write a rendered table to results/ and echo it to stdout."""
+
+    def _publish(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _publish

@@ -1,0 +1,84 @@
+"""Ablation: adaptive bands vs GenDP's static tiled cover (§7.6.2).
+
+The paper's stated limitation, quantified: GenDP cannot steer a band
+at runtime, so an adaptively-banded task must provision a static tiled
+region covering wherever the band *might* go, "sacrificing some
+performance".  The bench measures the sacrifice on long-indel pairs:
+cells(adaptive) vs cells(static cover, per tile size) vs the full
+table, plus the score a naive static band of equal width loses.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.kernels.absw import adaptive_banded_sw, static_cover_cells
+from repro.kernels.bsw import banded_sw
+from repro.seq.alphabet import random_sequence
+
+BAND = 4
+TILE_SIZES = (4, 8, 16)
+
+
+def run_study():
+    rng = random.Random(61)
+    pairs = []
+    for _ in range(20):
+        # Steady diagonal drift: the query drops two bases per 15-base
+        # block, ending 16 columns off the main diagonal -- followable
+        # adaptively, unreachable for a half-width-4 static band.
+        target = random_sequence(120, rng)
+        query = "".join(
+            target[start : start + 13] for start in range(0, 120, 15)
+        )
+        pairs.append((query, target))
+
+    adaptive_cells = 0
+    cover_cells = {t: 0 for t in TILE_SIZES}
+    full_cells = 0
+    adaptive_wins = 0
+    for query, target in pairs:
+        adaptive = adaptive_banded_sw(query, target, band=BAND)
+        static = banded_sw(query, target, band=BAND)
+        if adaptive.score > static.score:
+            adaptive_wins += 1
+        adaptive_cells += adaptive.cells
+        full_cells += len(query) * len(target)
+        for tile in TILE_SIZES:
+            cover_cells[tile] += static_cover_cells(adaptive.band_trace, tile)
+    return adaptive_cells, cover_cells, full_cells, adaptive_wins, len(pairs)
+
+
+def test_ablation_adaptive_band(benchmark, publish):
+    adaptive_cells, cover_cells, full_cells, wins, tasks = benchmark(run_study)
+
+    rows = [["adaptive band (not supported)", adaptive_cells, 1.0]]
+    for tile in TILE_SIZES:
+        rows.append(
+            [
+                f"static cover, {tile}-row tiles",
+                cover_cells[tile],
+                cover_cells[tile] / adaptive_cells,
+            ]
+        )
+    rows.append(["full table", full_cells, full_cells / adaptive_cells])
+    publish(
+        "ablation_adaptive_band",
+        render_table(
+            "Ablation: the static-cover cost of adaptive banding (7.6.2)",
+            ["active region", "cells", "vs adaptive"],
+            rows,
+            note=f"equal-width static band loses the alignment on "
+            f"{wins}/{tasks} long-indel tasks; the cover keeps the score "
+            "at a bounded cell overhead",
+        ),
+    )
+
+    # The section's claims: the cover costs more than the adaptive band
+    # but far less than the full table, and finer tiles cost less.
+    assert adaptive_cells < cover_cells[TILE_SIZES[0]] < full_cells
+    assert cover_cells[4] <= cover_cells[8] <= cover_cells[16]
+    assert cover_cells[16] < full_cells
+    # Static equal-width banding genuinely fails these tasks.
+    assert wins >= tasks * 0.8

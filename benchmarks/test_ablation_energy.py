@@ -1,0 +1,75 @@
+"""Ablation: per-kernel dynamic energy per cell update.
+
+Splits Table 8's calibrated dynamic power into per-event energies and
+charges each kernel its mapped activity (ALU ops, RF traffic, issue
+slots) -- the energy-efficiency counterpart of the Figure 10(b)
+throughput/W comparison.  POA's movement-heavy cells cost the most;
+BSW's SIMD lanes amortize everything four ways.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.asicmodel.energy import ActivityCounts, EnergyModel, energy_per_cell_pj
+from repro.dfg.kernels import KERNEL_DFGS
+from repro.dpmap.mapper import run_dpmap
+
+KERNELS = ("bsw", "pairhmm", "poa", "chain")
+
+#: SIMD lanes amortizing one cell's events (BSW packs four tables).
+LANES = {"bsw": 4, "pairhmm": 1, "poa": 1, "chain": 1}
+
+
+def compute_energy_per_cell():
+    model = EnergyModel()
+    rows = {}
+    for kernel in KERNELS:
+        stats = run_dpmap(KERNEL_DFGS[kernel]()).stats
+        activity = ActivityCounts(
+            alu_ops=stats.alu_ops,
+            rf_reads=stats.rf_reads,
+            rf_writes=stats.rf_writes,
+            compute_bundles=stats.cycles,
+            control_instructions=stats.cycles,  # ~1 movement per bundle
+        )
+        picojoules = energy_per_cell_pj(model, activity, LANES[kernel])
+        rows[kernel] = {
+            "alu_ops": stats.alu_ops,
+            "rf_accesses": stats.rf_accesses,
+            "lanes": LANES[kernel],
+            "pj_per_cell": picojoules,
+        }
+    return model, rows
+
+
+def test_ablation_energy(benchmark, publish):
+    model, rows = benchmark(compute_energy_per_cell)
+
+    publish(
+        "ablation_energy",
+        render_table(
+            "Ablation: dynamic energy per cell update (28nm, calibrated to "
+            "Table 8)",
+            ["kernel", "ALU ops", "RF accesses", "SIMD lanes", "pJ/cell"],
+            [
+                [
+                    kernel,
+                    row["alu_ops"],
+                    row["rf_accesses"],
+                    row["lanes"],
+                    row["pj_per_cell"],
+                ]
+                for kernel, row in rows.items()
+            ],
+            note=f"peak tile dynamic power check: "
+            f"{model.peak_dynamic_power_w():.3f} W (Table 8: 2.113 W)",
+        ),
+    )
+
+    # Calibration sanity: peak reproduces Table 8 exactly.
+    assert model.peak_dynamic_power_w() == pytest.approx(2.113, rel=1e-6)
+    # The efficiency ordering the paper's throughput story implies.
+    assert rows["bsw"]["pj_per_cell"] == min(r["pj_per_cell"] for r in rows.values())
+    assert rows["chain"]["pj_per_cell"] == max(
+        r["pj_per_cell"] for r in rows.values()
+    )

@@ -1,0 +1,77 @@
+"""Ablation: single-PE vs column-tiled POA -- the data-movement wall.
+
+Section 7.2: "the bottleneck of POA performance on GenDP is the
+memory accesses ... both the input of the dependency information and
+the output of the move directions consume extra data movement
+instructions that limit POA performance."
+
+This bench reproduces that finding on the cycle-level simulator: the
+column-tiled mapping spreads one alignment across four PEs, but its
+speedup saturates far below 4x because the per-cell (H, direction)
+trace words funnel through the tail PE.  The deployment lesson the
+perf model encodes: with plentiful tasks, 64 *independent* single-PE
+alignments out-throughput 16 four-PE ones; tiling buys latency, not
+bandwidth.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.kernels.poa import PartialOrderGraph
+from repro.mapping.longrange import run_poa_row_dp
+from repro.mapping.poa_parallel import run_poa_parallel
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+def run_both_mappings():
+    rng = random.Random(47)
+    base = random_sequence(40, rng)
+    mutator = Mutator(MutationProfile.nanopore(), rng)
+    graph = PartialOrderGraph(base)
+    for _ in range(4):
+        graph.add_sequence(mutator.mutate(base))
+    query = mutator.mutate(base)
+    while len(query) % 4 != 0:
+        query += "A"
+    single = run_poa_row_dp(graph, query)
+    parallel = run_poa_parallel(graph, query)
+    assert single.finished and parallel.finished
+    assert parallel.h == single.h  # both cell-exact (tested elsewhere)
+    return single, parallel
+
+
+def test_ablation_poa_parallel(benchmark, publish):
+    single, parallel = benchmark(run_both_mappings)
+
+    latency_speedup = single.cycles / parallel.cycles
+    single_tp = 1.0 / single.cycles_per_cell  # cells/cycle, 1 PE
+    parallel_tp = 1.0 / parallel.cycles_per_cell  # cells/cycle, 4 PEs
+    publish(
+        "ablation_poa_parallel",
+        render_table(
+            "Ablation: POA mappings on the cycle-level simulator",
+            ["mapping", "PEs", "cycles", "cells/cycle", "per-PE efficiency"],
+            [
+                ["single-PE scratchpad", 1, single.cycles, single_tp, "100%"],
+                [
+                    "column-tiled",
+                    4,
+                    parallel.cycles,
+                    parallel_tp,
+                    f"{parallel_tp / (4 * single_tp):.0%}",
+                ],
+            ],
+            note=(
+                f"latency speedup {latency_speedup:.2f}x on 4 PEs: the trace-"
+                "output funnel is the Section 7.2 data-movement bottleneck"
+            ),
+        ),
+    )
+
+    # Tiling helps latency...
+    assert latency_speedup > 1.3
+    # ...but per-PE efficiency collapses (the paper's POA story).
+    assert parallel_tp / (4 * single_tp) < 0.75

@@ -1,0 +1,69 @@
+"""Ablation: task-to-array packing efficiency per workload.
+
+The perf model's "all 64 PEs busy" assumption meets reality here: each
+kernel's generated workload is packed onto the 16 integer arrays with
+LPT and FIFO policies, and the balance efficiency -- the correction
+between per-array and realized tile throughput -- is reported.
+"""
+
+from repro.analysis.report import render_table
+from repro.kernels.bsw import band_cells
+from repro.perfmodel.schedule import schedule_fifo, schedule_lpt
+from repro.workloads.haplotypes import generate_pairhmm_workload
+from repro.workloads.poa_groups import generate_poa_workload
+from repro.workloads.reads import generate_bsw_workload
+
+
+def collect_task_sizes():
+    bsw = generate_bsw_workload(count=200, seed=9)
+    pairhmm = generate_pairhmm_workload(
+        regions=20, reads_per_region=4, haplotypes_per_region=3, seed=9
+    )
+    poa = generate_poa_workload(tasks=24, reads_per_task=12, template_length=150, seed=9)
+    return {
+        "bsw (200 extensions)": [
+            float(band_cells(len(p.query), len(p.target), bsw.band))
+            for p in bsw.pairs
+        ],
+        "pairhmm (240 pairs)": [float(p.cells) for p in pairhmm.pairs],
+        "poa (24 read groups)": [float(t.cells) for t in poa.tasks],
+    }
+
+
+def test_ablation_scheduling(benchmark, publish):
+    workloads = benchmark(collect_task_sizes)
+
+    rows = []
+    results = {}
+    for label, sizes in workloads.items():
+        lpt = schedule_lpt(sizes)
+        fifo = schedule_fifo(sizes)
+        results[label] = lpt
+        rows.append(
+            [
+                label,
+                len(sizes),
+                f"{lpt.balance_efficiency:.1%}",
+                f"{fifo.balance_efficiency:.1%}",
+                lpt.makespan,
+            ]
+        )
+    publish(
+        "ablation_scheduling",
+        render_table(
+            "Ablation: packing tasks onto 16 PE arrays",
+            ["workload", "tasks", "LPT efficiency", "FIFO efficiency", "makespan (cells)"],
+            rows,
+            note="Short-read floods balance near-perfectly; few heavy POA "
+            "groups leave straggler arrays",
+        ),
+    )
+
+    # Plenty of uniform tasks -> near-perfect balance.
+    assert results["bsw (200 extensions)"].balance_efficiency > 0.95
+    assert results["pairhmm (240 pairs)"].balance_efficiency > 0.95
+    # Heavy, few POA groups balance worse than the short-read floods.
+    assert (
+        results["poa (24 read groups)"].balance_efficiency
+        <= results["bsw (200 extensions)"].balance_efficiency
+    )

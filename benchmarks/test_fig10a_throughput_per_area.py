@@ -1,0 +1,42 @@
+"""Figure 10(a): throughput/mm^2 of GenDP vs CPU vs GPU per kernel."""
+
+from repro.analysis.report import render_table
+from repro.analysis.speedups import speedup_rollup
+from repro.baselines.data import KERNELS
+
+
+def run_rollup():
+    return speedup_rollup()
+
+
+def test_fig10a_throughput_per_area(benchmark, publish):
+    rows = benchmark(run_rollup)
+
+    publish(
+        "fig10a_throughput_per_area",
+        render_table(
+            "Figure 10(a): normalized throughput (MCUPS/mm^2, 7nm)",
+            ["kernel", "CPU", "GPU", "GenDP", "GenDP/CPU", "GenDP/GPU"],
+            [
+                [
+                    kernel,
+                    rows[kernel].cpu_norm_mcups_mm2,
+                    rows[kernel].gpu_mcups_mm2,
+                    rows[kernel].gendp_norm_mcups_mm2,
+                    f"{rows[kernel].speedup_vs_cpu:.0f}x",
+                    f"{rows[kernel].speedup_vs_gpu:.0f}x",
+                ]
+                for kernel in KERNELS
+            ],
+            note="Bar-chart shape: GenDP dominates every kernel on both axes",
+        ),
+    )
+
+    for kernel in KERNELS:
+        row = rows[kernel]
+        assert row.gendp_norm_mcups_mm2 > row.cpu_norm_mcups_mm2
+        assert row.gendp_norm_mcups_mm2 > row.gpu_mcups_mm2
+    # Short-read kernels (dense systolic) beat long-read kernels on
+    # normalized throughput, as in the figure.
+    assert rows["bsw"].gendp_norm_mcups_mm2 > rows["poa"].gendp_norm_mcups_mm2
+    assert rows["pairhmm"].gendp_norm_mcups_mm2 > rows["chain"].gendp_norm_mcups_mm2

@@ -1,0 +1,36 @@
+"""Figure 10(b): throughput/Watt of GenDP vs the GPU."""
+
+from repro.analysis.report import render_table
+from repro.analysis.speedups import geomean, speedup_rollup
+from repro.baselines.data import KERNELS
+
+
+def run_rollup():
+    return speedup_rollup()
+
+
+def test_fig10b_throughput_per_watt(benchmark, publish):
+    rows = benchmark(run_rollup)
+
+    ratio = geomean(rows[k].watt_speedup_vs_gpu for k in KERNELS)
+    publish(
+        "fig10b_throughput_per_watt",
+        render_table(
+            "Figure 10(b): throughput per Watt (MCUPS/W)",
+            ["kernel", "GPU", "GenDP", "GenDP/GPU"],
+            [
+                [
+                    kernel,
+                    rows[kernel].gpu_mcups_per_watt,
+                    rows[kernel].gendp_mcups_per_watt,
+                    f"{rows[kernel].watt_speedup_vs_gpu:.1f}x",
+                ]
+                for kernel in KERNELS
+            ],
+            note=f"geomean {ratio:.1f}x (paper: 15.1x)",
+        ),
+    )
+
+    for kernel in KERNELS:
+        assert rows[kernel].watt_speedup_vs_gpu > 1.0
+    assert 5 < ratio < 40

@@ -1,0 +1,47 @@
+"""Figure 10(c): GenDP vs custom single-kernel ASIC accelerators."""
+
+from repro.analysis.report import render_table
+from repro.analysis.speedups import geomean, speedup_rollup
+from repro.baselines.models import asic_models
+
+
+def run_comparison():
+    rows = speedup_rollup()
+    asics = asic_models()
+    return rows, asics
+
+
+def test_fig10c_vs_asic(benchmark, publish):
+    rows, asics = benchmark(run_comparison)
+
+    slowdowns = {
+        kernel: rows[kernel].asic_slowdown
+        for kernel in asics
+    }
+    publish(
+        "fig10c_vs_asic",
+        render_table(
+            "Figure 10(c): GenDP vs custom ASICs (normalized MCUPS/mm^2)",
+            ["kernel", "ASIC", "ASIC MCUPS/mm^2", "GenDP", "slowdown"],
+            [
+                [
+                    kernel,
+                    asics[kernel].name,
+                    asics[kernel].norm_mcups_per_mm2,
+                    rows[kernel].gendp_norm_mcups_mm2,
+                    f"{slowdowns[kernel]:.1f}x",
+                ]
+                for kernel in asics
+            ],
+            note=(
+                f"geomean slowdown {geomean(slowdowns.values()):.1f}x "
+                "(paper: 2.8x) -- the programmability price"
+            ),
+        ),
+    )
+
+    # The Section 7.3 claim: custom ASICs win, but by a small constant
+    # factor, not orders of magnitude.
+    for slowdown in slowdowns.values():
+        assert 1.0 < slowdown < 12.0
+    assert 1.5 < geomean(slowdowns.values()) < 10.0

@@ -1,0 +1,51 @@
+"""Figure 10(d): compute instructions per cell, GenDP vs riscv64/x86-64."""
+
+from repro.analysis.isa_comparison import average_reduction, isa_comparison
+from repro.analysis.report import render_table
+from repro.baselines.data import PAPER_ISA_REDUCTION
+from repro.dfg.kernels import KERNEL_DFGS
+
+KERNELS = ("bsw", "pairhmm", "poa", "chain")
+
+
+def run_comparison():
+    return isa_comparison({k: KERNEL_DFGS[k]() for k in KERNELS})
+
+
+def test_fig10d_isa_comparison(benchmark, publish):
+    rows = benchmark(run_comparison)
+    reductions = average_reduction(rows)
+
+    publish(
+        "fig10d_isa_comparison",
+        render_table(
+            "Figure 10(d): instructions per cell update",
+            ["kernel", "GenDP", "riscv64", "x86-64", "vs riscv", "vs x86"],
+            [
+                [
+                    kernel,
+                    rows[kernel].gendp,
+                    rows[kernel].riscv64,
+                    rows[kernel].x86_64,
+                    f"{rows[kernel].reduction_vs_riscv:.1f}x",
+                    f"{rows[kernel].reduction_vs_x86:.1f}x",
+                ]
+                for kernel in KERNELS
+            ],
+            note=(
+                f"average reduction {reductions['riscv64']:.1f}x vs riscv64 "
+                f"(paper {PAPER_ISA_REDUCTION['riscv64']}x), "
+                f"{reductions['x86_64']:.1f}x vs x86-64 "
+                f"(paper {PAPER_ISA_REDUCTION['x86_64']}x)"
+            ),
+        ),
+    )
+
+    # Shape: GenDP always needs the fewest instructions, riscv64 the
+    # most (no conditional moves), and the averages sit in the same
+    # band as the paper's 8.1x / 4.0x.
+    for row in rows.values():
+        assert row.gendp < row.x86_64 < row.riscv64
+    assert reductions["riscv64"] > reductions["x86_64"]
+    assert 3.0 < reductions["riscv64"] < 25.0
+    assert 2.0 < reductions["x86_64"] < 20.0

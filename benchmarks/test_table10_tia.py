@@ -1,0 +1,42 @@
+"""Table 10: triggered instructions required on TIA."""
+
+from repro.analysis.report import render_table
+from repro.baselines.data import PAPER_TIA
+from repro.baselines.tia import tia_requirements
+from repro.dfg.kernels import KERNEL_DFGS
+
+KERNELS = ("bsw", "pairhmm", "poa", "chain")
+
+
+def run_estimates():
+    return tia_requirements({k: KERNEL_DFGS[k]() for k in KERNELS})
+
+
+def test_table10_tia(benchmark, publish):
+    requirements = benchmark(run_estimates)
+
+    rows = [
+        [
+            kernel,
+            req.triggered_instructions,
+            PAPER_TIA[kernel]["triggered_instructions"],
+            req.pes_required,
+            PAPER_TIA[kernel]["pes"],
+        ]
+        for kernel, req in requirements.items()
+    ]
+    publish(
+        "table10_tia",
+        render_table(
+            "Table 10: Triggered instructions required on TIA",
+            ["kernel", "TIs (ours)", "TIs (paper)", "PEs (ours)", "PEs (paper)"],
+            rows,
+            note="Shape: every kernel needs multiple TIA PEs per DP cell",
+        ),
+    )
+
+    for kernel, req in requirements.items():
+        assert req.pes_required >= 2  # the paper's argument against TIA
+    assert requirements["bsw"].pes_required == min(
+        r.pes_required for r in requirements.values()
+    )

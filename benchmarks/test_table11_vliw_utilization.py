@@ -1,0 +1,40 @@
+"""Table 11: VLIW utilization per kernel."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.utilization import vliw_utilization
+from repro.baselines.data import PAPER_VLIW_UTILIZATION
+from repro.dfg.kernels import KERNEL_DFGS
+
+KERNELS = ("bsw", "pairhmm", "chain", "poa")
+
+
+def run_utilization():
+    return vliw_utilization({k: KERNEL_DFGS[k]() for k in KERNELS})
+
+
+def test_table11_vliw_utilization(benchmark, publish):
+    utils = benchmark(run_utilization)
+
+    publish(
+        "table11_vliw_utilization",
+        render_table(
+            "Table 11: VLIW utilization",
+            ["kernel", "utilization (ours)", "utilization (paper)"],
+            [
+                [k, f"{utils[k]:.1%}", f"{PAPER_VLIW_UTILIZATION[k]:.1%}"]
+                for k in KERNELS
+            ],
+            note="Paper average 48%; mul/select-heavy Chain packs worst",
+        ),
+    )
+
+    for value in utils.values():
+        assert 0.0 < value <= 1.0
+    # BSW and Chain land close to the published numbers; POA differs
+    # because our POA DFG is leaner than theirs (documented in
+    # EXPERIMENTS.md).
+    assert utils["bsw"] == pytest.approx(PAPER_VLIW_UTILIZATION["bsw"], abs=0.1)
+    assert utils["chain"] == pytest.approx(PAPER_VLIW_UTILIZATION["chain"], abs=0.1)
+    assert utils["chain"] == min(utils[k] for k in ("bsw", "pairhmm", "chain"))

@@ -1,0 +1,43 @@
+"""Table 12: GenDP and GPU raw performance comparison (64 tiles)."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.baselines.data import PAPER_TABLE12
+from repro.perfmodel.scaling import tile_scaling_study
+
+
+def run_scaling():
+    return tile_scaling_study(tiles=64)
+
+
+def test_table12_scalability(benchmark, publish):
+    study = benchmark(run_scaling)
+
+    publish(
+        "table12_scalability",
+        render_table(
+            "Table 12: GenDP and GPU raw performance comparison",
+            ["platform", "area (mm^2)", "raw perf (GCUPS)", "speedup"],
+            [
+                ["NVIDIA A100 GPU", study.gpu_area_mm2, study.gpu_gcups, 1.0],
+                [
+                    "GenDP (64 tiles)",
+                    study.total_area_mm2,
+                    study.raw_gcups,
+                    study.speedup,
+                ],
+            ],
+            note=(
+                f"paper: 44.3 mm^2, 297.5 GCUPS, 6.17x; DRAM feeds "
+                f"~{study.bandwidth_limited_tiles} tiles"
+            ),
+        ),
+    )
+
+    assert study.total_area_mm2 == pytest.approx(
+        PAPER_TABLE12["gendp_area_mm2"], rel=0.02
+    )
+    assert study.speedup > 1.0  # GenDP wins raw
+    assert study.total_area_mm2 < study.gpu_area_mm2 / 10  # at a tenth the area
+    assert 55 <= study.bandwidth_limited_tiles <= 70  # the 64-tile ceiling

@@ -1,0 +1,79 @@
+"""Table 13: CPU baselines.
+
+Runs the *algorithmic* CPU baselines (our reference kernels) on scaled
+workloads to measure pure-Python throughput, and prints the paper's
+published multi-platform runtimes next to the calibrated Xeon-8380
+model's predictions for the full datasets.
+"""
+
+import time
+
+from repro.analysis.report import render_table
+from repro.baselines.data import KERNELS, PAPER_CPU_BASELINES, PAPER_TABLE15
+from repro.baselines.models import cpu_model
+from repro.kernels.bsw import banded_sw
+from repro.kernels.chain import chain_original
+from repro.kernels.pairhmm import pairhmm_forward_pruned
+from repro.kernels.poa import poa_consensus
+from repro.workloads.anchors import generate_chain_workload
+from repro.workloads.haplotypes import generate_pairhmm_workload
+from repro.workloads.poa_groups import generate_poa_workload
+from repro.workloads.reads import generate_bsw_workload
+
+
+def run_reference_kernels():
+    """One pass of each reference kernel over a small workload."""
+    cells = {}
+    bsw = generate_bsw_workload(count=20, seed=3)
+    for pair in bsw.pairs:
+        banded_sw(pair.query, pair.target, band=bsw.band)
+    cells["bsw"] = bsw.total_cells
+
+    hmm = generate_pairhmm_workload(
+        regions=2, reads_per_region=2, read_length=40, haplotype_length=30, seed=3
+    )
+    for pair in hmm.pairs:
+        pairhmm_forward_pruned(pair.read, pair.haplotype, qualities=pair.qualities)
+    cells["pairhmm"] = hmm.total_cells
+
+    chain = generate_chain_workload(tasks=2, anchors_per_task=400, seed=3)
+    for task in chain.tasks:
+        chain_original(task.anchors, n=25)
+    cells["chain"] = chain.total_cells(25)
+
+    poa = generate_poa_workload(tasks=1, reads_per_task=5, template_length=60, seed=3)
+    for task in poa.tasks:
+        poa_consensus(task.reads)
+    cells["poa"] = poa.total_cells
+    return cells
+
+
+def test_table13_cpu_baselines(benchmark, publish):
+    benchmark(run_reference_kernels)
+
+    model = cpu_model()
+    rows = []
+    for platform, runtimes in PAPER_CPU_BASELINES.items():
+        rows.append(
+            [platform] + [runtimes[kernel] for kernel in KERNELS] + ["paper"]
+        )
+    predicted = [
+        model.runtime_seconds(kernel, PAPER_TABLE15[kernel]["total_cells"])
+        for kernel in KERNELS
+    ]
+    rows.append(["Xeon 8380 (model)"] + predicted + ["ours"])
+    publish(
+        "table13_cpu_baselines",
+        render_table(
+            "Table 13: CPU baselines, runtime in seconds (full datasets)",
+            ["platform", "bsw", "chain", "pairhmm", "poa", "source"],
+            rows,
+            note="Model rows derive from the calibrated sustained GCUPS",
+        ),
+    )
+
+    # Shape: newer CPUs are faster; the flagship 8380 leads everywhere.
+    flagship = PAPER_CPU_BASELINES["Xeon Platinum 8380"]
+    oldest = PAPER_CPU_BASELINES["Core i7-7700"]
+    for kernel in KERNELS:
+        assert flagship[kernel] < oldest[kernel]

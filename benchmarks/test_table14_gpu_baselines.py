@@ -1,0 +1,52 @@
+"""Table 14: GPU baselines.
+
+No CUDA hardware exists in this environment; the GPU baseline is the
+calibrated analytic model (DESIGN.md substitution table).  The bench
+regenerates the published three-GPU table and checks the A100 model's
+consistency with Table 15's sustained rates.
+"""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.baselines.data import KERNELS, PAPER_GPU_BASELINES, PAPER_TABLE15
+from repro.baselines.models import gpu_model
+
+
+def build_model_predictions():
+    model = gpu_model()
+    return {
+        kernel: model.runtime_seconds(kernel, PAPER_TABLE15[kernel]["total_cells"])
+        for kernel in KERNELS
+    }
+
+
+def test_table14_gpu_baselines(benchmark, publish):
+    predictions = benchmark(build_model_predictions)
+
+    rows = [
+        [platform] + [runtimes[kernel] for kernel in KERNELS] + ["paper"]
+        for platform, runtimes in PAPER_GPU_BASELINES.items()
+    ]
+    rows.append(["A100 (model)"] + [predictions[k] for k in KERNELS] + ["ours"])
+    publish(
+        "table14_gpu_baselines",
+        render_table(
+            "Table 14: GPU baselines, runtime in seconds (full datasets)",
+            ["platform", "bsw", "chain", "pairhmm", "poa", "source"],
+            rows,
+        ),
+    )
+
+    # The A100 model reproduces the published runtime within the
+    # paper's own internal rounding for the kernels whose cell counts
+    # reconcile (BSW; the others use different accounting -- see
+    # EXPERIMENTS.md).
+    assert predictions["bsw"] == pytest.approx(
+        PAPER_GPU_BASELINES["NVIDIA A100"]["bsw"], rel=0.1
+    )
+    # Shape: the A100 leads the published GPUs on long-read kernels.
+    a100 = PAPER_GPU_BASELINES["NVIDIA A100"]
+    titan = PAPER_GPU_BASELINES["NVIDIA TITAN Xp"]
+    for kernel in KERNELS:
+        assert a100[kernel] <= titan[kernel]

@@ -1,0 +1,64 @@
+"""Table 15: GenDP speedup over CPU and GPU baselines (the roll-up)."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.analysis.speedups import headline_speedups, speedup_rollup
+from repro.baselines.data import KERNELS, PAPER_TABLE15
+
+
+def run_rollup():
+    rows = speedup_rollup()
+    return rows, headline_speedups(rows)
+
+
+def test_table15_speedup(benchmark, publish):
+    rows, headlines = benchmark(run_rollup)
+
+    table = []
+    for kernel in KERNELS:
+        row = rows[kernel]
+        paper = PAPER_TABLE15[kernel]
+        table.append(
+            [
+                kernel,
+                row.cpu_norm_mcups_mm2,
+                row.gpu_mcups_mm2,
+                row.gendp_norm_mcups_mm2,
+                paper["gendp_norm_mcups_mm2"],
+                f"{row.speedup_vs_cpu:.1f}x",
+                f"{paper['speedup_cpu']:.1f}x",
+                f"{row.speedup_vs_gpu:.1f}x",
+                f"{paper['speedup_gpu']:.1f}x",
+            ]
+        )
+    publish(
+        "table15_speedup",
+        render_table(
+            "Table 15: GenDP speedup over CPU/GPU (normalized MCUPS/mm^2)",
+            [
+                "kernel", "CPU", "GPU", "GenDP", "GenDP paper",
+                "vs CPU", "paper", "vs GPU", "paper",
+            ],
+            table,
+            note=(
+                f"headline geomeans: {headlines['speedup_vs_cpu_per_mm2']:.0f}x CPU "
+                f"(paper 132x), {headlines['speedup_vs_gpu_per_mm2']:.0f}x GPU "
+                f"(paper 157.8x)"
+            ),
+        ),
+    )
+
+    # Shape assertions: two orders of magnitude over both baselines.
+    assert 50 < headlines["speedup_vs_cpu_per_mm2"] < 400
+    assert 50 < headlines["speedup_vs_gpu_per_mm2"] < 400
+    # Per-kernel: every kernel wins by >10x; BSW is the biggest CPU win.
+    for row in rows.values():
+        assert row.speedup_vs_cpu > 10 and row.speedup_vs_gpu > 10
+    assert rows["bsw"].speedup_vs_cpu == max(
+        rows[k].speedup_vs_cpu for k in KERNELS
+    )
+    # POA is the smallest GPU win (memory-bound), as in the paper.
+    assert rows["poa"].speedup_vs_gpu == min(
+        rows[k].speedup_vs_gpu for k in KERNELS
+    )

@@ -1,0 +1,62 @@
+"""Table 2: ALU reduction trees with different levels.
+
+Re-runs DPMap on each kernel's objective function with 1-, 2- and
+3-level compute-unit targets and reports register-file accesses and CU
+utilization -- the design-space study behind Section 4.3's choice of
+the 2-level tree.
+"""
+
+from repro.analysis.report import render_table
+from repro.analysis.utilization import reduction_tree_study
+from repro.baselines.data import PAPER_TABLE2
+from repro.dfg.kernels import KERNEL_DFGS
+
+KERNELS = ("bsw", "pairhmm", "poa", "chain")
+
+
+def run_study():
+    return reduction_tree_study({k: KERNEL_DFGS[k]() for k in KERNELS})
+
+
+def test_table2_reduction_tree(benchmark, publish):
+    rows = benchmark(run_study)
+
+    table = []
+    for row in rows:
+        paper = PAPER_TABLE2[row.kernel][row.levels]
+        table.append(
+            [
+                row.kernel,
+                row.levels,
+                row.rf_accesses,
+                paper["rf_accesses"],
+                f"{row.cu_utilization:.1%}",
+                f"{paper['cu_utilization']:.1%}",
+            ]
+        )
+    publish(
+        "table2_reduction_tree",
+        render_table(
+            "Table 2: ALU reduction trees (ours vs paper)",
+            ["kernel", "levels", "RF acc", "paper RF", "CU util", "paper util"],
+            table,
+            note="Shape: accesses fall and utilization falls as trees deepen;"
+            " 2 levels is the tradeoff point",
+        ),
+    )
+
+    by_kernel = {}
+    for row in rows:
+        by_kernel.setdefault(row.kernel, {})[row.levels] = row
+    for kernel, levels in by_kernel.items():
+        # The paper's two monotone trends.
+        assert levels[1].rf_accesses >= levels[2].rf_accesses >= levels[3].rf_accesses
+        assert (
+            levels[1].cu_utilization
+            >= levels[2].cu_utilization
+            >= levels[3].cu_utilization
+        )
+    # The 2-level sweet spot: most of the RF saving is already captured.
+    total_12 = sum(l[1].rf_accesses - l[2].rf_accesses for l in by_kernel.values())
+    total_23 = sum(l[2].rf_accesses - l[3].rf_accesses for l in by_kernel.values())
+    assert total_12 > total_23

@@ -1,0 +1,63 @@
+"""Table 6: Chain accuracy -- original minimap2 vs reordered (N=64).
+
+The paper's claim: reordering the chain DP (and widening the window to
+64) does not change mapping accuracy.  We regenerate the comparison on
+synthetic overlap tasks: a mapping "fails" when the best chain covers
+less than half of the planted overlap span.
+"""
+
+from repro.analysis.report import render_table
+from repro.baselines.data import PAPER_TABLE6
+from repro.kernels.chain import chain_original, chain_query_coverage, chain_reordered
+from repro.workloads.anchors import generate_chain_workload
+
+
+def map_tasks(tasks, chain_fn, **kwargs):
+    failures = 0
+    coverages = []
+    for task in tasks:
+        result = chain_fn(task.anchors, **kwargs)
+        span, _ = chain_query_coverage(task.anchors, result.backtrack())
+        coverage = span / task.true_span if task.true_span else 0.0
+        coverages.append(coverage)
+        if coverage < 0.5:
+            failures += 1
+    return failures / len(tasks), sum(coverages) / len(coverages)
+
+
+def run_accuracy_study():
+    workload = generate_chain_workload(
+        tasks=40, anchors_per_task=400, collinear_fraction=0.6, seed=42
+    )
+    original = map_tasks(workload.tasks, chain_original, n=25)
+    reordered = map_tasks(workload.tasks, chain_reordered, n=64)
+    return original, reordered
+
+
+def test_table6_chain_accuracy(benchmark, publish):
+    (orig_fail, orig_cov), (reord_fail, reord_cov) = benchmark(run_accuracy_study)
+
+    publish(
+        "table6_chain_accuracy",
+        render_table(
+            "Table 6: Chain accuracy comparison",
+            ["metric", "original (N=25)", "reordered (N=64)", "paper orig", "paper reord"],
+            [
+                [
+                    "map failure rate",
+                    f"{orig_fail:.2%}",
+                    f"{reord_fail:.2%}",
+                    f"{PAPER_TABLE6['map_failure_rate']['minimap2']:.2%}",
+                    f"{PAPER_TABLE6['map_failure_rate']['reordered']:.2%}",
+                ],
+                ["mean overlap coverage", f"{orig_cov:.3f}", f"{reord_cov:.3f}", None, None],
+            ],
+            note="Shape: the two variants are statistically indistinguishable",
+        ),
+    )
+
+    # The paper's conclusion: accuracy is preserved by reordering.
+    assert abs(orig_fail - reord_fail) <= 0.05
+    assert abs(orig_cov - reord_cov) <= 0.05
+    # Both map the planted overlaps nearly always.
+    assert orig_fail <= 0.1 and reord_fail <= 0.1

@@ -1,0 +1,53 @@
+"""Table 7: breakdown of area and power of the DPAx ASIC."""
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.asicmodel.area import (
+    dpax_area_breakdown,
+    dpax_power_breakdown,
+    pe_area_fractions,
+)
+
+ROWS = [
+    ("compute_unit_array", "Compute Unit Array"),
+    ("decoder", "Decoder"),
+    ("register_file", "Register File"),
+    ("integer_pe", "Integer PE"),
+    ("integer_pe_array", "1x4 Integer PE Array"),
+    ("integer_pe_arrays_16", "16x4 Integer PE Array"),
+    ("fp_pe", "FP PE"),
+    ("fp_pe_array", "1x4 FP PE Array"),
+    ("logic_subtotal", "Logic subtotal"),
+    ("data_buffer", "Data Buffer (200KB)"),
+    ("instruction_buffer", "Instruction Buffer (208KB)"),
+    ("scratchpad", "Scratchpad (136KB)"),
+    ("fifo", "FIFO (276KB)"),
+    ("memory_subtotal", "Memory subtotal"),
+    ("total", "Total"),
+]
+
+
+def compute_breakdowns():
+    return dpax_area_breakdown(), dpax_power_breakdown()
+
+
+def test_table7_area_power(benchmark, publish):
+    area, power = benchmark(compute_breakdowns)
+
+    publish(
+        "table7_area_power",
+        render_table(
+            "Table 7: Breakdown of area and power of DPAx ASIC (28nm)",
+            ["component", "area (mm^2)", "power (W)"],
+            [[label, area[key], power[key]] for key, label in ROWS],
+            note="Paper totals: 5.391 mm^2 / 3.569 W",
+        ),
+    )
+
+    assert area["total"] == pytest.approx(5.391, abs=0.02)
+    assert power["total"] == pytest.approx(3.569, abs=0.02)
+    # The structural observations of Section 7.1.
+    fractions = pe_area_fractions()
+    assert fractions["register_file"] > fractions["compute_unit_array"]
+    assert area["memory_subtotal"] > area["logic_subtotal"]

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Bring-your-own DP kernel: dynamic time warping on GenDP.
+
+The Section 7.6 generality claim, demonstrated end to end: DTW was
+never a "genomics kernel", yet its objective function maps onto the
+same compute units and its near-range dependency pattern onto the same
+systolic dataflow -- no new hardware, just a new DFG and a dataflow
+spec.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dpmap.codegen import compile_cell
+from repro.kernels.dtw import dtw_matrix
+from repro.mapping.wavefront2d import Wavefront2DSpec, run_wavefront
+from repro.workloads.signals import generate_dtw_workload
+
+INF = 1 << 20
+
+
+def build_dtw_dfg() -> DataFlowGraph:
+    """Write the DTW recurrence as a DFG, operator by operator."""
+    dfg = DataFlowGraph("my_dtw")
+    # |a - b| with the integer ALU: max(a-b, b-a).
+    diff_ab = dfg.op(Opcode.SUB, dfg.input("a"), dfg.input("b"))
+    diff_ba = dfg.op(Opcode.SUB, dfg.input("b"), dfg.input("a"))
+    cost = dfg.op(Opcode.MAX, diff_ab, diff_ba)
+    # min of the three DP neighbors.
+    best_ul = dfg.op(Opcode.MIN, dfg.input("d_up"), dfg.input("d_left"))
+    best = dfg.op(Opcode.MIN, best_ul, dfg.input("d_diag"))
+    cell = dfg.op(Opcode.ADD, cost, best)
+    dfg.mark_output("d", cell)
+    return dfg
+
+
+def main() -> None:
+    # --- Compile the custom objective function --------------------------
+    dfg = build_dtw_dfg()
+    program = compile_cell(dfg)
+    print("Custom kernel compiled by DPMap:")
+    print(f"  operators            : {dfg.operator_count()}")
+    print(f"  VLIW bundles per cell: {len(program.instructions)}")
+    for bundle in program.instructions:
+        print(f"    {bundle.text()}")
+    print()
+
+    # --- Describe its dataflow roles ------------------------------------
+    spec = Wavefront2DSpec(
+        name="my_dtw",
+        dfg=dfg,
+        stream_input="a",            # query signal streams through PEs
+        static_input="b",            # one reference sample per PE
+        recv=[("d_left", "d")],      # same-wavefront neighbor from upstream
+        delayed={"d_diag": "d_left"},
+        own={"d_up": "d"},           # own previous cell
+        boundary_row={"d": INF},
+        first_column={"d": INF},
+        first_corner={"d": 0},
+        epilogue=["d_up"],
+    )
+
+    # --- Run it on the simulator and cross-check ------------------------
+    workload = generate_dtw_workload(pairs=2, length=12, seed=5)
+    pair = workload.pairs[0]
+    reference_signal = [int(v * 100) for v in pair.reference]
+    query_signal = [int(v * 100) for v in pair.query][:16]
+
+    run = run_wavefront(spec, target=reference_signal, stream=query_signal)
+    accelerator = run.epilogue_series("d_up")[-1]
+    reference = dtw_matrix(query_signal, reference_signal)
+    expected = reference[len(query_signal)][len(reference_signal)]
+    print(f"DTW distance on DPAx     : {accelerator}")
+    print(f"DTW distance (reference) : {expected}")
+    assert accelerator == expected
+    print(f"simulated in {run.cycles} cycles "
+          f"({run.cycles_per_cell:.1f} cycles/cell wall on 4 PEs)")
+    print()
+    print("OK: a non-genomics kernel ran unmodified on the DP framework.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Short-read pipeline: seed extension (BSW) + variant calling (PairHMM).
+
+The reference-guided analysis story from the paper's Section 2.1, on
+synthetic data: Illumina-like reads are extended against their
+reference windows with banded Smith-Waterman, then scored against
+candidate haplotypes with the PairHMM forward algorithm -- both in the
+exact form (CPU baseline semantics) and the pruned log-domain form the
+accelerator executes, with the accelerator's pruning savings and
+host-recompute tail reported.
+
+Run:  python examples/short_read_pipeline.py
+"""
+
+from repro.kernels.bsw import banded_sw
+from repro.kernels.pairhmm import pairhmm_forward, pairhmm_forward_pruned
+from repro.workloads.haplotypes import generate_pairhmm_workload
+from repro.workloads.reads import generate_bsw_workload
+
+
+def seed_extension_stage() -> None:
+    print("=== Stage 1: seed extension (banded Smith-Waterman) ===")
+    workload = generate_bsw_workload(
+        count=50, query_length=100, target_length=60, band=8, seed=7
+    )
+    scores = []
+    for pair in workload.pairs:
+        result = banded_sw(pair.query, pair.target, band=workload.band)
+        scores.append(result.score)
+    print(f"  extensions         : {len(scores)}")
+    print(f"  band half-width    : {workload.band}")
+    print(f"  cells (banded)     : {workload.total_cells:,}")
+    print(f"  mean extension score: {sum(scores) / len(scores):.1f}")
+    print(f"  best / worst       : {max(scores)} / {min(scores)}")
+    print()
+
+
+def variant_calling_stage() -> None:
+    print("=== Stage 2: variant calling (PairHMM likelihoods) ===")
+    workload = generate_pairhmm_workload(
+        regions=6, reads_per_region=4, haplotypes_per_region=3,
+        read_length=60, haplotype_length=45, seed=7,
+    )
+    correct = total_reads = 0
+    pruned_cells = computed_cells = recomputes = 0
+    by_read = {}
+    for pair in workload.pairs:
+        by_read.setdefault((pair.region, pair.read), []).append(pair)
+
+    for pairs in by_read.values():
+        exact_scores = []
+        for pair in pairs:
+            exact_scores.append(
+                pairhmm_forward(pair.read, pair.haplotype, qualities=pair.qualities)
+            )
+            pruned = pairhmm_forward_pruned(
+                pair.read, pair.haplotype, qualities=pair.qualities
+            )
+            pruned_cells += pruned.cells_pruned
+            computed_cells += pruned.cells_computed
+            if pruned.needs_recompute:
+                recomputes += 1
+        best = exact_scores.index(max(exact_scores))
+        total_reads += 1
+        if best == pairs[0].true_haplotype:
+            correct += 1
+
+    total_pairs = len(workload.pairs)
+    print(f"  read-haplotype pairs scored : {total_pairs}")
+    print(f"  genotyping accuracy         : {correct}/{total_reads} reads")
+    prune_rate = pruned_cells / (pruned_cells + computed_cells)
+    print(f"  scan-phase pruning          : {prune_rate:.1%} of cells skipped")
+    print(f"  host re-computation tail    : {recomputes}/{total_pairs} pairs "
+          "(paper: 2.3% of workload)")
+    print()
+
+
+def main() -> None:
+    seed_extension_stage()
+    variant_calling_stage()
+    print("Pipeline complete: both kernels run on one programmable "
+          "accelerator instead of two custom ASICs -- the GenDP thesis.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only
+enables the legacy ``pip install -e .`` path (``setup.py develop``) on
+offline machines where PEP 660 editable builds cannot run.
+"""
+
+from setuptools import setup
+
+setup()

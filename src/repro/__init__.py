@@ -1,0 +1,59 @@
+"""GenDP: dynamic programming acceleration for genome sequencing analysis.
+
+A full reproduction of *GenDP: A Framework of Dynamic Programming
+Acceleration for Genome Sequencing Analysis* (Gu et al., ISCA 2023):
+the DPAx accelerator as an instruction-level simulator, the DPMap
+graph-partitioning compiler, the GenDP ISA, the four genomics DP
+kernels (BSW, PairHMM, POA, Chain) plus the generality kernels (LCS,
+DTW, Bellman-Ford), synthetic workload generators, and the area /
+power / throughput models behind every table and figure in the paper's
+evaluation.
+
+Typical use -- compile a DP objective function and run it on DPAx::
+
+    from repro.dfg import bsw_dfg
+    from repro.dpmap.codegen import compile_cell, run_program
+
+    program = compile_cell(bsw_dfg())         # DPMap + VLIW emission
+    outputs = run_program(program, inputs)     # functional execution
+
+or simulate a whole kernel cycle-by-cycle::
+
+    from repro.mapping import bsw_wavefront_spec, run_wavefront
+
+    run = run_wavefront(bsw_wavefront_spec(), target=..., stream=...)
+
+Package map (see DESIGN.md for the full inventory):
+
+==================  ==================================================
+``repro.seq``       DNA alphabet, scoring schemes, mutation models
+``repro.kernels``   reference DP kernel implementations (the oracles)
+``repro.workloads`` synthetic dataset generators
+``repro.dfg``       data-flow graph IR of objective functions
+``repro.dpmap``     the DPMap partitioning algorithm + codegen
+``repro.isa``       GenDP control/compute instruction set
+``repro.dpax``      cycle-level accelerator simulator
+``repro.mapping``   inter-cell dataflow program generators
+``repro.perfmodel`` throughput projection (MCUPS, MCUPS/mm^2)
+``repro.asicmodel`` area / power / process / DRAM models
+``repro.baselines`` CPU / GPU / ASIC / SoftBrain / TIA comparisons
+``repro.analysis``  the tables and figures of the evaluation
+==================  ==================================================
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "seq",
+    "kernels",
+    "workloads",
+    "dfg",
+    "dpmap",
+    "isa",
+    "dpax",
+    "mapping",
+    "perfmodel",
+    "asicmodel",
+    "baselines",
+    "analysis",
+]

@@ -1,0 +1,31 @@
+"""Evaluation analyses: the code behind the paper's figures and tables.
+
+- :mod:`repro.analysis.isa_comparison` -- instructions per cell on
+  GenDP vs riscv64 vs x86-64 (Figure 10d, Section 7.4).
+- :mod:`repro.analysis.utilization` -- the reduction-tree design study
+  (Table 2) and VLIW utilization (Table 11) from DPMap results.
+- :mod:`repro.analysis.speedups` -- the Table 15 / Figure 10 roll-up
+  combining the GenDP performance model with the baselines.
+- :mod:`repro.analysis.report` -- fixed-width table rendering so each
+  benchmark prints the same rows the paper reports.
+"""
+
+from repro.analysis.isa_comparison import (
+    isa_comparison,
+    scalar_instruction_count,
+    ISAComparisonRow,
+)
+from repro.analysis.utilization import reduction_tree_study, vliw_utilization
+from repro.analysis.speedups import speedup_rollup, SpeedupRow
+from repro.analysis.report import render_table
+
+__all__ = [
+    "isa_comparison",
+    "scalar_instruction_count",
+    "ISAComparisonRow",
+    "reduction_tree_study",
+    "vliw_utilization",
+    "speedup_rollup",
+    "SpeedupRow",
+    "render_table",
+]

@@ -1,0 +1,128 @@
+"""ISA efficiency comparison (Figure 10d, Section 7.4).
+
+GenDP's compute-instruction count per cell comes straight from DPMap's
+VLIW schedule.  The riscv64 / x86-64 counts are modeled from the same
+DFG with per-operation cost tables reflecting how a scalar compiler
+lowers each operator (the paper compiled the kernels with
+riscv64-unknown-elf-g++ and g++; no cross-compilers exist in this
+offline environment -- DESIGN.md's substitution table):
+
+- plain ALU ops are one instruction on both;
+- max/min: riscv64 has no conditional move, so a compare+branch+move
+  sequence (3); x86-64 uses cmp+cmov (2);
+- 4-input selects: compare plus a guarded move on each side;
+- the Chain LUT: 14 riscv64 / 7 x86-64 instructions (Section 7.4's
+  published counts for the log2 LUT lowering);
+- every DFG input is a load and every output a store (register-file
+  traffic GenDP's systolic forwarding avoids);
+- 2 loop-overhead instructions per cell (induction + branch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dpmap.mapper import run_dpmap
+
+#: Instructions a scalar ISA spends per DFG operator.
+SCALAR_OP_COST: Dict[str, Dict[Opcode, int]] = {
+    "riscv64": {
+        Opcode.ADD: 1,
+        Opcode.SUB: 1,
+        Opcode.MUL: 1,
+        Opcode.CARRY: 3,
+        Opcode.BORROW: 1,  # sltu
+        Opcode.MAX: 3,  # no cmov: compare + branch + move
+        Opcode.MIN: 3,
+        Opcode.SHL16: 1,
+        Opcode.SHR16: 1,
+        Opcode.COPY: 1,
+        Opcode.MATCH_SCORE: 4,  # address arithmetic + load
+        Opcode.LOG2_LUT: 14,  # Section 7.4's published count
+        # A scalar baseline computes PairHMM's sums in the linear float
+        # domain (fmul+fadd), not through a log-sum LUT.
+        Opcode.LOG_SUM_LUT: 3,
+        Opcode.CMP_GT: 4,
+        Opcode.CMP_EQ: 4,
+    },
+    "x86_64": {
+        Opcode.ADD: 1,
+        Opcode.SUB: 1,
+        Opcode.MUL: 1,
+        Opcode.CARRY: 2,
+        Opcode.BORROW: 2,
+        Opcode.MAX: 2,  # cmp + cmov
+        Opcode.MIN: 2,
+        Opcode.SHL16: 1,
+        Opcode.SHR16: 1,
+        Opcode.COPY: 1,
+        Opcode.MATCH_SCORE: 3,
+        Opcode.LOG2_LUT: 7,  # Section 7.4's published count
+        Opcode.LOG_SUM_LUT: 2,  # linear-domain fmul+fadd
+        Opcode.CMP_GT: 3,
+        Opcode.CMP_EQ: 3,
+    },
+}
+
+#: Per-cell loads/stores and loop overhead.
+LOAD_COST = 1
+STORE_COST = 1
+LOOP_OVERHEAD = 2
+
+
+@dataclass(frozen=True)
+class ISAComparisonRow:
+    """One kernel's instructions-per-cell across the three ISAs."""
+
+    kernel: str
+    gendp: int
+    riscv64: int
+    x86_64: int
+
+    @property
+    def reduction_vs_riscv(self) -> float:
+        return self.riscv64 / self.gendp
+
+    @property
+    def reduction_vs_x86(self) -> float:
+        return self.x86_64 / self.gendp
+
+
+def scalar_instruction_count(dfg: DataFlowGraph, isa: str) -> int:
+    """Model a scalar ISA's per-cell instruction count for *dfg*."""
+    if isa not in SCALAR_OP_COST:
+        raise KeyError(f"unknown ISA {isa!r}")
+    costs = SCALAR_OP_COST[isa]
+    ops = sum(
+        costs[node.opcode]
+        for node in dfg.nodes
+        if node.opcode not in (Opcode.NOP, Opcode.HALT)
+    )
+    loads = len(dfg.inputs) * LOAD_COST
+    stores = len(dfg.outputs) * STORE_COST
+    return ops + loads + stores + LOOP_OVERHEAD
+
+
+def isa_comparison(dfgs: Dict[str, DataFlowGraph]) -> Dict[str, ISAComparisonRow]:
+    """Figure 10(d): per-kernel instruction counts on all three ISAs."""
+    rows = {}
+    for kernel, dfg in dfgs.items():
+        mapping = run_dpmap(dfg, levels=2)
+        rows[kernel] = ISAComparisonRow(
+            kernel=kernel,
+            gendp=mapping.stats.instructions_per_cell,
+            riscv64=scalar_instruction_count(dfg, "riscv64"),
+            x86_64=scalar_instruction_count(dfg, "x86_64"),
+        )
+    return rows
+
+
+def average_reduction(rows: Dict[str, ISAComparisonRow]) -> Dict[str, float]:
+    """Arithmetic-mean reductions (the paper reports 8.1x / 4.0x)."""
+    count = len(rows)
+    return {
+        "riscv64": sum(r.reduction_vs_riscv for r in rows.values()) / count,
+        "x86_64": sum(r.reduction_vs_x86 for r in rows.values()) / count,
+    }

@@ -1,0 +1,54 @@
+"""Fixed-width table rendering for benchmark output.
+
+Every benchmark prints its table/figure in the same row structure the
+paper uses, with a "paper" column where published numbers exist; this
+module is the one place that formatting lives.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def _format_cell(value: Cell) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000:
+            return f"{value:,.0f}"
+        if magnitude >= 10:
+            return f"{value:.1f}"
+        if magnitude >= 0.01:
+            return f"{value:.3f}"
+        return f"{value:.2e}"
+    return str(value)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    note: Optional[str] = None,
+) -> str:
+    """Render a fixed-width table with a title and optional footnote."""
+    formatted: List[List[str]] = [[_format_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    out = [f"== {title} ==", line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in formatted)
+    if note:
+        out.append(f"   {note}")
+    return "\n".join(out)

@@ -1,0 +1,107 @@
+"""The speedup roll-up: Table 15 and Figure 10(a)/(b)/(c).
+
+Combines the GenDP performance model with the CPU/GPU/ASIC baseline
+models into one row per kernel, exactly the quantities the paper's
+headline claims aggregate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.baselines.data import KERNELS, PAPER_TABLE15
+from repro.baselines.models import (
+    BaselineThroughputModel,
+    asic_models,
+    cpu_model,
+    gpu_model,
+)
+from repro.perfmodel.throughput import GenDPPerfModel
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """One kernel's normalized-throughput comparison."""
+
+    kernel: str
+    cpu_norm_mcups_mm2: float
+    gpu_mcups_mm2: float
+    gendp_norm_mcups_mm2: float
+    asic_norm_mcups_mm2: Optional[float]
+    gendp_mcups_per_watt: float
+    gpu_mcups_per_watt: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.gendp_norm_mcups_mm2 / self.cpu_norm_mcups_mm2
+
+    @property
+    def speedup_vs_gpu(self) -> float:
+        return self.gendp_norm_mcups_mm2 / self.gpu_mcups_mm2
+
+    @property
+    def asic_slowdown(self) -> Optional[float]:
+        if self.asic_norm_mcups_mm2 is None:
+            return None
+        return self.asic_norm_mcups_mm2 / self.gendp_norm_mcups_mm2
+
+    @property
+    def watt_speedup_vs_gpu(self) -> float:
+        return self.gendp_mcups_per_watt / self.gpu_mcups_per_watt
+
+
+def speedup_rollup(
+    model: Optional[GenDPPerfModel] = None,
+) -> Dict[str, SpeedupRow]:
+    """Build the four Table 15 / Figure 10 rows."""
+    if model is None:
+        model = GenDPPerfModel()
+    cpu = cpu_model()
+    gpu = gpu_model()
+    asics = asic_models()
+    rows: Dict[str, SpeedupRow] = {}
+    for kernel in KERNELS:
+        asic = asics.get(kernel)
+        rows[kernel] = SpeedupRow(
+            kernel=kernel,
+            cpu_norm_mcups_mm2=cpu.mcups_per_mm2(kernel),
+            gpu_mcups_mm2=gpu.mcups_per_mm2(kernel, normalize_process=False),
+            gendp_norm_mcups_mm2=model.mcups_per_mm2(kernel),
+            asic_norm_mcups_mm2=asic.norm_mcups_per_mm2 if asic else None,
+            gendp_mcups_per_watt=model.mcups_per_watt(kernel),
+            gpu_mcups_per_watt=gpu.mcups_per_watt(kernel),
+        )
+    return rows
+
+
+def geomean(values) -> float:
+    """Geometric mean of a non-empty iterable of positive numbers."""
+    values = list(values)
+    if not values:
+        raise ValueError("geomean of nothing")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise ValueError("geomean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def headline_speedups(rows: Dict[str, SpeedupRow]) -> Dict[str, float]:
+    """The abstract's aggregate claims from our model's rows."""
+    return {
+        "speedup_vs_cpu_per_mm2": geomean(r.speedup_vs_cpu for r in rows.values()),
+        "speedup_vs_gpu_per_mm2": geomean(r.speedup_vs_gpu for r in rows.values()),
+        "throughput_per_watt_vs_gpu": geomean(
+            r.watt_speedup_vs_gpu for r in rows.values()
+        ),
+        "asic_slowdown_geomean": geomean(
+            r.asic_slowdown for r in rows.values() if r.asic_slowdown is not None
+        ),
+    }
+
+
+def paper_row(kernel: str) -> Dict[str, float]:
+    """The published Table 15 row, for side-by-side printing."""
+    return PAPER_TABLE15[kernel]

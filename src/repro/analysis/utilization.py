@@ -1,0 +1,54 @@
+"""Utilization studies: Table 2 (reduction-tree depth) and Table 11.
+
+Both derive entirely from DPMap: the Table 2 study re-runs the mapper
+with 1-, 2- and 3-level compute-unit targets and reads off register
+file accesses and CU utilization; Table 11 is the 2-level CU
+utilization (the VLIW occupancy of the issued schedule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dpmap.mapper import MappingStats, run_dpmap
+
+
+@dataclass(frozen=True)
+class TreeStudyRow:
+    """One (kernel, tree depth) row of Table 2."""
+
+    kernel: str
+    levels: int
+    rf_accesses: int
+    cu_utilization: float
+    cycles: int
+
+
+def reduction_tree_study(
+    dfgs: Dict[str, DataFlowGraph], levels: List[int] = (1, 2, 3)
+) -> List[TreeStudyRow]:
+    """Table 2: sweep reduction-tree depth over kernels."""
+    rows: List[TreeStudyRow] = []
+    for kernel, dfg in dfgs.items():
+        for depth in levels:
+            stats: MappingStats = run_dpmap(dfg, levels=depth).stats
+            rows.append(
+                TreeStudyRow(
+                    kernel=kernel,
+                    levels=depth,
+                    rf_accesses=stats.rf_accesses,
+                    cu_utilization=stats.cu_utilization,
+                    cycles=stats.cycles,
+                )
+            )
+    return rows
+
+
+def vliw_utilization(dfgs: Dict[str, DataFlowGraph]) -> Dict[str, float]:
+    """Table 11: VLIW (2-level CU) utilization per kernel."""
+    return {
+        kernel: run_dpmap(dfg, levels=2).stats.cu_utilization
+        for kernel, dfg in dfgs.items()
+    }

@@ -1,0 +1,33 @@
+"""ASIC area/power/technology model of the DPAx tile.
+
+The paper's synthesis numbers (Synopsys DC, TSMC 28nm) enter the
+evaluation only as component areas and powers (Tables 7 and 8), a
+28nm -> 7nm scaling step (Stillmaker-Baas equations [67]) and a DRAM
+power figure (Ramulator + DRAMPower).  This package encodes those as a
+parameterized model (see the substitution table in DESIGN.md):
+
+- :mod:`repro.asicmodel.area` -- the component area/power breakdown.
+- :mod:`repro.asicmodel.scaling` -- process scaling factors.
+- :mod:`repro.asicmodel.dram` -- DDR4 bandwidth/power model.
+"""
+
+from repro.asicmodel.area import (
+    ComponentBudget,
+    DPAX_28NM,
+    dpax_area_breakdown,
+    dpax_power_breakdown,
+)
+from repro.asicmodel.scaling import scale_area, scale_power, TECH_NODES
+from repro.asicmodel.dram import DRAMConfig, DDR4_2400_8CH
+
+__all__ = [
+    "ComponentBudget",
+    "DPAX_28NM",
+    "dpax_area_breakdown",
+    "dpax_power_breakdown",
+    "scale_area",
+    "scale_power",
+    "TECH_NODES",
+    "DRAMConfig",
+    "DDR4_2400_8CH",
+]

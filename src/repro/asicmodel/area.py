@@ -1,0 +1,143 @@
+"""DPAx component area/power budgets (Tables 7 and 8 of the paper).
+
+The budgets are parameterized bottom-up the same way the design is:
+per-PE components (compute-unit array, decoders, register file) roll
+up into PE arrays, then into the tile with its SRAM blocks.  The
+defaults reproduce Table 7's numbers at TSMC 28nm; the derived
+breakdown functions recompute every roll-up line so tests can check
+both the absolute values and the structural ratios the paper calls out
+(30% of PE area in the RF, 22% in CUs, 16% in decoders; ~32% of the
+tile in SRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: Tile composition (Figure 4).
+INTEGER_PE_ARRAYS = 16
+PES_PER_ARRAY = 4
+FP_PE_ARRAYS = 1
+
+
+@dataclass(frozen=True)
+class ComponentBudget:
+    """One component's silicon budget at the model's base node."""
+
+    area_mm2: float
+    power_w: float
+
+    def scaled(self, area_factor: float, power_factor: float) -> "ComponentBudget":
+        return ComponentBudget(
+            area_mm2=self.area_mm2 * area_factor,
+            power_w=self.power_w * power_factor,
+        )
+
+
+@dataclass(frozen=True)
+class DPAxBudget:
+    """The full Table 7 component set at 28nm."""
+
+    compute_unit_array: ComponentBudget = ComponentBudget(0.012, 0.007)
+    decoder: ComponentBudget = ComponentBudget(0.008, 0.004)
+    register_file: ComponentBudget = ComponentBudget(0.015, 0.009)
+    integer_pe: ComponentBudget = ComponentBudget(0.035, 0.020)
+    integer_pe_array: ComponentBudget = ComponentBudget(0.149, 0.081)
+    fp_pe: ComponentBudget = ComponentBudget(0.047, 0.019)
+    fp_pe_array: ComponentBudget = ComponentBudget(0.196, 0.080)
+    data_buffer: ComponentBudget = ComponentBudget(0.424, 0.273)
+    instruction_buffer: ComponentBudget = ComponentBudget(1.222, 1.385)
+    scratchpad: ComponentBudget = ComponentBudget(0.351, 0.217)
+    fifo: ComponentBudget = ComponentBudget(0.819, 0.306)
+
+    #: SRAM capacities backing the memory rows (Table 7's labels).
+    data_buffer_kb: int = 200
+    instruction_buffer_kb: int = 208
+    scratchpad_kb: int = 136
+    fifo_kb: int = 276
+
+    #: Static/dynamic power split of the tile (Table 8).
+    static_power_w: float = 1.456
+    dynamic_power_w: float = 2.113
+
+    @property
+    def clock_hz(self) -> float:
+        """Expected operating frequency (Section 7.2)."""
+        return 2.0e9
+
+
+#: The paper's synthesized design point.
+DPAX_28NM = DPAxBudget()
+
+
+def dpax_area_breakdown(budget: DPAxBudget = DPAX_28NM) -> Dict[str, float]:
+    """Reproduce Table 7's area column, including the roll-up lines.
+
+    Roll-ups are *computed* (16 integer arrays, logic subtotal, memory
+    subtotal, total), not restated, so a change to any leaf propagates.
+    """
+    sixteen_arrays = budget.integer_pe_array.area_mm2 * INTEGER_PE_ARRAYS
+    logic = sixteen_arrays + budget.fp_pe_array.area_mm2
+    memory = (
+        budget.data_buffer.area_mm2
+        + budget.instruction_buffer.area_mm2
+        + budget.scratchpad.area_mm2
+        + budget.fifo.area_mm2
+    )
+    return {
+        "compute_unit_array": budget.compute_unit_array.area_mm2,
+        "decoder": budget.decoder.area_mm2,
+        "register_file": budget.register_file.area_mm2,
+        "integer_pe": budget.integer_pe.area_mm2,
+        "integer_pe_array": budget.integer_pe_array.area_mm2,
+        "integer_pe_arrays_16": sixteen_arrays,
+        "fp_pe": budget.fp_pe.area_mm2,
+        "fp_pe_array": budget.fp_pe_array.area_mm2,
+        "logic_subtotal": logic,
+        "data_buffer": budget.data_buffer.area_mm2,
+        "instruction_buffer": budget.instruction_buffer.area_mm2,
+        "scratchpad": budget.scratchpad.area_mm2,
+        "fifo": budget.fifo.area_mm2,
+        "memory_subtotal": memory,
+        "total": logic + memory,
+    }
+
+
+def dpax_power_breakdown(budget: DPAxBudget = DPAX_28NM) -> Dict[str, float]:
+    """Reproduce Table 7's power column with computed roll-ups."""
+    sixteen_arrays = budget.integer_pe_array.power_w * INTEGER_PE_ARRAYS
+    logic = sixteen_arrays + budget.fp_pe_array.power_w
+    memory = (
+        budget.data_buffer.power_w
+        + budget.instruction_buffer.power_w
+        + budget.scratchpad.power_w
+        + budget.fifo.power_w
+    )
+    return {
+        "compute_unit_array": budget.compute_unit_array.power_w,
+        "decoder": budget.decoder.power_w,
+        "register_file": budget.register_file.power_w,
+        "integer_pe": budget.integer_pe.power_w,
+        "integer_pe_array": budget.integer_pe_array.power_w,
+        "integer_pe_arrays_16": sixteen_arrays,
+        "fp_pe": budget.fp_pe.power_w,
+        "fp_pe_array": budget.fp_pe_array.power_w,
+        "logic_subtotal": logic,
+        "data_buffer": budget.data_buffer.power_w,
+        "instruction_buffer": budget.instruction_buffer.power_w,
+        "scratchpad": budget.scratchpad.power_w,
+        "fifo": budget.fifo.power_w,
+        "memory_subtotal": memory,
+        "total": logic + memory,
+    }
+
+
+def pe_area_fractions(budget: DPAxBudget = DPAX_28NM) -> Dict[str, float]:
+    """Within-PE area split (Section 7.1's 30% RF / 22% CU / 16% dec)."""
+    pe = budget.integer_pe.area_mm2
+    return {
+        "register_file": budget.register_file.area_mm2 / pe,
+        "compute_unit_array": budget.compute_unit_array.area_mm2 / pe,
+        "decoder": budget.decoder.area_mm2 / pe,
+    }

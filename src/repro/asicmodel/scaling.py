@@ -1,0 +1,42 @@
+"""CMOS process scaling (Stillmaker & Baas [67]).
+
+The paper scales DPAx (28nm) and the CPU (10nm) to 7nm for the
+area-normalized GPU comparison (Section 7.2) and the Table 12 tile
+study.  We encode per-node area and power factors derived from the
+Stillmaker-Baas general scaling equations: area scales roughly with
+feature size squared; power with capacitance x V^2 trends.  The 28->7
+factors match the paper's arithmetic: the 5.391 mm^2 28nm tile lands
+at ~0.69 mm^2, 64 tiles at ~44.3 mm^2 (Table 12).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+#: Relative (area, dynamic power) factors vs a 28nm baseline, per node.
+#: Derived from the Stillmaker-Baas scaling tables for general-purpose
+#: logic; area ratios follow ~(node/28)^2 with layout-efficiency
+#: corrections, power follows the published voltage-frequency trends.
+TECH_NODES: Dict[int, Dict[str, float]] = {
+    28: {"area": 1.0, "power": 1.0},
+    16: {"area": 0.393, "power": 0.61},
+    10: {"area": 0.210, "power": 0.47},
+    7: {"area": 0.128, "power": 0.34},
+}
+
+
+def scale_area(area_mm2: float, from_nm: int, to_nm: int) -> float:
+    """Scale a silicon area between process nodes."""
+    return area_mm2 * _factor(from_nm, to_nm, "area")
+
+
+def scale_power(power_w: float, from_nm: int, to_nm: int) -> float:
+    """Scale a power figure between process nodes."""
+    return power_w * _factor(from_nm, to_nm, "power")
+
+
+def _factor(from_nm: int, to_nm: int, kind: str) -> float:
+    if from_nm not in TECH_NODES or to_nm not in TECH_NODES:
+        known = sorted(TECH_NODES)
+        raise ValueError(f"unknown node; known nodes: {known}")
+    return TECH_NODES[to_nm][kind] / TECH_NODES[from_nm][kind]

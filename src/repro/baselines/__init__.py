@@ -1,0 +1,56 @@
+"""Comparison baselines: CPU, GPU, custom ASICs, SoftBrain and TIA.
+
+Real AVX-512 CPUs and CUDA GPUs are not runnable in this environment,
+so the baselines are split in two layers (DESIGN.md substitution
+table):
+
+- the *algorithmic semantics* of every baseline live in
+  :mod:`repro.kernels` (the reference implementations are literally
+  the computation the CPU baselines perform);
+- the *performance characteristics* live here as calibrated analytic
+  models built from the platform specs of Table 5 plus the paper's
+  published measurements (Tables 13/14/15), so the benchmark harness
+  can regenerate each comparison table and check our model against the
+  paper's columns.
+"""
+
+from repro.baselines.data import (
+    PAPER_CPU_BASELINES,
+    PAPER_GPU_BASELINES,
+    PAPER_TABLE15,
+    PAPER_SOFTBRAIN,
+    PAPER_TIA,
+    KERNELS,
+)
+from repro.baselines.platforms import (
+    CPU_XEON_8380,
+    GPU_A100,
+    Platform,
+)
+from repro.baselines.models import (
+    BaselineThroughputModel,
+    cpu_model,
+    gpu_model,
+    asic_models,
+)
+from repro.baselines.softbrain import SoftBrainKernelFit, softbrain_comparison
+from repro.baselines.tia import tia_requirements
+
+__all__ = [
+    "PAPER_CPU_BASELINES",
+    "PAPER_GPU_BASELINES",
+    "PAPER_TABLE15",
+    "PAPER_SOFTBRAIN",
+    "PAPER_TIA",
+    "KERNELS",
+    "CPU_XEON_8380",
+    "GPU_A100",
+    "Platform",
+    "BaselineThroughputModel",
+    "cpu_model",
+    "gpu_model",
+    "asic_models",
+    "SoftBrainKernelFit",
+    "softbrain_comparison",
+    "tia_requirements",
+]

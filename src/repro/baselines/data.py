@@ -1,0 +1,175 @@
+"""The paper's published measurements, as structured reference data.
+
+Every benchmark prints a "paper" column next to our model's column;
+these constants are the paper columns.  Sources: Table 13 (CPU
+baselines), Table 14 (GPU baselines), Table 15 (the speedup roll-up),
+Table 9 (SoftBrain), Table 10 (TIA), Table 11 (VLIW utilization) and
+Table 2 (reduction-tree study).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+#: Evaluation kernel order used throughout the paper's tables.
+KERNELS: List[str] = ["bsw", "chain", "pairhmm", "poa"]
+
+#: Table 13 -- CPU baseline runtimes in seconds, per platform.
+PAPER_CPU_BASELINES: Dict[str, Dict[str, float]] = {
+    "Xeon Platinum 8380": {"bsw": 0.0504, "chain": 0.306, "pairhmm": 0.587, "poa": 16.6},
+    "Xeon Gold 6326": {"bsw": 0.0984, "chain": 0.473, "pairhmm": 0.792, "poa": 34.3},
+    "Xeon E5-2697 v3": {"bsw": 0.196, "chain": 2.35, "pairhmm": 2.13, "poa": 41.7},
+    "Core i5-12600": {"bsw": 0.140, "chain": 2.21, "pairhmm": 1.71, "poa": 36.6},
+    "Core i7-7700": {"bsw": 0.29, "chain": 4.79, "pairhmm": 4.51, "poa": 98.5},
+}
+
+#: Table 14 -- GPU baseline runtimes in seconds, per platform.
+PAPER_GPU_BASELINES: Dict[str, Dict[str, float]] = {
+    "NVIDIA A100": {"bsw": 0.012, "chain": 0.155, "pairhmm": 0.597, "poa": 2.53},
+    "NVIDIA RTX A6000": {"bsw": 0.012, "chain": 0.339, "pairhmm": 0.572, "poa": 3.70},
+    "NVIDIA TITAN Xp": {"bsw": 0.020, "chain": 0.747, "pairhmm": 0.915, "poa": 11.2},
+}
+
+#: Table 15 -- the artifact's speedup roll-up (Xeon 8380 / A100).
+PAPER_TABLE15: Dict[str, Dict[str, float]] = {
+    "bsw": {
+        "total_cells": 2_431_855_834,
+        "cpu_runtime_s": 0.0504,
+        "cpu_gcups": 44.91,
+        "cpu_norm_mcups_mm2": 130.29,
+        "gpu_runtime_s": 0.012,
+        "gpu_gcups": 192.92,
+        "gpu_mcups_mm2": 239.16,
+        "asic_norm_mcups_mm2": 118_950.0,
+        "gendp_norm_mcups_mm2": 47_574.0,
+        "speedup_cpu": 365.1,
+        "speedup_gpu": 198.9,
+    },
+    "chain": {
+        "total_cells": 20_736_142_007,
+        "cpu_runtime_s": 0.306,
+        "cpu_gcups": 19.61,
+        "cpu_norm_mcups_mm2": 56.89,
+        "gpu_runtime_s": 0.155,
+        "gpu_gcups": 10.40,
+        "gpu_mcups_mm2": 12.89,
+        "asic_norm_mcups_mm2": None,
+        "gendp_norm_mcups_mm2": 3_626.0,
+        "speedup_cpu": 63.7,
+        "speedup_gpu": 281.4,
+    },
+    "pairhmm": {
+        "total_cells": 258_363_282_803,
+        "cpu_runtime_s": 0.587,
+        "cpu_gcups": 32.88,
+        "cpu_norm_mcups_mm2": 95.41,
+        "gpu_runtime_s": 0.597,
+        "gpu_gcups": 32.35,
+        "gpu_mcups_mm2": 40.11,
+        "asic_norm_mcups_mm2": 51_867.0,
+        "gendp_norm_mcups_mm2": 17_681.0,
+        "speedup_cpu": 185.3,
+        "speedup_gpu": 440.8,
+    },
+    "poa": {
+        "total_cells": 6_448_581_509,
+        "cpu_runtime_s": 16.6,
+        "cpu_gcups": 14.51,
+        "cpu_norm_mcups_mm2": 42.11,
+        "gpu_runtime_s": 2.53,
+        "gpu_gcups": 95.13,
+        "gpu_mcups_mm2": 117.94,
+        "asic_norm_mcups_mm2": None,
+        "gendp_norm_mcups_mm2": 2_965.0,
+        "speedup_cpu": 70.4,
+        "speedup_gpu": 25.1,
+    },
+}
+
+#: Headline geomean claims (abstract / Section 7.2 / Section 7.3).
+PAPER_HEADLINE = {
+    "speedup_vs_cpu_per_mm2": 132.0,
+    "speedup_vs_gpu_per_mm2": 157.8,
+    "throughput_per_watt_vs_gpu": 15.1,
+    "asic_slowdown_geomean": 2.8,
+    "softbrain_speedup_geomean": 2.12,
+}
+
+#: Table 9 -- SoftBrain implementation characteristics.
+PAPER_SOFTBRAIN: Dict[str, Dict[str, object]] = {
+    "bsw": {
+        "dimension": "2D", "pipeline_stages": 3, "padding_overhead": 0.099,
+        "simd_lanes": 8, "simd_utilization": 0.422, "gendp_speedup": 2.24,
+    },
+    "pairhmm": {
+        "dimension": "2D", "pipeline_stages": 4, "padding_overhead": 0.157,
+        "simd_lanes": 2, "simd_utilization": 0.959, "gendp_speedup": 1.13,
+    },
+    "poa": {
+        "dimension": "Graph", "pipeline_stages": 1, "padding_overhead": 0.0,
+        "simd_lanes": 1, "simd_utilization": 1.0, "gendp_speedup": 10.74,
+    },
+    "chain": {
+        "dimension": "1D", "pipeline_stages": 10, "padding_overhead": 0.0,
+        "simd_lanes": 2, "simd_utilization": 0.73, "gendp_speedup": 0.75,
+    },
+}
+
+#: Table 10 -- triggered instructions / PEs required on TIA.
+PAPER_TIA: Dict[str, Dict[str, int]] = {
+    "bsw": {"triggered_instructions": 30, "pes": 5},
+    "pairhmm": {"triggered_instructions": 45, "pes": 8},
+    "poa": {"triggered_instructions": 90, "pes": 16},
+    "chain": {"triggered_instructions": 47, "pes": 8},
+}
+
+#: Table 11 -- VLIW utilization per kernel.
+PAPER_VLIW_UTILIZATION: Dict[str, float] = {
+    "bsw": 0.606,
+    "pairhmm": 0.646,
+    "chain": 0.383,
+    "poa": 0.285,
+}
+
+#: Table 2 -- reduction-tree design study (RF accesses, CU utilization).
+PAPER_TABLE2: Dict[str, Dict[int, Dict[str, float]]] = {
+    "bsw": {
+        1: {"rf_accesses": 20, "cu_utilization": 1.0},
+        2: {"rf_accesses": 11, "cu_utilization": 0.606},
+        3: {"rf_accesses": 10, "cu_utilization": 0.286},
+    },
+    "pairhmm": {
+        1: {"rf_accesses": 32, "cu_utilization": 0.969},
+        2: {"rf_accesses": 16, "cu_utilization": 0.646},
+        3: {"rf_accesses": 11, "cu_utilization": 0.403},
+    },
+    "poa": {
+        1: {"rf_accesses": 56, "cu_utilization": 0.857},
+        2: {"rf_accesses": 56, "cu_utilization": 0.285},
+        3: {"rf_accesses": 54, "cu_utilization": 0.127},
+    },
+    "chain": {
+        1: {"rf_accesses": 24, "cu_utilization": 0.958},
+        2: {"rf_accesses": 20, "cu_utilization": 0.383},
+        3: {"rf_accesses": 20, "cu_utilization": 0.164},
+    },
+}
+
+#: Table 6 -- Chain accuracy (original minimap2 vs reordered N=64).
+PAPER_TABLE6 = {
+    "map_failure_rate": {"minimap2": 0.002476, "reordered": 0.002479},
+    "phred_low_quality": {"minimap2": 54.36, "reordered": 54.14},
+}
+
+#: Figure 10(d) -- average instruction-count reductions.
+PAPER_ISA_REDUCTION = {"riscv64": 8.1, "x86_64": 4.0}
+
+#: Table 12 -- scalability.
+PAPER_TABLE12 = {
+    "gpu_area_mm2": 826.0,
+    "gpu_raw_gcups": 48.3,
+    "gendp_tiles": 64,
+    "gendp_area_mm2": 44.3,
+    "gendp_raw_gcups": 297.5,
+    "speedup": 6.17,
+}

@@ -1,0 +1,97 @@
+"""Baseline throughput models (CPU / GPU / custom ASICs).
+
+A baseline model answers two questions per kernel: "how many giga-cell
+updates per second does this platform sustain" and "what does that
+make per mm^2 after process normalization".  Rates are calibrated from
+the paper's Table 15 measurements on the reference platforms (Xeon
+8380, A100), which is what "baseline" means in every figure -- the
+algorithmic content of those baselines is in :mod:`repro.kernels`.
+
+Runtime predictions follow ``runtime = cells / (GCUPS * 1e9)``, which
+lets benchmarks predict the Table 13/14 rows for any workload size and
+compare against the published runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.asicmodel.scaling import scale_area
+from repro.baselines.data import PAPER_TABLE15
+from repro.baselines.platforms import CPU_XEON_8380, GPU_A100, Platform
+
+
+@dataclass(frozen=True)
+class BaselineThroughputModel:
+    """Per-kernel sustained throughput of one platform."""
+
+    platform: Platform
+    #: kernel -> sustained GCUPS
+    gcups: Dict[str, float]
+    #: process node areas are normalized to (7nm, per the paper)
+    normalized_node_nm: int = 7
+
+    def runtime_seconds(self, kernel: str, cells: int) -> float:
+        """Predicted runtime for *cells* cell updates."""
+        rate = self._rate(kernel)
+        return cells / (rate * 1e9)
+
+    def mcups_per_mm2(self, kernel: str, normalize_process: bool = True) -> float:
+        """Area-normalized throughput (the Figure 10a metric)."""
+        area = self.platform.die_area_mm2
+        if normalize_process and self.platform.process_nm != self.normalized_node_nm:
+            area = scale_area(
+                area, self.platform.process_nm, self.normalized_node_nm
+            )
+        return self._rate(kernel) * 1000.0 / area
+
+    def mcups_per_watt(self, kernel: str) -> float:
+        """Power-normalized throughput (the Figure 10b metric)."""
+        return self._rate(kernel) * 1000.0 / self.platform.tdp_w
+
+    def _rate(self, kernel: str) -> float:
+        if kernel not in self.gcups:
+            raise KeyError(f"{self.platform.name} has no rate for {kernel!r}")
+        return self.gcups[kernel]
+
+
+def cpu_model() -> BaselineThroughputModel:
+    """The Xeon 8380 AVX-512 baseline (BWA-MEM2, mm2-fast, GATK, Racon)."""
+    return BaselineThroughputModel(
+        platform=CPU_XEON_8380,
+        gcups={k: row["cpu_gcups"] for k, row in PAPER_TABLE15.items()},
+    )
+
+
+def gpu_model() -> BaselineThroughputModel:
+    """The A100 baseline (GASAL2, mm2-gpu, PairHMM-GPU, cudapoa)."""
+    return BaselineThroughputModel(
+        platform=GPU_A100,
+        gcups={k: row["gpu_gcups"] for k, row in PAPER_TABLE15.items()},
+    )
+
+
+@dataclass(frozen=True)
+class ASICModel:
+    """A single-kernel custom accelerator (the Figure 10c comparators)."""
+
+    name: str
+    kernel: str
+    norm_mcups_per_mm2: float
+
+
+def asic_models() -> Dict[str, ASICModel]:
+    """GenAx (BSW) and the pruning-based PairHMM ASIC, 7nm-normalized."""
+    return {
+        "bsw": ASICModel(
+            name="GenAx",
+            kernel="bsw",
+            norm_mcups_per_mm2=PAPER_TABLE15["bsw"]["asic_norm_mcups_mm2"],
+        ),
+        "pairhmm": ASICModel(
+            name="Pruning PairHMM ASIC",
+            kernel="pairhmm",
+            norm_mcups_per_mm2=PAPER_TABLE15["pairhmm"]["asic_norm_mcups_mm2"],
+        ),
+    }

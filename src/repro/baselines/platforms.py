@@ -1,0 +1,49 @@
+"""Baseline platform descriptions (Table 5 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A comparison platform's physical characteristics."""
+
+    name: str
+    kind: str  # "cpu" | "gpu" | "asic"
+    process_nm: int
+    die_area_mm2: float
+    tdp_w: float
+    frequency_ghz: float
+    #: parallel lanes: CPU threads or CUDA cores (informational).
+    parallelism: int = 0
+
+    def mcups_per_mm2(self, gcups: float, area_mm2: float = None) -> float:
+        """Area-normalized throughput in MCUPS/mm^2."""
+        area = area_mm2 if area_mm2 is not None else self.die_area_mm2
+        if area <= 0:
+            raise ValueError("area must be positive")
+        return gcups * 1000.0 / area
+
+
+#: Table 5's CPU: Intel Xeon Platinum 8380 (Ice Lake).
+CPU_XEON_8380 = Platform(
+    name="Intel Xeon Platinum 8380",
+    kind="cpu",
+    process_nm=10,
+    die_area_mm2=600.0,
+    tdp_w=270.0,
+    frequency_ghz=2.3,
+    parallelism=80,
+)
+
+#: Table 5's GPU: NVIDIA A100.
+GPU_A100 = Platform(
+    name="NVIDIA A100",
+    kind="gpu",
+    process_nm=7,
+    die_area_mm2=826.0,
+    tdp_w=300.0,
+    frequency_ghz=1.4,
+    parallelism=6912,
+)

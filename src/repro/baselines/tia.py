@@ -1,0 +1,61 @@
+"""Triggered-instruction architecture (TIA) comparison model -- Table 10.
+
+TIA [56] replaces the program counter with guarded instructions; each
+PE's scheduler supports only a handful of triggered instructions
+(about six, judging from both the paper's Table 10 ratios and the
+edit-distance mapping of [69]: 11 TIs on 2 PEs).  Mapping a DP
+objective function therefore spreads one cell's computation over
+multiple PEs, forfeiting the spatial-locality benefit.
+
+The TI estimate is derived from the kernel DFG: every operator needs a
+triggered instruction, every operand arriving from another PE or from
+memory needs a guarded receive, and the cell loop needs induction /
+predicate updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dfg.graph import DataFlowGraph
+from repro.dpmap.mapper import run_dpmap
+
+#: Triggered instructions one TIA PE's scheduler can hold (from the
+#: Table 10 ratios: 30/5, 45/8, 90/16, 47/8 -- all about 6).
+TIS_PER_PE = 6
+
+
+@dataclass(frozen=True)
+class TIARequirement:
+    """TIA resource estimate for one kernel's objective function."""
+
+    kernel: str
+    triggered_instructions: int
+    pes_required: int
+
+
+def estimate_triggered_instructions(dfg: DataFlowGraph) -> int:
+    """TI count for one cell of *dfg*.
+
+    operators + inter-PE/memory receives (the RF traffic of the mapped
+    form is the proxy: every spilled value becomes a guarded
+    communication on TIA) + 4 loop/predicate instructions.
+    """
+    mapping = run_dpmap(dfg, levels=2)
+    operators = dfg.operator_count()
+    communications = mapping.stats.rf_writes + len(dfg.inputs) // 2
+    return operators + communications + 4
+
+
+def tia_requirements(dfgs: Dict[str, DataFlowGraph]) -> Dict[str, TIARequirement]:
+    """Estimate Table 10 for a set of kernel DFGs."""
+    out = {}
+    for kernel, dfg in dfgs.items():
+        tis = estimate_triggered_instructions(dfg)
+        out[kernel] = TIARequirement(
+            kernel=kernel,
+            triggered_instructions=tis,
+            pes_required=-(-tis // TIS_PER_PE),
+        )
+    return out

@@ -1,0 +1,47 @@
+"""Data-flow graph (DFG) IR for DP objective functions.
+
+A DP kernel's *intra-cell* objective function is expressed as a DFG
+whose node opcodes are exactly the GenDP compute operations of Table 4.
+DPMap (:mod:`repro.dpmap`) partitions these graphs into compute-unit
+subgraphs; the DFG interpreter (:meth:`DataFlowGraph.evaluate`) is the
+oracle that mapped programs are checked against.
+
+:mod:`repro.dfg.kernels` holds the objective-function DFGs of all seven
+kernels (BSW, PairHMM, POA, Chain, LCS, DTW, Bellman-Ford).
+"""
+
+from repro.dfg.graph import (
+    DataFlowGraph,
+    DFGValidationError,
+    Node,
+    Opcode,
+    ALU_OPCODES,
+    FOUR_INPUT_OPCODES,
+)
+from repro.dfg.kernels import (
+    bsw_dfg,
+    chain_dfg,
+    dtw_dfg,
+    bellman_ford_dfg,
+    lcs_dfg,
+    pairhmm_dfg,
+    poa_dfg,
+    KERNEL_DFGS,
+)
+
+__all__ = [
+    "DataFlowGraph",
+    "DFGValidationError",
+    "Node",
+    "Opcode",
+    "ALU_OPCODES",
+    "FOUR_INPUT_OPCODES",
+    "bsw_dfg",
+    "chain_dfg",
+    "dtw_dfg",
+    "bellman_ford_dfg",
+    "lcs_dfg",
+    "pairhmm_dfg",
+    "poa_dfg",
+    "KERNEL_DFGS",
+]

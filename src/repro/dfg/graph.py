@@ -1,0 +1,334 @@
+"""DFG node/edge representation, validation and interpretation.
+
+Nodes carry one opcode from the GenDP compute-operation set (Table 4 of
+the paper).  Edges are ordered: ``Node.operands`` lists, per input slot,
+where the value comes from -- another node, a named kernel input, or an
+immediate constant.  The graph is a DAG; nodes are stored in creation
+order, which the builder keeps topological.
+
+The interpreter (:meth:`DataFlowGraph.evaluate`) executes a DFG on
+concrete values with the same semantics as the DPAx ALUs, so DPMap's
+output programs and the cycle simulator can both be validated against
+it.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+
+class Opcode(enum.Enum):
+    """GenDP compute operations (Table 4)."""
+
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    CARRY = "carry"
+    BORROW = "borrow"
+    MAX = "max"
+    MIN = "min"
+    SHL16 = "shl16"
+    SHR16 = "shr16"
+    COPY = "copy"
+    MATCH_SCORE = "match_score"
+    LOG2_LUT = "log2_lut"
+    LOG_SUM_LUT = "log_sum_lut"
+    CMP_GT = "cmp_gt"  # out = in0 > in1 ? in2 : in3
+    CMP_EQ = "cmp_eq"  # out = in0 == in1 ? in2 : in3
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Input arity of each opcode.
+OPCODE_ARITY: Dict[Opcode, int] = {
+    Opcode.ADD: 2,
+    Opcode.SUB: 2,
+    Opcode.MUL: 2,
+    Opcode.CARRY: 2,
+    Opcode.BORROW: 2,
+    Opcode.MAX: 2,
+    Opcode.MIN: 2,
+    Opcode.SHL16: 1,
+    Opcode.SHR16: 1,
+    Opcode.COPY: 1,
+    Opcode.MATCH_SCORE: 2,
+    Opcode.LOG2_LUT: 1,
+    Opcode.LOG_SUM_LUT: 2,
+    Opcode.CMP_GT: 4,
+    Opcode.CMP_EQ: 4,
+    Opcode.NOP: 0,
+    Opcode.HALT: 0,
+}
+
+#: Opcodes that occupy the 4-input left ALU slot (Algorithm 1's
+#: "Comparison/MatchScore" class: their inputs always come from the RF).
+FOUR_INPUT_OPCODES = frozenset({Opcode.CMP_GT, Opcode.CMP_EQ, Opcode.MATCH_SCORE})
+
+#: Ordinary 1-/2-input ALU opcodes eligible for the reduction tree.
+ALU_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.CARRY,
+        Opcode.BORROW,
+        Opcode.MAX,
+        Opcode.MIN,
+        Opcode.SHL16,
+        Opcode.SHR16,
+        Opcode.COPY,
+        Opcode.LOG2_LUT,
+        Opcode.LOG_SUM_LUT,
+    }
+)
+
+#: Opcodes whose results commute over operand order -- Algorithm 1
+#: replicates a multi-child 4-input node only when the child op is
+#: commutative ("except Subtraction").
+COMMUTATIVE_OPCODES = frozenset(
+    {Opcode.ADD, Opcode.MAX, Opcode.MIN, Opcode.MUL, Opcode.LOG_SUM_LUT}
+)
+
+
+@dataclass(frozen=True)
+class InputRef:
+    """An operand read from a named kernel input (register file)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ConstRef:
+    """An immediate constant operand."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class NodeRef:
+    """An operand produced by another DFG node."""
+
+    node_id: int
+
+
+Operand = Union[InputRef, ConstRef, NodeRef]
+
+
+@dataclass
+class Node:
+    """One operator in the DFG."""
+
+    node_id: int
+    opcode: Opcode
+    operands: List[Operand]
+    name: str = ""
+
+    def uses(self, other_id: int) -> bool:
+        """True if this node reads *other_id*'s result."""
+        return any(
+            isinstance(op, NodeRef) and op.node_id == other_id for op in self.operands
+        )
+
+
+class DFGValidationError(ValueError):
+    """Raised when a DFG violates arity, ordering or output rules."""
+
+
+class DataFlowGraph:
+    """A DP objective function as an operator DAG.
+
+    Build with :meth:`input`, :meth:`const` and :meth:`op`; declare the
+    per-cell results with :meth:`mark_output`.  Nodes may only reference
+    earlier nodes, so creation order is a topological order.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.nodes: List[Node] = []
+        self.inputs: List[str] = []
+        #: output name -> node id
+        self.outputs: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+
+    def input(self, name: str) -> InputRef:
+        """Declare (or reference) a named kernel input."""
+        if name not in self.inputs:
+            self.inputs.append(name)
+        return InputRef(name)
+
+    def const(self, value: int) -> ConstRef:
+        """An immediate constant operand."""
+        return ConstRef(value)
+
+    def op(self, opcode: Opcode, *operands: Operand, name: str = "") -> NodeRef:
+        """Append an operator node and return a reference to its result."""
+        arity = OPCODE_ARITY[opcode]
+        if len(operands) != arity:
+            raise DFGValidationError(
+                f"{opcode.value} expects {arity} operands, got {len(operands)}"
+            )
+        node_id = len(self.nodes)
+        for operand in operands:
+            if isinstance(operand, NodeRef) and not 0 <= operand.node_id < node_id:
+                raise DFGValidationError(
+                    f"node {node_id} references unknown node {operand.node_id}"
+                )
+        self.nodes.append(
+            Node(node_id=node_id, opcode=opcode, operands=list(operands), name=name)
+        )
+        return NodeRef(node_id)
+
+    def mark_output(self, name: str, ref: NodeRef) -> None:
+        """Declare node *ref* as the per-cell result called *name*."""
+        if not 0 <= ref.node_id < len(self.nodes):
+            raise DFGValidationError(f"output {name!r} references unknown node")
+        self.outputs[name] = ref.node_id
+
+    # ------------------------------------------------------------------
+    # structure queries
+
+    def parents(self, node_id: int) -> List[int]:
+        """Distinct producer node ids feeding *node_id*, in slot order."""
+        seen: List[int] = []
+        for operand in self.nodes[node_id].operands:
+            if isinstance(operand, NodeRef) and operand.node_id not in seen:
+                seen.append(operand.node_id)
+        return seen
+
+    def children(self, node_id: int) -> List[int]:
+        """Distinct consumer node ids reading *node_id*."""
+        return [node.node_id for node in self.nodes if node.uses(node_id)]
+
+    def edges(self) -> List[Tuple[int, int]]:
+        """All (producer, consumer) pairs, one per distinct dependency."""
+        out: List[Tuple[int, int]] = []
+        for node in self.nodes:
+            for parent in self.parents(node.node_id):
+                out.append((parent, node.node_id))
+        return out
+
+    def operator_count(self) -> int:
+        """Number of real operators (excluding NOP/HALT)."""
+        return sum(
+            1 for node in self.nodes if node.opcode not in (Opcode.NOP, Opcode.HALT)
+        )
+
+    def validate(self) -> None:
+        """Check arities, reference ordering and output coverage."""
+        for node in self.nodes:
+            arity = OPCODE_ARITY[node.opcode]
+            if len(node.operands) != arity:
+                raise DFGValidationError(
+                    f"node {node.node_id} ({node.opcode.value}) has "
+                    f"{len(node.operands)} operands, expected {arity}"
+                )
+            for operand in node.operands:
+                if isinstance(operand, NodeRef) and operand.node_id >= node.node_id:
+                    raise DFGValidationError(
+                        f"node {node.node_id} references later node "
+                        f"{operand.node_id}"
+                    )
+        if not self.outputs:
+            raise DFGValidationError("DFG has no outputs")
+
+    def copy(self) -> "DataFlowGraph":
+        """Deep-enough copy for DPMap's destructive edge surgery."""
+        duplicate = DataFlowGraph(self.name)
+        duplicate.inputs = list(self.inputs)
+        duplicate.outputs = dict(self.outputs)
+        duplicate.nodes = [
+            Node(
+                node_id=node.node_id,
+                opcode=node.opcode,
+                operands=list(node.operands),
+                name=node.name,
+            )
+            for node in self.nodes
+        ]
+        return duplicate
+
+    # ------------------------------------------------------------------
+    # interpretation
+
+    def evaluate(
+        self,
+        inputs: Dict[str, int],
+        match_table: Optional[Callable[[int, int], int]] = None,
+        log_sum: Optional[Callable[[int, int], int]] = None,
+    ) -> Dict[str, int]:
+        """Interpret the DFG on concrete integer inputs.
+
+        ``match_table`` backs the MATCH_SCORE LUT; ``log_sum`` backs the
+        LOG_SUM_LUT (defaults: +1/-1 scoring and the PairHMM fixed-point
+        log-sum).  Returns the named outputs.
+        """
+        values: Dict[int, int] = {}
+
+        def resolve(operand: Operand) -> int:
+            if isinstance(operand, ConstRef):
+                return operand.value
+            if isinstance(operand, InputRef):
+                if operand.name not in inputs:
+                    raise KeyError(f"missing DFG input {operand.name!r}")
+                return inputs[operand.name]
+            return values[operand.node_id]
+
+        for node in self.nodes:
+            args = [resolve(operand) for operand in node.operands]
+            values[node.node_id] = _apply(node.opcode, args, match_table, log_sum)
+        return {name: values[node_id] for name, node_id in self.outputs.items()}
+
+
+def _apply(
+    opcode: Opcode,
+    args: Sequence[int],
+    match_table: Optional[Callable[[int, int], int]],
+    log_sum: Optional[Callable[[int, int], int]],
+) -> int:
+    """Single-operation semantics shared with the DPAx ALU model."""
+    if opcode is Opcode.ADD:
+        return args[0] + args[1]
+    if opcode is Opcode.SUB:
+        return args[0] - args[1]
+    if opcode is Opcode.MUL:
+        return args[0] * args[1]
+    if opcode is Opcode.CARRY:
+        return 1 if args[0] + args[1] >= (1 << 32) else 0
+    if opcode is Opcode.BORROW:
+        return 1 if args[0] < args[1] else 0
+    if opcode is Opcode.MAX:
+        return max(args[0], args[1])
+    if opcode is Opcode.MIN:
+        return min(args[0], args[1])
+    if opcode is Opcode.SHL16:
+        return args[0] << 16
+    if opcode is Opcode.SHR16:
+        return args[0] >> 16
+    if opcode is Opcode.COPY:
+        return args[0]
+    if opcode is Opcode.MATCH_SCORE:
+        if match_table is not None:
+            return match_table(args[0], args[1])
+        return 1 if args[0] == args[1] else -1
+    if opcode is Opcode.LOG2_LUT:
+        # Table 4: out = log2(in) << 1 -- two fraction bits of precision.
+        if args[0] <= 0:
+            return 0
+        return int(math.log2(args[0]) * 2.0)
+    if opcode is Opcode.LOG_SUM_LUT:
+        if log_sum is not None:
+            return log_sum(args[0], args[1])
+        from repro.kernels.pairhmm import log_sum_lookup
+
+        return log_sum_lookup(args[0], args[1])
+    if opcode is Opcode.CMP_GT:
+        return args[2] if args[0] > args[1] else args[3]
+    if opcode is Opcode.CMP_EQ:
+        return args[2] if args[0] == args[1] else args[3]
+    if opcode in (Opcode.NOP, Opcode.HALT):
+        return 0
+    raise ValueError(f"unknown opcode {opcode}")

@@ -1,0 +1,366 @@
+"""Objective-function DFGs for every kernel in the evaluation.
+
+Each builder returns the data-flow graph of one DP cell update, with
+named inputs for the dependent cell values (the register-file contents
+at execution time) and named outputs for the values the cell produces.
+These graphs are what DPMap partitions and what the Table 2 / Table 11 /
+Figure 10(d) analyses measure.
+
+Cell semantics match the reference kernels exactly (tests in
+``tests/dfg/`` evaluate each DFG against the corresponding reference
+recurrence); Chain uses the fixed-point scaling of
+:func:`repro.kernels.chain_fixed.pair_score_fixed` because the integer
+datapath has no floats.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+
+#: Fixed-point scale for Chain scores (1/400ths; see chain_fixed).
+CHAIN_SCALE = 400
+
+
+def bsw_dfg(gap_open: int = 4, gap_extend: int = 1) -> DataFlowGraph:
+    """Banded Smith-Waterman cell (Figure 2a / Figure 9a).
+
+    Inputs: ``h_diag``, ``h_up``, ``h_left`` (previous H values),
+    ``e_up`` (vertical gap state), ``f_left`` (horizontal gap state),
+    ``q``/``t`` (encoded bases).  Outputs: ``h``, ``e``, ``f`` and the
+    traceback ``dir`` (1 diagonal, 2 vertical, 3 horizontal).
+    """
+    dfg = DataFlowGraph("bsw")
+    oe = dfg.const(gap_open + gap_extend)
+    ext = dfg.const(gap_extend)
+    zero = dfg.const(0)
+
+    score = dfg.op(Opcode.MATCH_SCORE, dfg.input("q"), dfg.input("t"), name="s")
+    m = dfg.op(Opcode.ADD, dfg.input("h_diag"), score, name="m")
+
+    e_open = dfg.op(Opcode.SUB, dfg.input("h_up"), oe, name="e_open")
+    e_ext = dfg.op(Opcode.SUB, dfg.input("e_up"), ext, name="e_ext")
+    e_new = dfg.op(Opcode.MAX, e_open, e_ext, name="e_new")
+
+    f_open = dfg.op(Opcode.SUB, dfg.input("h_left"), oe, name="f_open")
+    f_ext = dfg.op(Opcode.SUB, dfg.input("f_left"), ext, name="f_ext")
+    f_new = dfg.op(Opcode.MAX, f_open, f_ext, name="f_new")
+
+    h_gap = dfg.op(Opcode.MAX, e_new, f_new, name="h_gap")
+    h_pos = dfg.op(Opcode.MAX, m, zero, name="h_pos")
+    h_new = dfg.op(Opcode.MAX, h_gap, h_pos, name="h_new")
+
+    dir_gap = dfg.op(
+        Opcode.CMP_GT, e_new, f_new, dfg.const(2), dfg.const(3), name="dir_gap"
+    )
+    direction = dfg.op(Opcode.CMP_EQ, h_new, m, dfg.const(1), dir_gap, name="dir")
+
+    dfg.mark_output("h", h_new)
+    dfg.mark_output("e", e_new)
+    dfg.mark_output("f", f_new)
+    dfg.mark_output("dir", direction)
+    return dfg
+
+
+def pairhmm_dfg(inline_emission: bool = False) -> DataFlowGraph:
+    """PairHMM forward cell in the pruned log2 fixed-point domain.
+
+    Inputs: previous-cell states ``m_diag``/``i_diag``/``d_diag``,
+    ``m_up``/``i_up`` and the current row's ``m_left``/``d_left``, the
+    emission ``rho`` and the transition weights ``a_mm``/``a_im``/
+    ``a_gap``/``a_ext`` (all fixed-point log2).  Log-domain products are
+    ADDs; sums go through the LOG_SUM LUT (Figure 2b / Table 4).
+
+    With ``inline_emission`` the prior ``rho`` is computed in-cell from
+    the base codes ``q``/``t`` through the MATCH_SCORE LUT (the systolic
+    mapping's form: constant base quality folded into the LUT).
+    """
+    dfg = DataFlowGraph("pairhmm")
+    t_mm = dfg.op(Opcode.ADD, dfg.input("a_mm"), dfg.input("m_diag"), name="t_mm")
+    t_im = dfg.op(Opcode.ADD, dfg.input("a_im"), dfg.input("i_diag"), name="t_im")
+    t_dm = dfg.op(Opcode.ADD, dfg.input("a_im"), dfg.input("d_diag"), name="t_dm")
+    s_mi = dfg.op(Opcode.LOG_SUM_LUT, t_mm, t_im, name="s_mi")
+    s_mid = dfg.op(Opcode.LOG_SUM_LUT, s_mi, t_dm, name="s_mid")
+    if inline_emission:
+        rho = dfg.op(Opcode.MATCH_SCORE, dfg.input("q"), dfg.input("t"), name="rho")
+    else:
+        rho = dfg.input("rho")
+    m_new = dfg.op(Opcode.ADD, rho, s_mid, name="m_new")
+
+    t_i_open = dfg.op(Opcode.ADD, dfg.input("a_gap"), dfg.input("m_up"), name="i_open")
+    t_i_ext = dfg.op(Opcode.ADD, dfg.input("a_ext"), dfg.input("i_up"), name="i_ext")
+    i_new = dfg.op(Opcode.LOG_SUM_LUT, t_i_open, t_i_ext, name="i_new")
+
+    t_d_open = dfg.op(Opcode.ADD, dfg.input("a_gap"), dfg.input("m_left"), name="d_open")
+    t_d_ext = dfg.op(Opcode.ADD, dfg.input("a_ext"), dfg.input("d_left"), name="d_ext")
+    d_new = dfg.op(Opcode.LOG_SUM_LUT, t_d_open, t_d_ext, name="d_new")
+
+    dfg.mark_output("m", m_new)
+    dfg.mark_output("i", i_new)
+    dfg.mark_output("d", d_new)
+    return dfg
+
+
+def pairhmm_fp_dfg() -> DataFlowGraph:
+    """PairHMM forward cell in the linear floating-point domain.
+
+    The form GATK computes and the FP PE array of Figure 4 executes
+    natively: probabilities stay linear, transitions are MULs and the
+    state sums are ADDs -- no LUTs.  Multiplications each occupy a CU's
+    multiplier, which is exactly why the integer arrays prefer the
+    pruned log-domain form; this DFG exists to exercise the FP array
+    and to cross-check the two domains against each other.
+
+    The emission prior comes through the MATCH_SCORE LUT over the base
+    codes (constant quality folded in), as in the systolic mapping.
+    """
+    dfg = DataFlowGraph("pairhmm_fp")
+    rho = dfg.op(Opcode.MATCH_SCORE, dfg.input("q"), dfg.input("t"), name="rho")
+    t_mm = dfg.op(Opcode.MUL, dfg.input("a_mm"), dfg.input("m_diag"), name="t_mm")
+    t_im = dfg.op(Opcode.MUL, dfg.input("a_im"), dfg.input("i_diag"), name="t_im")
+    t_dm = dfg.op(Opcode.MUL, dfg.input("a_im"), dfg.input("d_diag"), name="t_dm")
+    s_mi = dfg.op(Opcode.ADD, t_mm, t_im, name="s_mi")
+    s_mid = dfg.op(Opcode.ADD, s_mi, t_dm, name="s_mid")
+    m_new = dfg.op(Opcode.MUL, rho, s_mid, name="m_new")
+
+    i_open = dfg.op(Opcode.MUL, dfg.input("a_gap"), dfg.input("m_up"), name="i_open")
+    i_ext = dfg.op(Opcode.MUL, dfg.input("a_ext"), dfg.input("i_up"), name="i_ext")
+    i_new = dfg.op(Opcode.ADD, i_open, i_ext, name="i_new")
+
+    d_open = dfg.op(Opcode.MUL, dfg.input("a_gap"), dfg.input("m_left"), name="d_open")
+    d_ext = dfg.op(Opcode.MUL, dfg.input("a_ext"), dfg.input("d_left"), name="d_ext")
+    d_new = dfg.op(Opcode.ADD, d_open, d_ext, name="d_new")
+
+    dfg.mark_output("m", m_new)
+    dfg.mark_output("i", i_new)
+    dfg.mark_output("d", d_new)
+    return dfg
+
+
+def poa_edge_dfg(gap_open: int = 4, gap_extend: int = 1) -> DataFlowGraph:
+    """POA per-predecessor-edge block (the iterative part of the cell).
+
+    For each graph edge into the current node, the running diagonal and
+    vertical maxima are folded with that predecessor row's values.
+    Inputs: ``diag_best``/``up_best`` (loop-carried), ``h_pred_diag``,
+    ``h_pred_up``, ``f_pred_up``.
+    """
+    dfg = DataFlowGraph("poa_edge")
+    oe = dfg.const(gap_open + gap_extend)
+    ext = dfg.const(gap_extend)
+    diag_out = dfg.op(
+        Opcode.MAX, dfg.input("diag_best"), dfg.input("h_pred_diag"), name="diag_out"
+    )
+    v_open = dfg.op(Opcode.SUB, dfg.input("h_pred_up"), oe, name="v_open")
+    v_ext = dfg.op(Opcode.SUB, dfg.input("f_pred_up"), ext, name="v_ext")
+    v_best = dfg.op(Opcode.MAX, v_open, v_ext, name="v_best")
+    up_out = dfg.op(Opcode.MAX, dfg.input("up_best"), v_best, name="up_out")
+    dfg.mark_output("diag_best", diag_out)
+    dfg.mark_output("up_best", up_out)
+    return dfg
+
+
+def poa_dfg(
+    gap_open: int = 4, gap_extend: int = 1, unrolled_edges: int = 2
+) -> DataFlowGraph:
+    """Full POA cell: *unrolled_edges* edge blocks plus the combine.
+
+    The average partial-order node has 1-2 predecessors, so the default
+    unroll of two edge blocks matches the typical per-cell work the
+    paper's Table 2 POA row measures.  Outputs: ``h``, ``e``, ``f``
+    (the vertical best, stored for successor rows) and ``dir``.
+    """
+    if unrolled_edges < 1:
+        raise ValueError("need at least one edge block")
+    dfg = DataFlowGraph("poa")
+    oe = dfg.const(gap_open + gap_extend)
+    ext = dfg.const(gap_extend)
+    zero = dfg.const(0)
+
+    diag_best = dfg.input("diag_init")
+    up_best = dfg.input("up_init")
+    for edge in range(unrolled_edges):
+        h_pd = dfg.input(f"h_pred{edge}_diag")
+        h_pu = dfg.input(f"h_pred{edge}_up")
+        f_pu = dfg.input(f"f_pred{edge}_up")
+        diag_best = dfg.op(Opcode.MAX, diag_best, h_pd, name=f"diag{edge}")
+        v_open = dfg.op(Opcode.SUB, h_pu, oe, name=f"v_open{edge}")
+        v_ext = dfg.op(Opcode.SUB, f_pu, ext, name=f"v_ext{edge}")
+        v_best = dfg.op(Opcode.MAX, v_open, v_ext, name=f"v_best{edge}")
+        up_best = dfg.op(Opcode.MAX, up_best, v_best, name=f"up{edge}")
+
+    score = dfg.op(Opcode.MATCH_SCORE, dfg.input("q"), dfg.input("t"), name="s")
+    m = dfg.op(Opcode.ADD, diag_best, score, name="m")
+    e_open = dfg.op(Opcode.SUB, dfg.input("h_left"), oe, name="e_open")
+    e_ext = dfg.op(Opcode.SUB, dfg.input("e_left"), ext, name="e_ext")
+    e_new = dfg.op(Opcode.MAX, e_open, e_ext, name="e_new")
+    h_m = dfg.op(Opcode.MAX, m, zero, name="h_m")
+    h_gap = dfg.op(Opcode.MAX, e_new, up_best, name="h_gap")
+    h_new = dfg.op(Opcode.MAX, h_m, h_gap, name="h_new")
+
+    dir_gap = dfg.op(
+        Opcode.CMP_GT, e_new, up_best, dfg.const(3), dfg.const(2), name="dir_gap"
+    )
+    direction = dfg.op(Opcode.CMP_EQ, h_new, m, dfg.const(1), dir_gap, name="dir")
+
+    dfg.mark_output("h", h_new)
+    dfg.mark_output("e", e_new)
+    dfg.mark_output("f", up_best)
+    dfg.mark_output("dir", direction)
+    return dfg
+
+
+def poa_final_dfg(gap_open: int = 4, gap_extend: int = 1) -> DataFlowGraph:
+    """POA cell combine block (runs once per cell after the edge loop).
+
+    Inputs: the folded ``diag_best``/``up_best`` from the per-edge
+    blocks, the bases ``q``/``t``, and the same-row ``h_left``/
+    ``e_left`` state.  Outputs ``h``, ``e`` and the traceback ``dir``;
+    the vertical state ``f`` equals ``up_best`` (stored by the control
+    thread).  This is the form the single-PE scratchpad mapping
+    executes: the edge loop (:func:`poa_edge_dfg`) iterates a
+    data-dependent number of times, then this block fires.
+    """
+    dfg = DataFlowGraph("poa_final")
+    oe = dfg.const(gap_open + gap_extend)
+    ext = dfg.const(gap_extend)
+    zero = dfg.const(0)
+    score = dfg.op(Opcode.MATCH_SCORE, dfg.input("q"), dfg.input("t"), name="s")
+    m = dfg.op(Opcode.ADD, dfg.input("diag_best"), score, name="m")
+    e_open = dfg.op(Opcode.SUB, dfg.input("h_left"), oe, name="e_open")
+    e_ext = dfg.op(Opcode.SUB, dfg.input("e_left"), ext, name="e_ext")
+    e_new = dfg.op(Opcode.MAX, e_open, e_ext, name="e_new")
+    h_m = dfg.op(Opcode.MAX, m, zero, name="h_m")
+    h_gap = dfg.op(Opcode.MAX, e_new, dfg.input("up_best"), name="h_gap")
+    h_new = dfg.op(Opcode.MAX, h_m, h_gap, name="h_new")
+    dir_gap = dfg.op(
+        Opcode.CMP_GT, e_new, dfg.input("up_best"), dfg.const(3), dfg.const(2),
+        name="dir_gap",
+    )
+    direction = dfg.op(Opcode.CMP_EQ, h_new, m, dfg.const(1), dir_gap, name="dir")
+    dfg.mark_output("h", h_new)
+    dfg.mark_output("e", e_new)
+    dfg.mark_output("dir", direction)
+    return dfg
+
+
+def chain_dfg(
+    avg_seed_weight: int = 19,
+    max_distance: int = 5000,
+    max_diag_diff: int = 500,
+) -> DataFlowGraph:
+    """Chain score update (reordered form: anchor j pushes to anchor i).
+
+    Fixed-point 1/400 units (see :mod:`repro.kernels.chain_fixed`):
+
+    - match  = min(dx, dy, w) * 400
+    - gap    = 4*w*dd + 100 * (log2(dd) << 1)    [= 0.01*w*dd + 0.5*log2(dd)]
+    - cand   = f_j + match - gap, gated by dx > 0, dy > 0 and the
+      distance / diagonal-drift caps of minimap2
+    - f_i    = max(f_i, cand); parent = cand > f_i ? j : parent
+
+    The two MULs are why the compute unit carries a separate multiplier
+    (Section 4.3), and LOG2_LUT is the special chain instruction the ISA
+    analysis highlights (Section 7.4).
+    """
+    dfg = DataFlowGraph("chain")
+    zero = dfg.const(0)
+    neg_inf = dfg.const(-(1 << 30))
+
+    dx = dfg.op(Opcode.SUB, dfg.input("x_i"), dfg.input("x_j"), name="dx")
+    dy = dfg.op(Opcode.SUB, dfg.input("y_i"), dfg.input("y_j"), name="dy")
+    dd_ab = dfg.op(Opcode.SUB, dx, dy, name="dd_ab")
+    dd_ba = dfg.op(Opcode.SUB, dy, dx, name="dd_ba")
+    dd = dfg.op(Opcode.MAX, dd_ab, dd_ba, name="dd")
+
+    min_dxy = dfg.op(Opcode.MIN, dx, dy, name="min_dxy")
+    match = dfg.op(Opcode.MIN, min_dxy, dfg.input("w"), name="match")
+    match_scaled = dfg.op(Opcode.MUL, match, dfg.const(CHAIN_SCALE), name="match400")
+
+    gap_linear = dfg.op(
+        Opcode.MUL, dd, dfg.const(4 * avg_seed_weight), name="gap_linear"
+    )
+    log_term = dfg.op(Opcode.LOG2_LUT, dd, name="log_dd")
+    gap_log = dfg.op(Opcode.MUL, log_term, dfg.const(100), name="gap_log")
+    gap = dfg.op(Opcode.ADD, gap_linear, gap_log, name="gap")
+
+    gain = dfg.op(Opcode.SUB, match_scaled, gap, name="gain")
+    cand = dfg.op(Opcode.ADD, dfg.input("f_j"), gain, name="cand")
+    gate_x = dfg.op(Opcode.CMP_GT, dx, zero, cand, neg_inf, name="gate_x")
+    gate_xy = dfg.op(Opcode.CMP_GT, dy, zero, gate_x, neg_inf, name="gate_xy")
+    gate_dx = dfg.op(
+        Opcode.CMP_GT, dx, dfg.const(max_distance), neg_inf, gate_xy, name="gate_dx"
+    )
+    gate_dy = dfg.op(
+        Opcode.CMP_GT, dy, dfg.const(max_distance), neg_inf, gate_dx, name="gate_dy"
+    )
+    gated = dfg.op(
+        Opcode.CMP_GT, dd, dfg.const(max_diag_diff), neg_inf, gate_dy, name="gate_dd"
+    )
+
+    f_new = dfg.op(Opcode.MAX, dfg.input("f_i"), gated, name="f_new")
+    parent = dfg.op(
+        Opcode.CMP_GT,
+        gated,
+        dfg.input("f_i"),
+        dfg.input("j_idx"),
+        dfg.input("parent"),
+        name="parent_new",
+    )
+    dfg.mark_output("f", f_new)
+    dfg.mark_output("parent", parent)
+    return dfg
+
+
+def lcs_dfg() -> DataFlowGraph:
+    """Longest common subsequence cell (Equation 1 of the paper)."""
+    dfg = DataFlowGraph("lcs")
+    inc = dfg.op(Opcode.ADD, dfg.input("c_diag"), dfg.const(1), name="inc")
+    best = dfg.op(Opcode.MAX, dfg.input("c_up"), dfg.input("c_left"), name="best")
+    out = dfg.op(Opcode.CMP_EQ, dfg.input("x"), dfg.input("y"), inc, best, name="c")
+    dfg.mark_output("c", out)
+    return dfg
+
+
+def dtw_dfg() -> DataFlowGraph:
+    """Dynamic time warping cell: |a-b| + min of three neighbors."""
+    dfg = DataFlowGraph("dtw")
+    diff_ab = dfg.op(Opcode.SUB, dfg.input("a"), dfg.input("b"), name="diff_ab")
+    diff_ba = dfg.op(Opcode.SUB, dfg.input("b"), dfg.input("a"), name="diff_ba")
+    cost = dfg.op(Opcode.MAX, diff_ab, diff_ba, name="cost")
+    m_ul = dfg.op(Opcode.MIN, dfg.input("d_up"), dfg.input("d_left"), name="m_ul")
+    m_all = dfg.op(Opcode.MIN, m_ul, dfg.input("d_diag"), name="m_all")
+    out = dfg.op(Opcode.ADD, cost, m_all, name="d")
+    dfg.mark_output("d", out)
+    return dfg
+
+
+def bellman_ford_dfg() -> DataFlowGraph:
+    """Bellman-Ford edge relaxation: distance update + predecessor select."""
+    dfg = DataFlowGraph("bellman_ford")
+    cand = dfg.op(Opcode.ADD, dfg.input("dist_u"), dfg.input("weight"), name="cand")
+    new_dist = dfg.op(Opcode.MIN, dfg.input("dist_v"), cand, name="new_dist")
+    pred = dfg.op(
+        Opcode.CMP_GT,
+        dfg.input("dist_v"),
+        cand,
+        dfg.input("u_idx"),
+        dfg.input("pred"),
+        name="pred_new",
+    )
+    dfg.mark_output("dist", new_dist)
+    dfg.mark_output("pred", pred)
+    return dfg
+
+
+#: Kernel name -> DFG builder, for analyses that sweep all kernels.
+KERNEL_DFGS: Dict[str, Callable[[], DataFlowGraph]] = {
+    "bsw": bsw_dfg,
+    "pairhmm": pairhmm_dfg,
+    "poa": poa_dfg,
+    "chain": chain_dfg,
+    "lcs": lcs_dfg,
+    "dtw": dtw_dfg,
+    "bellman_ford": bellman_ford_dfg,
+}

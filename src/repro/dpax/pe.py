@@ -1,0 +1,424 @@
+"""The DPAx processing element.
+
+Each PE runs two decoupled threads (Section 4.2):
+
+- the **control thread** executes Table 3 instructions: address
+  arithmetic, moves between RF / SPM / ports / FIFO, branches, and
+  ``set`` to launch compute work;
+- the **compute thread** executes 2-way VLIW bundles against the
+  register file, one bundle per cycle.
+
+The two synchronize conservatively: any control access to the RF or SPM
+stalls while the compute thread is busy (a full scoreboard would track
+individual registers; the conservative fence keeps programs obviously
+correct at a small cycle cost, which the perf model notes).  Port moves
+(``in``/``out``/``fifo``) proceed concurrently with compute -- the
+decoupled-access-execute overlap the paper borrows from [65].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.dfg.graph import OPCODE_ARITY, Opcode, _apply
+from repro.dpax.storage import Fifo, PortQueue, RegisterFile, Scratchpad, StorageError
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.isa.control import (
+    BRANCH_OPS,
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    Space,
+)
+
+
+def wrap32(value: int) -> int:
+    """Wrap to 32-bit two's complement (integer datapath width)."""
+    value &= 0xFFFFFFFF
+    return value - (1 << 32) if value >= (1 << 31) else value
+
+
+def sat_lane(value: int, bits: int) -> int:
+    """Saturate to a signed *bits*-wide SIMD lane.
+
+    BWA-MEM2's narrow kernels and DPAx's SIMD modes saturate rather
+    than wrap, so lane overflows clamp at the int rails.
+    """
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    return max(low, min(high, value))
+
+
+def sat8(value: int) -> int:
+    """Saturate to signed 8 bits (the 4-lane arithmetic)."""
+    return sat_lane(value, 8)
+
+
+def pack_lanes_n(lanes, lane_count: int) -> int:
+    """Pack signed lane values into one 32-bit word.
+
+    ``lane_count`` is 4 (8-bit lanes) or 2 (16-bit lanes) -- the two
+    SIMD splits of Sections 4.2 and 7.6.4.
+    """
+    if lane_count not in (2, 4):
+        raise ValueError("SIMD words split into 2 or 4 lanes")
+    if len(lanes) != lane_count:
+        raise ValueError(f"expected {lane_count} lane values")
+    bits = 32 // lane_count
+    low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    mask = (1 << bits) - 1
+    word = 0
+    for index, lane in enumerate(lanes):
+        if not low <= lane <= high:
+            raise ValueError(f"lane value {lane} outside int{bits}")
+        word |= (lane & mask) << (bits * index)
+    return word
+
+
+def unpack_lanes_n(word: int, lane_count: int):
+    """Unpack a 32-bit word into signed lane values."""
+    if lane_count not in (2, 4):
+        raise ValueError("SIMD words split into 2 or 4 lanes")
+    bits = 32 // lane_count
+    mask = (1 << bits) - 1
+    sign = 1 << (bits - 1)
+    word &= 0xFFFFFFFF
+    lanes = []
+    for index in range(lane_count):
+        lane = (word >> (bits * index)) & mask
+        lanes.append(lane - (1 << bits) if lane >= sign else lane)
+    return lanes
+
+
+def pack_lanes(lanes) -> int:
+    """Pack four signed 8-bit lane values into one 32-bit word."""
+    return pack_lanes_n(lanes, 4)
+
+
+def unpack_lanes(word: int):
+    """Unpack a 32-bit word into four signed 8-bit lane values."""
+    return unpack_lanes_n(word, 4)
+
+
+@dataclass
+class PEConfig:
+    """Static PE parameters."""
+
+    rf_size: int = 64
+    spm_size: int = 2048
+    address_registers: int = 16
+    in_capacity: int = 16
+    #: "int" wraps results to 32 bits; "fp" keeps Python floats (the FP
+    #: PE array of Figure 4).
+    datapath: str = "int"
+    #: Backing function for the MATCH_SCORE LUT operation.
+    match_table: Optional[Callable[[int, int], int]] = None
+    #: 1 = scalar 32-bit mode; 4 = four 8-bit saturating SIMD lanes
+    #: (Section 4.2's DLP mode, used by BSW); 2 = two 16-bit lanes
+    #: (Section 7.6.4's 16-bit operation mode).  Compute operations act
+    #: lane-wise; immediates broadcast to every lane; control moves
+    #: carry packed words transparently.
+    simd_lanes: int = 1
+
+
+@dataclass
+class PEStats:
+    """Per-PE activity counters."""
+
+    cycles: int = 0
+    control_executed: int = 0
+    compute_bundles: int = 0
+    alu_ops: int = 0
+    control_stalls: int = 0
+    compute_idle: int = 0
+
+    def merge(self, other: "PEStats") -> "PEStats":
+        return PEStats(
+            cycles=self.cycles + other.cycles,
+            control_executed=self.control_executed + other.control_executed,
+            compute_bundles=self.compute_bundles + other.compute_bundles,
+            alu_ops=self.alu_ops + other.alu_ops,
+            control_stalls=self.control_stalls + other.control_stalls,
+            compute_idle=self.compute_idle + other.compute_idle,
+        )
+
+
+class PE:
+    """One processing element in a systolic PE array."""
+
+    def __init__(self, pe_index: int, config: Optional[PEConfig] = None):
+        self.pe_index = pe_index
+        self.config = config or PEConfig()
+        self.rf = RegisterFile(self.config.rf_size)
+        self.spm = Scratchpad(self.config.spm_size)
+        self.aregs = [0] * self.config.address_registers
+        self.in_queue = PortQueue(self.config.in_capacity)
+        #: Downstream queue this PE's ``out`` pushes into (the next PE's
+        #: ``in_queue`` or the array's tail queue); wired by the array.
+        self.out_target: Optional[PortQueue] = None
+        #: FIFO endpoints; wired by the array (first PE reads, the
+        #: chain-tail PE writes).
+        self.fifo_read: Optional[Fifo] = None
+        self.fifo_write: Optional[Fifo] = None
+
+        self.control: List[ControlInstruction] = []
+        self.compute: List[VLIWInstruction] = []
+        self.pc = 0
+        self.compute_pc = 0
+        self.compute_remaining = 0
+        self.started = False
+        self.halted = False
+        self.stats = PEStats()
+
+    # ------------------------------------------------------------------
+    # program loading
+
+    def load(self, control: List[ControlInstruction], compute: List[VLIWInstruction]) -> None:
+        """Preload both instruction streams (Section 4.4's model)."""
+        for instruction in control:
+            instruction.validate()
+        for bundle in compute:
+            bundle.validate()
+        self.control = list(control)
+        self.compute = list(compute)
+        self.pc = 0
+        self.compute_pc = 0
+        self.compute_remaining = 0
+        self.halted = False
+
+    @property
+    def compute_busy(self) -> bool:
+        return self.compute_remaining > 0
+
+    @property
+    def done(self) -> bool:
+        return self.halted and not self.compute_busy
+
+    # ------------------------------------------------------------------
+    # cycle execution
+
+    def step(self) -> None:
+        """Advance one cycle: compute thread first, then control."""
+        if not self.started:
+            return
+        self.stats.cycles += 1
+        self._step_compute()
+        if not self.halted:
+            self._step_control()
+
+    def _step_compute(self) -> None:
+        if not self.compute_busy:
+            self.stats.compute_idle += 1
+            return
+        bundle = self.compute[self.compute_pc]
+        for way in bundle.ways:
+            value = self._execute_way(way)
+            self.rf.write(way.dest.index, self._clamp(value))
+            self.stats.alu_ops += way.alu_ops
+        self.compute_pc += 1
+        self.compute_remaining -= 1
+        self.stats.compute_bundles += 1
+
+    def _execute_way(self, way: CUInstruction):
+        lane_count = self.config.simd_lanes
+        simd = lane_count in (2, 4)
+        lane_bits = 32 // lane_count if simd else 32
+
+        def apply_op(opcode, args):
+            if not simd:
+                return _apply(opcode, args, self.config.match_table, None)
+            # Lane-wise execution with saturating lane arithmetic:
+            # operand words are unpacked, the op runs per lane,
+            # results repack.
+            lane_args = [
+                unpack_lanes_n(arg & 0xFFFFFFFF, lane_count) for arg in args
+            ]
+            lanes = [
+                sat_lane(
+                    _apply(
+                        opcode,
+                        [lane_args[k][lane] for k in range(len(args))],
+                        self.config.match_table,
+                        None,
+                    ),
+                    lane_bits,
+                )
+                for lane in range(lane_count)
+            ]
+            return pack_lanes_n(lanes, lane_count)
+
+        def run_slot(slot: SlotOp):
+            args = []
+            for operand in slot.operands:
+                if isinstance(operand, Imm):
+                    value = operand.value
+                    if simd:
+                        value = pack_lanes_n(
+                            [sat_lane(value, lane_bits)] * lane_count, lane_count
+                        )
+                    args.append(value)
+                else:
+                    args.append(self.rf.read(operand.index))
+            return apply_op(slot.opcode, args)
+
+        if way.kind == "mul":
+            return run_slot(way.mul)
+        left_out = run_slot(way.left) if way.left is not None else None
+        right_out = run_slot(way.right) if way.right is not None else None
+        if way.root is None:
+            return left_out if left_out is not None else right_out
+        if OPCODE_ARITY[way.root] == 1:
+            return apply_op(way.root, [left_out])
+        inputs = [left_out, right_out]
+        if way.root_swapped:
+            inputs.reverse()
+        return apply_op(way.root, inputs)
+
+    def _clamp(self, value):
+        if self.config.datapath == "int":
+            return wrap32(int(value))
+        return value
+
+    # ------------------------------------------------------------------
+    # control thread
+
+    def _step_control(self) -> None:
+        if self.pc >= len(self.control):
+            self.halted = True
+            return
+        instruction = self.control[self.pc]
+        op = instruction.op
+
+        if op is ControlOp.HALT:
+            self.halted = True
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.NOOP:
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.ADD:
+            self.aregs[instruction.rd] = (
+                self.aregs[instruction.rs1] + self.aregs[instruction.rs2]
+            )
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.ADDI:
+            self.aregs[instruction.rd] = self.aregs[instruction.rs1] + instruction.imm
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        if op in BRANCH_OPS:
+            lhs = self.aregs[instruction.rs1]
+            rhs = self.aregs[instruction.rs2]
+            taken = {
+                ControlOp.BEQ: lhs == rhs,
+                ControlOp.BNE: lhs != rhs,
+                ControlOp.BGE: lhs >= rhs,
+                ControlOp.BLT: lhs < rhs,
+            }[op]
+            self.pc += instruction.offset if taken else 1
+            if not 0 <= self.pc <= len(self.control):
+                raise StorageError(f"branch left the program: pc={self.pc}")
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.SET:
+            if self.compute_busy:
+                self.stats.control_stalls += 1
+                return
+            if not 0 <= instruction.target <= len(self.compute):
+                raise StorageError(f"set target out of range: {instruction.target}")
+            if instruction.target + instruction.count > len(self.compute):
+                raise StorageError("set count runs past the compute program")
+            self.compute_pc = instruction.target
+            self.compute_remaining = instruction.count
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.LI:
+            if self._blocked_on_compute(instruction.dest):
+                self.stats.control_stalls += 1
+                return
+            if not self._write_loc(instruction.dest, instruction.imm):
+                self.stats.control_stalls += 1
+                return
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        if op is ControlOp.MV:
+            if self._blocked_on_compute(instruction.dest) or self._blocked_on_compute(
+                instruction.src
+            ):
+                self.stats.control_stalls += 1
+                return
+            value = self._read_loc(instruction.src)
+            if value is None:
+                self.stats.control_stalls += 1
+                return
+            if not self._write_loc(instruction.dest, value):
+                # Destination full: the popped value must not be lost.
+                # Ports are only full transiently; re-push is safe
+                # because this thread is the only producer this cycle.
+                self._unread_loc(instruction.src, value)
+                self.stats.control_stalls += 1
+                return
+            self.pc += 1
+            self.stats.control_executed += 1
+            return
+        raise StorageError(f"unhandled control op {op}")
+
+    def _blocked_on_compute(self, loc: Loc) -> bool:
+        return self.compute_busy and loc.space in (Space.REG, Space.SPM)
+
+    def _resolve_index(self, loc: Loc) -> int:
+        if loc.indirect:
+            return self.aregs[loc.index]
+        return loc.index
+
+    def _read_loc(self, loc: Loc) -> Optional[int]:
+        space = loc.space
+        if space is Space.REG:
+            return self.rf.read(self._resolve_index(loc))
+        if space is Space.SPM:
+            return self.spm.read(self._resolve_index(loc))
+        if space is Space.ADDR:
+            return self.aregs[loc.index]
+        if space is Space.IN:
+            return self.in_queue.pop()
+        if space is Space.FIFO:
+            if self.fifo_read is None:
+                raise StorageError(f"PE {self.pe_index} has no FIFO read port")
+            return self.fifo_read.pop()
+        raise StorageError(f"PE cannot read space {space.value}")
+
+    def _unread_loc(self, loc: Loc, value: int) -> None:
+        """Undo a destructive read after a failed write (stall replay)."""
+        if loc.space is Space.IN:
+            self.in_queue._queue.appendleft(value)
+            self.in_queue.pops -= 1
+        elif loc.space is Space.FIFO and self.fifo_read is not None:
+            self.fifo_read._queue.appendleft(value)
+            self.fifo_read.pops -= 1
+
+    def _write_loc(self, loc: Loc, value: int) -> bool:
+        space = loc.space
+        clamped = self._clamp(value)
+        if space is Space.REG:
+            self.rf.write(self._resolve_index(loc), clamped)
+            return True
+        if space is Space.SPM:
+            self.spm.write(self._resolve_index(loc), clamped)
+            return True
+        if space is Space.ADDR:
+            self.aregs[loc.index] = int(value)
+            return True
+        if space is Space.OUT:
+            if self.out_target is None:
+                raise StorageError(f"PE {self.pe_index} has no out port wired")
+            return self.out_target.push(clamped)
+        if space is Space.FIFO:
+            if self.fifo_write is None:
+                raise StorageError(f"PE {self.pe_index} has no FIFO write port")
+            return self.fifo_write.push(clamped)
+        raise StorageError(f"PE cannot write space {space.value}")

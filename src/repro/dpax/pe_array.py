@@ -1,0 +1,203 @@
+"""The DPAx PE array: four systolic PEs plus array-level control.
+
+Figure 6's organization: an input data buffer feeds the first PE, PEs
+forward through ``out``/``in`` ports, the last PE reaches the output
+data buffer (or the next array, when arrays are concatenated into a
+longer chain), and a FIFO carries the last PE's results back to the
+first for the next row-group pass.
+
+The array runs its own control thread (Section 4.4: "Each PE array runs
+one thread of execution, controlling the data movement between data
+buffers and PEs, as well as the start of the execution for each PE").
+From the array thread's viewpoint, ``out`` pushes into the first PE and
+``in`` pops the last PE's output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dpax.pe import PE, PEConfig, PEStats
+from repro.dpax.storage import DataBuffer, Fifo, PortQueue, StorageError
+from repro.isa.control import (
+    BRANCH_OPS,
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    Space,
+)
+
+#: PEs per array (Figure 4).
+PES_PER_ARRAY = 4
+
+
+class PEArray:
+    """Four PEs, a FIFO, data buffers, and the array control thread."""
+
+    def __init__(
+        self,
+        array_index: int = 0,
+        pe_config: Optional[PEConfig] = None,
+        pe_count: int = PES_PER_ARRAY,
+        ibuf_size: int = 1 << 20,
+        obuf_size: int = 1 << 20,
+    ):
+        if pe_count <= 0:
+            raise ValueError("PE array needs at least one PE")
+        self.array_index = array_index
+        self.pes: List[PE] = [PE(index, pe_config) for index in range(pe_count)]
+        self.fifo = Fifo()
+        self.ibuf = DataBuffer(ibuf_size)
+        self.obuf = DataBuffer(obuf_size)
+        #: Where the last PE's ``out`` lands when not chained onward.
+        self.tail_queue = PortQueue(capacity=64)
+
+        # Default intra-array wiring; the machine rewires chain
+        # boundaries for concatenated configurations.
+        for position, pe in enumerate(self.pes[:-1]):
+            pe.out_target = self.pes[position + 1].in_queue
+        self.pes[-1].out_target = self.tail_queue
+        self.pes[0].fifo_read = self.fifo
+        self.pes[-1].fifo_write = self.fifo
+
+        self.control: List[ControlInstruction] = []
+        self.aregs = [0] * 16
+        self.pc = 0
+        self.halted = False
+        self.control_executed = 0
+        self.control_stalls = 0
+
+    # ------------------------------------------------------------------
+
+    def load_array_control(self, control: List[ControlInstruction]) -> None:
+        for instruction in control:
+            instruction.validate()
+        self.control = list(control)
+        self.pc = 0
+        self.halted = False
+
+    def load_pe(self, position: int, control, compute) -> None:
+        self.pes[position].load(control, compute)
+
+    @property
+    def done(self) -> bool:
+        return self.halted and all(pe.done or not pe.started for pe in self.pes)
+
+    def step(self) -> None:
+        """One cycle: array control first, then each PE in chain order."""
+        if not self.halted:
+            self._step_control()
+        for pe in self.pes:
+            pe.step()
+
+    def merged_pe_stats(self) -> PEStats:
+        stats = PEStats()
+        for pe in self.pes:
+            stats = stats.merge(pe.stats)
+        return stats
+
+    # ------------------------------------------------------------------
+    # array control thread
+
+    def _step_control(self) -> None:
+        if self.pc >= len(self.control):
+            self.halted = True
+            return
+        instruction = self.control[self.pc]
+        op = instruction.op
+
+        if op is ControlOp.HALT:
+            self.halted = True
+            self.control_executed += 1
+            return
+        if op is ControlOp.NOOP:
+            self._advance()
+            return
+        if op is ControlOp.ADD:
+            self.aregs[instruction.rd] = (
+                self.aregs[instruction.rs1] + self.aregs[instruction.rs2]
+            )
+            self._advance()
+            return
+        if op is ControlOp.ADDI:
+            self.aregs[instruction.rd] = self.aregs[instruction.rs1] + instruction.imm
+            self._advance()
+            return
+        if op in BRANCH_OPS:
+            lhs = self.aregs[instruction.rs1]
+            rhs = self.aregs[instruction.rs2]
+            taken = {
+                ControlOp.BEQ: lhs == rhs,
+                ControlOp.BNE: lhs != rhs,
+                ControlOp.BGE: lhs >= rhs,
+                ControlOp.BLT: lhs < rhs,
+            }[op]
+            self.pc += instruction.offset if taken else 1
+            if not 0 <= self.pc <= len(self.control):
+                raise StorageError(f"array branch left the program: pc={self.pc}")
+            self.control_executed += 1
+            return
+        if op is ControlOp.SET:
+            self.pes[instruction.target].started = True
+            self._advance()
+            return
+        if op is ControlOp.LI:
+            if not self._write_loc(instruction.dest, instruction.imm):
+                self.control_stalls += 1
+                return
+            self._advance()
+            return
+        if op is ControlOp.MV:
+            value = self._read_loc(instruction.src)
+            if value is None:
+                self.control_stalls += 1
+                return
+            if not self._write_loc(instruction.dest, value):
+                self._unread_loc(instruction.src, value)
+                self.control_stalls += 1
+                return
+            self._advance()
+            return
+        raise StorageError(f"unhandled array control op {op}")
+
+    def _advance(self) -> None:
+        self.pc += 1
+        self.control_executed += 1
+
+    def _resolve_index(self, loc: Loc) -> int:
+        return self.aregs[loc.index] if loc.indirect else loc.index
+
+    def _read_loc(self, loc: Loc) -> Optional[int]:
+        space = loc.space
+        if space is Space.IBUF:
+            return self.ibuf.read(self._resolve_index(loc))
+        if space is Space.ADDR:
+            return self.aregs[loc.index]
+        if space is Space.IN:
+            return self.tail_queue.pop()
+        if space is Space.FIFO:
+            return self.fifo.pop()
+        raise StorageError(f"array control cannot read space {space.value}")
+
+    def _unread_loc(self, loc: Loc, value: int) -> None:
+        if loc.space is Space.IN:
+            self.tail_queue._queue.appendleft(value)
+            self.tail_queue.pops -= 1
+        elif loc.space is Space.FIFO:
+            self.fifo._queue.appendleft(value)
+            self.fifo.pops -= 1
+
+    def _write_loc(self, loc: Loc, value: int) -> bool:
+        space = loc.space
+        if space is Space.OBUF:
+            self.obuf.write(self._resolve_index(loc), value)
+            return True
+        if space is Space.ADDR:
+            self.aregs[loc.index] = int(value)
+            return True
+        if space is Space.OUT:
+            return self.pes[0].in_queue.push(value)
+        if space is Space.FIFO:
+            return self.fifo.push(value)
+        raise StorageError(f"array control cannot write space {space.value}")

@@ -1,0 +1,36 @@
+"""DPMap: partitioning DP objective-function DFGs onto compute units.
+
+The three passes of Section 5 -- Partitioning (Algorithm 1), Seeding
+(Algorithm 2) and Refinement (Algorithm 3) -- cut the DFG's edges until
+every connected component fits one compute unit: a 2-level ALU
+reduction tree (4-input left ALU, 2-input right ALU, 2-input root) or
+the standalone multiplier.  Cut edges become register-file traffic;
+kept edges are free intra-CU forwarding.
+
+:func:`run_dpmap` runs the passes, checks legality, schedules the
+components into 2-way VLIW issue slots and reports the Table 2 /
+Table 11 statistics (RF accesses, CU utilization, VLIW utilization).
+"""
+
+from repro.dpmap.mgraph import MappingGraph, Component
+from repro.dpmap.passes import (
+    partitioning_pass,
+    seeding_pass,
+    refinement_pass,
+    legalize_pass,
+    tree_merge_pass,
+)
+from repro.dpmap.mapper import DPMapResult, MappingStats, run_dpmap
+
+__all__ = [
+    "MappingGraph",
+    "Component",
+    "partitioning_pass",
+    "seeding_pass",
+    "refinement_pass",
+    "legalize_pass",
+    "tree_merge_pass",
+    "DPMapResult",
+    "MappingStats",
+    "run_dpmap",
+]

@@ -1,0 +1,162 @@
+"""Compute-unit slot assignment for DPMap components.
+
+A compute unit is an L-level ALU reduction tree (Figure 7): level k has
+``2^(L-k)`` ALUs, level 1 reads the register file (the left ALU has the
+4-input comparison datapath), and each higher-level ALU reads the
+outputs of the two below it.  The standalone multiplier handles MUL
+components.
+
+``try_assign`` answers "does this component fit, and how": it places
+each node at its dataflow depth, synthesizes COPY passthroughs when a
+value must climb more than one level or when a higher-level node reads
+the RF directly, and checks per-level capacity and the one-4-input-ALU
+rule.  Both legalization and instruction emission build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dfg.graph import FOUR_INPUT_OPCODES, Opcode
+from repro.dpmap.mgraph import Component, MappingGraph
+
+
+@dataclass
+class SlotCopy:
+    """A synthesized COPY passthrough: carries *carries* up one level."""
+
+    carries: int  # node id whose value is ferried, or -1 for an RF operand
+    rf_operand_of: Optional[int] = None  # consumer node id when RF-sourced
+    operand_slot: Optional[int] = None  # which operand slot of the consumer
+
+
+@dataclass
+class SlotAssignment:
+    """A feasible placement of one component onto one compute unit."""
+
+    kind: str  # "mul" or "tree"
+    levels: int
+    #: level (1-based) -> ordered node ids placed there
+    placed: Dict[int, List[int]] = field(default_factory=dict)
+    #: level -> synthesized copies at that level
+    copies: Dict[int, List[SlotCopy]] = field(default_factory=dict)
+
+    @property
+    def alu_ops_used(self) -> int:
+        """Real + copy ALU slots this component occupies.
+
+        A multiplication maps onto the CU's multiplier fed through the
+        4-input slot (Section 7.4: "multiplication and conditional
+        operations ... could only be mapped to 4-input ALUs"), so it
+        counts as one occupied slot.
+        """
+        if self.kind == "mul":
+            return 1
+        return sum(len(nodes) for nodes in self.placed.values()) + sum(
+            len(copies) for copies in self.copies.values()
+        )
+
+    @property
+    def copy_count(self) -> int:
+        return sum(len(copies) for copies in self.copies.values())
+
+
+def try_assign(
+    graph: MappingGraph, component: Component, levels: int = 2
+) -> Optional[SlotAssignment]:
+    """Place *component* onto an L-level CU, or return ``None``.
+
+    Rules enforced:
+
+    - a MUL must be alone (it runs on the multiplier module);
+    - at most one 4-input node, placed at level 1;
+    - node depth (over kept edges) must not exceed *levels*;
+    - per-level ALU capacity ``2^(levels - k)`` including copies;
+    - every higher-level operand is either an internal output from the
+      level directly below or ferried there by synthesized COPYs.
+    """
+    members = set(component.node_ids)
+    opcodes = [graph.nodes[node_id].opcode for node_id in component.node_ids]
+
+    if any(op is Opcode.MUL for op in opcodes):
+        if len(component) != 1:
+            return None
+        return SlotAssignment(kind="mul", levels=levels)
+
+    four_input = [op for op in opcodes if op in FOUR_INPUT_OPCODES]
+    if len(four_input) > 1:
+        return None
+
+    # Depth of each node over kept edges (component is topo-ordered).
+    depth: Dict[int, int] = {}
+    for node_id in component.node_ids:
+        parents = [p for p in graph.via_parents(node_id) if p in members]
+        depth[node_id] = 1 + max((depth[p] for p in parents), default=0)
+        if depth[node_id] > levels:
+            return None
+        node = graph.nodes[node_id]
+        if node.opcode in FOUR_INPUT_OPCODES and depth[node_id] != 1:
+            return None
+        # A node reading the same 4-input producer in two operand slots
+        # would need that producer on both leaf ALUs; only the left ALU
+        # has the 4-input datapath, so the value must take the RF path.
+        internal_uses: Dict[int, int] = {}
+        for source in node.sources:
+            if source.producer is not None and source.via_edge:
+                internal_uses[source.producer] = (
+                    internal_uses.get(source.producer, 0) + 1
+                )
+        for producer, uses in internal_uses.items():
+            if uses > 1 and graph.nodes[producer].opcode in FOUR_INPUT_OPCODES:
+                return None
+
+    placed: Dict[int, List[int]] = {level: [] for level in range(1, levels + 1)}
+    copies: Dict[int, List[SlotCopy]] = {level: [] for level in range(1, levels + 1)}
+    for node_id in component.node_ids:
+        placed[depth[node_id]].append(node_id)
+
+    # Synthesize copies: (a) internal edges skipping levels, (b) RF
+    # operands of higher-level nodes.
+    for node_id in component.node_ids:
+        node = graph.nodes[node_id]
+        node_level = depth[node_id]
+        for slot_index, source in enumerate(node.sources):
+            if source.producer is not None and source.via_edge:
+                producer_level = depth[source.producer]
+                for level in range(producer_level + 1, node_level):
+                    copies[level].append(SlotCopy(carries=source.producer))
+            elif node_level > 1:
+                # External operand feeding a non-leaf ALU: ferry it up
+                # from level 1.
+                for level in range(1, node_level):
+                    copies[level].append(
+                        SlotCopy(
+                            carries=-1,
+                            rf_operand_of=node_id,
+                            operand_slot=slot_index,
+                        )
+                    )
+
+    for level in range(1, levels + 1):
+        capacity = 1 << (levels - level)
+        if len(placed[level]) + len(copies[level]) > capacity:
+            return None
+
+    # Level-1 operand budget: the 4-input left ALU plus 2-input slots.
+    # With the paper's 2-level CU this is the "6 operands" rule; for
+    # generalized trees each additional level-1 ALU carries 2 operands.
+    level1_alus = 1 << (levels - 1)
+    budget = 4 + 2 * (level1_alus - 1)
+    demand = 0
+    for node_id in placed[1]:
+        demand += len(graph.nodes[node_id].sources)
+    demand += len(copies[1])  # each copy reads one operand
+    if demand > budget:
+        return None
+    if not four_input:
+        # Without a 4-input node the left ALU only wires 2 operands.
+        if demand > 2 * level1_alus:
+            return None
+
+    return SlotAssignment(kind="tree", levels=levels, placed=placed, copies=copies)

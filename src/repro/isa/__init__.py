@@ -1,0 +1,53 @@
+"""The GenDP instruction set architecture.
+
+Two instruction streams per PE, decoded and executed by separate
+threads (Section 4.4):
+
+- **Control** (:mod:`repro.isa.control`, Table 3): address arithmetic,
+  data movement between RF / scratchpad / ports / FIFO / buffers,
+  branches, and ``set`` to kick off subsidiary components.
+- **Compute** (:mod:`repro.isa.compute`, Table 4): 2-way VLIW bundles,
+  each way one compute-unit operation -- a 2-level ALU reduction tree
+  issue (left/right/root slots), a multiply, or a 4-input select.
+
+:mod:`repro.isa.assembler` provides a textual round-trip for both.
+"""
+
+from repro.isa.control import (
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    Space,
+)
+from repro.isa.compute import (
+    CUInstruction,
+    Imm,
+    Reg,
+    SlotOp,
+    VLIWInstruction,
+)
+from repro.isa.program import ArrayProgram, PEProgram
+from repro.isa.assembler import (
+    assemble_control,
+    assemble_vliw,
+    disassemble_control,
+    disassemble_vliw,
+)
+
+__all__ = [
+    "ControlInstruction",
+    "ControlOp",
+    "Loc",
+    "Space",
+    "CUInstruction",
+    "Imm",
+    "Reg",
+    "SlotOp",
+    "VLIWInstruction",
+    "ArrayProgram",
+    "PEProgram",
+    "assemble_control",
+    "assemble_vliw",
+    "disassemble_control",
+    "disassemble_vliw",
+]

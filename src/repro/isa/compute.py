@@ -1,0 +1,165 @@
+"""Compute (VLIW) instruction format.
+
+One VLIW bundle issues to both compute units of a PE per cycle
+(Section 4.2).  Each CU way encodes one of:
+
+- a **tree** issue: up to three ALU operations on the 2-level reduction
+  tree -- ``left`` (the 4-input-capable ALU, up to 4 RF/immediate
+  operands), ``right`` (2 operands) and ``root`` (operands implicitly
+  the left/right outputs) -- Section 4.4's "3 operations and 6
+  operands";
+- a **mul** issue on the standalone multiplier;
+- nothing (``None``), leaving the way idle.
+
+The result (root output if present, else the single populated leaf's
+output) is written to ``dest`` in the register file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.dfg.graph import FOUR_INPUT_OPCODES, OPCODE_ARITY, Opcode
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A register-file operand/destination."""
+
+    index: int
+
+    def text(self) -> str:
+        return f"r{self.index}"
+
+
+@dataclass(frozen=True)
+class Imm:
+    """An immediate operand."""
+
+    value: int
+
+    def text(self) -> str:
+        return f"#{self.value}"
+
+
+Operand = Union[Reg, Imm]
+
+
+@dataclass(frozen=True)
+class SlotOp:
+    """One ALU operation: opcode plus explicit operands."""
+
+    opcode: Opcode
+    operands: Tuple[Operand, ...] = ()
+
+    def validate(self, max_operands: int) -> None:
+        arity = OPCODE_ARITY[self.opcode]
+        if len(self.operands) != arity:
+            raise ValueError(
+                f"{self.opcode.value} expects {arity} operands, got "
+                f"{len(self.operands)}"
+            )
+        if arity > max_operands:
+            raise ValueError(
+                f"{self.opcode.value} needs {arity} operands but the slot "
+                f"wires only {max_operands}"
+            )
+
+    def text(self) -> str:
+        args = ",".join(operand.text() for operand in self.operands)
+        return f"{self.opcode.value}({args})"
+
+
+@dataclass(frozen=True)
+class CUInstruction:
+    """One compute-unit way of a VLIW bundle.
+
+    ``kind`` is ``"tree"`` or ``"mul"``.  For trees, ``root`` carries no
+    explicit operands: its inputs are the left and right outputs (left
+    first).  A tree with only one leaf forwards that leaf's output to
+    ``dest`` directly.
+    """
+
+    kind: str
+    dest: Reg
+    left: Optional[SlotOp] = None
+    right: Optional[SlotOp] = None
+    root: Optional[Opcode] = None
+    mul: Optional[SlotOp] = None
+    #: Root reads (right_out, left_out) instead of (left_out, right_out)
+    #: -- needed when an order-sensitive root's first operand landed on
+    #: the right ALU (the left one being reserved for a 4-input leaf).
+    root_swapped: bool = False
+
+    def validate(self) -> None:
+        if self.kind == "mul":
+            if self.mul is None or self.mul.opcode is not Opcode.MUL:
+                raise ValueError("mul way requires a MUL slot op")
+            self.mul.validate(max_operands=2)
+            return
+        if self.kind != "tree":
+            raise ValueError(f"unknown CU way kind {self.kind!r}")
+        if self.left is None and self.right is None:
+            raise ValueError("tree way must populate at least one leaf")
+        if self.left is not None:
+            self.left.validate(max_operands=4)
+        if self.right is not None:
+            if self.right.opcode in FOUR_INPUT_OPCODES:
+                raise ValueError("4-input ops only fit the left ALU")
+            self.right.validate(max_operands=2)
+        if self.root is not None:
+            if self.root in FOUR_INPUT_OPCODES or self.root is Opcode.MUL:
+                raise ValueError("root ALU is a 2-input ALU")
+            if OPCODE_ARITY[self.root] == 2 and (
+                self.left is None or self.right is None
+            ):
+                raise ValueError("a 2-input root needs both leaf outputs")
+            if OPCODE_ARITY[self.root] == 1 and self.left is None:
+                raise ValueError("a 1-input root reads the left leaf output")
+
+    @property
+    def alu_ops(self) -> int:
+        """Occupied ALU slots (for utilization accounting)."""
+        if self.kind == "mul":
+            return 1
+        return sum(1 for slot in (self.left, self.right) if slot) + (
+            1 if self.root else 0
+        )
+
+    def text(self) -> str:
+        if self.kind == "mul":
+            return f"mul {self.mul.text()} -> {self.dest.text()}"
+        parts = []
+        if self.left is not None:
+            parts.append(f"L:{self.left.text()}")
+        if self.right is not None:
+            parts.append(f"R:{self.right.text()}")
+        if self.root is not None:
+            tag = "T~" if self.root_swapped else "T:"
+            parts.append(f"{tag}{self.root.value}")
+        return f"tree {' '.join(parts)} -> {self.dest.text()}"
+
+
+@dataclass(frozen=True)
+class VLIWInstruction:
+    """One 2-way VLIW bundle."""
+
+    cu0: Optional[CUInstruction] = None
+    cu1: Optional[CUInstruction] = None
+
+    def validate(self) -> None:
+        if self.cu0 is None and self.cu1 is None:
+            raise ValueError("empty VLIW bundle")
+        for way in (self.cu0, self.cu1):
+            if way is not None:
+                way.validate()
+
+    @property
+    def ways(self) -> List[CUInstruction]:
+        return [way for way in (self.cu0, self.cu1) if way is not None]
+
+    def text(self) -> str:
+        cu0 = self.cu0.text() if self.cu0 else "nop"
+        cu1 = self.cu1.text() if self.cu1 else "nop"
+        return f"{{ {cu0} | {cu1} }}"

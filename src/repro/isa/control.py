@@ -1,0 +1,208 @@
+"""Control instruction set (Table 3 of the paper).
+
+The control thread owns data movement and loop structure.  Its
+instructions manipulate small *address registers* inside the decoder
+(``add``/``addi``/``li``), move words between storage spaces (``mv``),
+branch on address-register comparisons, and start subsidiary components
+(``set``) -- a PE array ``set``\\ s its PEs, a PE ``set``\\ s its compute
+thread.
+
+Addressing: a :class:`Loc` names one word in a storage space.  Indexed
+spaces (register file, scratchpad, buffers) take either a literal index
+or an *indirect* index read from an address register at execution time;
+port spaces (``in``/``out``/``fifo``) are unindexed streams.  Indirect
+scratchpad addressing is what serves POA's graph-structured long-range
+dependencies (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+class Space(enum.Enum):
+    """Storage spaces addressable by ``mv``."""
+
+    REG = "r"  # PE register file (compute operands live here)
+    SPM = "s"  # PE scratchpad (long-range dependencies)
+    ADDR = "a"  # decoder address registers
+    IN = "in"  # systolic port from the previous PE
+    OUT = "out"  # systolic port to the next PE
+    FIFO = "fifo"  # PE-array FIFO (last PE writes, first PE reads)
+    IBUF = "ibuf"  # input data buffer (PE array scope)
+    OBUF = "obuf"  # output data buffer (PE array scope)
+
+
+#: Spaces that take an element index.
+INDEXED_SPACES = frozenset({Space.REG, Space.SPM, Space.ADDR, Space.IBUF, Space.OBUF})
+
+#: Stream-like spaces (no index; reads pop, writes push).
+PORT_SPACES = frozenset({Space.IN, Space.OUT, Space.FIFO})
+
+
+@dataclass(frozen=True)
+class Loc:
+    """One addressable word: space + index (literal or indirect).
+
+    ``indirect=True`` means *index* names an address register whose
+    current value is the element index -- required for data-dependent
+    accesses like POA's predecessor lookups.
+    """
+
+    space: Space
+    index: int = 0
+    indirect: bool = False
+
+    def __post_init__(self) -> None:
+        if self.space in PORT_SPACES and (self.index != 0 or self.indirect):
+            raise ValueError(f"{self.space.value} is a port: no index allowed")
+        if self.indirect and self.space is Space.ADDR:
+            raise ValueError("address registers cannot be indirected")
+
+    def text(self) -> str:
+        """Assembly text, e.g. ``r5``, ``s[a2]``, ``in``."""
+        if self.space in PORT_SPACES:
+            return self.space.value
+        if self.indirect:
+            return f"{self.space.value}[a{self.index}]"
+        return f"{self.space.value}{self.index}"
+
+
+class ControlOp(enum.Enum):
+    """Control opcodes (Table 3)."""
+
+    ADD = "add"
+    ADDI = "addi"
+    LI = "li"
+    MV = "mv"
+    BEQ = "beq"
+    BNE = "bne"
+    BGE = "bge"
+    BLT = "blt"
+    SET = "set"
+    NOOP = "no-op"
+    HALT = "halt"
+
+
+BRANCH_OPS = frozenset({ControlOp.BEQ, ControlOp.BNE, ControlOp.BGE, ControlOp.BLT})
+
+
+@dataclass(frozen=True)
+class ControlInstruction:
+    """One control instruction.
+
+    Field usage by opcode:
+
+    - ``ADD rd rs1 rs2`` / ``ADDI rd rs1 imm``: address-register ALU.
+    - ``LI dest imm``: load immediate into any writable location.
+    - ``MV dest src``: move one word between locations.
+    - branches: compare address registers ``rs1``/``rs2``; on success
+      the PC moves by ``offset`` (relative, may be negative).
+    - ``SET target count``: start a subsidiary unit -- for a PE this
+      launches *count* compute instructions beginning at compute-PC
+      *target*; for a PE array it releases PE *target*.
+    - ``NOOP`` / ``HALT``.
+    """
+
+    op: ControlOp
+    dest: Optional[Loc] = None
+    src: Optional[Loc] = None
+    rd: Optional[int] = None
+    rs1: Optional[int] = None
+    rs2: Optional[int] = None
+    imm: Optional[int] = None
+    offset: Optional[int] = None
+    target: Optional[int] = None
+    count: Optional[int] = None
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on malformed field combinations."""
+        op = self.op
+        if op is ControlOp.ADD and None in (self.rd, self.rs1, self.rs2):
+            raise ValueError("add needs rd, rs1, rs2")
+        if op is ControlOp.ADDI and None in (self.rd, self.rs1, self.imm):
+            raise ValueError("addi needs rd, rs1, imm")
+        if op is ControlOp.LI and (self.dest is None or self.imm is None):
+            raise ValueError("li needs dest and imm")
+        if op is ControlOp.MV and (self.dest is None or self.src is None):
+            raise ValueError("mv needs dest and src")
+        if op in BRANCH_OPS and None in (self.rs1, self.rs2, self.offset):
+            raise ValueError(f"{op.value} needs rs1, rs2, offset")
+        if op is ControlOp.SET and (self.target is None or self.count is None):
+            raise ValueError("set needs target and count")
+
+
+# ----------------------------------------------------------------------
+# Convenience constructors (the codegen vocabulary).
+
+
+def add(rd: int, rs1: int, rs2: int) -> ControlInstruction:
+    """``a[rd] = a[rs1] + a[rs2]``"""
+    return ControlInstruction(ControlOp.ADD, rd=rd, rs1=rs1, rs2=rs2)
+
+
+def addi(rd: int, rs1: int, imm: int) -> ControlInstruction:
+    """``a[rd] = a[rs1] + imm``"""
+    return ControlInstruction(ControlOp.ADDI, rd=rd, rs1=rs1, imm=imm)
+
+
+def li(dest: Loc, imm: int) -> ControlInstruction:
+    """``dest = imm``"""
+    return ControlInstruction(ControlOp.LI, dest=dest, imm=imm)
+
+
+def mv(dest: Loc, src: Loc) -> ControlInstruction:
+    """``dest = src`` (one word)."""
+    return ControlInstruction(ControlOp.MV, dest=dest, src=src)
+
+
+def branch(op: ControlOp, rs1: int, rs2: int, offset: int) -> ControlInstruction:
+    """Relative branch comparing address registers."""
+    if op not in BRANCH_OPS:
+        raise ValueError(f"{op.value} is not a branch op")
+    return ControlInstruction(op, rs1=rs1, rs2=rs2, offset=offset)
+
+
+def set_unit(target: int, count: int) -> ControlInstruction:
+    """Start a subsidiary unit (compute thread / PE)."""
+    return ControlInstruction(ControlOp.SET, target=target, count=count)
+
+
+def noop() -> ControlInstruction:
+    return ControlInstruction(ControlOp.NOOP)
+
+
+def halt() -> ControlInstruction:
+    return ControlInstruction(ControlOp.HALT)
+
+
+def reg(index: int) -> Loc:
+    """Register-file location ``r<index>``."""
+    return Loc(Space.REG, index)
+
+
+def spm(index: int, indirect: bool = False) -> Loc:
+    """Scratchpad location ``s<index>`` or ``s[a<index>]``."""
+    return Loc(Space.SPM, index, indirect)
+
+
+def areg(index: int) -> Loc:
+    """Address-register location ``a<index>``."""
+    return Loc(Space.ADDR, index)
+
+
+IN_PORT = Loc(Space.IN)
+OUT_PORT = Loc(Space.OUT)
+FIFO_PORT = Loc(Space.FIFO)
+
+
+def ibuf(index: int, indirect: bool = False) -> Loc:
+    """Input data buffer location."""
+    return Loc(Space.IBUF, index, indirect)
+
+
+def obuf(index: int, indirect: bool = False) -> Loc:
+    """Output data buffer location."""
+    return Loc(Space.OBUF, index, indirect)

@@ -1,0 +1,75 @@
+"""Program containers and size accounting.
+
+Instructions are preloaded into per-component instruction buffers
+before a kernel starts (Section 4.4); the containers here hold one PE's
+two streams and one PE array's full load-out, and compute the footprint
+numbers the area model's instruction-buffer sizing uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.isa.compute import VLIWInstruction
+from repro.isa.control import ControlInstruction
+
+#: Encoded sizes in bytes (28nm implementation parameters): control
+#: instructions are 4-byte RISC-style words; a VLIW bundle packs two CU
+#: ways of 3 opcodes + 6 operand specifiers each.
+CONTROL_INSTRUCTION_BYTES = 4
+VLIW_INSTRUCTION_BYTES = 16
+
+
+@dataclass
+class PEProgram:
+    """One PE's control and compute streams."""
+
+    control: List[ControlInstruction] = field(default_factory=list)
+    compute: List[VLIWInstruction] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for instruction in self.control:
+            instruction.validate()
+        for bundle in self.compute:
+            bundle.validate()
+
+    @property
+    def control_bytes(self) -> int:
+        return len(self.control) * CONTROL_INSTRUCTION_BYTES
+
+    @property
+    def compute_bytes(self) -> int:
+        return len(self.compute) * VLIW_INSTRUCTION_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        return self.control_bytes + self.compute_bytes
+
+
+@dataclass
+class ArrayProgram:
+    """One PE array's load-out: array control plus four PE programs."""
+
+    array_control: List[ControlInstruction] = field(default_factory=list)
+    pe_programs: List[PEProgram] = field(default_factory=list)
+
+    def validate(self) -> None:
+        for instruction in self.array_control:
+            instruction.validate()
+        for program in self.pe_programs:
+            program.validate()
+
+    @property
+    def total_bytes(self) -> int:
+        return len(self.array_control) * CONTROL_INSTRUCTION_BYTES + sum(
+            program.total_bytes for program in self.pe_programs
+        )
+
+    def instruction_counts(self) -> Dict[str, int]:
+        """Breakdown used by reports and the area model."""
+        return {
+            "array_control": len(self.array_control),
+            "pe_control": sum(len(p.control) for p in self.pe_programs),
+            "pe_compute": sum(len(p.compute) for p in self.pe_programs),
+        }

@@ -1,0 +1,143 @@
+"""Adaptive banded Smith-Waterman -- the §7.6.2 limitation study.
+
+Section 1 traces Smith-Waterman's evolution: original -> banded ->
+*adaptive* banded [44] -> wavefront.  Section 7.6.2 concedes that
+GenDP "supports the static band choice in the DP table but does not
+support adaptive or dynamic band choice" and proposes covering an
+adaptive band with "a larger tiled static region ... but will
+sacrifice some performance".
+
+This module implements the adaptive-banded kernel (the band's center
+follows the best cell of the previous row, Suzuki-Kasahara style) and
+the static covering construction, so the sacrifice can be measured:
+``benchmarks/test_ablation_adaptive_band.py`` reports cells(adaptive)
+vs cells(static cover) vs cells(full table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.kernels.bsw import _BAND_MIN
+from repro.seq.scoring import AffineGap, ScoringScheme
+
+
+@dataclass
+class AdaptiveBandResult:
+    """Adaptive-banded extension outcome, with the band trajectory."""
+
+    score: int
+    end: Tuple[int, int]
+    cells: int
+    #: per row: (lo, hi) inclusive column range actually computed
+    band_trace: List[Tuple[int, int]]
+
+
+def adaptive_banded_sw(
+    query: str,
+    target: str,
+    scheme: Optional[ScoringScheme] = None,
+    band: int = 8,
+) -> AdaptiveBandResult:
+    """Affine extension whose band center tracks the score ridge.
+
+    Unlike the static band (|i - j| <= w around the main diagonal),
+    each row's band centers on the previous row's best column -- the
+    adaptive choice that lets a narrow band follow large indels.
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    gap = scheme.gap
+    if not isinstance(gap, AffineGap):
+        raise TypeError("adaptive_banded_sw requires an affine gap model")
+    if band <= 0:
+        raise ValueError("band half-width must be positive")
+    if not query or not target:
+        raise ValueError("adaptive_banded_sw requires non-empty sequences")
+
+    open_cost, extend_cost = gap.open + gap.extend, gap.extend
+    cols = len(target) + 1
+
+    h_prev = [_BAND_MIN] * cols
+    e_prev = [_BAND_MIN] * cols
+    h_prev[0] = 0
+    for j in range(1, min(cols - 1, band) + 1):
+        h_prev[j] = -(open_cost + extend_cost * (j - 1))
+
+    center = 0
+    best_score, best_end = 0, (0, 0)
+    cells = 0
+    band_trace: List[Tuple[int, int]] = []
+
+    for i in range(1, len(query) + 1):
+        lo = max(1, center + 1 - band)
+        hi = min(cols - 1, center + 1 + band)
+        if hi < lo:
+            lo = hi = min(cols - 1, max(1, center + 1))
+        band_trace.append((lo, hi))
+
+        h_curr = [_BAND_MIN] * cols
+        e_curr = [_BAND_MIN] * cols
+        if lo == 1:
+            h_curr[0] = -(open_cost + extend_cost * (i - 1))
+        f_value = _BAND_MIN
+        row_best, row_best_col = _BAND_MIN, center
+        for j in range(lo, hi + 1):
+            e_open = h_prev[j] - open_cost if h_prev[j] > _BAND_MIN else _BAND_MIN
+            e_ext = e_prev[j] - extend_cost if e_prev[j] > _BAND_MIN else _BAND_MIN
+            e_value = max(e_open, e_ext, _BAND_MIN)
+            left_h = h_curr[j - 1]
+            f_open = left_h - open_cost if left_h > _BAND_MIN else _BAND_MIN
+            f_ext = f_value - extend_cost if f_value > _BAND_MIN else _BAND_MIN
+            f_value = max(f_open, f_ext, _BAND_MIN)
+            diag = h_prev[j - 1]
+            match = (
+                diag + scheme.score(query[i - 1], target[j - 1])
+                if diag > _BAND_MIN
+                else _BAND_MIN
+            )
+            score = max(match, e_value, f_value, _BAND_MIN)
+            h_curr[j] = score
+            e_curr[j] = e_value
+            cells += 1
+            if score > row_best:
+                row_best, row_best_col = score, j
+            if score > best_score:
+                best_score, best_end = score, (i, j)
+        center = row_best_col
+        h_prev, e_prev = h_curr, e_curr
+
+    return AdaptiveBandResult(
+        score=best_score, end=best_end, cells=cells, band_trace=band_trace
+    )
+
+
+def static_cover_region(
+    band_trace: List[Tuple[int, int]], tile_rows: int = 4
+) -> List[Tuple[int, int]]:
+    """The tiled static region covering an adaptive band (§7.6.2).
+
+    GenDP's active regions are fixed before execution; to run an
+    adaptively-banded task it must provision, per tile of rows, the
+    column range the adaptive band *might* touch -- the union of the
+    tile's row bands.  Returns one (lo, hi) per tile.
+    """
+    if tile_rows <= 0:
+        raise ValueError("tile_rows must be positive")
+    tiles: List[Tuple[int, int]] = []
+    for start in range(0, len(band_trace), tile_rows):
+        chunk = band_trace[start : start + tile_rows]
+        tiles.append((min(lo for lo, _ in chunk), max(hi for _, hi in chunk)))
+    return tiles
+
+
+def static_cover_cells(
+    band_trace: List[Tuple[int, int]], tile_rows: int = 4
+) -> int:
+    """Cells the static covering region computes (the §7.6.2 cost)."""
+    total = 0
+    for tile_index, (lo, hi) in enumerate(static_cover_region(band_trace, tile_rows)):
+        rows = min(tile_rows, len(band_trace) - tile_index * tile_rows)
+        total += rows * (hi - lo + 1)
+    return total

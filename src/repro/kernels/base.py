@@ -1,0 +1,125 @@
+"""Shared kernel types: alignment modes, results and cell accounting.
+
+Cell accounting matters because the paper's headline metric is
+*cell updates per second* (CUPS): every benchmark reports throughput as
+DP cells computed divided by time, so each kernel counts the cells it
+actually touches (banded kernels touch fewer than M*N).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+class AlignmentMode(enum.Enum):
+    """The three approximate-string-matching modes of Section 1.
+
+    - ``LOCAL`` -- Smith-Waterman: best-scoring subsequence pair; scores
+      clamp at zero.
+    - ``GLOBAL`` -- Needleman-Wunsch: end-to-end alignment of both
+      sequences.
+    - ``SEMI_GLOBAL`` -- overlap alignment: free leading/trailing gaps on
+      the target (read-to-reference extension).
+    """
+
+    LOCAL = "local"
+    GLOBAL = "global"
+    SEMI_GLOBAL = "semi-global"
+
+
+class TracebackOp(enum.Enum):
+    """Edit operations recovered by traceback."""
+
+    MATCH = "M"
+    MISMATCH = "X"
+    INSERTION = "I"
+    DELETION = "D"
+
+
+@dataclass
+class AlignmentResult:
+    """Outcome of a pairwise alignment.
+
+    ``score`` is the optimal score under the kernel's mode and scheme;
+    ``end`` is the DP-table coordinate where that score occurs;
+    ``cigar`` is the traceback as (op, run-length) pairs from the start
+    of the alignment; ``cells`` is the number of DP cells computed.
+    """
+
+    score: int
+    end: Tuple[int, int]
+    cigar: List[Tuple[TracebackOp, int]] = field(default_factory=list)
+    cells: int = 0
+
+    @property
+    def cigar_string(self) -> str:
+        """SAM-style CIGAR text, e.g. ``"5M1I3M"``."""
+        return "".join(f"{count}{op.value}" for op, count in self.cigar)
+
+    def aligned_lengths(self) -> Tuple[int, int]:
+        """(query bases, target bases) consumed by the alignment."""
+        query = sum(
+            count
+            for op, count in self.cigar
+            if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.INSERTION)
+        )
+        target = sum(
+            count
+            for op, count in self.cigar
+            if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.DELETION)
+        )
+        return query, target
+
+
+class CellCounter:
+    """Counts DP cell updates, the unit behind every CUPS number."""
+
+    def __init__(self) -> None:
+        self._count = 0
+
+    def add(self, cells: int = 1) -> None:
+        """Record *cells* more cell updates."""
+        if cells < 0:
+            raise ValueError("cell count must be non-negative")
+        self._count += cells
+
+    @property
+    def count(self) -> int:
+        """Total cell updates recorded so far."""
+        return self._count
+
+    def reset(self) -> None:
+        """Zero the counter."""
+        self._count = 0
+
+
+def compress_ops(ops: List[TracebackOp]) -> List[Tuple[TracebackOp, int]]:
+    """Run-length-encode a traceback op sequence into CIGAR pairs."""
+    cigar: List[Tuple[TracebackOp, int]] = []
+    for op in ops:
+        if cigar and cigar[-1][0] is op:
+            cigar[-1] = (op, cigar[-1][1] + 1)
+        else:
+            cigar.append((op, 1))
+    return cigar
+
+
+NEG_INF = float("-inf")
+
+
+def saturate(value: int, bits: int, signed: bool = True) -> int:
+    """Clamp *value* to the representable range of a *bits*-wide integer.
+
+    The 8-bit SIMD lanes of the accelerator (and BWA-MEM2's 8-bit kernels)
+    saturate rather than wrap on overflow; the reference BSW mirrors that
+    so simulator-vs-reference comparisons are exact.
+    """
+    if bits <= 0:
+        raise ValueError("bit width must be positive")
+    if signed:
+        low, high = -(1 << (bits - 1)), (1 << (bits - 1)) - 1
+    else:
+        low, high = 0, (1 << bits) - 1
+    return max(low, min(high, value))

@@ -1,0 +1,111 @@
+"""Fixed-point Chain scoring -- the arithmetic DPAx actually executes.
+
+The float chain cost of :mod:`repro.kernels.chain` uses ``0.01*w*dd``
+and ``0.5*log2(dd)`` terms; the integer datapath implements them in
+1/:data:`SCALE` units with the GenDP ``Log2 LUT`` operation
+(``log2(x) << 1``, Table 4):
+
+- ``match = min(dx, dy, w) * 400``
+- ``gap   = (4*w)*dd + 100 * log2_lut(dd)``  (exactly 0.01*w*dd*400 and
+  approximately 0.5*log2(dd)*400; the LUT truncation bounds the error
+  by 0.25 score units per pair)
+
+These semantics are bit-identical to :func:`repro.dfg.kernels.chain_dfg`
+(tests enforce it), so the mapped accelerator program, the DFG
+interpreter and this reference all agree exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.kernels.chain import Anchor, ChainResult, _check_sorted
+
+#: Fixed-point denominator for chain scores.
+SCALE = 400
+
+#: Rejected-pair sentinel (matches the DFG's neg_inf constant).
+REJECTED = -(1 << 30)
+
+
+def int_log2_x2(value: int) -> int:
+    """The GenDP ``Log2 LUT`` operation: ``log2(value) << 1``.
+
+    Two fraction bits of log2, truncated toward zero; non-positive
+    inputs return 0 (the hardware LUT's out-of-domain convention).
+    """
+    if value <= 0:
+        return 0
+    return int(math.log2(value) * 2.0)
+
+
+def pair_score_fixed(
+    prev: Anchor,
+    cur: Anchor,
+    max_distance: int = 5000,
+    max_diag_diff: int = 500,
+) -> int:
+    """Fixed-point chaining gain of appending *cur* after *prev*.
+
+    Returns the gain in 1/:data:`SCALE` units, or :data:`REJECTED` for
+    pairs the gates exclude -- the same gating the DFG implements with
+    CMP_GT operations.
+    """
+    dx = cur.x - prev.x
+    dy = cur.y - prev.y
+    if dx <= 0 or dy <= 0:
+        return REJECTED
+    if dx > max_distance or dy > max_distance:
+        return REJECTED
+    dd = abs(dx - dy)
+    if dd > max_diag_diff:
+        return REJECTED
+    match = min(dx, dy, cur.w) * SCALE
+    gap = (4 * cur.w) * dd + 100 * int_log2_x2(dd)
+    return match - gap
+
+
+def chain_reordered_fixed(
+    anchors: Sequence[Anchor],
+    n: int = 64,
+    max_distance: int = 5000,
+    max_diag_diff: int = 500,
+) -> ChainResult:
+    """Reordered chaining in fixed-point -- the accelerator's kernel.
+
+    Scores are in 1/:data:`SCALE` units; initial scores are
+    ``w * SCALE``.  Used to validate the DPAx simulator's Chain output
+    cell-for-cell.
+    """
+    _check_sorted(anchors)
+    count = len(anchors)
+    scores: List[int] = [anchor.w * SCALE for anchor in anchors]
+    parents = [-1] * count
+    cells = 0
+    for j in range(count):
+        hi = min(count, j + 1 + n)
+        for i in range(j + 1, hi):
+            cells += 1
+            gain = pair_score_fixed(
+                anchors[j], anchors[i], max_distance, max_diag_diff
+            )
+            if gain == REJECTED:
+                continue
+            candidate = scores[j] + gain
+            if candidate > scores[i]:
+                scores[i] = candidate
+                parents[i] = j
+    best = max(range(count), key=lambda k: scores[k]) if count else 0
+    return ChainResult(
+        scores=[float(s) for s in scores],
+        parents=parents,
+        best_index=best,
+        cells=cells,
+    )
+
+
+def fixed_to_float(score: int) -> float:
+    """Convert a fixed-point chain score to float units."""
+    return score / SCALE

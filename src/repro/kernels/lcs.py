@@ -1,0 +1,70 @@
+"""Longest common subsequence -- the paper's Section 2.2 warm-up kernel.
+
+LCS is the simplest 2D-table DP with a last-two-wavefront dependency
+pattern (Equation 1 / Figure 1 of the paper), which makes it the natural
+smoke test for the simulator's 2D dataflow and the examples' teaching
+kernel.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def lcs_table(x: str, y: str) -> List[List[int]]:
+    """Fill the full (len(x)+1) x (len(y)+1) LCS DP table.
+
+    Implements Equation 1 of the paper: ``c[i][j]`` is the LCS length of
+    prefixes ``x[:i]`` and ``y[:j]``; first row and column are zero.
+    """
+    rows, cols = len(x) + 1, len(y) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(1, rows):
+        for j in range(1, cols):
+            if x[i - 1] == y[j - 1]:
+                table[i][j] = table[i - 1][j - 1] + 1
+            else:
+                table[i][j] = max(table[i][j - 1], table[i - 1][j])
+    return table
+
+
+def lcs_length(x: str, y: str) -> int:
+    """Length of the longest common subsequence of *x* and *y*."""
+    return lcs_table(x, y)[len(x)][len(y)]
+
+
+def lcs_string(x: str, y: str) -> str:
+    """One longest common subsequence, recovered by traceback.
+
+    Traceback follows the orange chain of Figure 1: diagonal on match,
+    otherwise toward the larger neighbor (ties prefer the upper cell,
+    which is an arbitrary but deterministic choice).
+    """
+    table = lcs_table(x, y)
+    i, j = len(x), len(y)
+    chars: List[str] = []
+    while i > 0 and j > 0:
+        if x[i - 1] == y[j - 1]:
+            chars.append(x[i - 1])
+            i -= 1
+            j -= 1
+        elif table[i - 1][j] >= table[i][j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return "".join(reversed(chars))
+
+
+def lcs_wavefronts(x: str, y: str) -> List[List[Tuple[int, int]]]:
+    """Group DP cells into anti-diagonal wavefronts.
+
+    Cells on the same wavefront are independent and computed in parallel
+    by the systolic array (the green cells of Figure 2); this helper is
+    used by tests that check the simulator's wavefront schedule.
+    """
+    rows, cols = len(x), len(y)
+    fronts: List[List[Tuple[int, int]]] = [[] for _ in range(rows + cols - 1)] if rows and cols else []
+    for i in range(rows):
+        for j in range(cols):
+            fronts[i + j].append((i, j))
+    return fronts

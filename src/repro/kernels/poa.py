@@ -1,0 +1,348 @@
+"""Partial order alignment (POA) -- the assembly-polishing kernel.
+
+Figure 2c of the paper: reads are fused into a partial-order graph
+(a DAG whose nodes are bases and whose edge weights count supporting
+reads); each new read is aligned *to the graph* with an affine-gap DP
+whose rows are graph nodes in topological order.  A row may depend not
+just on the previous row but on any predecessor row -- the long-range
+graph dependencies that DPAx serves from per-PE scratchpad memory (and,
+beyond distance 128, from the host; Section 7.6.1).
+
+After all reads are fused, the consensus is the heaviest path through
+the graph (Racon's polishing step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.base import NEG_INF
+from repro.seq.scoring import AffineGap, ScoringScheme
+
+_STOP, _DIAG, _UP, _LEFT = 0, 1, 2, 3
+
+
+@dataclass
+class _Node:
+    """One base in the partial-order graph."""
+
+    base: str
+    predecessors: List[int] = field(default_factory=list)
+    successors: List[int] = field(default_factory=list)
+    #: Reads supporting this node (used for consensus tie-breaking).
+    support: int = 1
+
+
+class PartialOrderGraph:
+    """A partial-order (DAG) multiple-sequence-alignment graph.
+
+    Nodes are stored in topological order by construction: every edge
+    points from a lower index to a higher index.  ``align`` + ``fuse``
+    add sequences; ``consensus`` extracts the heaviest path.
+    """
+
+    def __init__(self, sequence: str):
+        if not sequence:
+            raise ValueError("POA graph must start from a non-empty sequence")
+        self.nodes: List[_Node] = []
+        self.edge_weights: Dict[Tuple[int, int], int] = {}
+        previous = None
+        for base in sequence:
+            index = self._add_node(base)
+            if previous is not None:
+                self._add_edge(previous, index)
+            previous = index
+        self.sequence_count = 1
+
+    def _add_node(self, base: str) -> int:
+        self.nodes.append(_Node(base=base))
+        return len(self.nodes) - 1
+
+    def _add_edge(self, src: int, dst: int) -> None:
+        if src == dst:
+            raise ValueError(f"self-edge on node {src}")
+        key = (src, dst)
+        if key in self.edge_weights:
+            self.edge_weights[key] += 1
+        else:
+            self.edge_weights[key] = 1
+            self.nodes[src].successors.append(dst)
+            self.nodes[dst].predecessors.append(src)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def topological_order(self) -> List[int]:
+        """Node indices in topological order (Kahn, lowest index first).
+
+        Fusing an aligned sequence can insert nodes whose indices are
+        larger than their successors' (a mismatch bubble), so creation
+        order is *not* topological; every DP over the graph iterates in
+        this order instead.  Raises :class:`ValueError` on a cycle,
+        which would indicate a fusion bug.
+        """
+        indegree = {i: len(node.predecessors) for i, node in enumerate(self.nodes)}
+        ready = sorted(i for i, degree in indegree.items() if degree == 0)
+        order: List[int] = []
+        while ready:
+            current = ready.pop(0)
+            order.append(current)
+            for successor in self.nodes[current].successors:
+                indegree[successor] -= 1
+                if indegree[successor] == 0:
+                    ready.append(successor)
+            ready.sort()
+        if len(order) != len(self.nodes):
+            raise ValueError("partial-order graph contains a cycle")
+        return order
+
+    def add_sequence(self, sequence: str, scheme: Optional[ScoringScheme] = None) -> None:
+        """Align *sequence* to the graph and fuse it in."""
+        alignment = align_to_graph(self, sequence, scheme)
+        self._fuse(sequence, alignment.pairs)
+        self.sequence_count += 1
+
+    def _fuse(self, sequence: str, pairs: List[Tuple[Optional[int], Optional[int]]]) -> None:
+        """Merge an aligned sequence into the graph.
+
+        *pairs* is a list of (node index | None, sequence index | None):
+        matched positions with equal bases reuse the node; everything
+        else (mismatch or insertion) creates a new node.  Consecutive
+        sequence positions are connected by (possibly new) edges.
+        """
+        previous: Optional[int] = None
+        for node_index, seq_index in pairs:
+            if seq_index is None:
+                continue  # deletion: sequence skips this graph node
+            base = sequence[seq_index]
+            if node_index is not None and self.nodes[node_index].base == base:
+                target = node_index
+                self.nodes[target].support += 1
+            else:
+                target = self._add_node(base)
+            if previous is not None and previous != target:
+                # Acyclic by construction: matched nodes follow a DAG
+                # path of the alignment, and new nodes are fresh.
+                self._add_edge(previous, target)
+            previous = target
+
+    def consensus(self) -> str:
+        """Heaviest-path consensus (Racon's polishing output).
+
+        Dynamic programming over nodes in topological order: the best
+        path ending at node v extends the best predecessor path through
+        the heaviest edge; node support breaks ties.
+        """
+        best_score = [0] * len(self.nodes)
+        best_pred: List[Optional[int]] = [None] * len(self.nodes)
+        for index in self.topological_order():
+            for pred in self.nodes[index].predecessors:
+                weight = self.edge_weights[(pred, index)]
+                candidate = best_score[pred] + weight
+                if candidate > best_score[index]:
+                    best_score[index] = candidate
+                    best_pred[index] = pred
+        if not self.nodes:
+            return ""
+        end = max(range(len(self.nodes)), key=lambda i: best_score[i])
+        path: List[int] = []
+        cursor: Optional[int] = end
+        while cursor is not None:
+            path.append(cursor)
+            cursor = best_pred[cursor]
+        path.reverse()
+        return "".join(self.nodes[i].base for i in path)
+
+    def max_dependency_distance(self) -> int:
+        """Largest topological gap between a node and a predecessor.
+
+        This is the 'long-range dependency distance' of Section 7.6.1:
+        distances <= 128 are served from PE scratchpads; larger ones go
+        to the host.
+        """
+        distances = self.dependency_distances()
+        return max(distances, default=0)
+
+    def dependency_distances(self) -> List[int]:
+        """All predecessor distances (in topological positions)."""
+        position = {node: i for i, node in enumerate(self.topological_order())}
+        return [
+            position[index] - position[pred]
+            for index, node in enumerate(self.nodes)
+            for pred in node.predecessors
+        ]
+
+
+@dataclass
+class GraphAlignment:
+    """Alignment of a sequence to a partial-order graph.
+
+    ``pairs`` traces the alignment as (node index | None, sequence index
+    | None) tuples; ``cells`` counts DP cells computed (nodes x bases).
+    """
+
+    score: int
+    pairs: List[Tuple[Optional[int], Optional[int]]]
+    cells: int
+
+
+def align_to_graph(
+    graph: PartialOrderGraph,
+    sequence: str,
+    scheme: Optional[ScoringScheme] = None,
+) -> GraphAlignment:
+    """Local affine-gap alignment of *sequence* against *graph*.
+
+    Rows are graph nodes in topological order; a row's vertical/diagonal
+    dependencies come from *all* predecessor rows (the orange long-range
+    arrows of Figure 2c).  Nodes without predecessors depend on the
+    virtual all-zero start row, as in local alignment.
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    if not isinstance(scheme.gap, AffineGap):
+        raise TypeError("align_to_graph requires an affine gap model")
+    if not sequence:
+        raise ValueError("cannot align an empty sequence")
+
+    gap = scheme.gap
+    open_cost, extend_cost = gap.open + gap.extend, gap.extend
+    node_count, cols = len(graph.nodes), len(sequence) + 1
+
+    h = [[0.0] * cols for _ in range(node_count)]
+    e = [[NEG_INF] * cols for _ in range(node_count)]
+    f = [[NEG_INF] * cols for _ in range(node_count)]
+    # pointer: (op, predecessor row or -1 for the virtual start row)
+    pointers: List[List[Tuple[int, int]]] = [
+        [(_STOP, -1)] * cols for _ in range(node_count)
+    ]
+
+    best_score, best_cell = 0.0, (-1, 0)
+    cells = 0
+    for row in graph.topological_order():
+        node = graph.nodes[row]
+        preds = node.predecessors
+        for j in range(1, cols):
+            e_value = max(h[row][j - 1] - open_cost, e[row][j - 1] - extend_cost)
+            diag_best, diag_pred = NEG_INF, -1
+            up_best, up_pred = NEG_INF, -1
+            if preds:
+                for pred in preds:
+                    if h[pred][j - 1] > diag_best:
+                        diag_best, diag_pred = h[pred][j - 1], pred
+                    vertical = max(h[pred][j] - open_cost, f[pred][j] - extend_cost)
+                    if vertical > up_best:
+                        up_best, up_pred = vertical, pred
+            else:
+                diag_best, diag_pred = 0.0, -1
+                up_best, up_pred = -open_cost, -1
+            match = diag_best + scheme.score(node.base, sequence[j - 1])
+            f_value = up_best
+            score = max(match, e_value, f_value, 0.0)
+            h[row][j], e[row][j], f[row][j] = score, e_value, f_value
+            cells += 1
+            if score == 0.0:
+                pointers[row][j] = (_STOP, -1)
+            elif score == match:
+                pointers[row][j] = (_DIAG, diag_pred)
+            elif score == f_value:
+                pointers[row][j] = (_UP, up_pred)
+            else:
+                pointers[row][j] = (_LEFT, row)
+            if score > best_score:
+                best_score, best_cell = score, (row, j)
+
+    pairs = _traceback_graph(pointers, best_cell, sequence)
+    return GraphAlignment(score=int(best_score), pairs=pairs, cells=cells)
+
+
+def _traceback_graph(
+    pointers: List[List[Tuple[int, int]]],
+    end: Tuple[int, int],
+    sequence: str,
+) -> List[Tuple[Optional[int], Optional[int]]]:
+    """Recover (node, sequence-position) pairs from graph DP pointers."""
+    pairs: List[Tuple[Optional[int], Optional[int]]] = []
+    row, j = end
+    if row < 0:
+        return pairs
+    while j > 0 and row >= 0:
+        op, pred = pointers[row][j]
+        if op == _STOP:
+            break
+        if op == _DIAG:
+            pairs.append((row, j - 1))
+            row, j = pred, j - 1
+        elif op == _UP:
+            pairs.append((row, None))
+            row = pred
+        else:
+            pairs.append((None, j - 1))
+            j -= 1
+        if row < 0:
+            break
+    # Unaligned sequence prefix/suffix enter as pure insertions so the
+    # graph retains every base of the read.
+    consumed = {seq_index for _, seq_index in pairs if seq_index is not None}
+    if consumed:
+        first, last = min(consumed), max(consumed)
+        for seq_index in range(first - 1, -1, -1):
+            pairs.append((None, seq_index))
+        pairs.reverse()
+        pairs.extend((None, seq_index) for seq_index in range(last + 1, len(sequence)))
+    else:
+        pairs = [(None, seq_index) for seq_index in range(len(sequence))]
+    return pairs
+
+
+def graph_dp_tables(
+    graph: PartialOrderGraph,
+    sequence: str,
+    scheme: Optional[ScoringScheme] = None,
+) -> Tuple[List[List[float]], List[List[float]], List[List[float]]]:
+    """The raw (H, E, F) matrices of :func:`align_to_graph`.
+
+    Exposed so the DPAx simulator's POA mapping can be validated
+    cell-for-cell against the reference recurrence.
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    gap = scheme.gap
+    if not isinstance(gap, AffineGap):
+        raise TypeError("graph_dp_tables requires an affine gap model")
+    open_cost, extend_cost = gap.open + gap.extend, gap.extend
+    node_count, cols = len(graph.nodes), len(sequence) + 1
+    h = [[0.0] * cols for _ in range(node_count)]
+    e = [[NEG_INF] * cols for _ in range(node_count)]
+    f = [[NEG_INF] * cols for _ in range(node_count)]
+    for row in graph.topological_order():
+        node = graph.nodes[row]
+        preds = node.predecessors
+        for j in range(1, cols):
+            e_value = max(h[row][j - 1] - open_cost, e[row][j - 1] - extend_cost)
+            if preds:
+                diag_best = max(h[pred][j - 1] for pred in preds)
+                up_best = max(
+                    max(h[pred][j] - open_cost, f[pred][j] - extend_cost)
+                    for pred in preds
+                )
+            else:
+                diag_best, up_best = 0.0, -float(open_cost)
+            match = diag_best + scheme.score(node.base, sequence[j - 1])
+            h[row][j] = max(match, e_value, up_best, 0.0)
+            e[row][j] = e_value
+            f[row][j] = up_best
+    return h, e, f
+
+
+def poa_consensus(
+    sequences: Sequence[str], scheme: Optional[ScoringScheme] = None
+) -> str:
+    """Build a POA graph from *sequences* and return its consensus."""
+    if not sequences:
+        raise ValueError("poa_consensus requires at least one sequence")
+    graph = PartialOrderGraph(sequences[0])
+    for sequence in sequences[1:]:
+        graph.add_sequence(sequence, scheme)
+    return graph.consensus()

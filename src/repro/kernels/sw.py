@@ -1,0 +1,230 @@
+"""The Smith-Waterman alignment family.
+
+Section 1 of the paper motivates a *programmable* DP accelerator by the
+breadth of this family: three modes (local = Smith-Waterman, global =
+Needleman-Wunsch, semi-global = overlap) crossed with three gap models
+(linear, affine, convex), each requiring a different objective function.
+This module implements all nine combinations in one reference kernel so
+tests can check the accelerator's programmability claims against a single
+oracle.
+
+Affine gaps use the Gotoh three-matrix recurrence (H/E/F) that Figure 2a
+of the paper shows; convex gaps use the exact O(n) lookback recurrence.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.kernels.base import (
+    NEG_INF,
+    AlignmentMode,
+    AlignmentResult,
+    TracebackOp,
+    compress_ops,
+)
+from repro.seq.scoring import AffineGap, ConvexGap, LinearGap, ScoringScheme
+
+# Traceback pointer codes (per-matrix source of each cell's value).
+_STOP = 0
+_DIAG = 1
+_UP = 2  # insertion: consumes a query base (moves along the query axis)
+_LEFT = 3  # deletion: consumes a target base
+
+
+def align(
+    query: str,
+    target: str,
+    scheme: Optional[ScoringScheme] = None,
+    mode: AlignmentMode = AlignmentMode.LOCAL,
+) -> AlignmentResult:
+    """Align *query* to *target* and return the optimal score + CIGAR.
+
+    Dispatches on the scheme's gap model: :class:`LinearGap` and
+    :class:`ConvexGap` use single-matrix recurrences; :class:`AffineGap`
+    uses Gotoh's three matrices.  All modes share the same traceback
+    machinery.
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    gap = scheme.gap
+    if isinstance(gap, AffineGap):
+        return _align_affine(query, target, scheme, mode)
+    if isinstance(gap, LinearGap):
+        return _align_lookback(query, target, scheme, mode, max_lookback=1)
+    if isinstance(gap, ConvexGap):
+        return _align_lookback(query, target, scheme, mode, max_lookback=None)
+    raise TypeError(f"unsupported gap model: {type(gap).__name__}")
+
+
+def _initial_row_col(
+    mode: AlignmentMode, rows: int, cols: int, scheme: ScoringScheme
+) -> Tuple[List[List[float]], List[List[int]]]:
+    """Build the H matrix and pointer matrix with boundary conditions.
+
+    - LOCAL: all boundaries zero.
+    - GLOBAL: boundaries pay the gap penalty of their offset.
+    - SEMI_GLOBAL: leading gaps on the *target* are free (first row
+      zero), leading gaps on the query are charged.
+    """
+    h = [[0.0] * cols for _ in range(rows)]
+    pointers = [[_STOP] * cols for _ in range(rows)]
+    if mode is AlignmentMode.LOCAL:
+        return h, pointers
+    for i in range(1, rows):
+        h[i][0] = -scheme.gap_penalty(i)
+        pointers[i][0] = _UP
+    if mode is AlignmentMode.GLOBAL:
+        for j in range(1, cols):
+            h[0][j] = -scheme.gap_penalty(j)
+            pointers[0][j] = _LEFT
+    return h, pointers
+
+
+def _align_affine(
+    query: str, target: str, scheme: ScoringScheme, mode: AlignmentMode
+) -> AlignmentResult:
+    """Gotoh affine-gap alignment with full traceback."""
+    gap = scheme.gap
+    assert isinstance(gap, AffineGap)
+    open_cost, extend_cost = gap.open + gap.extend, gap.extend
+    rows, cols = len(query) + 1, len(target) + 1
+
+    h, pointers = _initial_row_col(mode, rows, cols, scheme)
+    e = [[NEG_INF] * cols for _ in range(rows)]  # gap-in-query (insertion) state
+    f = [[NEG_INF] * cols for _ in range(rows)]  # gap-in-target (deletion) state
+
+    local = mode is AlignmentMode.LOCAL
+    best_score, best_end = (0.0, (0, 0)) if local else (NEG_INF, (0, 0))
+    cells = 0
+    for i in range(1, rows):
+        for j in range(1, cols):
+            e[i][j] = max(h[i][j - 1] - open_cost, e[i][j - 1] - extend_cost)
+            f[i][j] = max(h[i - 1][j] - open_cost, f[i - 1][j] - extend_cost)
+            diag = h[i - 1][j - 1] + scheme.score(query[i - 1], target[j - 1])
+            score = max(diag, e[i][j], f[i][j])
+            if local:
+                score = max(score, 0.0)
+            h[i][j] = score
+            cells += 1
+            if score == diag:
+                pointers[i][j] = _DIAG
+            elif score == f[i][j]:
+                pointers[i][j] = _UP
+            elif score == e[i][j]:
+                pointers[i][j] = _LEFT
+            else:
+                pointers[i][j] = _STOP
+            if local and score > best_score:
+                best_score, best_end = score, (i, j)
+
+    if not local:
+        best_score, best_end = _select_endpoint(h, mode, rows, cols)
+    cigar = _traceback(pointers, h, best_end, local)
+    return AlignmentResult(
+        score=int(best_score), end=best_end, cigar=cigar, cells=cells
+    )
+
+
+def _align_lookback(
+    query: str,
+    target: str,
+    scheme: ScoringScheme,
+    mode: AlignmentMode,
+    max_lookback: Optional[int],
+) -> AlignmentResult:
+    """Single-matrix alignment with explicit gap-length lookback.
+
+    ``max_lookback=1`` gives linear gaps in O(MN); ``None`` evaluates all
+    gap lengths, which is the exact (cubic) convex-gap recurrence.  Only
+    small inputs should use the convex path; the chaining kernel is the
+    production consumer of convex costs.
+    """
+    rows, cols = len(query) + 1, len(target) + 1
+    h, pointers = _initial_row_col(mode, rows, cols, scheme)
+    gap_runs = [[1] * cols for _ in range(rows)]
+
+    local = mode is AlignmentMode.LOCAL
+    best_score, best_end = (0.0, (0, 0)) if local else (NEG_INF, (0, 0))
+    cells = 0
+    for i in range(1, rows):
+        for j in range(1, cols):
+            diag = h[i - 1][j - 1] + scheme.score(query[i - 1], target[j - 1])
+            score, pointer, run = diag, _DIAG, 1
+            up_limit = i if max_lookback is None else min(i, max_lookback)
+            for length in range(1, up_limit + 1):
+                candidate = h[i - length][j] - scheme.gap_penalty(length)
+                if candidate > score:
+                    score, pointer, run = candidate, _UP, length
+            left_limit = j if max_lookback is None else min(j, max_lookback)
+            for length in range(1, left_limit + 1):
+                candidate = h[i][j - length] - scheme.gap_penalty(length)
+                if candidate > score:
+                    score, pointer, run = candidate, _LEFT, length
+            if local and score < 0:
+                score, pointer, run = 0.0, _STOP, 1
+            h[i][j] = score
+            pointers[i][j] = pointer
+            gap_runs[i][j] = run
+            cells += 1
+            if local and score > best_score:
+                best_score, best_end = score, (i, j)
+
+    if not local:
+        best_score, best_end = _select_endpoint(h, mode, rows, cols)
+    cigar = _traceback(pointers, h, best_end, local, gap_runs)
+    return AlignmentResult(
+        score=int(best_score), end=best_end, cigar=cigar, cells=cells
+    )
+
+
+def _select_endpoint(
+    h: List[List[float]], mode: AlignmentMode, rows: int, cols: int
+) -> Tuple[float, Tuple[int, int]]:
+    """Pick the alignment endpoint for non-local modes.
+
+    GLOBAL ends at the bottom-right corner; SEMI_GLOBAL takes the best
+    cell of the last row (free trailing target gap) or last column.
+    """
+    if mode is AlignmentMode.GLOBAL:
+        return h[rows - 1][cols - 1], (rows - 1, cols - 1)
+    best_score, best_end = NEG_INF, (rows - 1, cols - 1)
+    for j in range(cols):
+        if h[rows - 1][j] > best_score:
+            best_score, best_end = h[rows - 1][j], (rows - 1, j)
+    for i in range(rows):
+        if h[i][cols - 1] > best_score:
+            best_score, best_end = h[i][cols - 1], (i, cols - 1)
+    return best_score, best_end
+
+
+def _traceback(
+    pointers: List[List[int]],
+    h: List[List[float]],
+    end: Tuple[int, int],
+    local: bool,
+    gap_runs: Optional[List[List[int]]] = None,
+) -> List[Tuple[TracebackOp, int]]:
+    """Walk pointers from *end* back to the alignment start."""
+    ops: List[TracebackOp] = []
+    i, j = end
+    while i > 0 or j > 0:
+        pointer = pointers[i][j]
+        if pointer == _STOP or (local and h[i][j] == 0):
+            break
+        if pointer == _DIAG:
+            ops.append(TracebackOp.MATCH)
+            i -= 1
+            j -= 1
+        elif pointer == _UP:
+            # Query bases unmatched by the target: insertions (SAM I).
+            run = gap_runs[i][j] if gap_runs else 1
+            ops.extend([TracebackOp.INSERTION] * run)
+            i -= run
+        else:
+            # Target bases skipped by the query: deletions (SAM D).
+            run = gap_runs[i][j] if gap_runs else 1
+            ops.extend([TracebackOp.DELETION] * run)
+            j -= run
+    ops.reverse()
+    return compress_ops(ops)

@@ -1,0 +1,50 @@
+"""Inter-cell dependency-pattern support: control-program generators.
+
+Section 3.1's three dependency patterns, each with a generator that
+emits real GenDP control programs (Table 3 instructions) for the DPAx
+simulator:
+
+- :mod:`repro.mapping.wavefront2d` -- 2D DP tables (BSW, PairHMM, LCS,
+  DTW): rows statically mapped to PEs, query streamed through, FIFO
+  carrying row groups between passes (Figure 5a/b).
+- :mod:`repro.mapping.sliding1d` -- 1D DP tables (Chain): anchor states
+  march through a long PE chain while predecessor broadcasts follow
+  from the FIFO (Figure 5c/d).
+- :mod:`repro.mapping.longrange` -- graph-structured kernels (POA,
+  Bellman-Ford): scratchpad-resident state with indirect addressing
+  for data-dependent long-range dependencies.
+
+The paper generates control programs by hand (Section 4.4); these
+generators automate the same patterns so every kernel's program is
+derived from its compiled cell program plus a dataflow spec.
+"""
+
+from repro.mapping.builder import ControlBuilder
+from repro.mapping.wavefront2d import Wavefront2DSpec, build_wavefront_programs, run_wavefront
+from repro.mapping.kernels2d import (
+    bsw_wavefront_spec,
+    dtw_wavefront_spec,
+    lcs_wavefront_spec,
+    pairhmm_wavefront_spec,
+)
+from repro.mapping.sliding1d import build_chain_programs, run_chain
+from repro.mapping.longrange import run_poa_row_dp, run_bellman_ford
+from repro.mapping.poa_parallel import run_poa_parallel
+from repro.mapping.simd import run_bsw_simd
+
+__all__ = [
+    "ControlBuilder",
+    "Wavefront2DSpec",
+    "build_wavefront_programs",
+    "run_wavefront",
+    "bsw_wavefront_spec",
+    "dtw_wavefront_spec",
+    "lcs_wavefront_spec",
+    "pairhmm_wavefront_spec",
+    "build_chain_programs",
+    "run_chain",
+    "run_poa_row_dp",
+    "run_bellman_ford",
+    "run_poa_parallel",
+    "run_bsw_simd",
+]

@@ -1,0 +1,89 @@
+"""Label-aware control-program builder.
+
+Control programs use relative branch offsets (Table 3); hand-computing
+them is the classic off-by-one trap, so generators emit through this
+builder: branches target named labels and offsets are resolved at
+``finish()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.isa.control import (
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    add,
+    addi,
+    halt,
+    li,
+    mv,
+    noop,
+    set_unit,
+)
+
+
+class ControlBuilder:
+    """Accumulates control instructions with symbolic branch targets."""
+
+    def __init__(self) -> None:
+        self._instructions: List[ControlInstruction] = []
+        self._labels: Dict[str, int] = {}
+        self._fixups: List[Tuple[int, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def emit(self, instruction: ControlInstruction) -> None:
+        self._instructions.append(instruction)
+
+    # Convenience wrappers -------------------------------------------------
+
+    def mv(self, dest: Loc, src: Loc) -> None:
+        self.emit(mv(dest, src))
+
+    def li(self, dest: Loc, imm: int) -> None:
+        self.emit(li(dest, imm))
+
+    def add(self, rd: int, rs1: int, rs2: int) -> None:
+        self.emit(add(rd, rs1, rs2))
+
+    def addi(self, rd: int, rs1: int, imm: int) -> None:
+        self.emit(addi(rd, rs1, imm))
+
+    def set_unit(self, target: int, count: int) -> None:
+        self.emit(set_unit(target, count))
+
+    def noop(self) -> None:
+        self.emit(noop())
+
+    def halt(self) -> None:
+        self.emit(halt())
+
+    # Labels and branches --------------------------------------------------
+
+    def label(self, name: str) -> None:
+        """Bind *name* to the next instruction's address."""
+        if name in self._labels:
+            raise ValueError(f"label {name!r} already bound")
+        self._labels[name] = len(self._instructions)
+
+    def branch(self, op: ControlOp, rs1: int, rs2: int, label: str) -> None:
+        """Emit a branch whose offset resolves to *label* at finish."""
+        self._fixups.append((len(self._instructions), label))
+        self.emit(ControlInstruction(op, rs1=rs1, rs2=rs2, offset=0))
+
+    def finish(self) -> List[ControlInstruction]:
+        """Resolve branch offsets and return the instruction list."""
+        resolved = list(self._instructions)
+        for position, label in self._fixups:
+            if label not in self._labels:
+                raise ValueError(f"undefined label {label!r}")
+            offset = self._labels[label] - position
+            original = resolved[position]
+            resolved[position] = ControlInstruction(
+                original.op, rs1=original.rs1, rs2=original.rs2, offset=offset
+            )
+        return resolved

@@ -1,0 +1,184 @@
+"""SIMD (4 x 8-bit lane) execution of BSW -- Section 4.2's DLP mode.
+
+"Each compute unit can either execute operations on 32-bit or four
+concurrent 8-bit groups of operands as a SIMD unit ... e.g. BSW, where
+four DP tables are mapped to four SIMD lanes."
+
+Four independent seed-extension problems share one systolic program:
+the four queries pack lane-wise into the streamed words, the four
+targets into the static words, and every compute operation runs
+saturating int8 arithmetic per lane.  The control program is identical
+to the scalar one -- the whole point of the packing -- so this module
+only provides the packed spec (8-bit boundary constants), the packing
+helpers, and a batch runner that unpacks four best-scores per run.
+
+Lane arithmetic saturates at the int8 rails like BWA-MEM2's 8-bit
+kernel, so lane scores are exact for alignments scoring within +-127
+and clamp beyond (tests cover both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dfg.graph import Opcode
+from repro.dfg.kernels import bsw_dfg
+from repro.dpax.pe import pack_lanes_n, sat_lane, unpack_lanes_n
+from repro.kernels.base import AlignmentMode
+from repro.mapping.wavefront2d import Wavefront2DSpec, run_wavefront
+from repro.seq.alphabet import encode
+from repro.seq.scoring import AffineGap, ScoringScheme
+
+#: The 8-bit "minus infinity": the int8 floor, as in BWA-MEM2.
+NEG8 = -128
+
+#: Default lanes per packed word (the 8-bit mode).
+LANES = 4
+
+
+def lane_floor(lanes: int) -> int:
+    """The saturating "minus infinity" of one lane (int8/int16 floor)."""
+    return -(1 << (32 // lanes - 1))
+
+
+def pack_words(
+    lane_values: Sequence[Sequence[int]], lanes: int = LANES
+) -> List[int]:
+    """Pack per-lane integer sequences into packed 32-bit words.
+
+    ``lane_values`` holds one sequence per lane, all the same length;
+    word *i* carries element *i* of every lane.
+    """
+    if len(lane_values) != lanes:
+        raise ValueError(f"need exactly {lanes} lanes")
+    lengths = {len(values) for values in lane_values}
+    if len(lengths) != 1:
+        raise ValueError("all lanes must have the same length")
+    return [
+        pack_lanes_n([lane_values[lane][index] for lane in range(lanes)], lanes)
+        for index in range(next(iter(lengths)))
+    ]
+
+
+def bsw_simd_spec(
+    scheme: Optional[ScoringScheme] = None, lanes: int = LANES
+) -> Wavefront2DSpec:
+    """The BSW wavefront spec with packed lane boundary constants.
+
+    Identical dataflow roles to the scalar spec; only the boundary
+    values change (the lane floor instead of the 32-bit one) and the
+    accumulator initializes every lane to zero.  ``lanes`` is 4 for
+    the 8-bit mode (Section 4.2) or 2 for the 16-bit mode (7.6.4).
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    gap = scheme.gap
+    if not isinstance(gap, AffineGap):
+        raise TypeError("the BSW systolic kernel is affine-gap only")
+    substitution = scheme.substitution
+    floor = lane_floor(lanes)
+    if not floor <= substitution.mismatch <= substitution.match <= -floor - 1:
+        raise ValueError("substitution scores must fit the lane width")
+
+    def match_table(a: int, b: int) -> int:
+        return substitution.match if a == b else substitution.mismatch
+
+    packed_zero = 0
+    packed_neg = pack_lanes_n([floor] * lanes, lanes)
+    return Wavefront2DSpec(
+        name="bsw_simd",
+        dfg=bsw_dfg(gap_open=gap.open, gap_extend=gap.extend),
+        stream_input="q",
+        static_input="t",
+        recv=[("h_left", "h"), ("f_left", "f")],
+        delayed={"h_diag": "h_left"},
+        own={"h_up": "h", "e_up": "e"},
+        boundary_row={"h": packed_zero, "e": packed_neg, "f": packed_neg},
+        first_column={"h": packed_zero, "f": packed_neg},
+        first_corner={"h": packed_zero, "f": packed_neg},
+        epilogue=["hmax"],
+        accumulators=[("hmax", Opcode.MAX, "h")],
+        accumulator_init={"hmax": packed_zero},
+        match_table=match_table,
+    )
+
+
+@dataclass
+class SIMDBatchResult:
+    """Outcome of one packed multi-lane BSW run."""
+
+    scores: List[int]  # one best local score per lane
+    cycles: int
+    cells_per_lane: int
+    lanes: int = LANES
+
+    @property
+    def total_cells(self) -> int:
+        return self.cells_per_lane * self.lanes
+
+    @property
+    def cycles_per_cell(self) -> float:
+        return self.cycles / self.total_cells if self.total_cells else 0.0
+
+
+def run_bsw_simd(
+    pairs: Sequence[Tuple[str, str]],
+    scheme: Optional[ScoringScheme] = None,
+    pe_count: int = 4,
+    lanes: int = LANES,
+) -> SIMDBatchResult:
+    """Align up to *lanes* (query, target) DNA pairs in one SIMD pass.
+
+    All pairs must share the same query length and target length (the
+    lanes execute one common control program); shorter batches are
+    padded by repeating the first pair, and only the requested lanes'
+    scores are returned.  ``lanes=4`` runs the 8-bit mode, ``lanes=2``
+    the 16-bit mode.
+    """
+    if lanes not in (2, 4):
+        raise ValueError("SIMD runs use 2 or 4 lanes")
+    if not 1 <= len(pairs) <= lanes:
+        raise ValueError(f"a SIMD batch carries 1..{lanes} pairs")
+    query_lengths = {len(q) for q, _ in pairs}
+    target_lengths = {len(t) for _, t in pairs}
+    if len(query_lengths) != 1 or len(target_lengths) != 1:
+        raise ValueError("all lanes must share query and target lengths")
+
+    padded = list(pairs) + [pairs[0]] * (lanes - len(pairs))
+    stream = pack_words([encode(q) for q, _ in padded], lanes)
+    target = pack_words([encode(t) for _, t in padded], lanes)
+
+    spec = bsw_simd_spec(scheme, lanes)
+    run = run_wavefront(
+        spec, target=target, stream=stream, pe_count=pe_count, simd_lanes=lanes
+    )
+    if not run.finished:
+        raise RuntimeError("SIMD BSW simulation did not finish")
+
+    best = [lane_floor(lanes)] * lanes
+    for packed in run.epilogue_series("hmax"):
+        for lane, value in enumerate(unpack_lanes_n(packed, lanes)):
+            if value > best[lane]:
+                best[lane] = value
+    return SIMDBatchResult(
+        scores=best[: len(pairs)],
+        cycles=run.cycles,
+        cells_per_lane=run.cells,
+        lanes=lanes,
+    )
+
+
+def reference_lane_score(
+    query: str, target: str, scheme=None, lanes: int = LANES
+) -> int:
+    """The saturating reference score for one lane.
+
+    Local alignment scores are non-negative and lanes saturate at the
+    int8/int16 ceiling, so the reference is the clamped local score.
+    """
+    from repro.kernels.sw import align
+
+    return sat_lane(
+        align(query, target, scheme, AlignmentMode.LOCAL).score, 32 // lanes
+    )

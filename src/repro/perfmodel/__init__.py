@@ -1,0 +1,31 @@
+"""GenDP throughput model: simulator cycles -> MCUPS/mm^2 and MCUPS/W.
+
+The cycle-level simulator measures cycles per cell update on small
+inputs; this package projects those measurements to full workloads the
+way the paper's evaluation does (Section 6/7):
+
+- array-level parallelism (64 integer PEs / 16 arrays per tile) and
+  SIMD lanes (4 x 8-bit for BSW);
+- host-CPU fractions for the work DPAx does not run (PairHMM's 2.3%
+  re-computation, POA's 2.4% ultra-long dependencies);
+- Chain's 3.72x reordered-work normalization;
+- process-scaled area (28nm -> 7nm) and tile power for the normalized
+  metrics;
+- the DRAM bandwidth ceiling for the Table 12 multi-tile scaling.
+"""
+
+from repro.perfmodel.throughput import (
+    GenDPPerfModel,
+    KernelThroughput,
+    DEFAULT_CYCLES_PER_CELL,
+    measure_cycles_per_cell,
+)
+from repro.perfmodel.scaling import tile_scaling_study
+
+__all__ = [
+    "GenDPPerfModel",
+    "KernelThroughput",
+    "DEFAULT_CYCLES_PER_CELL",
+    "measure_cycles_per_cell",
+    "tile_scaling_study",
+]

@@ -1,0 +1,98 @@
+"""Multi-array task scheduling: deploying 2D kernels across the tile.
+
+2D kernels parallelize across *tasks*: each of the 16 integer PE
+arrays runs one read-pair at a time (Section 3.1's deployment; the 1D
+Chain kernel instead concatenates the arrays).  Real workloads have
+skewed task sizes -- seed extensions vary with read placement, POA
+groups with coverage -- so the tile's utilization depends on how tasks
+are packed onto arrays.
+
+This module models that packing: longest-processing-time (LPT) greedy
+assignment of per-task cell counts onto arrays, makespan and balance
+metrics, and the efficiency the perf model's "64 PEs busy" assumption
+actually achieves on generated workloads
+(``benchmarks/test_ablation_scheduling.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+#: Integer PE arrays available for task-parallel kernels.
+DEFAULT_ARRAYS = 16
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of packing one batch of tasks onto the arrays."""
+
+    assignments: List[List[int]]  # task indices per array
+    array_loads: List[float]  # total cells per array
+
+    @property
+    def makespan(self) -> float:
+        return max(self.array_loads) if self.array_loads else 0.0
+
+    @property
+    def total_work(self) -> float:
+        return sum(self.array_loads)
+
+    @property
+    def balance_efficiency(self) -> float:
+        """Mean load / max load: 1.0 = perfectly balanced arrays."""
+        if not self.array_loads or self.makespan == 0:
+            return 1.0
+        return (self.total_work / len(self.array_loads)) / self.makespan
+
+
+def schedule_lpt(
+    task_cells: Sequence[float], arrays: int = DEFAULT_ARRAYS
+) -> ScheduleResult:
+    """Longest-processing-time greedy packing.
+
+    Sort tasks by size descending, always assign to the least-loaded
+    array -- the classic 4/3-approximation, and what a simple hardware
+    task queue achieves in practice.
+    """
+    if arrays <= 0:
+        raise ValueError("need at least one array")
+    if any(cells < 0 for cells in task_cells):
+        raise ValueError("task sizes must be non-negative")
+    order = sorted(range(len(task_cells)), key=lambda i: -task_cells[i])
+    assignments: List[List[int]] = [[] for _ in range(arrays)]
+    loads = [0.0] * arrays
+    for task in order:
+        target = min(range(arrays), key=lambda a: loads[a])
+        assignments[target].append(task)
+        loads[target] += task_cells[task]
+    return ScheduleResult(assignments=assignments, array_loads=loads)
+
+
+def schedule_fifo(
+    task_cells: Sequence[float], arrays: int = DEFAULT_ARRAYS
+) -> ScheduleResult:
+    """Arrival-order packing (the no-sorting baseline)."""
+    if arrays <= 0:
+        raise ValueError("need at least one array")
+    assignments: List[List[int]] = [[] for _ in range(arrays)]
+    loads = [0.0] * arrays
+    for task, cells in enumerate(task_cells):
+        target = min(range(arrays), key=lambda a: loads[a])
+        assignments[target].append(task)
+        loads[target] += cells
+    return ScheduleResult(assignments=assignments, array_loads=loads)
+
+
+def tile_throughput_efficiency(
+    task_cells: Sequence[float], arrays: int = DEFAULT_ARRAYS
+) -> float:
+    """The fraction of the tile's peak the batch actually sustains.
+
+    The perf model assumes all arrays busy; a skewed batch with a
+    straggler array sustains less.  This is the correction factor
+    between per-array MCUPS and realized tile MCUPS.
+    """
+    if not task_cells:
+        raise ValueError("need at least one task")
+    return schedule_lpt(task_cells, arrays).balance_efficiency

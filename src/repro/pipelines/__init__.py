@@ -1,0 +1,37 @@
+"""The three genome-analysis pipelines of Section 2.1, end to end.
+
+The paper motivates GenDP with the pipelines its kernels come from;
+this package assembles those pipelines out of the kernels so the
+examples and tests exercise realistic multi-kernel flows:
+
+- :mod:`repro.pipelines.seeding` -- exact k-mer seeding, the non-DP
+  substrate every pipeline starts from (GenDP accelerates what comes
+  *after* seeding).
+- :mod:`repro.pipelines.reference_guided` -- read mapping (seed ->
+  chain -> extend) and small-variant calling (pileup + PairHMM
+  genotyping): the BSW + PairHMM pipeline.
+- :mod:`repro.pipelines.denovo` -- all-vs-all overlap (seed -> chain),
+  greedy layout and POA polishing: the Chain + POA pipeline.
+- :mod:`repro.pipelines.metagenomics` -- read classification against a
+  pan-genome and abundance estimation: the Chain pipeline's third use.
+"""
+
+from repro.pipelines.seeding import KmerIndex, seed_anchors
+from repro.pipelines.reference_guided import (
+    ReadMapping,
+    ReferenceGuidedPipeline,
+    Variant,
+)
+from repro.pipelines.denovo import DenovoAssembler, Overlap
+from repro.pipelines.metagenomics import MetagenomicsClassifier
+
+__all__ = [
+    "KmerIndex",
+    "seed_anchors",
+    "ReadMapping",
+    "ReferenceGuidedPipeline",
+    "Variant",
+    "DenovoAssembler",
+    "Overlap",
+    "MetagenomicsClassifier",
+]

@@ -1,0 +1,221 @@
+"""Reference-guided analysis: read mapping + small-variant calling.
+
+The short-read pipeline of Section 2.1 assembled from this
+repository's kernels:
+
+1. **seed** -- exact k-mer anchors against the reference index;
+2. **chain** -- group collinear anchors (the Chain kernel) to place
+   the read;
+3. **extend** -- global affine alignment of the read against its
+   reference window (the BSW kernel's semantics) for the CIGAR;
+4. **pileup + genotype** -- candidate variants from the alignment
+   pileup, each scored read-vs-haplotype with the PairHMM kernel, as
+   GATK's HaplotypeCaller does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.kernels.base import AlignmentMode, TracebackOp
+from repro.kernels.chain import chain_original
+from repro.kernels.pairhmm import pairhmm_forward
+from repro.kernels.sw import align
+from repro.pipelines.seeding import KmerIndex, seed_anchors
+from repro.seq.scoring import ScoringScheme
+
+
+@dataclass
+class ReadMapping:
+    """A placed read: reference position, score and alignment."""
+
+    read_name: str
+    position: int
+    score: int
+    cigar: List[Tuple[TracebackOp, int]]
+    sequence: str
+
+    @property
+    def reference_span(self) -> int:
+        return sum(
+            count
+            for op, count in self.cigar
+            if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.DELETION)
+        )
+
+
+@dataclass
+class Variant:
+    """A called small variant with its genotyping evidence."""
+
+    position: int
+    reference_base: str
+    alternate_base: str
+    support: int
+    depth: int
+    #: log10 likelihood ratio alt-haplotype vs reference-haplotype.
+    likelihood_ratio: float
+
+    @property
+    def allele_fraction(self) -> float:
+        return self.support / self.depth if self.depth else 0.0
+
+
+class ReferenceGuidedPipeline:
+    """Map reads to a reference and call SNVs."""
+
+    def __init__(
+        self,
+        reference: str,
+        k: int = 11,
+        chain_window: int = 25,
+        scheme: Optional[ScoringScheme] = None,
+        flank: int = 12,
+    ):
+        if not reference:
+            raise ValueError("reference must be non-empty")
+        self.reference = reference
+        self.index = KmerIndex(reference, k=k)
+        self.chain_window = chain_window
+        self.scheme = scheme or ScoringScheme()
+        self.flank = flank
+
+    # ------------------------------------------------------------------
+    # mapping
+
+    def map_read(self, sequence: str, name: str = "") -> Optional[ReadMapping]:
+        """Seed -> chain -> extend one read; None if unplaceable."""
+        anchors = seed_anchors(self.index, sequence)
+        if not anchors:
+            return None
+        chained = chain_original(anchors, n=self.chain_window)
+        chain = chained.backtrack()
+        first = anchors[chain[0]]
+        # The chain's first anchor implies the read's reference start.
+        start = max(0, first.x - first.y - self.flank // 2)
+        end = min(len(self.reference), start + len(sequence) + self.flank)
+        window = self.reference[start:end]
+        result = align(sequence, window, self.scheme, AlignmentMode.SEMI_GLOBAL)
+        # Recover the alignment's start column within the window.
+        consumed_t = sum(
+            count
+            for op, count in result.cigar
+            if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.DELETION)
+        )
+        position = start + result.end[1] - consumed_t
+        return ReadMapping(
+            read_name=name,
+            position=position,
+            score=result.score,
+            cigar=result.cigar,
+            sequence=sequence,
+        )
+
+    def map_all(self, reads: Sequence[Tuple[str, str]]) -> List[ReadMapping]:
+        """Map (name, sequence) pairs; unplaceable reads are dropped."""
+        mappings = []
+        for name, sequence in reads:
+            mapping = self.map_read(sequence, name)
+            if mapping is not None:
+                mappings.append(mapping)
+        return mappings
+
+    # ------------------------------------------------------------------
+    # variant calling
+
+    def pileup(self, mappings: Sequence[ReadMapping]) -> Dict[int, Counter]:
+        """Per-reference-position base counts from the alignments."""
+        columns: Dict[int, Counter] = defaultdict(Counter)
+        for mapping in mappings:
+            ref_pos, read_pos = mapping.position, 0
+            for op, count in mapping.cigar:
+                if op in (TracebackOp.MATCH, TracebackOp.MISMATCH):
+                    for offset in range(count):
+                        if ref_pos + offset < len(self.reference):
+                            columns[ref_pos + offset][
+                                mapping.sequence[read_pos + offset]
+                            ] += 1
+                    ref_pos += count
+                    read_pos += count
+                elif op is TracebackOp.INSERTION:
+                    read_pos += count
+                elif op is TracebackOp.DELETION:
+                    ref_pos += count
+        return columns
+
+    def call_variants(
+        self,
+        mappings: Sequence[ReadMapping],
+        min_depth: int = 4,
+        min_fraction: float = 0.3,
+        haplotype_flank: int = 10,
+    ) -> List[Variant]:
+        """Pileup candidates, then PairHMM genotyping per candidate.
+
+        A candidate SNV becomes a call when the PairHMM likelihood of
+        the overlapping reads under the alternate haplotype beats the
+        reference haplotype (positive log10 ratio) -- GATK's decision
+        in miniature.
+        """
+        columns = self.pileup(mappings)
+        variants: List[Variant] = []
+        for position in sorted(columns):
+            counts = columns[position]
+            depth = sum(counts.values())
+            if depth < min_depth:
+                continue
+            reference_base = self.reference[position]
+            alternate_base, support = max(
+                ((base, n) for base, n in counts.items() if base != reference_base),
+                key=lambda item: item[1],
+                default=(None, 0),
+            )
+            if alternate_base is None or support / depth < min_fraction:
+                continue
+            ratio = self._genotype(
+                mappings, position, reference_base, alternate_base, haplotype_flank
+            )
+            if ratio <= 0:
+                continue
+            variants.append(
+                Variant(
+                    position=position,
+                    reference_base=reference_base,
+                    alternate_base=alternate_base,
+                    support=support,
+                    depth=depth,
+                    likelihood_ratio=ratio,
+                )
+            )
+        return variants
+
+    def _genotype(
+        self,
+        mappings: Sequence[ReadMapping],
+        position: int,
+        reference_base: str,
+        alternate_base: str,
+        flank: int,
+    ) -> float:
+        """PairHMM log10 likelihood ratio, alt vs ref haplotype."""
+        lo = max(0, position - flank)
+        hi = min(len(self.reference), position + flank + 1)
+        ref_hap = self.reference[lo:hi]
+        alt_hap = (
+            ref_hap[: position - lo] + alternate_base + ref_hap[position - lo + 1 :]
+        )
+        ratio = 0.0
+        for mapping in mappings:
+            if not (mapping.position <= position < mapping.position + mapping.reference_span):
+                continue
+            # The read fragment overlapping the haplotype window.
+            offset = lo - mapping.position
+            fragment = mapping.sequence[max(0, offset) : max(0, offset) + (hi - lo)]
+            if len(fragment) < 4:
+                continue
+            ratio += pairhmm_forward(fragment, alt_hap) - pairhmm_forward(
+                fragment, ref_hap
+            )
+        return ratio

@@ -1,0 +1,69 @@
+"""Exact k-mer seeding: the substrate in front of every DP kernel.
+
+Real pipelines (BWA-MEM2, minimap2) find exact seed matches first and
+spend their DP time extending/chaining them; GenDP accelerates the DP
+part, so this reproduction needs a seeding stage to feed its pipelines
+realistic anchors.  A hash index of reference k-mers suffices at this
+scale (BWA's FM-index and minimap2's minimizers are performance
+refinements of the same contract: k-mer -> positions).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.kernels.chain import Anchor
+
+
+class KmerIndex:
+    """A hash index from every reference k-mer to its positions.
+
+    ``max_occurrences`` drops over-represented (repeat) k-mers, the
+    standard repeat-masking heuristic -- without it, repeats flood the
+    chaining stage with noise anchors.
+    """
+
+    def __init__(self, reference: str, k: int = 11, max_occurrences: int = 16):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if len(reference) < k:
+            raise ValueError("reference shorter than k")
+        self.reference = reference
+        self.k = k
+        index: Dict[str, List[int]] = defaultdict(list)
+        for position in range(len(reference) - k + 1):
+            index[reference[position : position + k]].append(position)
+        self._index = {
+            kmer: positions
+            for kmer, positions in index.items()
+            if len(positions) <= max_occurrences
+        }
+
+    def lookup(self, kmer: str) -> List[int]:
+        """Reference positions of *kmer* (empty if masked or absent)."""
+        if len(kmer) != self.k:
+            raise ValueError(f"expected a {self.k}-mer, got {len(kmer)} bases")
+        return self._index.get(kmer, [])
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+
+def seed_anchors(index: KmerIndex, query: str, stride: int = 1) -> List[Anchor]:
+    """All (reference position, query position) seed matches of *query*.
+
+    Returns anchors sorted by (x, y), ready for the chaining kernels;
+    ``w`` is the seed length k.  ``stride`` samples every n-th query
+    k-mer (minimizer-like thinning for long queries).
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    anchors: List[Anchor] = []
+    k = index.k
+    for query_pos in range(0, max(0, len(query) - k + 1), stride):
+        kmer = query[query_pos : query_pos + k]
+        for ref_pos in index.lookup(kmer):
+            anchors.append(Anchor(x=ref_pos, y=query_pos, w=k))
+    anchors.sort(key=lambda anchor: (anchor.x, anchor.y))
+    return anchors

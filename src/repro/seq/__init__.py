@@ -1,0 +1,54 @@
+"""Sequence substrate: DNA alphabet, encoding, scoring, and mutation models.
+
+This package is the foundation for every genomics kernel in the
+reproduction.  It provides:
+
+- :mod:`repro.seq.alphabet` -- the DNA alphabet, 2-bit encoding, and
+  validation helpers.
+- :mod:`repro.seq.scoring` -- substitution score matrices and gap-penalty
+  models (linear, affine, convex) shared by the alignment kernels.
+- :mod:`repro.seq.mutate` -- a parameterized mutation model (substitutions,
+  insertions, deletions) used to synthesize reads from templates.
+- :mod:`repro.seq.records` -- lightweight read/reference record types.
+"""
+
+from repro.seq.alphabet import (
+    DNA_ALPHABET,
+    complement,
+    decode,
+    encode,
+    is_dna,
+    random_sequence,
+    reverse_complement,
+)
+from repro.seq.mutate import MutationProfile, Mutator
+from repro.seq.records import Read, ReadPair, Reference
+from repro.seq.scoring import (
+    AffineGap,
+    ConvexGap,
+    GapModel,
+    LinearGap,
+    ScoringScheme,
+    SubstitutionMatrix,
+)
+
+__all__ = [
+    "DNA_ALPHABET",
+    "complement",
+    "decode",
+    "encode",
+    "is_dna",
+    "random_sequence",
+    "reverse_complement",
+    "MutationProfile",
+    "Mutator",
+    "Read",
+    "ReadPair",
+    "Reference",
+    "AffineGap",
+    "ConvexGap",
+    "GapModel",
+    "LinearGap",
+    "ScoringScheme",
+    "SubstitutionMatrix",
+]

@@ -1,0 +1,81 @@
+"""DNA alphabet, 2-bit encoding and basic sequence manipulation.
+
+All kernels in this reproduction operate on plain Python strings over the
+``ACGT`` alphabet (the paper's datasets are DNA reads).  The accelerator
+model, however, streams *encoded* bases -- small integers -- through the
+systolic array, so this module provides the canonical 2-bit encoding used
+by the data buffers and the match-score lookup unit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+#: The canonical DNA alphabet, in encoding order.
+DNA_ALPHABET = "ACGT"
+
+_ENCODE = {base: code for code, base in enumerate(DNA_ALPHABET)}
+_COMPLEMENT = {"A": "T", "C": "G", "G": "C", "T": "A", "N": "N"}
+
+
+def is_dna(sequence: str) -> bool:
+    """Return ``True`` if *sequence* contains only ``A``/``C``/``G``/``T``."""
+    return all(base in _ENCODE for base in sequence)
+
+
+def encode(sequence: str) -> List[int]:
+    """Encode a DNA string into the 2-bit integer representation.
+
+    >>> encode("ACGT")
+    [0, 1, 2, 3]
+
+    Raises :class:`ValueError` on characters outside the alphabet -- the
+    hardware model has no encoding for ambiguity codes, so generators must
+    never produce them.
+    """
+    try:
+        return [_ENCODE[base] for base in sequence]
+    except KeyError as exc:
+        raise ValueError(f"non-DNA base in sequence: {exc.args[0]!r}") from exc
+
+
+def decode(codes: Sequence[int]) -> str:
+    """Decode 2-bit integer codes back into a DNA string.
+
+    >>> decode([0, 1, 2, 3])
+    'ACGT'
+    """
+    try:
+        return "".join(DNA_ALPHABET[code] for code in codes)
+    except IndexError as exc:
+        raise ValueError("code out of range for DNA alphabet") from exc
+
+
+def complement(base: str) -> str:
+    """Return the Watson-Crick complement of a single base."""
+    try:
+        return _COMPLEMENT[base]
+    except KeyError as exc:
+        raise ValueError(f"cannot complement base {base!r}") from exc
+
+
+def reverse_complement(sequence: str) -> str:
+    """Return the reverse complement of *sequence*.
+
+    >>> reverse_complement("AACGT")
+    'ACGTT'
+    """
+    return "".join(complement(base) for base in reversed(sequence))
+
+
+def random_sequence(length: int, rng: Optional[random.Random] = None) -> str:
+    """Generate a uniform random DNA sequence of *length* bases.
+
+    A seeded :class:`random.Random` should be passed for reproducible
+    workloads; the module-level generator is used otherwise.
+    """
+    if length < 0:
+        raise ValueError("sequence length must be non-negative")
+    chooser = rng if rng is not None else random
+    return "".join(chooser.choice(DNA_ALPHABET) for _ in range(length))

@@ -1,0 +1,83 @@
+"""Lightweight record types for reads and references.
+
+These stand in for the FASTA/FASTQ records of real pipelines; they carry
+only what the kernels consume (sequence plus provenance metadata used by
+accuracy studies like Table 6's mapping-error comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.seq.alphabet import is_dna
+
+
+@dataclass(frozen=True)
+class Reference:
+    """A reference sequence (or contig) reads are drawn from."""
+
+    name: str
+    sequence: str
+
+    def __post_init__(self) -> None:
+        if not is_dna(self.sequence):
+            raise ValueError(f"reference {self.name!r} contains non-DNA bases")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+    def window(self, start: int, length: int) -> str:
+        """Extract a subsequence; raises on out-of-range windows."""
+        if start < 0 or start + length > len(self.sequence):
+            raise ValueError(
+                f"window [{start}, {start + length}) outside reference of "
+                f"length {len(self.sequence)}"
+            )
+        return self.sequence[start : start + length]
+
+
+@dataclass(frozen=True)
+class Read:
+    """A sequencing read with its true origin (for accuracy evaluation).
+
+    ``origin`` and ``origin_end`` record where on the template the read
+    was synthesized from; generators fill them so mapping-accuracy studies
+    can score mapped positions against truth.
+    """
+
+    name: str
+    sequence: str
+    origin: Optional[int] = None
+    origin_end: Optional[int] = None
+    reverse: bool = False
+
+    def __post_init__(self) -> None:
+        if not is_dna(self.sequence):
+            raise ValueError(f"read {self.name!r} contains non-DNA bases")
+
+    def __len__(self) -> int:
+        return len(self.sequence)
+
+
+@dataclass(frozen=True)
+class ReadPair:
+    """A query/target pair, the unit of work for pairwise kernels.
+
+    For BSW this is a (seed-extension query, reference window) pair; for
+    PairHMM a (read, candidate haplotype) pair.
+    """
+
+    query: str
+    target: str
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not is_dna(self.query) or not is_dna(self.target):
+            raise ValueError(f"read pair {self.name!r} contains non-DNA bases")
+
+    @property
+    def cells(self) -> int:
+        """Number of DP cells a full (unbanded) table for this pair has."""
+        return len(self.query) * len(self.target)

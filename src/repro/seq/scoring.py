@@ -1,0 +1,132 @@
+"""Scoring schemes for pairwise alignment kernels.
+
+The paper's alignment kernels (BSW, POA) score alignments with a
+substitution matrix plus a gap model.  Section 1 of the paper lists the
+three gap-scoring methods an approximate-string-matching accelerator must
+support -- *linear*, *affine* and *convex* -- and GenDP's ISA supports all
+three (Section 7.6.3).  This module provides each as a small strategy
+object so kernels can be written once, parameterized by scheme.
+
+Penalties are stored as non-negative magnitudes; kernels subtract them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A match/mismatch substitution score lookup.
+
+    The default (+1 match, -1 mismatch) mirrors minimap2/BWA-MEM2 seed
+    extension defaults at the resolution this reproduction needs.  Custom
+    per-pair overrides can be supplied for protein-like alphabets.
+    """
+
+    match: int = 1
+    mismatch: int = -1
+    overrides: Dict[Tuple[str, str], int] = field(default_factory=dict)
+
+    def score(self, a: str, b: str) -> int:
+        """Score aligning base *a* against base *b*."""
+        key = (a, b)
+        if key in self.overrides:
+            return self.overrides[key]
+        return self.match if a == b else self.mismatch
+
+
+class GapModel:
+    """Base class for gap-penalty models.
+
+    Subclasses implement :meth:`penalty`, the total cost of a gap of a
+    given length.  ``open_cost``/``extend_cost`` expose the incremental
+    form used by DP recurrences that track gap state explicitly (the E/F
+    matrices of affine-gap Smith-Waterman).
+    """
+
+    def penalty(self, length: int) -> int:
+        """Total penalty (non-negative) of a gap of *length* bases."""
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` if the parameters are not sane."""
+        if self.penalty(1) < 0:
+            raise ValueError("gap penalty must be non-negative")
+
+
+@dataclass(frozen=True)
+class LinearGap(GapModel):
+    """Linear gaps: ``penalty(L) = extend * L``."""
+
+    extend: int = 2
+
+    def penalty(self, length: int) -> int:
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        return self.extend * length
+
+
+@dataclass(frozen=True)
+class AffineGap(GapModel):
+    """Affine gaps (Gotoh): ``penalty(L) = open + extend * L`` for L >= 1.
+
+    This is the model used by BWA-MEM2's banded Smith-Waterman and by
+    Racon's POA, and the one whose E/F recurrence appears in Figure 2a of
+    the paper.
+    """
+
+    open: int = 4
+    extend: int = 1
+
+    def penalty(self, length: int) -> int:
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0
+        return self.open + self.extend * length
+
+
+@dataclass(frozen=True)
+class ConvexGap(GapModel):
+    """Convex gaps: ``penalty(L) = open + extend * L + scale * log2(L)``.
+
+    Convex (logarithmic) gap costs model the long-indel statistics of real
+    genomes better than affine costs; minimap2's chaining cost function is
+    convex, which is why the Chain kernel needs the ``log2`` LUT operation
+    in the GenDP ISA (Table 4).
+    """
+
+    open: int = 4
+    extend: int = 1
+    scale: int = 1
+
+    def penalty(self, length: int) -> int:
+        if length < 0:
+            raise ValueError("gap length must be non-negative")
+        if length == 0:
+            return 0
+        return self.open + self.extend * length + self.scale * int(math.log2(length))
+
+    def validate(self) -> None:
+        super().validate()
+        if self.scale < 0:
+            raise ValueError("convex scale must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScoringScheme:
+    """A complete alignment scoring scheme: substitutions plus gaps."""
+
+    substitution: SubstitutionMatrix = field(default_factory=SubstitutionMatrix)
+    gap: GapModel = field(default_factory=AffineGap)
+
+    def score(self, a: str, b: str) -> int:
+        """Substitution score of aligning *a* to *b*."""
+        return self.substitution.score(a, b)
+
+    def gap_penalty(self, length: int) -> int:
+        """Total penalty of a gap of *length* bases."""
+        return self.gap.penalty(length)

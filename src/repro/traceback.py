@@ -1,0 +1,176 @@
+"""Alignment traceback from accelerator trace output.
+
+Section 7.2: "downstream trace-back functions in POA need the move
+directions on the DP table for each cell, which requires 8-byte
+outputs to be written to the output data buffer from each cell."  The
+simulator's POA mapping emits exactly those (H value, direction code)
+pairs; this module is the downstream consumer -- it walks the
+direction codes back into an alignment.
+
+Direction encoding (what the kernel DFGs' comparison operators emit):
+
+====  =========================================================
+1     diagonal: consume one row (node/base) and one column
+2     vertical: consume a row only (a gap in the query sequence)
+3     horizontal: consume a column only (a gap in the target)
+====  =========================================================
+
+Local alignments stop where H reaches zero.  For graph kernels the
+vertical/diagonal moves go to *a* predecessor row; the direction word
+does not say which, so the walker re-derives the argmax predecessor
+from the H table -- exact when predecessors are unique (linear chains)
+and score-preserving in general (ties pick an equally-scoring path).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.kernels.base import TracebackOp, compress_ops
+from repro.kernels.poa import PartialOrderGraph
+from repro.seq.scoring import AffineGap, ScoringScheme
+
+DIR_DIAG = 1
+DIR_VERTICAL = 2
+DIR_HORIZONTAL = 3
+
+
+def best_cell(h: Sequence[Sequence[int]]) -> Tuple[int, int]:
+    """Coordinates of the highest-scoring cell (row-major first hit)."""
+    best_row, best_col, best_value = 0, 0, None
+    for row_index, row in enumerate(h):
+        for col_index, value in enumerate(row):
+            if best_value is None or value > best_value:
+                best_row, best_col, best_value = row_index, col_index, value
+    return best_row, best_col
+
+
+def traceback_table(
+    h: Sequence[Sequence[int]],
+    directions: Sequence[Sequence[int]],
+    start: Optional[Tuple[int, int]] = None,
+) -> List[Tuple[TracebackOp, int]]:
+    """CIGAR from a 2D local-alignment trace (H + direction codes).
+
+    ``h`` and ``directions`` are [row][col] over the computed cells
+    (column index 0 = DP column 1).  The walk starts at *start* (or
+    the best cell) and stops when H reaches zero or the table edge.
+    """
+    if start is None:
+        start = best_cell(h)
+    row, col = start
+    ops: List[TracebackOp] = []
+    while row >= 0 and col >= 0 and h[row][col] > 0:
+        code = directions[row][col]
+        if code == DIR_DIAG:
+            ops.append(TracebackOp.MATCH)
+            row -= 1
+            col -= 1
+        elif code == DIR_VERTICAL:
+            ops.append(TracebackOp.INSERTION)
+            row -= 1
+        elif code == DIR_HORIZONTAL:
+            ops.append(TracebackOp.DELETION)
+            col -= 1
+        else:
+            raise ValueError(f"unknown direction code {code} at ({row}, {col})")
+    ops.reverse()
+    return compress_ops(ops)
+
+
+def poa_traceback(
+    h: Sequence[Sequence[int]],
+    directions: Sequence[Sequence[int]],
+    graph: PartialOrderGraph,
+    start: Optional[Tuple[int, int]] = None,
+) -> List[Tuple[Optional[int], Optional[int]]]:
+    """(node, sequence position) pairs from a POA trace.
+
+    Row indices are node indices; vertical/diagonal moves pick the
+    predecessor whose H (at the relevant column) is largest -- the
+    same argmax the cell computed, re-derived on the host from the
+    H values the accelerator already emitted.
+    """
+    if start is None:
+        start = best_cell(h)
+    row, col = start
+    pairs: List[Tuple[Optional[int], Optional[int]]] = []
+    while row >= 0 and col >= 0 and h[row][col] > 0:
+        code = directions[row][col]
+        preds = graph.nodes[row].predecessors
+        if code == DIR_DIAG:
+            pairs.append((row, col))
+            next_row = _argmax_pred(h, preds, col - 1)
+            row, col = next_row, col - 1
+        elif code == DIR_VERTICAL:
+            pairs.append((row, None))
+            row = _argmax_pred(h, preds, col)
+        elif code == DIR_HORIZONTAL:
+            pairs.append((None, col))
+            col -= 1
+        else:
+            raise ValueError(f"unknown direction code {code} at ({row}, {col})")
+    pairs.reverse()
+    return pairs
+
+
+def _argmax_pred(
+    h: Sequence[Sequence[int]], preds: Sequence[int], col: int
+) -> int:
+    """The predecessor row with the best H at *col* (-1 = virtual start)."""
+    if not preds:
+        return -1
+    if col < 0:
+        return preds[0]
+    return max(preds, key=lambda pred: h[pred][col])
+
+
+def score_pairs(
+    pairs: Sequence[Tuple[Optional[int], Optional[int]]],
+    graph: PartialOrderGraph,
+    sequence: str,
+    scheme: Optional[ScoringScheme] = None,
+) -> int:
+    """Re-score a traced POA path with affine gaps.
+
+    The tie-robust validation: whatever equally-scoring path the trace
+    picked, its score must equal the H value it started from.
+    """
+    if scheme is None:
+        scheme = ScoringScheme()
+    gap = scheme.gap
+    if not isinstance(gap, AffineGap):
+        raise TypeError("score_pairs expects an affine scheme")
+    score = 0
+    gap_run: Optional[str] = None
+    for node_index, seq_index in pairs:
+        if node_index is not None and seq_index is not None:
+            score += scheme.score(
+                graph.nodes[node_index].base, sequence[seq_index]
+            )
+            gap_run = None
+        else:
+            kind = "v" if seq_index is None else "h"
+            if gap_run == kind:
+                score -= gap.extend
+            else:
+                score -= gap.open + gap.extend
+            gap_run = kind
+    return score
+
+
+def cigar_consumes(
+    cigar: Sequence[Tuple[TracebackOp, int]]
+) -> Tuple[int, int]:
+    """(rows consumed, columns consumed) by a CIGAR -- sanity checks."""
+    rows = sum(
+        count
+        for op, count in cigar
+        if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.INSERTION)
+    )
+    cols = sum(
+        count
+        for op, count in cigar
+        if op in (TracebackOp.MATCH, TracebackOp.MISMATCH, TracebackOp.DELETION)
+    )
+    return rows, cols

@@ -1,0 +1,34 @@
+"""Synthetic workload generators for every kernel's evaluation.
+
+The paper evaluates on real datasets that are not available offline
+(Illumina ERR194147, PacBio C. elegans, human chr22, ONT S. aureus);
+these generators synthesize workloads with the same shape parameters --
+sequence lengths, error profiles, band widths, anchor geometry and
+read-group sizes from Table 1 and Section 6 -- so every experiment
+exercises the same code paths on statistically equivalent inputs (see
+the substitution table in DESIGN.md).
+
+All generators take an explicit seed and are deterministic.
+"""
+
+from repro.workloads.reads import BSWWorkload, generate_bsw_workload
+from repro.workloads.haplotypes import PairHMMWorkload, generate_pairhmm_workload
+from repro.workloads.anchors import ChainWorkload, generate_chain_workload
+from repro.workloads.poa_groups import POAWorkload, generate_poa_workload
+from repro.workloads.signals import DTWWorkload, generate_dtw_workload
+from repro.workloads.graphs import BFWorkload, generate_bf_workload
+
+__all__ = [
+    "BSWWorkload",
+    "generate_bsw_workload",
+    "PairHMMWorkload",
+    "generate_pairhmm_workload",
+    "ChainWorkload",
+    "generate_chain_workload",
+    "POAWorkload",
+    "generate_poa_workload",
+    "DTWWorkload",
+    "generate_dtw_workload",
+    "BFWorkload",
+    "generate_bf_workload",
+]

@@ -1,0 +1,116 @@
+"""PairHMM workload: read / candidate-haplotype pairs.
+
+GATK HaplotypeCaller re-assembles an active region into a handful of
+candidate haplotypes and scores every (read, haplotype) pair with the
+PairHMM forward algorithm.  The generator mirrors that structure: each
+active region yields one reference haplotype plus a few variant
+haplotypes (SNVs/indels injected), and Illumina-like reads drawn from
+one of them -- so likelihoods meaningfully discriminate haplotypes, as
+they must for the example pipelines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.seq.alphabet import DNA_ALPHABET, random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+@dataclass
+class ReadHaplotypePair:
+    """One forward-pass task: a read, its qualities, and a haplotype."""
+
+    read: str
+    haplotype: str
+    qualities: List[int]
+    region: int
+    true_haplotype: int
+
+    @property
+    def cells(self) -> int:
+        return len(self.read) * len(self.haplotype)
+
+
+@dataclass
+class PairHMMWorkload:
+    """A batch of read-haplotype scoring tasks."""
+
+    pairs: List[ReadHaplotypePair]
+    haplotypes_per_region: int
+
+    @property
+    def total_cells(self) -> int:
+        return sum(pair.cells for pair in self.pairs)
+
+
+def generate_pairhmm_workload(
+    regions: int = 10,
+    reads_per_region: int = 8,
+    haplotypes_per_region: int = 3,
+    read_length: int = 100,
+    haplotype_length: int = 60,
+    seed: int = 0,
+) -> PairHMMWorkload:
+    """Generate PairHMM tasks shaped like Table 1's ~100 x 60 tables.
+
+    Every read in a region is scored against every candidate haplotype
+    of that region (the all-pairs pattern of ``calcLikelihoodScore``),
+    so the task count is ``regions * reads_per_region *
+    haplotypes_per_region``.
+    """
+    if min(regions, reads_per_region, haplotypes_per_region) < 0:
+        raise ValueError("counts must be non-negative")
+    if read_length <= 0 or haplotype_length <= 0:
+        raise ValueError("lengths must be positive")
+    rng = random.Random(seed)
+    mutator = Mutator(MutationProfile.illumina(), rng)
+
+    pairs: List[ReadHaplotypePair] = []
+    for region in range(regions):
+        reference = random_sequence(haplotype_length, rng)
+        haplotypes = [reference] + [
+            _inject_variant(reference, rng)
+            for _ in range(haplotypes_per_region - 1)
+        ]
+        for _ in range(reads_per_region):
+            true_index = rng.randrange(len(haplotypes))
+            source = haplotypes[true_index]
+            # Reads span the haplotype; longer reads wrap fresh context.
+            template = source * (read_length // len(source) + 1)
+            read = mutator.mutate(template)[:read_length]
+            if len(read) < read_length:
+                read += random_sequence(read_length - len(read), rng)
+            qualities = [
+                max(10, min(40, int(rng.gauss(30, 4)))) for _ in range(len(read))
+            ]
+            for haplotype in haplotypes:
+                pairs.append(
+                    ReadHaplotypePair(
+                        read=read,
+                        haplotype=haplotype,
+                        qualities=qualities,
+                        region=region,
+                        true_haplotype=true_index,
+                    )
+                )
+    return PairHMMWorkload(pairs=pairs, haplotypes_per_region=haplotypes_per_region)
+
+
+def _inject_variant(reference: str, rng: random.Random) -> str:
+    """Inject one SNV or short indel into *reference*."""
+    position = rng.randrange(len(reference))
+    kind = rng.random()
+    if kind < 0.6:  # SNV
+        alternatives = [base for base in DNA_ALPHABET if base != reference[position]]
+        return (
+            reference[:position] + rng.choice(alternatives) + reference[position + 1 :]
+        )
+    if kind < 0.8:  # short insertion
+        insert = random_sequence(rng.randint(1, 3), rng)
+        return reference[:position] + insert + reference[position:]
+    # short deletion
+    end = min(len(reference), position + rng.randint(1, 3))
+    return reference[:position] + reference[end:]

@@ -1,0 +1,72 @@
+"""Workload sizing: the artifact appendix's Table 16 for this repo.
+
+The paper's artifact relates dataset size to simulation time (Table
+16: the full datasets need ~250 hours and 2 TB).  Our Python
+instruction-level simulator is slower per cell but the workloads
+scale the same way; this module predicts simulation time for a
+requested size from the measured per-cell simulation rates, so users
+can size runs the way the artifact's README does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Simulated cells per wall-clock second for this Python simulator,
+#: measured on the validation workloads (tests keep these honest
+#: within a generous band -- they are host-dependent).
+SIMULATOR_CELLS_PER_SECOND: Dict[str, float] = {
+    "bsw": 3000.0,
+    "pairhmm": 2500.0,
+    "chain": 2500.0,
+    "poa": 1500.0,
+}
+
+#: Full-dataset cell counts (Table 15).
+FULL_DATASET_CELLS: Dict[str, int] = {
+    "bsw": 2_431_855_834,
+    "chain": 20_736_142_007,
+    "pairhmm": 258_363_282_803,
+    "poa": 6_448_581_509,
+}
+
+
+@dataclass
+class SizingEstimate:
+    """Predicted simulation cost of one workload slice."""
+
+    kernel: str
+    cells: int
+    seconds: float
+
+    @property
+    def hours(self) -> float:
+        return self.seconds / 3600.0
+
+
+def estimate_simulation(kernel: str, cells: int) -> SizingEstimate:
+    """Wall-clock estimate for simulating *cells* cell updates."""
+    if kernel not in SIMULATOR_CELLS_PER_SECOND:
+        raise KeyError(f"no simulation rate for kernel {kernel!r}")
+    if cells < 0:
+        raise ValueError("cells must be non-negative")
+    rate = SIMULATOR_CELLS_PER_SECOND[kernel]
+    return SizingEstimate(kernel=kernel, cells=cells, seconds=cells / rate)
+
+
+def cells_for_budget(kernel: str, seconds: float) -> int:
+    """Largest workload simulatable in *seconds* (the Table 16 view)."""
+    if seconds <= 0:
+        raise ValueError("budget must be positive")
+    rate = SIMULATOR_CELLS_PER_SECOND[kernel]
+    return int(rate * seconds)
+
+
+def full_dataset_estimate(kernel: str) -> SizingEstimate:
+    """What the paper's full dataset would cost on this simulator.
+
+    (The artifact quotes ~250 hours for its C++ simulator; ours is
+    10^2-10^3x slower per cell -- hence synthetic slices everywhere.)
+    """
+    return estimate_simulation(kernel, FULL_DATASET_CELLS[kernel])

@@ -1,0 +1,44 @@
+"""Tests for the instruction-footprint analysis."""
+
+import pytest
+
+from repro.analysis.footprint import (
+    PER_ARRAY_BUDGET,
+    footprint_report,
+    measure_chain_footprint,
+    measure_wavefront_footprint,
+)
+
+
+class TestFootprints:
+    def test_every_kernel_fits_the_buffer(self):
+        # The Table 7 sizing claim: preloaded programs fit the 208KB
+        # instruction buffer's per-array share.
+        for row in footprint_report():
+            assert row.total_bytes <= PER_ARRAY_BUDGET, row.kernel
+
+    def test_footprint_independent_of_workload_size(self):
+        # Programs loop over the data; more passes/anchors must not
+        # grow the instruction stream (only immediate counters change).
+        small = measure_wavefront_footprint("bsw", passes=2)
+        large = measure_wavefront_footprint("bsw", passes=8)
+        assert small.total_bytes == large.total_bytes
+
+    def test_chain_footprint_constant_in_anchors(self):
+        small = measure_chain_footprint(100)
+        large = measure_chain_footprint(5000)
+        assert small.total_bytes == large.total_bytes
+
+    def test_compute_smaller_than_control(self):
+        # The decoupled design's footprint shape: control streams
+        # (movement + loops) outweigh the compact VLIW windows.
+        row = measure_wavefront_footprint("bsw")
+        assert row.pe_control > row.pe_compute
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            measure_wavefront_footprint("chain")
+
+    def test_budget_fraction(self):
+        row = measure_wavefront_footprint("lcs")
+        assert 0 < row.budget_fraction < 1

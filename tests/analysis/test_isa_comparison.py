@@ -1,0 +1,59 @@
+"""Tests for the Figure 10(d) ISA comparison."""
+
+import pytest
+
+from repro.analysis.isa_comparison import (
+    ISAComparisonRow,
+    average_reduction,
+    isa_comparison,
+    scalar_instruction_count,
+)
+from repro.dfg.kernels import KERNEL_DFGS
+
+
+def four_kernels():
+    return {k: KERNEL_DFGS[k]() for k in ("bsw", "pairhmm", "poa", "chain")}
+
+
+class TestScalarModel:
+    def test_riscv_costs_more_than_x86_on_selects(self):
+        # riscv64 lacks cmov; kernels heavy in max/min/select cost more.
+        dfg = KERNEL_DFGS["bsw"]()
+        assert scalar_instruction_count(dfg, "riscv64") > scalar_instruction_count(
+            dfg, "x86_64"
+        )
+
+    def test_counts_exceed_operator_count(self):
+        for dfg in four_kernels().values():
+            assert scalar_instruction_count(dfg, "riscv64") > dfg.operator_count()
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(KeyError):
+            scalar_instruction_count(KERNEL_DFGS["lcs"](), "arm64")
+
+
+class TestComparison:
+    def test_gendp_always_fewest(self):
+        for row in isa_comparison(four_kernels()).values():
+            assert row.gendp < row.x86_64 < row.riscv64
+
+    def test_reductions_order_matches_paper(self):
+        # Paper: 8.1x vs riscv64 > 4.0x vs x86-64.
+        reductions = average_reduction(isa_comparison(four_kernels()))
+        assert reductions["riscv64"] > reductions["x86_64"] > 1.0
+
+    def test_reductions_in_paper_ballpark(self):
+        reductions = average_reduction(isa_comparison(four_kernels()))
+        assert 3.0 < reductions["riscv64"] < 25.0
+        assert 2.0 < reductions["x86_64"] < 20.0
+
+    def test_chain_is_gendp_heaviest(self):
+        # Chain's muls and gates need the most VLIW bundles (its low
+        # Table 11 utilization comes from the same structure).
+        rows = isa_comparison(four_kernels())
+        assert rows["chain"].gendp == max(r.gendp for r in rows.values())
+
+    def test_row_properties(self):
+        row = ISAComparisonRow(kernel="k", gendp=4, riscv64=40, x86_64=20)
+        assert row.reduction_vs_riscv == 10.0
+        assert row.reduction_vs_x86 == 5.0

@@ -1,0 +1,35 @@
+"""Tests for the fixed-width report renderer."""
+
+import pytest
+
+from repro.analysis.report import render_table
+
+
+class TestRenderTable:
+    def test_title_and_headers_present(self):
+        text = render_table("Table X", ["a", "b"], [[1, 2]])
+        assert "== Table X ==" in text
+        assert "a" in text and "b" in text
+
+    def test_rows_aligned(self):
+        text = render_table("t", ["col"], [[1], [1000]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[1:]}) == 1
+
+    def test_none_renders_dash(self):
+        text = render_table("t", ["x"], [[None]])
+        assert "-" in text.splitlines()[-1]
+
+    def test_float_formats(self):
+        text = render_table("t", ["x"], [[123456.0], [12.34], [0.123], [1.2e-5]])
+        assert "123,456" in text
+        assert "12.3" in text
+        assert "0.123" in text
+        assert "1.20e-05" in text
+
+    def test_mismatched_row_rejected(self):
+        with pytest.raises(ValueError):
+            render_table("t", ["a", "b"], [[1]])
+
+    def test_note_rendered(self):
+        assert "shape" in render_table("t", ["a"], [[1]], note="shape only")

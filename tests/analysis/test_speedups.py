@@ -1,0 +1,78 @@
+"""Tests for the Table 15 / Figure 10 speedup roll-up."""
+
+import pytest
+
+from repro.analysis.speedups import (
+    geomean,
+    headline_speedups,
+    paper_row,
+    speedup_rollup,
+)
+from repro.baselines.data import KERNELS, PAPER_HEADLINE
+
+
+class TestRollup:
+    def test_row_per_kernel(self):
+        assert set(speedup_rollup()) == set(KERNELS)
+
+    def test_gendp_beats_cpu_and_gpu_everywhere(self):
+        # The Figure 10(a) shape: GenDP wins on every kernel.
+        for row in speedup_rollup().values():
+            assert row.speedup_vs_cpu > 10
+            assert row.speedup_vs_gpu > 10
+
+    def test_asics_beat_gendp(self):
+        # Figure 10(c): specialization costs 2-8x.
+        rows = speedup_rollup()
+        for kernel in ("bsw", "pairhmm"):
+            assert rows[kernel].asic_slowdown > 1.0
+
+    def test_no_asic_for_long_read_kernels(self):
+        rows = speedup_rollup()
+        assert rows["chain"].asic_slowdown is None
+        assert rows["poa"].asic_slowdown is None
+
+    def test_poa_smallest_gpu_speedup(self):
+        # Section 7.2: POA is the memory-bound straggler.
+        rows = speedup_rollup()
+        assert rows["poa"].speedup_vs_gpu == min(
+            row.speedup_vs_gpu for row in rows.values()
+        )
+
+    def test_watt_speedup_positive(self):
+        for row in speedup_rollup().values():
+            assert row.watt_speedup_vs_gpu > 1.0
+
+
+class TestHeadlines:
+    def test_order_of_magnitude_matches_abstract(self):
+        headlines = headline_speedups(speedup_rollup())
+        # Paper: 132x CPU, 157.8x GPU; we accept the same two orders of
+        # magnitude with model tolerance.
+        assert 50 < headlines["speedup_vs_cpu_per_mm2"] < 400
+        assert 50 < headlines["speedup_vs_gpu_per_mm2"] < 400
+
+    def test_watt_headline_order(self):
+        # Paper: 15.1x throughput/W over the GPU.
+        headlines = headline_speedups(speedup_rollup())
+        assert 5 < headlines["throughput_per_watt_vs_gpu"] < 40
+
+    def test_asic_slowdown_band(self):
+        headlines = headline_speedups(speedup_rollup())
+        assert 1.5 < headlines["asic_slowdown_geomean"] < 10.0
+
+
+class TestHelpers:
+    def test_geomean(self):
+        assert geomean([1, 100]) == pytest.approx(10.0)
+
+    def test_geomean_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geomean([])
+
+    def test_geomean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geomean([1.0, 0.0])
+
+    def test_paper_row_lookup(self):
+        assert paper_row("bsw")["speedup_cpu"] == pytest.approx(365.1)

@@ -1,0 +1,77 @@
+"""Tests for the Table 2 / Table 11 utilization studies."""
+
+import pytest
+
+from repro.analysis.utilization import reduction_tree_study, vliw_utilization
+from repro.baselines.data import PAPER_TABLE2, PAPER_VLIW_UTILIZATION
+from repro.dfg.kernels import KERNEL_DFGS
+
+
+def four_kernels():
+    return {k: KERNEL_DFGS[k]() for k in ("bsw", "pairhmm", "poa", "chain")}
+
+
+class TestReductionTreeStudy:
+    def test_row_per_kernel_per_depth(self):
+        rows = reduction_tree_study(four_kernels())
+        assert len(rows) == 12
+
+    def test_rf_accesses_monotone_in_depth(self):
+        rows = reduction_tree_study(four_kernels())
+        by_kernel = {}
+        for row in rows:
+            by_kernel.setdefault(row.kernel, {})[row.levels] = row
+        for kernel, levels in by_kernel.items():
+            assert levels[1].rf_accesses >= levels[2].rf_accesses >= levels[3].rf_accesses
+
+    def test_utilization_monotone_in_depth(self):
+        rows = reduction_tree_study(four_kernels())
+        by_kernel = {}
+        for row in rows:
+            by_kernel.setdefault(row.kernel, {})[row.levels] = row
+        for kernel, levels in by_kernel.items():
+            assert (
+                levels[1].cu_utilization
+                >= levels[2].cu_utilization
+                >= levels[3].cu_utilization
+            )
+
+    def test_two_level_sweet_spot(self):
+        """The Section 4.3 design argument: going 2 -> 3 levels barely
+        reduces RF accesses but halves utilization (or worse)."""
+        rows = reduction_tree_study(four_kernels())
+        by_kernel = {}
+        for row in rows:
+            by_kernel.setdefault(row.kernel, {})[row.levels] = row
+        savings_12 = sum(
+            levels[1].rf_accesses - levels[2].rf_accesses
+            for levels in by_kernel.values()
+        )
+        savings_23 = sum(
+            levels[2].rf_accesses - levels[3].rf_accesses
+            for levels in by_kernel.values()
+        )
+        assert savings_12 > savings_23
+
+
+class TestVLIWUtilization:
+    def test_between_zero_and_one(self):
+        for value in vliw_utilization(four_kernels()).values():
+            assert 0.0 < value <= 1.0
+
+    def test_bsw_utilization_close_to_paper(self):
+        # Paper: 60.6%; our BSW DFG maps to 58.3%.
+        utils = vliw_utilization(four_kernels())
+        assert utils["bsw"] == pytest.approx(PAPER_VLIW_UTILIZATION["bsw"], abs=0.1)
+
+    def test_chain_utilization_close_to_paper(self):
+        # Paper: 38.3% -- the muls and selects limit VLIW packing.
+        utils = vliw_utilization(four_kernels())
+        assert utils["chain"] == pytest.approx(
+            PAPER_VLIW_UTILIZATION["chain"], abs=0.1
+        )
+
+    def test_chain_is_worst_of_non_graph_kernels(self):
+        utils = vliw_utilization(four_kernels())
+        assert utils["chain"] < utils["bsw"]
+        assert utils["chain"] < utils["pairhmm"]

@@ -1,0 +1,49 @@
+"""Tests for the DRAM bandwidth/power model."""
+
+import pytest
+
+from repro.asicmodel.dram import (
+    DDR4_2400_8CH,
+    DRAMConfig,
+    kernel_traffic_bytes_per_cell,
+)
+
+
+class TestPower:
+    def test_static_matches_table8(self):
+        assert DDR4_2400_8CH.static_power_w == pytest.approx(0.446)
+
+    def test_dynamic_reproduces_table8_at_average_traffic(self):
+        # ~2.4 GB/s average single-tile traffic -> ~0.645 W dynamic.
+        dynamic = DDR4_2400_8CH.dynamic_power(2.4e9)
+        assert dynamic == pytest.approx(0.645, abs=0.01)
+
+    def test_total_power(self):
+        assert DDR4_2400_8CH.total_power(0) == DDR4_2400_8CH.static_power_w
+
+    def test_negative_traffic_rejected(self):
+        with pytest.raises(ValueError):
+            DDR4_2400_8CH.dynamic_power(-1)
+
+
+class TestBandwidthCeiling:
+    def test_64_tiles_supported(self):
+        # Table 12: the 8-channel system feeds ~64 tiles at average
+        # per-tile traffic.
+        assert DDR4_2400_8CH.max_tiles(2.4) in range(60, 68)
+
+    def test_heavier_tiles_fit_fewer(self):
+        assert DDR4_2400_8CH.max_tiles(10.0) < DDR4_2400_8CH.max_tiles(2.0)
+
+    def test_zero_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            DDR4_2400_8CH.max_tiles(0)
+
+
+class TestTraffic:
+    def test_bytes_per_cell(self):
+        assert kernel_traffic_bytes_per_cell(0.5, 2.0) == 10.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            kernel_traffic_bytes_per_cell(-1, 0)

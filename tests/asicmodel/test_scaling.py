@@ -1,0 +1,38 @@
+"""Tests for process scaling (Stillmaker-Baas factors)."""
+
+import pytest
+
+from repro.asicmodel.area import dpax_area_breakdown
+from repro.asicmodel.scaling import TECH_NODES, scale_area, scale_power
+
+
+class TestScaling:
+    def test_identity(self):
+        assert scale_area(5.0, 28, 28) == 5.0
+
+    def test_tile_lands_at_paper_7nm_area(self):
+        # 5.391 mm^2 at 28nm -> ~0.69 mm^2 at 7nm; x64 tiles = 44.3 mm^2
+        # (Table 12).
+        tile = scale_area(dpax_area_breakdown()["total"], 28, 7)
+        assert tile == pytest.approx(0.69, abs=0.01)
+        assert 64 * tile == pytest.approx(44.3, abs=0.3)
+
+    def test_downscaling_shrinks(self):
+        assert scale_area(1.0, 28, 7) < 1.0
+        assert scale_power(1.0, 28, 7) < 1.0
+
+    def test_upscaling_inverts(self):
+        down = scale_area(1.0, 28, 7)
+        assert scale_area(down, 7, 28) == pytest.approx(1.0)
+
+    def test_cpu_10nm_to_7nm(self):
+        # The paper normalizes the Xeon's 600 mm^2 (10nm) to 7nm.
+        assert scale_area(600.0, 10, 7) < 600.0
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ValueError):
+            scale_area(1.0, 28, 5)
+
+    def test_nodes_monotone(self):
+        areas = [TECH_NODES[n]["area"] for n in sorted(TECH_NODES)]
+        assert areas == sorted(areas)

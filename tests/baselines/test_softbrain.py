@@ -1,0 +1,73 @@
+"""Tests for the SoftBrain comparison model (Table 9)."""
+
+import pytest
+
+from repro.baselines.data import PAPER_SOFTBRAIN
+from repro.baselines.softbrain import (
+    geomean_speedup,
+    padding_overhead,
+    simd_utilization,
+    softbrain_comparison,
+)
+
+
+class TestPaddingModel:
+    def test_single_stage_needs_no_padding(self):
+        assert padding_overhead(1, 100) == 0.0
+
+    def test_reproduces_bsw_padding(self):
+        # BSW: 3 stages on ~18-cell effective rows -> ~9.9% (Table 9).
+        assert padding_overhead(3, 18) == pytest.approx(0.099, abs=0.01)
+
+    def test_reproduces_pairhmm_padding(self):
+        # PairHMM: 4 stages, ~16-cell rows -> ~15.7%.
+        assert padding_overhead(4, 16) == pytest.approx(0.157, abs=0.01)
+
+    def test_deeper_pipelines_pad_more(self):
+        assert padding_overhead(6, 50) > padding_overhead(2, 50)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            padding_overhead(0, 10)
+        with pytest.raises(ValueError):
+            padding_overhead(2, 0)
+
+
+class TestSIMDModel:
+    def test_full_batch(self):
+        assert simd_utilization(8, 16) == 1.0
+
+    def test_partial_final_group(self):
+        # 9 tasks on 8 lanes: 2 groups, 9/16 occupancy.
+        assert simd_utilization(8, 9) == pytest.approx(9 / 16)
+
+    def test_single_lane_always_full(self):
+        assert simd_utilization(1, 7) == 1.0
+
+
+class TestComparison:
+    def test_table9_rows_present(self):
+        fits = softbrain_comparison({})
+        assert set(fits) == set(PAPER_SOFTBRAIN)
+
+    def test_chain_is_the_one_softbrain_win(self):
+        fits = softbrain_comparison({})
+        losses = [k for k, fit in fits.items() if fit.gendp_speedup < 1.0]
+        assert losses == ["chain"]
+
+    def test_poa_is_the_biggest_gendp_win(self):
+        fits = softbrain_comparison({})
+        best = max(fits.values(), key=lambda fit: fit.gendp_speedup)
+        assert best.kernel == "poa"
+
+    def test_geomean_matches_section_7_3(self):
+        assert geomean_speedup(softbrain_comparison({})) == pytest.approx(
+            2.12, abs=0.05
+        )
+
+    def test_effective_throughput_factor(self):
+        fits = softbrain_comparison({})
+        bsw = fits["bsw"]
+        assert bsw.effective_throughput_factor == pytest.approx(
+            (1 - 0.099) * 0.422, abs=1e-6
+        )

@@ -1,0 +1,23 @@
+"""Shared fixtures for the test suite."""
+
+import random
+
+import pytest
+
+from repro.seq.alphabet import random_sequence
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded RNG per test."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def dna_pair(rng):
+    """A (query, target) pair of related DNA sequences."""
+    from repro.seq.mutate import MutationProfile, Mutator
+
+    template = random_sequence(40, rng)
+    mutator = Mutator(MutationProfile.illumina(), rng)
+    return mutator.mutate(template), template

@@ -1,0 +1,129 @@
+"""Tests for the data-flow graph IR."""
+
+import pytest
+
+from repro.dfg.graph import (
+    ALU_OPCODES,
+    FOUR_INPUT_OPCODES,
+    OPCODE_ARITY,
+    DataFlowGraph,
+    DFGValidationError,
+    Opcode,
+)
+
+
+def small_graph():
+    dfg = DataFlowGraph("test")
+    a = dfg.input("a")
+    b = dfg.input("b")
+    s = dfg.op(Opcode.ADD, a, b, name="sum")
+    m = dfg.op(Opcode.MAX, s, dfg.const(0), name="clamp")
+    dfg.mark_output("out", m)
+    return dfg
+
+
+class TestConstruction:
+    def test_arity_enforced(self):
+        dfg = DataFlowGraph()
+        with pytest.raises(DFGValidationError):
+            dfg.op(Opcode.ADD, dfg.input("a"))
+
+    def test_forward_reference_rejected(self):
+        from repro.dfg.graph import NodeRef
+
+        dfg = DataFlowGraph()
+        with pytest.raises(DFGValidationError):
+            dfg.op(Opcode.COPY, NodeRef(5))
+
+    def test_outputs_required_for_validate(self):
+        dfg = DataFlowGraph()
+        dfg.op(Opcode.ADD, dfg.input("a"), dfg.input("b"))
+        with pytest.raises(DFGValidationError):
+            dfg.validate()
+
+    def test_valid_graph_passes(self):
+        small_graph().validate()
+
+    def test_inputs_deduplicated(self):
+        dfg = DataFlowGraph()
+        dfg.input("x")
+        dfg.input("x")
+        assert dfg.inputs == ["x"]
+
+
+class TestStructure:
+    def test_parents_children(self):
+        dfg = small_graph()
+        assert dfg.parents(1) == [0]
+        assert dfg.children(0) == [1]
+
+    def test_edges(self):
+        assert small_graph().edges() == [(0, 1)]
+
+    def test_operator_count_skips_nop(self):
+        dfg = small_graph()
+        dfg.op(Opcode.NOP)
+        assert dfg.operator_count() == 2
+
+    def test_copy_is_independent(self):
+        dfg = small_graph()
+        clone = dfg.copy()
+        clone.op(Opcode.COPY, clone.const(1))
+        assert len(dfg.nodes) == 2
+        assert len(clone.nodes) == 3
+
+
+class TestEvaluation:
+    def test_basic_arithmetic(self):
+        dfg = small_graph()
+        assert dfg.evaluate({"a": 3, "b": -10}) == {"out": 0}
+        assert dfg.evaluate({"a": 3, "b": 10}) == {"out": 13}
+
+    def test_missing_input_raises(self):
+        with pytest.raises(KeyError):
+            small_graph().evaluate({"a": 1})
+
+    def test_cmp_gt_semantics(self):
+        dfg = DataFlowGraph()
+        sel = dfg.op(
+            Opcode.CMP_GT,
+            dfg.input("a"), dfg.input("b"), dfg.const(1), dfg.const(2),
+        )
+        dfg.mark_output("o", sel)
+        assert dfg.evaluate({"a": 5, "b": 3}) == {"o": 1}
+        assert dfg.evaluate({"a": 3, "b": 3}) == {"o": 2}
+
+    def test_match_score_table(self):
+        dfg = DataFlowGraph()
+        ms = dfg.op(Opcode.MATCH_SCORE, dfg.input("x"), dfg.input("y"))
+        dfg.mark_output("s", ms)
+        table = lambda a, b: 10 if a == b else -7
+        assert dfg.evaluate({"x": 1, "y": 1}, match_table=table) == {"s": 10}
+        assert dfg.evaluate({"x": 1, "y": 2}, match_table=table) == {"s": -7}
+
+    def test_shifts(self):
+        dfg = DataFlowGraph()
+        left = dfg.op(Opcode.SHL16, dfg.input("v"))
+        right = dfg.op(Opcode.SHR16, left)
+        dfg.mark_output("o", right)
+        assert dfg.evaluate({"v": 42}) == {"o": 42}
+
+    def test_borrow(self):
+        dfg = DataFlowGraph()
+        borrow = dfg.op(Opcode.BORROW, dfg.input("a"), dfg.input("b"))
+        dfg.mark_output("o", borrow)
+        assert dfg.evaluate({"a": 1, "b": 2}) == {"o": 1}
+        assert dfg.evaluate({"a": 2, "b": 1}) == {"o": 0}
+
+
+class TestOpcodeClasses:
+    def test_four_input_arity(self):
+        for opcode in (Opcode.CMP_GT, Opcode.CMP_EQ):
+            assert OPCODE_ARITY[opcode] == 4
+            assert opcode in FOUR_INPUT_OPCODES
+
+    def test_alu_ops_are_at_most_binary(self):
+        assert all(OPCODE_ARITY[op] <= 2 for op in ALU_OPCODES)
+
+    def test_mul_is_not_alu(self):
+        assert Opcode.MUL not in ALU_OPCODES

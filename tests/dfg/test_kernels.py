@@ -1,0 +1,206 @@
+"""Tests that each kernel DFG reproduces its reference recurrence."""
+
+import random
+
+import pytest
+
+from repro.dfg.kernels import (
+    KERNEL_DFGS,
+    bellman_ford_dfg,
+    bsw_dfg,
+    chain_dfg,
+    dtw_dfg,
+    lcs_dfg,
+    pairhmm_dfg,
+    poa_dfg,
+    poa_edge_dfg,
+    poa_final_dfg,
+)
+
+
+@pytest.fixture(params=sorted(KERNEL_DFGS))
+def kernel_dfg(request):
+    return KERNEL_DFGS[request.param]()
+
+
+class TestAllKernels:
+    def test_validates(self, kernel_dfg):
+        kernel_dfg.validate()
+
+    def test_has_outputs(self, kernel_dfg):
+        assert kernel_dfg.outputs
+
+    def test_evaluable_on_arbitrary_inputs(self, kernel_dfg, rng):
+        inputs = {name: rng.randint(-50, 50) for name in kernel_dfg.inputs}
+        outputs = kernel_dfg.evaluate(inputs)
+        assert set(outputs) == set(kernel_dfg.outputs)
+
+
+class TestBSWCell:
+    def test_matches_affine_recurrence(self, rng):
+        dfg = bsw_dfg(gap_open=4, gap_extend=1)
+        oe, ext = 5, 1
+        for _ in range(100):
+            env = {
+                "h_diag": rng.randint(-20, 50),
+                "h_up": rng.randint(-20, 50),
+                "h_left": rng.randint(-20, 50),
+                "e_up": rng.randint(-40, 40),
+                "f_left": rng.randint(-40, 40),
+                "q": rng.randint(0, 3),
+                "t": rng.randint(0, 3),
+            }
+            out = dfg.evaluate(env)
+            score = 1 if env["q"] == env["t"] else -1
+            e = max(env["h_up"] - oe, env["e_up"] - ext)
+            f = max(env["h_left"] - oe, env["f_left"] - ext)
+            h = max(env["h_diag"] + score, e, f, 0)
+            assert out["e"] == e and out["f"] == f and out["h"] == h
+
+    def test_direction_diagonal_on_match_win(self):
+        dfg = bsw_dfg()
+        out = dfg.evaluate(
+            {
+                "h_diag": 10, "h_up": 0, "h_left": 0,
+                "e_up": -100, "f_left": -100, "q": 1, "t": 1,
+            }
+        )
+        assert out["dir"] == 1
+
+
+class TestLCSCell:
+    def test_matches_equation_one(self, rng):
+        dfg = lcs_dfg()
+        for _ in range(50):
+            env = {
+                "c_diag": rng.randint(0, 30),
+                "c_up": rng.randint(0, 30),
+                "c_left": rng.randint(0, 30),
+                "x": rng.randint(0, 3),
+                "y": rng.randint(0, 3),
+            }
+            expected = (
+                env["c_diag"] + 1
+                if env["x"] == env["y"]
+                else max(env["c_up"], env["c_left"])
+            )
+            assert dfg.evaluate(env)["c"] == expected
+
+
+class TestDTWCell:
+    def test_matches_recurrence(self, rng):
+        dfg = dtw_dfg()
+        for _ in range(50):
+            env = {
+                "a": rng.randint(-30, 30),
+                "b": rng.randint(-30, 30),
+                "d_diag": rng.randint(0, 100),
+                "d_up": rng.randint(0, 100),
+                "d_left": rng.randint(0, 100),
+            }
+            expected = abs(env["a"] - env["b"]) + min(
+                env["d_diag"], env["d_up"], env["d_left"]
+            )
+            assert dfg.evaluate(env)["d"] == expected
+
+
+class TestBellmanFordCell:
+    def test_relaxation(self):
+        dfg = bellman_ford_dfg()
+        out = dfg.evaluate(
+            {"dist_u": 5, "weight": 2, "dist_v": 10, "u_idx": 3, "pred": -1}
+        )
+        assert out["dist"] == 7
+        assert out["pred"] == 3
+
+    def test_no_improvement_keeps_pred(self):
+        dfg = bellman_ford_dfg()
+        out = dfg.evaluate(
+            {"dist_u": 5, "weight": 10, "dist_v": 7, "u_idx": 3, "pred": 1}
+        )
+        assert out["dist"] == 7
+        assert out["pred"] == 1
+
+
+class TestPairHMMCell:
+    def test_log_domain_products_are_adds(self):
+        from repro.kernels.pairhmm import log_sum_lookup
+
+        dfg = pairhmm_dfg()
+        env = {
+            "a_mm": -10, "a_im": -20, "a_gap": -5000, "a_ext": -2000,
+            "m_diag": -100, "i_diag": -90000, "d_diag": -90000,
+            "m_up": -200, "i_up": -300, "m_left": -150, "d_left": -250,
+            "rho": -6,
+        }
+        out = dfg.evaluate(env)
+        expected_i = log_sum_lookup(
+            env["a_gap"] + env["m_up"], env["a_ext"] + env["i_up"]
+        )
+        assert out["i"] == expected_i
+
+    def test_inline_emission_variant_uses_bases(self):
+        dfg = pairhmm_dfg(inline_emission=True)
+        assert "q" in dfg.inputs and "t" in dfg.inputs
+        assert "rho" not in dfg.inputs
+
+
+class TestChainCell:
+    def test_gating_rejects_backward(self):
+        dfg = chain_dfg()
+        out = dfg.evaluate(
+            {
+                "x_i": 10, "y_i": 10, "x_j": 50, "y_j": 50,
+                "w": 19, "f_j": 1000, "f_i": 42, "j_idx": 7, "parent": -1,
+            }
+        )
+        assert out["f"] == 42
+        assert out["parent"] == -1
+
+    def test_matches_fixed_reference(self, rng):
+        from repro.kernels.chain import Anchor
+        from repro.kernels.chain_fixed import REJECTED, pair_score_fixed
+
+        dfg = chain_dfg()
+        for _ in range(100):
+            prev = Anchor(rng.randint(0, 800), rng.randint(0, 800))
+            cur = Anchor(prev.x + rng.randint(-20, 550), prev.y + rng.randint(-20, 550))
+            f_j, f_i = rng.randint(0, 30000), rng.randint(0, 30000)
+            out = dfg.evaluate(
+                {
+                    "x_i": cur.x, "y_i": cur.y, "x_j": prev.x, "y_j": prev.y,
+                    "w": cur.w, "f_j": f_j, "f_i": f_i, "j_idx": 5, "parent": 2,
+                }
+            )
+            gain = pair_score_fixed(prev, cur)
+            candidate = f_j + gain if gain != REJECTED else REJECTED
+            assert out["f"] == max(f_i, candidate)
+            assert out["parent"] == (5 if candidate > f_i else 2)
+
+
+class TestPOACells:
+    def test_edge_block_folds_maxima(self):
+        dfg = poa_edge_dfg(gap_open=4, gap_extend=1)
+        out = dfg.evaluate(
+            {
+                "diag_best": 3, "up_best": -7,
+                "h_pred_diag": 9, "h_pred_up": 6, "f_pred_up": 2,
+            }
+        )
+        assert out["diag_best"] == 9
+        assert out["up_best"] == max(-7, max(6 - 5, 2 - 1))
+
+    def test_final_block_combines(self):
+        dfg = poa_final_dfg(gap_open=4, gap_extend=1)
+        out = dfg.evaluate(
+            {
+                "diag_best": 5, "up_best": 2, "q": 1, "t": 1,
+                "h_left": 4, "e_left": -100,
+            }
+        )
+        assert out["h"] == 6  # diag 5 + match 1 wins
+        assert out["e"] == max(4 - 5, -101)
+
+    def test_unrolled_poa_requires_one_edge(self):
+        with pytest.raises(ValueError):
+            poa_dfg(unrolled_edges=0)

@@ -1,0 +1,74 @@
+"""Tests for the DPAx tile: composition and interconnect."""
+
+import pytest
+
+from repro.dpax.machine import DPAxMachine, single_array_machine
+from repro.isa.control import halt, li, reg, set_unit
+
+
+class TestComposition:
+    def test_default_tile_shape(self):
+        machine = DPAxMachine()
+        assert len(machine.int_arrays) == 16
+        assert len(machine.fp_arrays) == 1
+        assert sum(len(a.pes) for a in machine.int_arrays) == 64
+
+    def test_fp_array_uses_fp_datapath(self):
+        machine = DPAxMachine()
+        assert machine.fp_arrays[0].pes[0].config.datapath == "fp"
+        assert machine.int_arrays[0].pes[0].config.datapath == "int"
+
+
+class TestConcatenation:
+    def test_chain_rewires_out_targets(self):
+        machine = DPAxMachine(integer_arrays=4, fp_arrays=0)
+        machine.concatenate([0, 1, 2, 3])
+        for upstream, downstream in zip(machine.int_arrays, machine.int_arrays[1:]):
+            assert upstream.pes[-1].out_target is downstream.pes[0].in_queue
+
+    def test_chain_fifo_wraps_to_head(self):
+        machine = DPAxMachine(integer_arrays=2, fp_arrays=0)
+        machine.concatenate([0, 1])
+        head, tail = machine.int_arrays
+        assert tail.pes[-1].fifo_write is head.fifo
+        assert tail.pes[0].fifo_read is None
+
+    def test_singleton_chain_rejected(self):
+        machine = DPAxMachine(integer_arrays=2, fp_arrays=0)
+        with pytest.raises(ValueError):
+            machine.concatenate([0])
+
+    def test_duplicate_chain_rejected(self):
+        machine = DPAxMachine(integer_arrays=2, fp_arrays=0)
+        with pytest.raises(ValueError):
+            machine.concatenate([0, 0])
+
+
+class TestRun:
+    def test_requires_a_program(self):
+        with pytest.raises(ValueError):
+            DPAxMachine(integer_arrays=1, fp_arrays=0).run()
+
+    def test_runs_to_completion(self):
+        machine = DPAxMachine(integer_arrays=1, fp_arrays=0)
+        array = machine.int_arrays[0]
+        array.load_pe(0, [li(reg(0), 1), halt()], [])
+        array.load_array_control([set_unit(0, 1), halt()])
+        result = machine.run()
+        assert result.finished
+        assert result.cycles > 0
+
+    def test_cycle_cap_reports_unfinished(self):
+        from repro.isa.control import IN_PORT, mv
+
+        machine = DPAxMachine(integer_arrays=1, fp_arrays=0)
+        array = machine.int_arrays[0]
+        # PE waits forever on an empty in-port.
+        array.load_pe(0, [mv(reg(0), IN_PORT), halt()], [])
+        array.load_array_control([set_unit(0, 1), halt()])
+        result = machine.run(max_cycles=50)
+        assert not result.finished
+
+    def test_single_array_helper(self):
+        array = single_array_machine()
+        assert len(array.pes) == 4

@@ -1,0 +1,96 @@
+"""Tests for DPAx storage components."""
+
+import pytest
+
+from repro.dpax.storage import (
+    DataBuffer,
+    Fifo,
+    PortQueue,
+    RegisterFile,
+    Scratchpad,
+    StorageError,
+)
+
+
+class TestRegisterFile:
+    def test_read_write(self):
+        rf = RegisterFile(8)
+        rf.write(3, -42)
+        assert rf.read(3) == -42
+
+    def test_uninitialized_reads_zero(self):
+        assert RegisterFile(8).read(0) == 0
+
+    def test_bounds_checked(self):
+        rf = RegisterFile(8)
+        with pytest.raises(StorageError):
+            rf.write(8, 1)
+        with pytest.raises(StorageError):
+            rf.read(-1)
+
+    def test_access_counters(self):
+        rf = RegisterFile(8)
+        rf.write(0, 1)
+        rf.read(0)
+        rf.read(0)
+        assert rf.reads == 2 and rf.writes == 1 and rf.accesses == 3
+
+
+class TestScratchpad:
+    def test_independent_of_rf(self):
+        spm = Scratchpad(16)
+        spm.write(5, 99)
+        assert spm.read(5) == 99
+        assert spm.accesses == 2
+
+    def test_bounds(self):
+        with pytest.raises(StorageError):
+            Scratchpad(4).read(4)
+
+
+class TestPortQueue:
+    def test_fifo_order(self):
+        queue = PortQueue(4)
+        for value in (1, 2, 3):
+            assert queue.push(value)
+        assert [queue.pop() for _ in range(3)] == [1, 2, 3]
+
+    def test_full_push_fails_without_losing_data(self):
+        queue = PortQueue(2)
+        queue.push(1)
+        queue.push(2)
+        assert not queue.push(3)
+        assert len(queue) == 2
+
+    def test_empty_pop_returns_none(self):
+        assert PortQueue(2).pop() is None
+
+    def test_counters(self):
+        queue = PortQueue(4)
+        queue.push(1)
+        queue.pop()
+        assert queue.pushes == 1 and queue.pops == 1
+
+    def test_fifo_is_deeper(self):
+        assert Fifo().capacity > PortQueue().capacity
+
+
+class TestDataBuffer:
+    def test_preload_and_read(self):
+        buffer = DataBuffer(16)
+        buffer.preload([10, 20, 30], base=2)
+        assert buffer.read(3) == 20
+
+    def test_preload_not_counted(self):
+        buffer = DataBuffer(16)
+        buffer.preload([1, 2, 3])
+        assert buffer.reads == 0 and buffer.writes == 0
+
+    def test_dump(self):
+        buffer = DataBuffer(16)
+        buffer.preload([7, 8, 9])
+        assert buffer.dump(0, 3) == [7, 8, 9]
+
+    def test_preload_bounds(self):
+        with pytest.raises(StorageError):
+            DataBuffer(2).preload([1, 2, 3])

@@ -1,0 +1,109 @@
+"""Tests for the DPMap driver and its statistics."""
+
+import pytest
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dfg.kernels import KERNEL_DFGS
+from repro.dpmap.mapper import run_dpmap
+from repro.dpmap.slots import try_assign
+
+
+@pytest.fixture(params=sorted(KERNEL_DFGS))
+def kernel_name(request):
+    return request.param
+
+
+class TestLegality:
+    def test_every_component_fits_a_cu(self, kernel_name):
+        for levels in (1, 2, 3):
+            result = run_dpmap(KERNEL_DFGS[kernel_name](), levels=levels)
+            for component in result.components:
+                assert try_assign(result.graph, component, levels) is not None
+
+    def test_outputs_all_written(self, kernel_name):
+        result = run_dpmap(KERNEL_DFGS[kernel_name]())
+        roots = {c.node_ids[-1] for c in result.components}
+        for name, node_id in result.graph.outputs.items():
+            assert node_id in roots, f"output {name} not a component root"
+
+
+class TestSchedule:
+    def test_schedule_covers_all_components(self, kernel_name):
+        result = run_dpmap(KERNEL_DFGS[kernel_name]())
+        issued = [i for cycle in result.schedule for i in cycle]
+        assert sorted(issued) == list(range(len(result.components)))
+
+    def test_at_most_two_issues_per_cycle(self, kernel_name):
+        result = run_dpmap(KERNEL_DFGS[kernel_name]())
+        assert all(len(cycle) <= 2 for cycle in result.schedule)
+
+    def test_dependencies_respected(self, kernel_name):
+        result = run_dpmap(KERNEL_DFGS[kernel_name]())
+        from repro.dpmap.mapper import _component_dependencies
+
+        deps = _component_dependencies(result.graph, result.components)
+        finish_cycle = {}
+        for cycle_index, issue in enumerate(result.schedule):
+            for component_index in issue:
+                finish_cycle[component_index] = cycle_index
+        for component_index, dep_set in enumerate(deps):
+            for dep in dep_set:
+                assert finish_cycle[dep] < finish_cycle[component_index]
+
+
+class TestStatsTrends:
+    """The Table 2 trends the paper's design choice rests on."""
+
+    def test_rf_accesses_decrease_with_tree_depth(self, kernel_name):
+        dfg = KERNEL_DFGS[kernel_name]
+        accesses = [
+            run_dpmap(dfg(), levels=levels).stats.rf_accesses for levels in (1, 2, 3)
+        ]
+        assert accesses[0] >= accesses[1] >= accesses[2]
+
+    def test_utilization_decreases_with_tree_depth(self, kernel_name):
+        dfg = KERNEL_DFGS[kernel_name]
+        utils = [
+            run_dpmap(dfg(), levels=levels).stats.cu_utilization
+            for levels in (1, 2, 3)
+        ]
+        assert utils[0] >= utils[1] >= utils[2]
+
+    def test_cycles_shrink_or_hold_with_depth(self, kernel_name):
+        dfg = KERNEL_DFGS[kernel_name]
+        cycles = [
+            run_dpmap(dfg(), levels=levels).stats.cycles for levels in (1, 2, 3)
+        ]
+        assert cycles[0] >= cycles[1] >= cycles[2]
+
+
+class TestStatsValues:
+    def test_level1_everything_spills(self):
+        dfg = KERNEL_DFGS["lcs"]()
+        result = run_dpmap(dfg, levels=1)
+        assert result.stats.component_count == dfg.operator_count()
+
+    def test_utilization_in_unit_interval(self, kernel_name):
+        stats = run_dpmap(KERNEL_DFGS[kernel_name]()).stats
+        assert 0.0 < stats.cu_utilization <= 1.0
+
+    def test_instructions_per_cell_equals_cycles(self, kernel_name):
+        stats = run_dpmap(KERNEL_DFGS[kernel_name]()).stats
+        assert stats.instructions_per_cell == stats.cycles
+
+
+class TestMixedConsumerSpill:
+    def test_value_read_by_tree_and_rf_is_written(self):
+        # Bellman-Ford's `cand` regression: kept edge into MIN plus an
+        # RF read from the partitioned 4-input select.
+        dfg = DataFlowGraph("bf_like")
+        cand = dfg.op(Opcode.ADD, dfg.input("du"), dfg.input("w"))
+        dist = dfg.op(Opcode.MIN, dfg.input("dv"), cand)
+        pred = dfg.op(
+            Opcode.CMP_GT, dfg.input("dv"), cand, dfg.input("u"), dfg.input("p")
+        )
+        dfg.mark_output("dist", dist)
+        dfg.mark_output("pred", pred)
+        result = run_dpmap(dfg)
+        roots = {c.node_ids[-1] for c in result.components}
+        assert 0 in roots  # cand spilled to its own CU

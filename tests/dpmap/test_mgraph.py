@@ -1,0 +1,112 @@
+"""Direct tests for the DPMap working graph (edge surgery primitives)."""
+
+import pytest
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dpmap.mgraph import MappingGraph
+
+
+def chain_graph():
+    dfg = DataFlowGraph("chain3")
+    n0 = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(1))
+    n1 = dfg.op(Opcode.ADD, n0, dfg.const(2))
+    n2 = dfg.op(Opcode.MAX, n1, dfg.input("b"))
+    dfg.mark_output("o", n2)
+    return MappingGraph(dfg)
+
+
+class TestEdgeSurgery:
+    def test_initial_edges_all_kept(self):
+        graph = chain_graph()
+        assert graph.via_parents(1) == [0]
+        assert graph.via_children(0) == [1]
+
+    def test_remove_input_edges_reroutes_via_rf(self):
+        graph = chain_graph()
+        graph.remove_input_edges(1)
+        assert graph.via_parents(1) == []
+        # The dependency still exists, just through the RF.
+        source = graph.nodes[1].sources[0]
+        assert source.producer == 0 and source.is_rf_read
+
+    def test_remove_output_edges(self):
+        graph = chain_graph()
+        graph.remove_output_edges(0)
+        assert graph.via_children(0) == []
+        assert graph.all_children(0) == [1]
+
+    def test_remove_specific_edge(self):
+        dfg = DataFlowGraph("fan")
+        shared = dfg.op(Opcode.ADD, dfg.input("a"), dfg.input("b"))
+        c1 = dfg.op(Opcode.MAX, shared, dfg.const(0))
+        c2 = dfg.op(Opcode.MIN, shared, dfg.const(9))
+        dfg.mark_output("x", c1)
+        dfg.mark_output("y", c2)
+        graph = MappingGraph(dfg)
+        graph.remove_edge(0, 1)
+        assert graph.via_children(0) == [2]
+
+
+class TestReplication:
+    def test_clone_feeds_only_the_child(self):
+        dfg = DataFlowGraph("rep")
+        sel = dfg.op(
+            Opcode.CMP_GT, dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d")
+        )
+        c1 = dfg.op(Opcode.ADD, sel, dfg.const(1))
+        c2 = dfg.op(Opcode.MAX, sel, dfg.const(2))
+        dfg.mark_output("x", c1)
+        dfg.mark_output("y", c2)
+        graph = MappingGraph(dfg)
+        graph.remove_input_edges(0)
+        clone = graph.replicate_for_child(0, 1)
+        assert graph.nodes[clone].replica_of == 0
+        assert graph.via_parents(1) == [clone]
+        assert graph.via_children(0) == [2]  # original keeps the other child
+
+    def test_clone_reads_operands_from_rf(self):
+        dfg = DataFlowGraph("rep2")
+        base = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(1))
+        sel = dfg.op(Opcode.CMP_GT, base, dfg.input("b"), dfg.const(1), dfg.const(0))
+        child = dfg.op(Opcode.ADD, sel, dfg.const(3))
+        dfg.mark_output("o", child)
+        graph = MappingGraph(dfg)
+        graph.remove_input_edges(1)
+        clone = graph.replicate_for_child(1, 2)
+        for source in graph.nodes[clone].sources:
+            if source.producer is not None:
+                assert not source.via_edge
+
+
+class TestComponents:
+    def test_topological_member_order_with_replicas(self):
+        dfg = DataFlowGraph("topo")
+        sel = dfg.op(
+            Opcode.CMP_GT, dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d")
+        )
+        child = dfg.op(Opcode.ADD, sel, dfg.const(1))
+        dfg.mark_output("o", child)
+        graph = MappingGraph(dfg)
+        graph.remove_input_edges(0)
+        clone = graph.replicate_for_child(0, 1)
+        component = next(
+            c for c in graph.components() if clone in c.node_ids
+        )
+        # The clone's id is larger than its child's, but topological
+        # order puts the producer first.
+        assert component.node_ids.index(clone) < component.node_ids.index(1)
+
+    def test_dead_node_elimination(self):
+        dfg = DataFlowGraph("dead")
+        used = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(1))
+        dfg.op(Opcode.SUB, dfg.input("a"), dfg.const(1))  # never consumed
+        dfg.mark_output("o", used)
+        graph = MappingGraph(dfg)
+        dropped = graph.drop_dead_nodes()
+        assert dropped == [1]
+        assert 1 not in graph.nodes
+
+    def test_component_depth(self):
+        graph = chain_graph()
+        component = graph.components()[0]
+        assert graph.component_depth(component) == 3

@@ -1,0 +1,173 @@
+"""Tests for the three DPMap passes (Algorithms 1-3)."""
+
+import pytest
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dpmap.mgraph import MappingGraph
+from repro.dpmap.passes import (
+    legalize_pass,
+    partitioning_pass,
+    refinement_pass,
+    seeding_pass,
+)
+
+
+def build(fn):
+    dfg = DataFlowGraph("t")
+    fn(dfg)
+    return MappingGraph(dfg)
+
+
+class TestPartitioning:
+    def test_mul_isolated(self):
+        def body(dfg):
+            a = dfg.op(Opcode.ADD, dfg.input("x"), dfg.input("y"))
+            m = dfg.op(Opcode.MUL, a, dfg.const(4))
+            out = dfg.op(Opcode.ADD, m, dfg.const(1))
+            dfg.mark_output("o", out)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        components = graph.components()
+        mul_component = next(
+            c for c in components if graph.nodes[c.node_ids[0]].opcode is Opcode.MUL
+        )
+        assert len(mul_component) == 1
+
+    def test_four_input_keeps_single_child_edge(self):
+        def body(dfg):
+            sel = dfg.op(
+                Opcode.CMP_GT,
+                dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d"),
+            )
+            out = dfg.op(Opcode.ADD, sel, dfg.const(1))
+            dfg.mark_output("o", out)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        # The CMP -> ADD edge survives: they share a CU.
+        assert graph.via_children(0) == [1]
+
+    def test_four_input_multi_child_replicates_commutative(self):
+        def body(dfg):
+            sel = dfg.op(
+                Opcode.CMP_GT,
+                dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d"),
+            )
+            left = dfg.op(Opcode.ADD, sel, dfg.const(1))
+            right = dfg.op(Opcode.MAX, sel, dfg.const(2))
+            dfg.mark_output("l", left)
+            dfg.mark_output("r", right)
+
+        graph = build(body)
+        before = len(graph.nodes)
+        partitioning_pass(graph)
+        # Both children are commutative: two replicas, dead original removed.
+        assert len(graph.nodes) == before + 1
+        replicas = [n for n in graph.nodes.values() if n.replica_of is not None]
+        assert len(replicas) >= 1
+
+    def test_four_input_subtraction_child_spills(self):
+        def body(dfg):
+            sel = dfg.op(
+                Opcode.CMP_EQ,
+                dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d"),
+            )
+            sub = dfg.op(Opcode.SUB, sel, dfg.const(1))
+            add = dfg.op(Opcode.ADD, sel, dfg.const(1))
+            dfg.mark_output("s", sub)
+            dfg.mark_output("a_out", add)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        # The SUB reads the CMP through the register file (no replica
+        # feeding a subtraction).
+        sub_node = next(
+            n for n in graph.nodes.values() if n.opcode is Opcode.SUB
+        )
+        cmp_sources = [s for s in sub_node.sources if s.producer is not None]
+        assert all(not s.via_edge for s in cmp_sources)
+
+
+class TestSeeding:
+    def test_two_parent_seed_groups_three_nodes(self):
+        def body(dfg):
+            p1 = dfg.op(Opcode.SUB, dfg.input("a"), dfg.const(5))
+            p2 = dfg.op(Opcode.SUB, dfg.input("b"), dfg.const(1))
+            seed = dfg.op(Opcode.MAX, p1, p2)
+            dfg.mark_output("o", seed)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        seeding_pass(graph)
+        components = graph.components()
+        assert any(len(c) == 3 for c in components)
+
+    def test_multi_child_node_spills(self):
+        def body(dfg):
+            shared = dfg.op(Opcode.ADD, dfg.input("a"), dfg.input("b"))
+            c1 = dfg.op(Opcode.MAX, shared, dfg.const(0))
+            c2 = dfg.op(Opcode.MIN, shared, dfg.const(9))
+            dfg.mark_output("x", c1)
+            dfg.mark_output("y", c2)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        seeding_pass(graph)
+        assert graph.via_children(0) == []
+
+
+class TestRefinement:
+    def test_chain_paired_two_at_a_time(self):
+        def body(dfg):
+            n0 = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(1))
+            n1 = dfg.op(Opcode.ADD, n0, dfg.const(2))
+            n2 = dfg.op(Opcode.ADD, n1, dfg.const(3))
+            n3 = dfg.op(Opcode.ADD, n2, dfg.const(4))
+            dfg.mark_output("o", n3)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        seeding_pass(graph)
+        refinement_pass(graph)
+        sizes = sorted(len(c) for c in graph.components())
+        assert sizes == [2, 2]
+
+    def test_odd_chain_leaves_singleton(self):
+        def body(dfg):
+            n0 = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(1))
+            n1 = dfg.op(Opcode.ADD, n0, dfg.const(2))
+            n2 = dfg.op(Opcode.ADD, n1, dfg.const(3))
+            dfg.mark_output("o", n2)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        seeding_pass(graph)
+        refinement_pass(graph)
+        sizes = sorted(len(c) for c in graph.components())
+        assert sizes == [1, 2]
+
+
+class TestLegalize:
+    def test_two_four_input_parents_get_split(self):
+        def body(dfg):
+            s1 = dfg.op(
+                Opcode.CMP_GT,
+                dfg.input("a"), dfg.input("b"), dfg.input("c"), dfg.input("d"),
+            )
+            s2 = dfg.op(
+                Opcode.CMP_GT,
+                dfg.input("e"), dfg.input("f"), dfg.input("g"), dfg.input("h"),
+            )
+            seed = dfg.op(Opcode.ADD, s1, s2)
+            dfg.mark_output("o", seed)
+
+        graph = build(body)
+        partitioning_pass(graph)
+        seeding_pass(graph)
+        refinement_pass(graph)
+        legalize_pass(graph, levels=2)
+        from repro.dpmap.slots import try_assign
+
+        for component in graph.components():
+            assert try_assign(graph, component, 2) is not None

@@ -1,0 +1,115 @@
+"""Tests for compute-unit slot assignment."""
+
+import pytest
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dpmap.mgraph import Component, MappingGraph
+from repro.dpmap.slots import try_assign
+
+
+def graph_of(fn):
+    dfg = DataFlowGraph("t")
+    fn(dfg)
+    return MappingGraph(dfg)
+
+
+def whole_component(graph):
+    return Component(node_ids=graph._topo_sort(list(graph.nodes)))
+
+
+class TestTreeShapes:
+    def test_single_alu_op_fits(self):
+        graph = graph_of(
+            lambda d: d.mark_output("o", d.op(Opcode.ADD, d.input("a"), d.input("b")))
+        )
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment is not None and assignment.kind == "tree"
+
+    def test_three_node_tree_fits(self):
+        def body(d):
+            p1 = d.op(Opcode.SUB, d.input("a"), d.const(1))
+            p2 = d.op(Opcode.SUB, d.input("b"), d.const(2))
+            d.mark_output("o", d.op(Opcode.MAX, p1, p2))
+
+        graph = graph_of(body)
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment is not None
+        assert assignment.alu_ops_used == 3
+
+    def test_depth_three_chain_rejected_at_two_levels(self):
+        def body(d):
+            n0 = d.op(Opcode.ADD, d.input("a"), d.const(1))
+            n1 = d.op(Opcode.ADD, n0, d.const(2))
+            d.mark_output("o", d.op(Opcode.ADD, n1, d.const(3)))
+
+        graph = graph_of(body)
+        assert try_assign(graph, whole_component(graph), 2) is None
+        assert try_assign(graph, whole_component(graph), 3) is not None
+
+    def test_pair_with_rf_root_operand_costs_a_copy(self):
+        def body(d):
+            leaf = d.op(Opcode.ADD, d.input("a"), d.input("b"))
+            d.mark_output("o", d.op(Opcode.MAX, leaf, d.input("c")))
+
+        graph = graph_of(body)
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment is not None
+        assert assignment.copy_count == 1
+
+
+class TestSpecialUnits:
+    def test_lone_mul(self):
+        graph = graph_of(
+            lambda d: d.mark_output("o", d.op(Opcode.MUL, d.input("a"), d.const(4)))
+        )
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment.kind == "mul"
+
+    def test_mul_with_companion_rejected(self):
+        def body(d):
+            m = d.op(Opcode.MUL, d.input("a"), d.const(4))
+            d.mark_output("o", d.op(Opcode.ADD, m, d.const(1)))
+
+        graph = graph_of(body)
+        assert try_assign(graph, whole_component(graph), 2) is None
+
+    def test_four_input_takes_left_alu(self):
+        def body(d):
+            sel = d.op(
+                Opcode.CMP_GT, d.input("a"), d.input("b"), d.input("c"), d.input("d")
+            )
+            d.mark_output("o", d.op(Opcode.ADD, sel, d.input("e")))
+
+        graph = graph_of(body)
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment is not None
+        # 4-input leaf + root + a copy ferrying the RF operand.
+        assert assignment.copy_count == 1
+
+    def test_two_four_input_nodes_rejected(self):
+        def body(d):
+            s1 = d.op(
+                Opcode.CMP_GT, d.input("a"), d.input("b"), d.input("c"), d.input("d")
+            )
+            s2 = d.op(
+                Opcode.CMP_EQ, d.input("e"), d.input("f"), d.input("g"), d.input("h")
+            )
+            d.mark_output("o", d.op(Opcode.ADD, s1, s2))
+
+        graph = graph_of(body)
+        assert try_assign(graph, whole_component(graph), 2) is None
+
+
+class TestOperandBudget:
+    def test_six_operand_tree_accepted(self):
+        def body(d):
+            sel = d.op(
+                Opcode.CMP_GT, d.input("a"), d.input("b"), d.input("c"), d.input("d")
+            )
+            other = d.op(Opcode.SUB, d.input("e"), d.input("f"))
+            d.mark_output("o", d.op(Opcode.ADD, sel, other))
+
+        graph = graph_of(body)
+        assignment = try_assign(graph, whole_component(graph), 2)
+        assert assignment is not None
+        assert assignment.alu_ops_used == 3

@@ -1,0 +1,143 @@
+"""Integration tests crossing package boundaries."""
+
+import math
+import random
+
+import pytest
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.sw import align
+from repro.seq.alphabet import encode
+
+
+class TestShortReadFlow:
+    """Workload generator -> reference kernel -> DPAx simulator."""
+
+    def test_bsw_workload_through_simulator(self):
+        from repro.mapping.kernels2d import bsw_wavefront_spec
+        from repro.mapping.wavefront2d import run_wavefront
+        from repro.workloads.reads import generate_bsw_workload
+
+        workload = generate_bsw_workload(
+            count=2, query_length=12, target_length=8, seed=11
+        )
+        spec = bsw_wavefront_spec()
+        for pair in workload.pairs:
+            run = run_wavefront(
+                spec, target=encode(pair.target), stream=encode(pair.query)
+            )
+            reference = align(pair.query, pair.target, mode=AlignmentMode.LOCAL)
+            assert max(run.epilogue_series("hmax")) == reference.score
+
+    def test_pairhmm_workload_scoring_consistency(self):
+        from repro.kernels.pairhmm import pairhmm_forward, pairhmm_forward_pruned
+        from repro.workloads.haplotypes import generate_pairhmm_workload
+
+        workload = generate_pairhmm_workload(
+            regions=2, reads_per_region=2, haplotypes_per_region=2,
+            read_length=20, haplotype_length=16, seed=3,
+        )
+        recomputes = 0
+        for pair in workload.pairs:
+            exact = pairhmm_forward(pair.read, pair.haplotype, qualities=pair.qualities)
+            pruned = pairhmm_forward_pruned(
+                pair.read, pair.haplotype, qualities=pair.qualities
+            )
+            if pruned.needs_recompute:
+                recomputes += 1
+                continue
+            assert pruned.log10_likelihood == pytest.approx(exact, abs=0.1)
+        # The host-recompute tail stays small (the paper's 2.3%).
+        assert recomputes <= len(workload.pairs) // 4
+
+
+class TestLongReadFlow:
+    """Chain overlaps feed POA consensus, reference vs simulator."""
+
+    def test_chain_workload_through_simulator(self):
+        from repro.kernels.chain_fixed import chain_reordered_fixed
+        from repro.mapping.sliding1d import run_chain
+        from repro.workloads.anchors import generate_chain_workload
+
+        workload = generate_chain_workload(
+            tasks=1, anchors_per_task=20, collinear_fraction=1.0, seed=5
+        )
+        anchors = workload.tasks[0].anchors
+        run = run_chain(anchors, total_pes=4)
+        reference = chain_reordered_fixed(anchors, n=4)
+        assert run.result.scores == reference.scores
+
+    def test_poa_workload_consensus_recovers_template(self):
+        from repro.kernels.poa import poa_consensus
+        from repro.kernels.sw import align as sw_align
+        from repro.workloads.poa_groups import generate_poa_workload
+
+        workload = generate_poa_workload(
+            tasks=1, reads_per_task=7, template_length=50, seed=6
+        )
+        task = workload.tasks[0]
+        consensus = poa_consensus(task.reads)
+        identity = sw_align(consensus, task.template).score / len(task.template)
+        assert identity > 0.7
+
+
+class TestMultiArrayTile:
+    def test_two_arrays_run_independent_tasks(self):
+        """Two integer arrays of one tile run two LCS tasks in parallel
+        -- the 2D kernels' task-parallel deployment (Section 3.1)."""
+        from repro.dpax.machine import DPAxMachine
+        from repro.kernels.lcs import lcs_table
+        from repro.mapping.kernels2d import lcs_wavefront_spec
+        from repro.mapping.wavefront2d import build_wavefront_programs
+        from repro.seq.alphabet import random_sequence
+
+        rng = random.Random(13)
+        machine = DPAxMachine(integer_arrays=2, fp_arrays=0)
+        tasks = []
+        for array in machine.int_arrays:
+            x = random_sequence(8, rng)
+            y = random_sequence(4, rng)
+            programs = build_wavefront_programs(lcs_wavefront_spec(), 4, 8)
+            array.ibuf.preload(encode(y), base=0)
+            array.ibuf.preload(encode(x), base=4)
+            array.load_array_control(programs.array_control)
+            for position in range(4):
+                array.load_pe(
+                    position,
+                    programs.pe_control[position],
+                    programs.pe_compute[position],
+                )
+            tasks.append((x, y))
+
+        result = machine.run()
+        assert result.finished
+        for array, (x, y) in zip(machine.int_arrays, tasks):
+            got = array.obuf.dump(0, 4)
+            reference = lcs_table(x, y)
+            # Tail-to-head order within the single pass.
+            expected = [reference[len(x)][j] for j in (4, 3, 2, 1)]
+            assert got == expected
+
+
+class TestModelConsistency:
+    def test_experiment_rollup_uses_simulator_rates(self):
+        from repro.perfmodel.throughput import (
+            DEFAULT_CYCLES_PER_CELL,
+            GenDPPerfModel,
+        )
+
+        model = GenDPPerfModel()
+        for kernel, kt in model.kernels.items():
+            assert kt.cycles_per_cell == DEFAULT_CYCLES_PER_CELL[kernel]
+
+    def test_speedup_rollup_complete(self):
+        from repro.analysis.speedups import headline_speedups, speedup_rollup
+
+        rows = speedup_rollup()
+        headlines = headline_speedups(rows)
+        assert set(headlines) == {
+            "speedup_vs_cpu_per_mm2",
+            "speedup_vs_gpu_per_mm2",
+            "throughput_per_watt_vs_gpu",
+            "asic_slowdown_geomean",
+        }

@@ -1,0 +1,137 @@
+"""Round-trip tests for the textual assembler."""
+
+import pytest
+
+from repro.dfg.graph import Opcode
+from repro.isa.assembler import (
+    AssemblyError,
+    assemble_control,
+    assemble_vliw,
+    disassemble_control,
+    disassemble_vliw,
+)
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.isa.control import (
+    ControlOp,
+    FIFO_PORT,
+    IN_PORT,
+    OUT_PORT,
+    add,
+    addi,
+    branch,
+    halt,
+    ibuf,
+    li,
+    mv,
+    noop,
+    reg,
+    set_unit,
+    spm,
+)
+
+CONTROL_SAMPLES = [
+    add(1, 2, 3),
+    addi(0, 0, -7),
+    li(reg(3), 42),
+    li(FIFO_PORT, -1),
+    mv(reg(5), IN_PORT),
+    mv(OUT_PORT, spm(2, indirect=True)),
+    mv(ibuf(9), reg(1)),
+    branch(ControlOp.BEQ, 1, 2, 4),
+    branch(ControlOp.BLT, 0, 3, -12),
+    set_unit(0, 13),
+    noop(),
+    halt(),
+]
+
+
+class TestControlRoundTrip:
+    @pytest.mark.parametrize("instruction", CONTROL_SAMPLES, ids=lambda i: i.op.value)
+    def test_roundtrip(self, instruction):
+        text = disassemble_control(instruction)
+        assert assemble_control(text) == instruction
+
+    def test_known_syntax(self):
+        assert disassemble_control(mv(reg(3), IN_PORT)) == "mv r3 in"
+        assert disassemble_control(branch(ControlOp.BLT, 0, 1, -4)) == "blt a0 a1 -4"
+
+    def test_bad_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble_control("jmp r1")
+
+    def test_bad_location(self):
+        with pytest.raises(AssemblyError):
+            assemble_control("mv q3 in")
+
+
+VLIW_SAMPLES = [
+    VLIWInstruction(
+        cu0=CUInstruction(
+            kind="tree",
+            dest=Reg(7),
+            left=SlotOp(Opcode.SUB, (Reg(1), Imm(5))),
+            right=SlotOp(Opcode.SUB, (Reg(2), Imm(1))),
+            root=Opcode.MAX,
+        ),
+        cu1=None,
+    ),
+    VLIWInstruction(
+        cu0=CUInstruction(
+            kind="mul", dest=Reg(3), mul=SlotOp(Opcode.MUL, (Reg(1), Imm(400)))
+        ),
+        cu1=CUInstruction(
+            kind="tree",
+            dest=Reg(9),
+            left=SlotOp(
+                Opcode.CMP_GT, (Reg(1), Reg(2), Reg(3), Reg(4))
+            ),
+        ),
+    ),
+    VLIWInstruction(
+        cu0=CUInstruction(
+            kind="tree",
+            dest=Reg(2),
+            left=SlotOp(Opcode.CMP_EQ, (Reg(1), Reg(5), Imm(1), Reg(6))),
+            right=SlotOp(Opcode.COPY, (Reg(0),)),
+            root=Opcode.SUB,
+            root_swapped=True,
+        ),
+        cu1=None,
+    ),
+]
+
+
+class TestVLIWRoundTrip:
+    @pytest.mark.parametrize("bundle", VLIW_SAMPLES)
+    def test_roundtrip(self, bundle):
+        text = disassemble_vliw(bundle)
+        assert assemble_vliw(text) == bundle
+
+    def test_unbraced_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_vliw("tree R:add(r1,r2) -> r3 | nop")
+
+    def test_missing_dest_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble_vliw("{ tree R:add(r1,r2) | nop }")
+
+
+class TestKernelProgramsRoundTrip:
+    def test_all_kernel_compute_programs(self):
+        from repro.dfg.kernels import KERNEL_DFGS
+        from repro.dpmap.codegen import compile_cell
+
+        for name, builder in KERNEL_DFGS.items():
+            program = compile_cell(builder())
+            for bundle in program.instructions:
+                assert assemble_vliw(disassemble_vliw(bundle)) == bundle
+
+    def test_generated_control_programs(self):
+        from repro.mapping.kernels2d import lcs_wavefront_spec
+        from repro.mapping.wavefront2d import build_wavefront_programs
+
+        programs = build_wavefront_programs(lcs_wavefront_spec(), 4, 6)
+        for stream in programs.pe_control + [programs.array_control]:
+            for instruction in stream:
+                text = disassemble_control(instruction)
+                assert assemble_control(text) == instruction

@@ -1,0 +1,80 @@
+"""Tests for the VLIW compute instruction format."""
+
+import pytest
+
+from repro.dfg.graph import Opcode
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+
+
+def tree_way(**kwargs):
+    defaults = dict(
+        kind="tree",
+        dest=Reg(7),
+        left=SlotOp(Opcode.SUB, (Reg(1), Imm(5))),
+        right=SlotOp(Opcode.SUB, (Reg(2), Imm(1))),
+        root=Opcode.MAX,
+    )
+    defaults.update(kwargs)
+    return CUInstruction(**defaults)
+
+
+class TestCUValidation:
+    def test_full_tree_validates(self):
+        tree_way().validate()
+
+    def test_four_input_only_on_left(self):
+        way = tree_way(
+            right=SlotOp(Opcode.CMP_GT, (Reg(1), Reg(2), Reg(3), Reg(4))),
+            root=None,
+            left=None,
+        )
+        with pytest.raises(ValueError):
+            way.validate()
+
+    def test_root_needs_both_leaves_when_binary(self):
+        with pytest.raises(ValueError):
+            tree_way(right=None).validate()
+
+    def test_unary_root_needs_left_only(self):
+        way = tree_way(right=None, root=Opcode.LOG2_LUT)
+        way.validate()
+
+    def test_mul_way(self):
+        way = CUInstruction(
+            kind="mul", dest=Reg(3), mul=SlotOp(Opcode.MUL, (Reg(1), Imm(400)))
+        )
+        way.validate()
+        assert way.alu_ops == 1
+
+    def test_mul_way_requires_mul_op(self):
+        way = CUInstruction(
+            kind="mul", dest=Reg(3), mul=SlotOp(Opcode.ADD, (Reg(1), Imm(1)))
+        )
+        with pytest.raises(ValueError):
+            way.validate()
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            CUInstruction(kind="tree", dest=Reg(0)).validate()
+
+    def test_operand_arity_checked(self):
+        way = tree_way(left=SlotOp(Opcode.SUB, (Reg(1),)))
+        with pytest.raises(ValueError):
+            way.validate()
+
+
+class TestVLIW:
+    def test_bundle_validates(self):
+        VLIWInstruction(cu0=tree_way(), cu1=None).validate()
+
+    def test_empty_bundle_rejected(self):
+        with pytest.raises(ValueError):
+            VLIWInstruction().validate()
+
+    def test_ways_list(self):
+        bundle = VLIWInstruction(cu0=tree_way(), cu1=tree_way(dest=Reg(9)))
+        assert len(bundle.ways) == 2
+
+    def test_alu_ops_counts_slots(self):
+        assert tree_way().alu_ops == 3
+        assert tree_way(root=None, right=None).alu_ops == 1

@@ -1,0 +1,78 @@
+"""Tests for the control ISA (Table 3)."""
+
+import pytest
+
+from repro.isa.control import (
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    Space,
+    add,
+    addi,
+    areg,
+    branch,
+    halt,
+    ibuf,
+    li,
+    mv,
+    noop,
+    obuf,
+    reg,
+    set_unit,
+    spm,
+    FIFO_PORT,
+    IN_PORT,
+    OUT_PORT,
+)
+
+
+class TestLocations:
+    def test_indexed_text(self):
+        assert reg(5).text() == "r5"
+        assert spm(3).text() == "s3"
+        assert spm(2, indirect=True).text() == "s[a2]"
+        assert ibuf(7).text() == "ibuf7"
+
+    def test_port_text(self):
+        assert IN_PORT.text() == "in"
+        assert OUT_PORT.text() == "out"
+        assert FIFO_PORT.text() == "fifo"
+
+    def test_ports_reject_index(self):
+        with pytest.raises(ValueError):
+            Loc(Space.IN, 3)
+
+    def test_address_registers_not_indirectable(self):
+        with pytest.raises(ValueError):
+            Loc(Space.ADDR, 1, indirect=True)
+
+
+class TestValidation:
+    def test_mv_needs_both_operands(self):
+        with pytest.raises(ValueError):
+            ControlInstruction(ControlOp.MV, dest=reg(1)).validate()
+
+    def test_branch_needs_offset(self):
+        with pytest.raises(ValueError):
+            ControlInstruction(ControlOp.BEQ, rs1=0, rs2=1).validate()
+
+    def test_set_needs_target_count(self):
+        with pytest.raises(ValueError):
+            ControlInstruction(ControlOp.SET, target=1).validate()
+
+    def test_constructors_produce_valid_instructions(self):
+        for instruction in (
+            add(0, 1, 2),
+            addi(0, 0, -3),
+            li(reg(3), 42),
+            mv(OUT_PORT, reg(1)),
+            branch(ControlOp.BLT, 0, 1, -4),
+            set_unit(0, 5),
+            noop(),
+            halt(),
+        ):
+            instruction.validate()
+
+    def test_branch_constructor_rejects_non_branch(self):
+        with pytest.raises(ValueError):
+            branch(ControlOp.ADD, 0, 1, 2)

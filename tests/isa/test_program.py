@@ -1,0 +1,48 @@
+"""Tests for program containers and size accounting."""
+
+from repro.isa.control import halt, li, mv, reg, IN_PORT, set_unit
+from repro.isa.program import (
+    ArrayProgram,
+    CONTROL_INSTRUCTION_BYTES,
+    PEProgram,
+    VLIW_INSTRUCTION_BYTES,
+)
+
+
+def small_pe_program():
+    from repro.dfg.kernels import lcs_dfg
+    from repro.dpmap.codegen import compile_cell
+
+    compute = compile_cell(lcs_dfg()).instructions
+    control = [mv(reg(0), IN_PORT), set_unit(0, len(compute)), halt()]
+    return PEProgram(control=control, compute=list(compute))
+
+
+class TestPEProgram:
+    def test_validates(self):
+        small_pe_program().validate()
+
+    def test_byte_accounting(self):
+        program = small_pe_program()
+        assert program.control_bytes == 3 * CONTROL_INSTRUCTION_BYTES
+        assert program.compute_bytes == len(program.compute) * VLIW_INSTRUCTION_BYTES
+        assert program.total_bytes == program.control_bytes + program.compute_bytes
+
+
+class TestArrayProgram:
+    def test_counts(self):
+        array = ArrayProgram(
+            array_control=[set_unit(0, 1), halt()],
+            pe_programs=[small_pe_program() for _ in range(4)],
+        )
+        array.validate()
+        counts = array.instruction_counts()
+        assert counts["array_control"] == 2
+        assert counts["pe_control"] == 12
+        assert counts["pe_compute"] == 4 * len(small_pe_program().compute)
+
+    def test_total_bytes_positive(self):
+        array = ArrayProgram(
+            array_control=[halt()], pe_programs=[small_pe_program()]
+        )
+        assert array.total_bytes > 0

@@ -1,0 +1,91 @@
+"""Tests for adaptive banded Smith-Waterman and the static cover."""
+
+import pytest
+
+from repro.kernels.absw import (
+    adaptive_banded_sw,
+    static_cover_cells,
+    static_cover_region,
+)
+from repro.kernels.bsw import banded_sw
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+def drift_pair(rng, blocks=8, block_len=15, drop=2):
+    """A pair whose alignment diagonal drifts steadily: every block
+    the query drops a couple of target bases, so the total offset ends
+    far beyond a static band's half-width while each step is small
+    enough for an adaptive band to follow."""
+    target = random_sequence(blocks * block_len, rng)
+    query = "".join(
+        target[start : start + block_len - drop]
+        for start in range(0, len(target), block_len)
+    )
+    return query, target
+
+
+class TestAdaptiveBand:
+    def test_matches_static_on_diagonal_pairs(self, rng):
+        template = random_sequence(40, rng)
+        query = Mutator(MutationProfile.illumina(), rng).mutate(template)
+        adaptive = adaptive_banded_sw(query, template, band=8)
+        static = banded_sw(query, template, band=8)
+        assert adaptive.score == static.score
+
+    def test_follows_drifting_diagonal_where_static_fails(self, rng):
+        query, target = drift_pair(rng)
+        adaptive = adaptive_banded_sw(query, target, band=4)
+        static = banded_sw(query, target, band=4)
+        # The diagonal drifts 16 columns; the half-width-4 static band
+        # loses it, the adaptive band follows.
+        assert adaptive.score > static.score
+
+    def test_band_trace_follows_the_drift(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=4)
+        centers = [(lo + hi) // 2 for lo, hi in result.band_trace]
+        # The band center ends far beyond any static half-width.
+        assert centers[-1] - centers[0] - len(query) > 4
+
+    def test_cell_budget_linear(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=6)
+        assert result.cells <= len(query) * (2 * 6 + 1)
+
+    def test_interface_validation(self):
+        with pytest.raises(ValueError):
+            adaptive_banded_sw("", "ACGT")
+        with pytest.raises(ValueError):
+            adaptive_banded_sw("ACGT", "ACGT", band=0)
+
+
+class TestStaticCover:
+    def test_cover_contains_every_row_band(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=6)
+        tiles = static_cover_region(result.band_trace, tile_rows=4)
+        for row_index, (lo, hi) in enumerate(result.band_trace):
+            tile_lo, tile_hi = tiles[row_index // 4]
+            assert tile_lo <= lo and hi <= tile_hi
+
+    def test_cover_costs_at_least_the_adaptive_cells(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=6)
+        assert static_cover_cells(result.band_trace) >= result.cells
+
+    def test_bigger_tiles_cost_more(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=6)
+        assert static_cover_cells(result.band_trace, 16) >= static_cover_cells(
+            result.band_trace, 4
+        )
+
+    def test_cover_cheaper_than_full_table(self, rng):
+        query, target = drift_pair(rng)
+        result = adaptive_banded_sw(query, target, band=6)
+        assert static_cover_cells(result.band_trace) < len(query) * len(target)
+
+    def test_bad_tile_rows(self):
+        with pytest.raises(ValueError):
+            static_cover_region([(1, 2)], 0)

@@ -1,0 +1,74 @@
+"""Tests for shared kernel types."""
+
+import pytest
+
+from repro.kernels.base import (
+    AlignmentResult,
+    CellCounter,
+    TracebackOp,
+    compress_ops,
+    saturate,
+)
+
+
+class TestCigar:
+    def test_compress_runs(self):
+        ops = [TracebackOp.MATCH] * 3 + [TracebackOp.INSERTION] + [TracebackOp.MATCH]
+        assert compress_ops(ops) == [
+            (TracebackOp.MATCH, 3),
+            (TracebackOp.INSERTION, 1),
+            (TracebackOp.MATCH, 1),
+        ]
+
+    def test_cigar_string(self):
+        result = AlignmentResult(
+            score=5,
+            end=(4, 4),
+            cigar=[(TracebackOp.MATCH, 3), (TracebackOp.DELETION, 1)],
+        )
+        assert result.cigar_string == "3M1D"
+
+    def test_aligned_lengths(self):
+        result = AlignmentResult(
+            score=0,
+            end=(0, 0),
+            cigar=[
+                (TracebackOp.MATCH, 4),
+                (TracebackOp.INSERTION, 2),
+                (TracebackOp.DELETION, 3),
+            ],
+        )
+        assert result.aligned_lengths() == (6, 7)
+
+
+class TestCellCounter:
+    def test_accumulates(self):
+        counter = CellCounter()
+        counter.add(10)
+        counter.add()
+        assert counter.count == 11
+
+    def test_reset(self):
+        counter = CellCounter()
+        counter.add(5)
+        counter.reset()
+        assert counter.count == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CellCounter().add(-1)
+
+
+class TestSaturate:
+    def test_int8_bounds(self):
+        assert saturate(200, 8) == 127
+        assert saturate(-200, 8) == -128
+        assert saturate(100, 8) == 100
+
+    def test_unsigned(self):
+        assert saturate(300, 8, signed=False) == 255
+        assert saturate(-5, 8, signed=False) == 0
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            saturate(1, 0)

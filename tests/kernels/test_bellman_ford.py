@@ -1,0 +1,78 @@
+"""Tests for Bellman-Ford shortest paths (Section 7.6.5)."""
+
+import pytest
+
+from repro.kernels.bellman_ford import (
+    Edge,
+    NegativeCycleError,
+    bellman_ford,
+    dependency_distances,
+)
+
+
+def diamond():
+    return [
+        Edge(0, 1, 1.0),
+        Edge(0, 2, 4.0),
+        Edge(1, 2, 2.0),
+        Edge(1, 3, 6.0),
+        Edge(2, 3, 1.0),
+    ]
+
+
+class TestShortestPaths:
+    def test_diamond_distances(self):
+        result = bellman_ford(4, diamond())
+        assert result.distances == [0.0, 1.0, 3.0, 4.0]
+
+    def test_path_reconstruction(self):
+        result = bellman_ford(4, diamond())
+        assert result.path_to(3) == [0, 1, 2, 3]
+
+    def test_unreachable_vertex(self):
+        result = bellman_ford(3, [Edge(0, 1, 1.0)])
+        assert result.distances[2] == float("inf")
+        assert result.path_to(2) == []
+
+    def test_negative_edges_ok_without_cycle(self):
+        edges = [Edge(0, 1, 5.0), Edge(1, 2, -3.0), Edge(0, 2, 4.0)]
+        result = bellman_ford(3, edges)
+        assert result.distances[2] == 2.0
+
+    def test_negative_cycle_detected(self):
+        edges = [Edge(0, 1, 1.0), Edge(1, 2, -5.0), Edge(2, 1, 1.0)]
+        with pytest.raises(NegativeCycleError):
+            bellman_ford(3, edges)
+
+    def test_early_termination(self):
+        # A simple chain settles in one round; relaxation count stays
+        # far below the (V-1) * E worst case.
+        edges = [Edge(i, i + 1, 1.0) for i in range(9)]
+        result = bellman_ford(10, edges)
+        assert result.rounds < 9 or result.relaxations < 9 * len(edges)
+
+    def test_matches_dijkstra_shape_on_roadmap(self):
+        from repro.workloads.graphs import generate_bf_workload
+
+        workload = generate_bf_workload(vertices=40, neighbors=4, seed=3)
+        result = bellman_ford(
+            workload.vertex_count, workload.edges, source=workload.source
+        )
+        # Triangle inequality: every edge is relaxed.
+        dist = result.distances
+        for edge in workload.edges:
+            if dist[edge.src] != float("inf"):
+                assert dist[edge.dst] <= dist[edge.src] + edge.weight + 1e-9
+
+
+class TestInterface:
+    def test_bad_source(self):
+        with pytest.raises(ValueError):
+            bellman_ford(3, [], source=5)
+
+    def test_bad_edge(self):
+        with pytest.raises(ValueError):
+            bellman_ford(2, [Edge(0, 5, 1.0)])
+
+    def test_dependency_distances(self):
+        assert dependency_distances(diamond()) == [1, 2, 1, 2, 1]

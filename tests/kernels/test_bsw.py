@@ -1,0 +1,95 @@
+"""Tests for banded Smith-Waterman (the paper's BSW kernel)."""
+
+import pytest
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.bsw import band_cells, banded_sw
+from repro.kernels.sw import align
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+from repro.seq.scoring import LinearGap, ScoringScheme
+
+
+class TestBandedVsFull:
+    def test_wide_band_matches_unbanded_local_on_similar_pairs(self, rng):
+        # With a band wider than any indel drift, the banded extension's
+        # best score equals the unbanded local alignment's.
+        template = random_sequence(30, rng)
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        query = mutator.mutate(template)
+        banded = banded_sw(query, template, band=40)
+        full = align(query, template, mode=AlignmentMode.LOCAL)
+        assert banded.score == full.score
+
+    def test_narrow_band_cannot_exceed_wide_band(self, rng):
+        template = random_sequence(40, rng)
+        query = Mutator(MutationProfile.pacbio(), rng).mutate(template)
+        narrow = banded_sw(query, template, band=2)
+        wide = banded_sw(query, template, band=30)
+        assert narrow.score <= wide.score
+
+    def test_band_monotonicity(self, rng):
+        template = random_sequence(30, rng)
+        query = Mutator(MutationProfile.pacbio(), rng).mutate(template)
+        scores = [banded_sw(query, template, band=w).score for w in (1, 2, 4, 8, 16)]
+        assert scores == sorted(scores)
+
+
+class TestPrecision:
+    def test_8bit_saturates(self):
+        # 200 matching bases would score 200, above int8 max.
+        sequence = "ACGT" * 50
+        result = banded_sw(sequence, sequence, band=4, precision_bits=8)
+        assert result.score == 127
+
+    def test_16bit_handles_long_matches(self):
+        sequence = "ACGT" * 50
+        result = banded_sw(sequence, sequence, band=4, precision_bits=16)
+        assert result.score == 200
+
+    def test_invalid_precision_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sw("ACGT", "ACGT", precision_bits=12)
+
+
+class TestInterface:
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sw("", "ACGT")
+
+    def test_non_affine_scheme_rejected(self):
+        with pytest.raises(TypeError):
+            banded_sw("ACGT", "ACGT", scheme=ScoringScheme(gap=LinearGap()))
+
+    def test_zero_band_rejected(self):
+        with pytest.raises(ValueError):
+            banded_sw("ACGT", "ACGT", band=0)
+
+    def test_global_score_at_corner(self):
+        result = banded_sw("ACGTACGT", "ACGTACGT", band=4)
+        assert result.global_score == 8
+
+    def test_zdrop_terminates_early(self, rng):
+        # A long divergent tail after a strong prefix triggers Z-drop.
+        prefix = random_sequence(20, rng)
+        query = prefix + "A" * 40
+        target = prefix + "T" * 40
+        dropped = banded_sw(query, target, band=4, zdrop=5)
+        full = banded_sw(query, target, band=4)
+        assert dropped.cells < full.cells
+        assert dropped.score == full.score  # best score is in the prefix
+
+
+class TestBandCells:
+    def test_counts_match_simulation(self, rng):
+        query = random_sequence(23, rng)
+        target = random_sequence(31, rng)
+        result = banded_sw(query, target, band=5)
+        assert result.cells == band_cells(len(query), len(target), 5)
+
+    def test_full_band_equals_table(self):
+        assert band_cells(10, 10, 100) == 100
+
+    def test_band_one_is_tridiagonal(self):
+        # |i - j| <= 1 inside a 4x4 table: 3 + 3x... count explicitly.
+        assert band_cells(4, 4, 1) == 10

@@ -1,0 +1,109 @@
+"""Tests for minimap2-style chaining (original and reordered)."""
+
+import random
+
+import pytest
+
+from repro.kernels.chain import (
+    Anchor,
+    chain_original,
+    chain_query_coverage,
+    chain_reordered,
+    pair_score,
+    reorder_work_factor,
+)
+
+
+def collinear_anchors(count, rng, jitter=5, step=40):
+    anchors = []
+    x = y = 0
+    for _ in range(count):
+        x += rng.randint(step // 2, step)
+        y = x + rng.randint(-jitter, jitter)
+        anchors.append(Anchor(x, y))
+    anchors.sort(key=lambda a: (a.x, a.y))
+    return anchors
+
+
+class TestPairScore:
+    def test_perfect_diagonal_continuation(self):
+        gain = pair_score(Anchor(0, 0), Anchor(30, 30))
+        assert gain == 19  # min(dx, dy, w) with zero gap cost
+
+    def test_backward_rejected(self):
+        assert pair_score(Anchor(100, 100), Anchor(50, 120)) == float("-inf")
+
+    def test_distance_cap(self):
+        assert pair_score(Anchor(0, 0), Anchor(10_000, 10_000)) == float("-inf")
+
+    def test_diagonal_drift_cap(self):
+        assert pair_score(Anchor(0, 0), Anchor(100, 700)) == float("-inf")
+
+    def test_drift_penalized(self):
+        straight = pair_score(Anchor(0, 0), Anchor(50, 50))
+        drifted = pair_score(Anchor(0, 0), Anchor(50, 70))
+        assert drifted < straight
+
+
+class TestOriginalChaining:
+    def test_collinear_run_chains_fully(self, rng):
+        anchors = collinear_anchors(20, rng)
+        result = chain_original(anchors)
+        assert result.backtrack() == list(range(20))
+
+    def test_scores_monotone_along_chain(self, rng):
+        anchors = collinear_anchors(15, rng)
+        result = chain_original(anchors)
+        chain = result.backtrack()
+        scores = [result.scores[i] for i in chain]
+        assert scores == sorted(scores)
+
+    def test_unsorted_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            chain_original([Anchor(10, 10), Anchor(5, 5)])
+
+    def test_cells_bounded_by_window(self, rng):
+        anchors = collinear_anchors(30, rng)
+        result = chain_original(anchors, n=5)
+        assert result.cells <= 5 * 30
+
+
+class TestReorderedEquivalence:
+    def test_same_scores_as_original_same_window(self, rng):
+        for trial in range(5):
+            anchors = collinear_anchors(25, rng, jitter=15)
+            original = chain_original(anchors, n=10)
+            reordered = chain_reordered(anchors, n=10)
+            assert original.scores == reordered.scores
+
+    def test_same_parents_as_original(self, rng):
+        anchors = collinear_anchors(25, rng)
+        assert chain_original(anchors, n=8).parents == chain_reordered(anchors, n=8).parents
+
+    def test_wider_window_finds_no_worse_chains(self, rng):
+        anchors = collinear_anchors(40, rng, jitter=20)
+        narrow = chain_reordered(anchors, n=4)
+        wide = chain_reordered(anchors, n=30)
+        assert wide.best_score >= narrow.best_score
+
+    def test_reordered_computes_more_cells_at_n64(self, rng):
+        anchors = collinear_anchors(200, rng)
+        cpu = chain_original(anchors, n=25)
+        accel = chain_reordered(anchors, n=64)
+        assert accel.cells > cpu.cells
+        # Section 6's normalization factor for large workloads.
+        assert accel.cells / cpu.cells == pytest.approx(64 / 25, rel=0.15)
+
+
+class TestHelpers:
+    def test_reorder_work_factor(self):
+        assert reorder_work_factor(25, 64) == pytest.approx(2.56)
+
+    def test_coverage_spans(self, rng):
+        anchors = collinear_anchors(10, rng)
+        result = chain_original(anchors)
+        q_span, t_span = chain_query_coverage(anchors, result.backtrack())
+        assert q_span > 0 and t_span > 0
+
+    def test_empty_chain_coverage(self):
+        assert chain_query_coverage([], []) == (0, 0)

@@ -1,0 +1,73 @@
+"""Tests for the fixed-point Chain arithmetic (the DPAx form)."""
+
+import math
+import random
+
+import pytest
+
+from repro.kernels.chain import Anchor, chain_reordered, pair_score
+from repro.kernels.chain_fixed import (
+    REJECTED,
+    SCALE,
+    chain_reordered_fixed,
+    fixed_to_float,
+    int_log2_x2,
+    pair_score_fixed,
+)
+
+
+class TestIntLog2:
+    def test_powers_of_two(self):
+        assert int_log2_x2(1) == 0
+        assert int_log2_x2(2) == 2
+        assert int_log2_x2(8) == 6
+
+    def test_non_power(self):
+        assert int_log2_x2(5) == int(math.log2(5) * 2)
+
+    def test_out_of_domain(self):
+        assert int_log2_x2(0) == 0
+        assert int_log2_x2(-3) == 0
+
+
+class TestPairScoreFixed:
+    def test_matches_float_within_lut_error(self, rng):
+        for _ in range(200):
+            prev = Anchor(rng.randint(0, 1000), rng.randint(0, 1000))
+            cur = Anchor(prev.x + rng.randint(1, 400), prev.y + rng.randint(1, 400))
+            fixed = pair_score_fixed(prev, cur)
+            reference = pair_score(prev, cur)
+            if fixed == REJECTED:
+                assert reference == float("-inf")
+                continue
+            # gap linear term is exact; log term truncation <= 0.25.
+            assert fixed_to_float(fixed) == pytest.approx(reference, abs=0.26)
+
+    def test_same_gating_as_float(self, rng):
+        for _ in range(200):
+            prev = Anchor(rng.randint(0, 2000), rng.randint(0, 2000))
+            cur = Anchor(
+                prev.x + rng.randint(-100, 6000), prev.y + rng.randint(-100, 6000)
+            )
+            fixed_rejected = pair_score_fixed(prev, cur) == REJECTED
+            float_rejected = pair_score(prev, cur) == float("-inf")
+            assert fixed_rejected == float_rejected
+
+
+class TestFixedChaining:
+    def test_same_best_chain_as_float(self, rng):
+        anchors = []
+        x = 0
+        for _ in range(60):
+            x += rng.randint(10, 60)
+            anchors.append(Anchor(x, x + rng.randint(-10, 10)))
+        anchors.sort(key=lambda a: (a.x, a.y))
+        fixed = chain_reordered_fixed(anchors, n=20)
+        floaty = chain_reordered(anchors, n=20)
+        assert fixed.backtrack() == floaty.backtrack()
+
+    def test_scores_scale(self, rng):
+        anchors = [Anchor(10, 10), Anchor(40, 40)]
+        result = chain_reordered_fixed(anchors, n=4)
+        # Second anchor: w*SCALE + chained gain of min(30,30,19)*SCALE.
+        assert result.scores[1] == (19 + 19) * SCALE

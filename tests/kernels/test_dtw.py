@@ -1,0 +1,76 @@
+"""Tests for dynamic time warping (Section 7.6.5)."""
+
+import pytest
+
+from repro.kernels.dtw import dtw_distance, dtw_matrix, dtw_path, znormalize
+
+
+class TestDistance:
+    def test_identical_signals(self):
+        assert dtw_distance([1.0, 2.0, 3.0], [1.0, 2.0, 3.0]) == 0.0
+
+    def test_time_shift_absorbed(self):
+        # A repeated sample costs nothing under warping.
+        assert dtw_distance([1, 2, 3, 4], [1, 2, 2, 3, 4]) == 0.0
+
+    def test_symmetry(self):
+        a, b = [1, 3, 2, 4], [2, 1, 4]
+        assert dtw_distance(a, b) == dtw_distance(b, a)
+
+    def test_amplitude_difference_counts(self):
+        assert dtw_distance([0, 0, 0], [1, 1, 1]) == 3.0
+
+    def test_band_restriction_monotone(self):
+        a = [0, 5, 1, 6, 2, 7, 3, 8]
+        b = [5, 0, 6, 1, 7, 2, 8, 3]
+        assert dtw_distance(a, b, band=1) >= dtw_distance(a, b, band=4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+
+class TestMatrix:
+    def test_corner_is_distance(self):
+        a, b = [1, 2, 4], [1, 3, 4]
+        matrix = dtw_matrix(a, b)
+        assert matrix[len(a)][len(b)] == dtw_distance(a, b)
+
+    def test_banded_leaves_inf_outside(self):
+        matrix = dtw_matrix([1] * 6, [1] * 6, band=1)
+        assert matrix[1][5] == float("inf")
+
+
+class TestPath:
+    def test_path_endpoints(self):
+        path = dtw_path([1, 2, 3], [1, 2, 3])
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 2)
+
+    def test_path_moves_monotonically(self):
+        path = dtw_path([1, 5, 2, 4], [1, 2, 4, 4])
+        for (i0, j0), (i1, j1) in zip(path, path[1:]):
+            assert 0 <= i1 - i0 <= 1 and 0 <= j1 - j0 <= 1
+            assert (i1, j1) != (i0, j0)
+
+    def test_path_cost_matches_distance(self):
+        a, b = [1.0, 4.0, 2.0], [1.0, 2.0, 2.5]
+        total = sum(abs(a[i] - b[j]) for i, j in dtw_path(a, b))
+        assert total == dtw_distance(a, b)
+
+
+class TestZNormalize:
+    def test_zero_mean(self):
+        out = znormalize([1.0, 2.0, 3.0, 4.0])
+        assert sum(out) == pytest.approx(0.0)
+
+    def test_unit_variance(self):
+        out = znormalize([1.0, 2.0, 3.0, 4.0])
+        variance = sum(v * v for v in out) / len(out)
+        assert variance == pytest.approx(1.0)
+
+    def test_constant_signal(self):
+        assert znormalize([5.0, 5.0]) == [0.0, 0.0]
+
+    def test_empty(self):
+        assert znormalize([]) == []

@@ -1,0 +1,65 @@
+"""Tests for the LCS warm-up kernel (Section 2.2)."""
+
+from repro.kernels.lcs import lcs_length, lcs_string, lcs_table, lcs_wavefronts
+
+
+class TestLCSLength:
+    def test_textbook_example(self):
+        # CLRS's classic example pair.
+        assert lcs_length("ABCBDAB", "BDCABA") == 4
+
+    def test_identical_sequences(self):
+        assert lcs_length("ACGTACGT", "ACGTACGT") == 8
+
+    def test_disjoint_alphabets(self):
+        assert lcs_length("AAAA", "TTTT") == 0
+
+    def test_empty(self):
+        assert lcs_length("", "ACGT") == 0
+        assert lcs_length("ACGT", "") == 0
+
+    def test_symmetry(self):
+        assert lcs_length("AGCAT", "GAC") == lcs_length("GAC", "AGCAT")
+
+
+class TestLCSString:
+    def test_is_subsequence_of_both(self):
+        x, y = "AGCATTGCA", "GACTTAC"
+        result = lcs_string(x, y)
+        assert len(result) == lcs_length(x, y)
+        for sequence in (x, y):
+            it = iter(sequence)
+            assert all(ch in it for ch in result)
+
+    def test_exact_match(self):
+        assert lcs_string("ACGT", "AGT") == "AGT"
+
+
+class TestTable:
+    def test_boundary_rows_zero(self):
+        table = lcs_table("ACG", "GCA")
+        assert all(v == 0 for v in table[0])
+        assert all(row[0] == 0 for row in table)
+
+    def test_monotone_nondecreasing(self):
+        table = lcs_table("ACGTAC", "TACGGT")
+        for i in range(1, len(table)):
+            for j in range(1, len(table[0])):
+                assert table[i][j] >= table[i - 1][j]
+                assert table[i][j] >= table[i][j - 1]
+
+
+class TestWavefronts:
+    def test_partition_covers_all_cells(self):
+        fronts = lcs_wavefronts("ACGT", "ACG")
+        cells = [cell for front in fronts for cell in front]
+        assert len(cells) == 12
+        assert len(set(cells)) == 12
+
+    def test_cells_in_front_are_independent(self):
+        # No two cells on one anti-diagonal share a row or column.
+        for front in lcs_wavefronts("ACGTA", "CGTA"):
+            rows = [i for i, _ in front]
+            cols = [j for _, j in front]
+            assert len(set(rows)) == len(front)
+            assert len(set(cols)) == len(front)

@@ -1,0 +1,113 @@
+"""Tests for the PairHMM forward kernel and its pruned approximation."""
+
+import math
+
+import pytest
+
+from repro.kernels.pairhmm import (
+    DEFAULT_PRUNE_THRESHOLD,
+    HMMParameters,
+    log_sum_lookup,
+    pairhmm_forward,
+    pairhmm_forward_pruned,
+    LOG_FRACTION_BITS,
+)
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+_SCALE = 1 << LOG_FRACTION_BITS
+
+
+class TestParameters:
+    def test_defaults_valid(self):
+        params = HMMParameters()
+        assert 0 < params.match_to_match < 1
+
+    def test_invalid_gap_open(self):
+        with pytest.raises(ValueError):
+            HMMParameters(gap_open=0.0)
+
+    def test_emission_prefers_match(self):
+        params = HMMParameters()
+        assert params.emission("A", "A", 30) > params.emission("A", "C", 30)
+
+    def test_emission_quality_scaling(self):
+        params = HMMParameters()
+        # Lower quality -> higher mismatch probability.
+        assert params.emission("A", "C", 10) > params.emission("A", "C", 40)
+
+
+class TestExactForward:
+    def test_likelihood_is_negative_log10(self):
+        assert pairhmm_forward("ACGT", "ACGTACGT") < 0
+
+    def test_matching_read_beats_mismatching(self, rng):
+        haplotype = random_sequence(30, rng)
+        read = haplotype[5:25]
+        decoy = random_sequence(20, rng)
+        assert pairhmm_forward(read, haplotype) > pairhmm_forward(decoy, haplotype)
+
+    def test_discriminates_haplotypes(self, rng):
+        haplotype = random_sequence(40, rng)
+        variant = haplotype[:18] + ("A" if haplotype[18] != "A" else "C") + haplotype[19:]
+        read = Mutator(MutationProfile.illumina(), rng).mutate(haplotype)[:30]
+        assert pairhmm_forward(read, haplotype) >= pairhmm_forward(read, variant)
+
+    def test_quality_vector_length_checked(self):
+        with pytest.raises(ValueError):
+            pairhmm_forward("ACGT", "ACGT", qualities=[30, 30])
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            pairhmm_forward("", "ACGT")
+
+
+class TestPrunedForward:
+    def test_matches_exact_within_fixed_point_error(self, rng):
+        for _ in range(5):
+            haplotype = random_sequence(25, rng)
+            read = Mutator(MutationProfile.illumina(), rng).mutate(haplotype)[:20]
+            if not read:
+                continue
+            exact = pairhmm_forward(read, haplotype)
+            pruned = pairhmm_forward_pruned(read, haplotype)
+            assert pruned.log10_likelihood == pytest.approx(exact, abs=0.05)
+
+    def test_pruning_skips_cells_on_long_inputs(self, rng):
+        haplotype = random_sequence(60, rng)
+        read = haplotype[10:50]
+        result = pairhmm_forward_pruned(read, haplotype, threshold=8.0)
+        assert result.cells_pruned > 0
+
+    def test_tighter_threshold_prunes_more(self, rng):
+        haplotype = random_sequence(50, rng)
+        read = Mutator(MutationProfile.illumina(), rng).mutate(haplotype)[:40]
+        loose = pairhmm_forward_pruned(read, haplotype, threshold=40.0)
+        tight = pairhmm_forward_pruned(read, haplotype, threshold=6.0)
+        assert tight.cells_pruned >= loose.cells_pruned
+
+    def test_pruned_fraction_bounds(self, rng):
+        haplotype = random_sequence(30, rng)
+        result = pairhmm_forward_pruned(haplotype[:20], haplotype)
+        assert 0.0 <= result.pruned_fraction < 1.0
+
+
+class TestLogSumLookup:
+    def test_equal_inputs_add_one_bit(self):
+        x = 5 * _SCALE
+        # log2(2^x + 2^x) = x + 1.
+        assert log_sum_lookup(x, x) == pytest.approx(x + _SCALE, abs=2)
+
+    def test_dominance(self):
+        big, small = 0, -100 * _SCALE
+        assert log_sum_lookup(big, small) == big
+
+    def test_commutative(self):
+        a, b = 3 * _SCALE, -2 * _SCALE
+        assert log_sum_lookup(a, b) == log_sum_lookup(b, a)
+
+    def test_against_float_reference(self):
+        for a_f, b_f in [(0.0, -1.5), (2.25, 2.0), (-3.0, -3.0)]:
+            a, b = int(a_f * _SCALE), int(b_f * _SCALE)
+            expected = math.log2(2.0 ** a_f + 2.0 ** b_f)
+            assert log_sum_lookup(a, b) / _SCALE == pytest.approx(expected, abs=0.001)

@@ -1,0 +1,127 @@
+"""Tests for partial order alignment (the POA polishing kernel)."""
+
+import random
+
+import pytest
+
+from repro.kernels.poa import (
+    PartialOrderGraph,
+    align_to_graph,
+    graph_dp_tables,
+    poa_consensus,
+)
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+from repro.seq.scoring import LinearGap, ScoringScheme
+
+
+class TestGraphConstruction:
+    def test_single_sequence_is_a_chain(self):
+        graph = PartialOrderGraph("ACGT")
+        assert len(graph) == 4
+        assert graph.nodes[0].predecessors == []
+        assert graph.nodes[3].predecessors == [2]
+
+    def test_edges_point_forward_topologically(self):
+        graph = PartialOrderGraph("ACGTACGT")
+        graph.add_sequence("ACGAACGT")
+        position = {n: i for i, n in enumerate(graph.topological_order())}
+        for (src, dst), weight in graph.edge_weights.items():
+            assert position[src] < position[dst]
+            assert weight >= 1
+
+    def test_mismatch_creates_branch_node(self):
+        graph = PartialOrderGraph("ACGTACGT")
+        graph.add_sequence("ACGAACGT")
+        assert len(graph) == 9  # one bubble node for the A variant
+
+    def test_identical_sequence_reinforces_weights(self):
+        graph = PartialOrderGraph("ACGTAC")
+        graph.add_sequence("ACGTAC")
+        assert len(graph) == 6  # no new nodes
+        assert all(weight == 2 for weight in graph.edge_weights.values())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PartialOrderGraph("")
+
+
+class TestAlignment:
+    def test_exact_match_scores_full_length(self):
+        graph = PartialOrderGraph("ACGTACGT")
+        result = align_to_graph(graph, "ACGTACGT")
+        assert result.score == 8
+
+    def test_alignment_to_branchy_graph_finds_best_path(self):
+        graph = PartialOrderGraph("ACGTACGT")
+        graph.add_sequence("ACGAACGT")  # introduces a branch at pos 3
+        for variant in ("ACGTACGT", "ACGAACGT"):
+            assert align_to_graph(graph, variant).score == 8
+
+    def test_cells_counted(self):
+        graph = PartialOrderGraph("ACGT")
+        result = align_to_graph(graph, "ACG")
+        assert result.cells == 4 * 3
+
+    def test_linear_gap_rejected(self):
+        graph = PartialOrderGraph("ACGT")
+        with pytest.raises(TypeError):
+            align_to_graph(graph, "ACG", ScoringScheme(gap=LinearGap()))
+
+
+class TestLongRangeDependencies:
+    def test_chain_has_distance_one(self):
+        graph = PartialOrderGraph("ACGTACGT")
+        assert graph.max_dependency_distance() == 1
+
+    def test_divergent_reads_create_long_range(self, rng):
+        template = random_sequence(60, rng)
+        mutator = Mutator(MutationProfile.nanopore(), rng)
+        graph = PartialOrderGraph(template)
+        for _ in range(6):
+            graph.add_sequence(mutator.mutate(template))
+        assert graph.max_dependency_distance() > 1
+        distances = graph.dependency_distances()
+        assert len(distances) == len(graph.edge_weights)
+
+
+class TestConsensus:
+    def test_consensus_of_identical_reads(self):
+        assert poa_consensus(["ACGTACGT"] * 3) == "ACGTACGT"
+
+    def test_consensus_recovers_majority_base(self):
+        reads = ["ACGTACGT", "ACGAACGT", "ACGTACGT", "ACGTACGT"]
+        assert poa_consensus(reads) == "ACGTACGT"
+
+    def test_consensus_denoises_template(self, rng):
+        template = random_sequence(60, rng)
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        reads = [mutator.mutate(template) for _ in range(7)]
+        consensus = poa_consensus(reads)
+        # The consensus should be closer to the template than a typical
+        # read is (polishing actually polishes).
+        from repro.kernels.sw import align
+
+        consensus_score = align(consensus, template).score
+        read_scores = [align(read, template).score for read in reads]
+        assert consensus_score >= sorted(read_scores)[len(read_scores) // 2]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            poa_consensus([])
+
+
+class TestDPTables:
+    def test_tables_match_alignment_score(self, rng):
+        template = random_sequence(25, rng)
+        graph = PartialOrderGraph(template)
+        graph.add_sequence(Mutator(MutationProfile.nanopore(), rng).mutate(template))
+        query = Mutator(MutationProfile.nanopore(), rng).mutate(template)
+        h, _, _ = graph_dp_tables(graph, query)
+        best = max(max(row) for row in h)
+        assert best == align_to_graph(graph, query).score
+
+    def test_h_nonnegative(self):
+        graph = PartialOrderGraph("ACGT")
+        h, _, _ = graph_dp_tables(graph, "TTTT")
+        assert all(v >= 0 for row in h for v in row)

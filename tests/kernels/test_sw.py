@@ -1,0 +1,108 @@
+"""Tests for the Smith-Waterman alignment family."""
+
+import pytest
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.sw import align
+from repro.seq.scoring import AffineGap, ConvexGap, LinearGap, ScoringScheme
+
+
+def scheme(gap):
+    return ScoringScheme(gap=gap)
+
+
+class TestLocal:
+    def test_perfect_match_scores_length(self):
+        result = align("ACGTACGT", "ACGTACGT")
+        assert result.score == 8
+        assert result.cigar_string == "8M"
+
+    def test_local_ignores_flanks(self):
+        # The local alignment finds the embedded match despite junk ends.
+        result = align("TTTTACGTACGTTTTT".replace("T", "T"), "ACGTACGT")
+        assert result.score == 8
+
+    def test_score_never_negative(self):
+        result = align("AAAA", "TTTT")
+        assert result.score == 0
+
+    def test_single_mismatch_alignment(self):
+        result = align("ACGTA", "ACCTA", mode=AlignmentMode.LOCAL)
+        # Either 5M with one mismatch (5*1 - 2) or a shorter exact run.
+        assert result.score == 3
+
+    def test_gap_in_alignment(self):
+        result = align("ACGTTTACG", "ACGACG")
+        # 6 matches minus an affine 3-gap (4 + 3*1 = 7) ... or local trim.
+        assert result.score >= 3
+
+
+class TestGlobal:
+    def test_global_charges_end_gaps(self):
+        result = align("ACGT", "AC", mode=AlignmentMode.GLOBAL)
+        expected = 2 - ScoringScheme().gap_penalty(2)
+        assert result.score == expected
+
+    def test_global_ends_at_corner(self):
+        result = align("ACGT", "AGT", mode=AlignmentMode.GLOBAL)
+        assert result.end == (4, 3)
+
+    def test_global_cigar_consumes_everything(self):
+        result = align("ACGTAC", "AGTC", mode=AlignmentMode.GLOBAL)
+        q, t = result.aligned_lengths()
+        assert (q, t) == (6, 4)
+
+
+class TestSemiGlobal:
+    def test_free_target_flanks(self):
+        # Query aligns inside a longer target with no end-gap charge.
+        result = align("ACGT", "TTTTACGTTTTT", mode=AlignmentMode.SEMI_GLOBAL)
+        assert result.score == 4
+
+    def test_better_than_global_on_contained_query(self):
+        query, target = "ACGT", "GGACGTGG"
+        semi = align(query, target, mode=AlignmentMode.SEMI_GLOBAL)
+        full = align(query, target, mode=AlignmentMode.GLOBAL)
+        assert semi.score >= full.score
+
+
+class TestGapModels:
+    def test_linear_vs_affine_on_split_gaps(self):
+        # Two separate 1-gaps cost the same as one 2-gap under linear
+        # but more under affine: affine prefers the contiguous gap.
+        query, target = "AACCGGTT", "AACGTT"
+        linear = align(query, target, scheme(LinearGap(extend=2)), AlignmentMode.GLOBAL)
+        affine = align(query, target, scheme(AffineGap(open=4, extend=1)), AlignmentMode.GLOBAL)
+        assert linear.score is not None and affine.score is not None
+
+    def test_convex_equals_affine_short_gaps(self):
+        # For 1-base gaps convex(open=4,extend=1,scale=0) == affine.
+        convex = scheme(ConvexGap(open=4, extend=1, scale=0))
+        affine = scheme(AffineGap(open=4, extend=1))
+        a = align("ACGTT", "ACTT", convex, AlignmentMode.GLOBAL)
+        b = align("ACGTT", "ACTT", affine, AlignmentMode.GLOBAL)
+        assert a.score == b.score
+
+    def test_convex_charges_less_for_long_gaps_than_linear_extension(self):
+        long_gap_pair = ("ACG" + "T" * 12 + "ACG", "ACGACG")
+        convex = align(*long_gap_pair, scheme(ConvexGap(open=2, extend=0, scale=1)), AlignmentMode.GLOBAL)
+        linear = align(*long_gap_pair, scheme(LinearGap(extend=1)), AlignmentMode.GLOBAL)
+        assert convex.score > linear.score
+
+    def test_unsupported_gap_model_raises(self):
+        class WeirdGap:
+            pass
+
+        with pytest.raises(TypeError):
+            align("ACGT", "ACGT", ScoringScheme(gap=WeirdGap()))
+
+
+class TestAccounting:
+    def test_cell_count_is_full_table(self):
+        result = align("ACGTA", "ACG")
+        assert result.cells == 15
+
+    def test_cigar_lengths_match_end(self):
+        result = align("ACGTACGAAT", "ACGTTCGAAT", mode=AlignmentMode.GLOBAL)
+        q, t = result.aligned_lengths()
+        assert q == 10 and t == 10

@@ -1,0 +1,56 @@
+"""Tests for the label-aware control builder."""
+
+import pytest
+
+from repro.isa.control import ControlOp
+from repro.mapping.builder import ControlBuilder
+
+
+class TestLabels:
+    def test_backward_branch_offset(self):
+        b = ControlBuilder()
+        b.label("top")
+        b.addi(0, 0, 1)
+        b.branch(ControlOp.BLT, 0, 1, "top")
+        program = b.finish()
+        assert program[1].offset == -1
+
+    def test_forward_branch_offset(self):
+        b = ControlBuilder()
+        b.branch(ControlOp.BEQ, 0, 0, "end")
+        b.noop()
+        b.noop()
+        b.label("end")
+        b.halt()
+        program = b.finish()
+        assert program[0].offset == 3
+
+    def test_duplicate_label_rejected(self):
+        b = ControlBuilder()
+        b.label("x")
+        with pytest.raises(ValueError):
+            b.label("x")
+
+    def test_undefined_label_rejected(self):
+        b = ControlBuilder()
+        b.branch(ControlOp.BNE, 0, 1, "nowhere")
+        with pytest.raises(ValueError):
+            b.finish()
+
+    def test_emitted_instructions_validate(self):
+        from repro.isa.control import reg
+
+        b = ControlBuilder()
+        b.li(reg(0), 5)
+        b.label("loop")
+        b.addi(0, 0, -1)
+        b.branch(ControlOp.BNE, 0, 1, "loop")
+        b.halt()
+        for instruction in b.finish():
+            instruction.validate()
+
+    def test_len_tracks_instructions(self):
+        b = ControlBuilder()
+        b.noop()
+        b.noop()
+        assert len(b) == 2

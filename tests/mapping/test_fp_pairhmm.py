@@ -1,0 +1,69 @@
+"""Tests for the floating-point PairHMM on the FP PE array."""
+
+import math
+
+import pytest
+
+from repro.kernels.pairhmm import pairhmm_forward
+from repro.mapping.kernels2d import pairhmm_fp_wavefront_spec
+from repro.mapping.wavefront2d import run_wavefront
+from repro.seq.alphabet import encode, random_sequence
+
+
+def simulate_fp_likelihood(read, haplotype):
+    spec = pairhmm_fp_wavefront_spec(len(haplotype))
+    run = run_wavefront(
+        spec, target=encode(haplotype), stream=encode(read), datapath="fp"
+    )
+    assert run.finished
+    total = sum(
+        values["m_up"] + values["i_up"]
+        for per_pass in run.epilogue_values
+        for values in per_pass
+    )
+    return math.log10(total) if total > 0 else float("-inf")
+
+
+class TestFPPairHMM:
+    def test_bit_exact_against_reference(self, rng):
+        # Same double-precision arithmetic in the same order: the FP
+        # array's result is not just close, it is identical.
+        for _ in range(3):
+            read = random_sequence(10, rng)
+            haplotype = random_sequence(8, rng)
+            simulated = simulate_fp_likelihood(read, haplotype)
+            reference = pairhmm_forward(read, haplotype)
+            assert math.isclose(simulated, reference, rel_tol=1e-12)
+
+    def test_fp_and_log_domain_agree(self, rng):
+        # The integer array's pruned log-domain form approximates the
+        # FP array's exact form within the LUT precision.
+        from repro.kernels.pairhmm import LOG_FRACTION_BITS, log_sum_lookup
+        from repro.mapping.kernels2d import (
+            pairhmm_boundary_for_length,
+            pairhmm_wavefront_spec,
+        )
+
+        read = random_sequence(10, rng)
+        haplotype = random_sequence(8, rng)
+        fp = simulate_fp_likelihood(read, haplotype)
+
+        spec = pairhmm_boundary_for_length(pairhmm_wavefront_spec(), len(haplotype))
+        run = run_wavefront(spec, target=encode(haplotype), stream=encode(read))
+        total = -(1 << 20)
+        for values in (v for p in run.epilogue_values for v in p):
+            total = log_sum_lookup(
+                total, log_sum_lookup(values["m_up"], values["i_up"])
+            )
+        fixed = (total / (1 << LOG_FRACTION_BITS)) * math.log10(2)
+        assert fixed == pytest.approx(fp, abs=0.01)
+
+    def test_matching_read_scores_higher(self, rng):
+        haplotype = random_sequence(12, rng)
+        matching = simulate_fp_likelihood(haplotype[2:10], haplotype)
+        foreign = simulate_fp_likelihood(random_sequence(8, rng), haplotype)
+        assert matching > foreign
+
+    def test_bad_haplotype_length_rejected(self):
+        with pytest.raises(ValueError):
+            pairhmm_fp_wavefront_spec(0)

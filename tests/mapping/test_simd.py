@@ -1,0 +1,109 @@
+"""Tests for the 4 x 8-bit SIMD datapath (BSW's DLP mode)."""
+
+import pytest
+
+from repro.dpax.pe import pack_lanes, sat8, unpack_lanes
+from repro.mapping.simd import (
+    LANES,
+    bsw_simd_spec,
+    pack_words,
+    reference_lane_score,
+    run_bsw_simd,
+)
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+from repro.seq.scoring import LinearGap, ScoringScheme
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        lanes = [-128, 0, 55, 127]
+        assert unpack_lanes(pack_lanes(lanes)) == lanes
+
+    def test_negative_lanes_survive_wrap32(self):
+        from repro.dpax.pe import wrap32
+
+        word = pack_lanes([-1, -1, -1, -1])
+        assert unpack_lanes(wrap32(word) & 0xFFFFFFFF) == [-1, -1, -1, -1]
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes([200, 0, 0, 0])
+
+    def test_pack_words_transposes(self):
+        words = pack_words([[1, 2], [3, 4], [5, 6], [7, 8]])
+        assert unpack_lanes(words[0]) == [1, 3, 5, 7]
+        assert unpack_lanes(words[1]) == [2, 4, 6, 8]
+
+    def test_pack_words_length_mismatch(self):
+        with pytest.raises(ValueError):
+            pack_words([[1], [1, 2], [1], [1]])
+
+    def test_sat8(self):
+        assert sat8(300) == 127
+        assert sat8(-300) == -128
+
+
+class TestSIMDBSW:
+    def test_four_lanes_match_scalar_references(self, rng):
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        pairs = []
+        for _ in range(LANES):
+            target = random_sequence(8, rng)
+            query = (mutator.mutate(target) + random_sequence(20, rng))[:14]
+            pairs.append((query, target))
+        result = run_bsw_simd(pairs)
+        assert result.scores == [reference_lane_score(q, t) for q, t in pairs]
+
+    def test_lanes_are_independent(self, rng):
+        # One matching lane among three mismatching lanes.
+        target = random_sequence(8, rng)
+        pairs = [
+            (target + random_sequence(4, rng), target),  # perfect lane
+            ("T" * 12, "A" * 8),
+            ("G" * 12, "C" * 8),
+            ("C" * 12, "A" * 8),
+        ]
+        result = run_bsw_simd(pairs)
+        assert result.scores[0] == 8
+        assert result.scores[1:] == [0, 0, 0]
+
+    def test_partial_batch_padded(self, rng):
+        target = random_sequence(8, rng)
+        result = run_bsw_simd([(target + "ACGT", target)])
+        assert len(result.scores) == 1
+        assert result.scores[0] == 8
+
+    def test_saturation_at_127(self, rng):
+        # 160 identical bases would score 160; lanes clamp at 127.
+        sequence = random_sequence(160, rng)
+        result = run_bsw_simd([(sequence, sequence)])
+        assert result.scores[0] == 127
+
+    def test_throughput_advantage(self, rng):
+        # Aggregate cells/cycle beats the scalar run by construction:
+        # four tables in the time of one.
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        target = random_sequence(8, rng)
+        pairs = [
+            ((mutator.mutate(target) + random_sequence(20, rng))[:14], target)
+            for _ in range(LANES)
+        ]
+        result = run_bsw_simd(pairs)
+        assert result.total_cells == 4 * result.cells_per_lane
+        assert result.cycles_per_cell < 10  # ~4x the scalar ~20
+
+    def test_mismatched_lane_lengths_rejected(self, rng):
+        with pytest.raises(ValueError):
+            run_bsw_simd([("ACGTACGT", "ACGT"), ("ACGT", "ACGT")])
+
+    def test_spec_rejects_non_int8_scores(self):
+        from repro.seq.scoring import SubstitutionMatrix
+
+        scheme = ScoringScheme(substitution=SubstitutionMatrix(match=200))
+        with pytest.raises(ValueError):
+            bsw_simd_spec(scheme)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            run_bsw_simd([])

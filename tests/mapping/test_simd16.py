@@ -1,0 +1,64 @@
+"""Tests for the 2 x 16-bit SIMD mode (Section 7.6.4)."""
+
+import pytest
+
+from repro.dpax.pe import pack_lanes_n, unpack_lanes_n
+from repro.mapping.simd import lane_floor, reference_lane_score, run_bsw_simd
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+class TestLanePacking16:
+    def test_roundtrip(self):
+        lanes = [-32768, 32767]
+        assert unpack_lanes_n(pack_lanes_n(lanes, 2), 2) == lanes
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes_n([40000, 0], 2)
+
+    def test_bad_lane_count_rejected(self):
+        with pytest.raises(ValueError):
+            pack_lanes_n([1, 2, 3], 3)
+
+    def test_lane_floor(self):
+        assert lane_floor(4) == -128
+        assert lane_floor(2) == -32768
+
+
+class TestBSW16:
+    def test_two_lanes_match_scalar_references(self, rng):
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        pairs = []
+        for _ in range(2):
+            target = random_sequence(8, rng)
+            query = (mutator.mutate(target) + random_sequence(20, rng))[:14]
+            pairs.append((query, target))
+        result = run_bsw_simd(pairs, lanes=2)
+        assert result.lanes == 2
+        assert result.scores == [
+            reference_lane_score(q, t, lanes=2) for q, t in pairs
+        ]
+
+    def test_16bit_handles_scores_past_int8(self, rng):
+        # A 200-base perfect match scores 200: saturates the 8-bit mode,
+        # exact in the 16-bit mode (Table 1's BSW precision choice).
+        sequence = random_sequence(200, rng)
+        wide = run_bsw_simd([(sequence, sequence)], lanes=2)
+        narrow = run_bsw_simd([(sequence, sequence)], lanes=4)
+        assert wide.scores[0] == 200
+        assert narrow.scores[0] == 127
+
+    def test_two_lane_throughput_is_half_of_four(self, rng):
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        target = random_sequence(8, rng)
+        pair = ((mutator.mutate(target) + random_sequence(20, rng))[:14], target)
+        two = run_bsw_simd([pair, pair], lanes=2)
+        four = run_bsw_simd([pair] * 4, lanes=4)
+        # Same program, same cycles; cells double with lanes.
+        assert two.cycles == pytest.approx(four.cycles, rel=0.05)
+        assert four.total_cells == 2 * two.total_cells
+
+    def test_bad_lane_request(self):
+        with pytest.raises(ValueError):
+            run_bsw_simd([("ACGT", "ACGT")], lanes=3)

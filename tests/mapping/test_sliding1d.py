@@ -1,0 +1,67 @@
+"""Cycle-simulator validation of the 1D Chain mapping."""
+
+import random
+
+import pytest
+
+from repro.kernels.chain import Anchor
+from repro.kernels.chain_fixed import chain_reordered_fixed
+from repro.mapping.sliding1d import build_chain_programs, run_chain
+
+
+def make_anchors(count, rng, step=70):
+    anchors = []
+    x = y = 0
+    for _ in range(count):
+        x += rng.randint(1, step)
+        y += rng.randint(1, step)
+        anchors.append(Anchor(x, y))
+    anchors.sort(key=lambda a: (a.x, a.y))
+    return anchors
+
+
+class TestChainOnSimulator:
+    def test_single_array_matches_fixed_reference(self, rng):
+        anchors = make_anchors(25, rng)
+        run = run_chain(anchors, total_pes=4)
+        reference = chain_reordered_fixed(anchors, n=4)
+        assert run.finished
+        assert run.result.scores == reference.scores
+        assert run.result.parents == reference.parents
+
+    def test_concatenated_arrays_match_wider_window(self, rng):
+        anchors = make_anchors(25, rng)
+        run = run_chain(anchors, total_pes=8)
+        reference = chain_reordered_fixed(anchors, n=8)
+        assert run.finished
+        assert run.result.scores == reference.scores
+
+    def test_wider_window_changes_results(self, rng):
+        # Sparse anchors where only a wide window can link distant pairs.
+        anchors = make_anchors(30, rng, step=120)
+        narrow = run_chain(anchors, total_pes=4)
+        wide = run_chain(anchors, total_pes=8)
+        assert max(wide.result.scores) >= max(narrow.result.scores)
+
+    def test_best_chain_backtracks(self, rng):
+        anchors = make_anchors(20, rng)
+        run = run_chain(anchors, total_pes=4)
+        chain = run.result.backtrack()
+        assert chain == sorted(chain)
+        assert chain[-1] == run.result.best_index
+
+
+class TestChainPrograms:
+    def test_programs_validate(self):
+        programs = build_chain_programs(10, 8)
+        for stream in programs.pe_control:
+            for instruction in stream:
+                instruction.validate()
+
+    def test_bad_pe_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_chain_programs(10, 6, pes_per_array=4)
+
+    def test_empty_anchors_rejected(self):
+        with pytest.raises(ValueError):
+            run_chain([], total_pes=4)

@@ -1,0 +1,150 @@
+"""Cycle-simulator validation of the 2D wavefront kernels.
+
+These are the "simulations show same results as CPU baselines" tests
+(Section 6): every kernel's systolic execution is compared against its
+reference implementation, cell-exact where the arithmetic domain
+allows it.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.dtw import dtw_matrix
+from repro.kernels.lcs import lcs_table
+from repro.kernels.pairhmm import LOG_FRACTION_BITS, log_sum_lookup, pairhmm_forward
+from repro.kernels.sw import align
+from repro.mapping.kernels2d import (
+    bsw_wavefront_spec,
+    dtw_wavefront_spec,
+    lcs_wavefront_spec,
+    pairhmm_boundary_for_length,
+    pairhmm_wavefront_spec,
+)
+from repro.mapping.wavefront2d import build_wavefront_programs, run_wavefront
+from repro.seq.alphabet import encode, random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+class TestLCSOnSimulator:
+    def test_final_row_matches_reference(self, rng):
+        x = random_sequence(12, rng)
+        y = random_sequence(8, rng)
+        run = run_wavefront(lcs_wavefront_spec(), target=encode(y), stream=encode(x))
+        assert run.finished
+        reference = lcs_table(x, y)
+        assert run.epilogue_series("c_up") == [
+            reference[len(x)][j + 1] for j in range(len(y))
+        ]
+
+    def test_multi_pass_uses_fifo(self, rng):
+        # 8 target rows on 4 PEs = 2 passes through the FIFO.
+        x = random_sequence(10, rng)
+        y = random_sequence(8, rng)
+        run = run_wavefront(lcs_wavefront_spec(), target=encode(y), stream=encode(x))
+        assert len(run.epilogue_values) == 2
+
+
+class TestBSWOnSimulator:
+    def test_best_score_matches_local_alignment(self, rng):
+        for _ in range(3):
+            template = random_sequence(8, rng)
+            query = Mutator(MutationProfile.illumina(), rng).mutate(
+                random_sequence(14, rng) + template
+            )
+            run = run_wavefront(
+                bsw_wavefront_spec(), target=encode(template), stream=encode(query)
+            )
+            assert run.finished
+            best = max(run.epilogue_series("hmax"))
+            assert best == align(query, template, mode=AlignmentMode.LOCAL).score
+
+    def test_mismatched_sequences_score_low(self, rng):
+        run = run_wavefront(
+            bsw_wavefront_spec(),
+            target=encode("A" * 8),
+            stream=encode("T" * 12),
+        )
+        assert max(run.epilogue_series("hmax")) == 0
+
+
+class TestDTWOnSimulator:
+    def test_final_row_matches_reference(self, rng):
+        a = [rng.randint(0, 30) for _ in range(10)]
+        b = [rng.randint(0, 30) for _ in range(8)]
+        run = run_wavefront(dtw_wavefront_spec(), target=b, stream=a)
+        assert run.finished
+        reference = dtw_matrix(a, b)
+        got = run.epilogue_series("d_up")
+        for j, value in enumerate(got):
+            expected = reference[len(a)][j + 1]
+            if expected == float("inf"):
+                assert value >= (1 << 19)
+            else:
+                assert value == expected
+
+
+class TestPairHMMOnSimulator:
+    def test_likelihood_matches_float_forward(self, rng):
+        read = random_sequence(10, rng)
+        haplotype = random_sequence(8, rng)
+        spec = pairhmm_boundary_for_length(pairhmm_wavefront_spec(), len(haplotype))
+        run = run_wavefront(spec, target=encode(haplotype), stream=encode(read))
+        assert run.finished
+        total = -(1 << 20)
+        for values in (v for p in run.epilogue_values for v in p):
+            total = log_sum_lookup(
+                total, log_sum_lookup(values["m_up"], values["i_up"])
+            )
+        sim_log10 = (total / (1 << LOG_FRACTION_BITS)) * math.log10(2)
+        assert sim_log10 == pytest.approx(pairhmm_forward(read, haplotype), abs=0.01)
+
+
+class TestProgramGeneration:
+    def test_target_must_divide_pe_count(self):
+        with pytest.raises(ValueError):
+            build_wavefront_programs(lcs_wavefront_spec(), 6, 10, pe_count=4)
+
+    def test_programs_validate(self):
+        programs = build_wavefront_programs(bsw_wavefront_spec(), 8, 12)
+        for stream in programs.pe_control + [programs.array_control]:
+            for instruction in stream:
+                instruction.validate()
+        for compute in programs.pe_compute:
+            for bundle in compute:
+                bundle.validate()
+
+    def test_accumulator_adds_a_bundle(self):
+        bsw = build_wavefront_programs(bsw_wavefront_spec(), 4, 4)
+        lcs = build_wavefront_programs(lcs_wavefront_spec(), 4, 4)
+        assert bsw.bundles_per_cell == len(bsw.cell_program.instructions) + 1
+        assert lcs.bundles_per_cell == len(lcs.cell_program.instructions)
+
+    def test_spec_role_coverage_checked(self):
+        from repro.mapping.wavefront2d import Wavefront2DSpec
+        from repro.dfg.kernels import lcs_dfg
+
+        spec = Wavefront2DSpec(
+            name="broken",
+            dfg=lcs_dfg(),
+            stream_input="x",
+            static_input="y",
+            recv=[],  # c_left et al. unbound
+            delayed={},
+            own={},
+        )
+        with pytest.raises(ValueError):
+            spec.validate()
+
+
+class TestRunMetrics:
+    def test_cells_counted(self, rng):
+        run = run_wavefront(
+            lcs_wavefront_spec(),
+            target=encode(random_sequence(4, rng)),
+            stream=encode(random_sequence(6, rng)),
+        )
+        assert run.cells == 24
+        assert run.cycles_per_cell > 0

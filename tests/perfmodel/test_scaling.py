@@ -1,0 +1,38 @@
+"""Tests for the Table 12 tile-scaling study."""
+
+import pytest
+
+from repro.baselines.data import PAPER_TABLE12
+from repro.perfmodel.scaling import tile_scaling_study
+
+
+class TestTileScaling:
+    def test_64_tiles_beat_the_gpu(self):
+        study = tile_scaling_study(tiles=64)
+        assert study.speedup > 1.0
+
+    def test_speedup_in_paper_ballpark(self):
+        # Paper: 6.17x raw over the A100; shape tolerance is generous
+        # because our cycles/cell are simulator-measured.
+        study = tile_scaling_study(tiles=64)
+        assert 2.0 < study.speedup < 15.0
+
+    def test_area_matches_table12(self):
+        study = tile_scaling_study(tiles=64)
+        assert study.total_area_mm2 == pytest.approx(
+            PAPER_TABLE12["gendp_area_mm2"], rel=0.02
+        )
+        assert study.total_area_mm2 < study.gpu_area_mm2 / 10
+
+    def test_bandwidth_ceiling_near_64(self):
+        study = tile_scaling_study(tiles=64)
+        assert 55 <= study.bandwidth_limited_tiles <= 70
+
+    def test_raw_scales_linearly(self):
+        small = tile_scaling_study(tiles=8)
+        large = tile_scaling_study(tiles=16)
+        assert large.raw_gcups == pytest.approx(2 * small.raw_gcups)
+
+    def test_zero_tiles_rejected(self):
+        with pytest.raises(ValueError):
+            tile_scaling_study(tiles=0)

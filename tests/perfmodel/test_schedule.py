@@ -1,0 +1,81 @@
+"""Tests for the multi-array task scheduler."""
+
+import pytest
+
+from repro.perfmodel.schedule import (
+    ScheduleResult,
+    schedule_fifo,
+    schedule_lpt,
+    tile_throughput_efficiency,
+)
+
+
+class TestLPT:
+    def test_uniform_tasks_balance_perfectly(self):
+        result = schedule_lpt([100.0] * 32, arrays=16)
+        assert result.balance_efficiency == pytest.approx(1.0)
+        assert all(len(a) == 2 for a in result.assignments)
+
+    def test_every_task_assigned_once(self):
+        result = schedule_lpt([float(i) for i in range(50)], arrays=16)
+        assigned = sorted(t for a in result.assignments for t in a)
+        assert assigned == list(range(50))
+
+    def test_makespan_at_least_mean(self):
+        sizes = [float(x) for x in (500, 300, 200, 100, 50)]
+        result = schedule_lpt(sizes, arrays=4)
+        assert result.makespan >= sum(sizes) / 4
+
+    def test_one_giant_task_dominates(self):
+        result = schedule_lpt([1000.0] + [10.0] * 15, arrays=16)
+        assert result.makespan == 1000.0
+        assert result.balance_efficiency < 0.1
+
+    def test_lpt_no_worse_than_fifo(self, rng):
+        sizes = [float(rng.randint(10, 500)) for _ in range(64)]
+        assert (
+            schedule_lpt(sizes).makespan <= schedule_fifo(sizes).makespan
+        )
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_lpt([-1.0])
+
+    def test_zero_arrays_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_lpt([1.0], arrays=0)
+
+
+class TestEfficiency:
+    def test_real_bsw_workload_balances_well(self):
+        from repro.kernels.bsw import band_cells
+        from repro.workloads.reads import generate_bsw_workload
+
+        workload = generate_bsw_workload(count=200, seed=5)
+        sizes = [
+            float(band_cells(len(p.query), len(p.target), workload.band))
+            for p in workload.pairs
+        ]
+        assert tile_throughput_efficiency(sizes) > 0.95
+
+    def test_poa_workload_less_balanced_than_bsw(self):
+        # POA tasks are few and heavy (read groups); balance suffers
+        # relative to the sea of uniform seed extensions.
+        from repro.workloads.poa_groups import generate_poa_workload
+        from repro.workloads.reads import generate_bsw_workload
+        from repro.kernels.bsw import band_cells
+
+        poa = generate_poa_workload(tasks=20, reads_per_task=10, seed=5)
+        poa_sizes = [float(t.cells) for t in poa.tasks]
+        bsw = generate_bsw_workload(count=200, seed=5)
+        bsw_sizes = [
+            float(band_cells(len(p.query), len(p.target), bsw.band))
+            for p in bsw.pairs
+        ]
+        assert tile_throughput_efficiency(poa_sizes) <= tile_throughput_efficiency(
+            bsw_sizes
+        ) + 1e-9
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            tile_throughput_efficiency([])

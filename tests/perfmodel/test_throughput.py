@@ -1,0 +1,110 @@
+"""Tests for the GenDP throughput model."""
+
+import pytest
+
+from repro.perfmodel.throughput import (
+    DEFAULT_CYCLES_PER_CELL,
+    GenDPPerfModel,
+    KernelThroughput,
+    default_kernel_throughputs,
+    measure_cycles_per_cell,
+)
+
+
+class TestKernelThroughput:
+    def test_raw_rate_formula(self):
+        kt = KernelThroughput(kernel="x", cycles_per_cell=20.0, pes_used=64)
+        assert kt.raw_gcups(2e9) == pytest.approx(64 * 2 / 20)
+
+    def test_simd_lanes_multiply(self):
+        one = KernelThroughput(kernel="x", cycles_per_cell=20.0, simd_lanes=1)
+        four = KernelThroughput(kernel="x", cycles_per_cell=20.0, simd_lanes=4)
+        assert four.raw_gcups() == pytest.approx(4 * one.raw_gcups())
+
+    def test_host_fraction_amdahl(self):
+        blended = KernelThroughput(
+            kernel="x",
+            cycles_per_cell=10.0,
+            accel_fraction=0.977,
+            host_gcups=1.0,  # a much slower host drags the blend down
+        )
+        raw = blended.raw_gcups()
+        expected = 1.0 / (0.977 / raw + 0.023 / 1.0)
+        assert blended.effective_gcups() == pytest.approx(expected)
+        assert blended.effective_gcups() < raw
+
+    def test_work_inflation_divides(self):
+        plain = KernelThroughput(kernel="x", cycles_per_cell=10.0)
+        penalized = KernelThroughput(
+            kernel="x", cycles_per_cell=10.0, work_inflation=3.72
+        )
+        assert penalized.effective_gcups() == pytest.approx(
+            plain.effective_gcups() / 3.72
+        )
+
+    def test_host_fraction_without_rate_raises(self):
+        kt = KernelThroughput(kernel="x", cycles_per_cell=10.0, accel_fraction=0.9)
+        with pytest.raises(ValueError):
+            kt.effective_gcups()
+
+
+class TestDefaults:
+    def test_four_paper_kernels(self):
+        defaults = default_kernel_throughputs()
+        assert set(defaults) == {"bsw", "pairhmm", "chain", "poa"}
+
+    def test_bsw_uses_simd(self):
+        assert default_kernel_throughputs()["bsw"].simd_lanes == 4
+
+    def test_chain_penalized(self):
+        assert default_kernel_throughputs()["chain"].work_inflation == pytest.approx(3.72)
+
+    def test_host_fractions_match_section6(self):
+        defaults = default_kernel_throughputs()
+        assert defaults["pairhmm"].accel_fraction == pytest.approx(0.977)
+        assert defaults["poa"].accel_fraction == pytest.approx(0.976)
+
+
+class TestPerfModel:
+    def test_tile_area_scaled_to_7nm(self):
+        model = GenDPPerfModel()
+        assert model.tile_area_mm2 == pytest.approx(0.69, abs=0.02)
+
+    def test_bsw_fastest_normalized(self):
+        model = GenDPPerfModel()
+        rates = {k: model.mcups_per_mm2(k) for k in model.kernels}
+        assert max(rates, key=rates.get) == "bsw"
+
+    def test_poa_and_chain_slowest(self):
+        # Section 7.2: POA is memory-bound, Chain pays the 3.72x penalty.
+        model = GenDPPerfModel()
+        rates = sorted(model.kernels, key=model.mcups_per_mm2)
+        assert set(rates[:2]) == {"poa", "chain"}
+
+    def test_runtime_inverse_of_rate(self):
+        model = GenDPPerfModel()
+        assert model.runtime_seconds("bsw", 10**9) == pytest.approx(
+            1.0 / model.gcups("bsw")
+        )
+
+    def test_geomean_between_extremes(self):
+        model = GenDPPerfModel()
+        rates = [model.gcups(k) for k in model.kernels]
+        assert min(rates) < model.geomean_gcups() < max(rates)
+
+
+class TestCalibration:
+    """Keep DEFAULT_CYCLES_PER_CELL honest against the simulator."""
+
+    @pytest.mark.parametrize("kernel", ["bsw", "lcs", "dtw"])
+    def test_wavefront_measurements_track_defaults(self, kernel):
+        measured = measure_cycles_per_cell(kernel)
+        assert measured == pytest.approx(DEFAULT_CYCLES_PER_CELL[kernel], rel=0.35)
+
+    def test_poa_measurement_tracks_default(self):
+        measured = measure_cycles_per_cell("poa")
+        assert measured == pytest.approx(DEFAULT_CYCLES_PER_CELL["poa"], rel=0.5)
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError):
+            measure_cycles_per_cell("mystery")

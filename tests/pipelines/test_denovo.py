@@ -1,0 +1,77 @@
+"""Tests for the de-novo overlap-layout-consensus assembler."""
+
+import pytest
+
+from repro.kernels.sw import align
+from repro.pipelines.denovo import DenovoAssembler
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+def shred(template, rng, read_length=80, step=(25, 40), mutator=None):
+    reads = []
+    position = 0
+    while position < len(template) - read_length // 2:
+        read = template[position : position + read_length]
+        if mutator is not None:
+            read = mutator.mutate(read)
+        reads.append(read)
+        position += rng.randint(*step)
+    return reads
+
+
+class TestOverlaps:
+    def test_adjacent_reads_overlap(self, rng):
+        template = random_sequence(200, rng)
+        reads = [template[0:100], template[50:150]]
+        overlaps = DenovoAssembler().find_overlaps(reads)
+        forward = [o for o in overlaps if o.a == 0 and o.b == 1]
+        assert forward
+        assert forward[0].offset == pytest.approx(50, abs=3)
+
+    def test_disjoint_reads_do_not_overlap(self, rng):
+        template = random_sequence(400, rng)
+        reads = [template[0:80], template[300:380]]
+        assert DenovoAssembler().find_overlaps(reads) == []
+
+    def test_overlap_span_reported(self, rng):
+        template = random_sequence(200, rng)
+        reads = [template[0:120], template[60:180]]
+        overlaps = DenovoAssembler().find_overlaps(reads)
+        assert any(o.span >= 40 for o in overlaps)
+
+
+class TestLayout:
+    def test_orders_reads_left_to_right(self, rng):
+        template = random_sequence(260, rng)
+        reads = [template[120:200], template[0:80], template[60:140]]
+        assembler = DenovoAssembler()
+        order = assembler.layout(reads, assembler.find_overlaps(reads))
+        assert order == [1, 2, 0]
+
+    def test_empty(self):
+        assert DenovoAssembler().layout([], []) == []
+
+
+class TestAssembly:
+    def test_perfect_reads_reconstruct_template(self, rng):
+        template = random_sequence(250, rng)
+        reads = shred(template, rng)
+        contig = DenovoAssembler().assemble(reads)
+        identity = align(contig, template).score / len(template)
+        assert identity > 0.9
+
+    def test_noisy_reads_still_assemble(self, rng):
+        template = random_sequence(250, rng)
+        mutator = Mutator(MutationProfile.pacbio(), rng)
+        reads = shred(template, rng, mutator=mutator)
+        contig = DenovoAssembler().assemble(reads)
+        identity = align(contig, template).score / len(template)
+        assert identity > 0.6
+
+    def test_single_read_passthrough(self):
+        assert DenovoAssembler().assemble(["ACGTACGT"]) == "ACGTACGT"
+
+    def test_no_reads_rejected(self):
+        with pytest.raises(ValueError):
+            DenovoAssembler().assemble([])

@@ -1,0 +1,76 @@
+"""Tests for metagenomics classification and abundance estimation."""
+
+import pytest
+
+from repro.pipelines.metagenomics import MetagenomicsClassifier
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+@pytest.fixture
+def pan_genome(rng):
+    return {f"species{i}": random_sequence(400, rng) for i in range(3)}
+
+
+class TestClassification:
+    def test_clean_reads_classified_correctly(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        for species, genome in pan_genome.items():
+            start = rng.randint(0, 300)
+            result = classifier.classify(genome[start : start + 80])
+            assert result.species == species
+
+    def test_noisy_reads_mostly_correct(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        correct = total = 0
+        for species, genome in pan_genome.items():
+            for _ in range(5):
+                start = rng.randint(0, 300)
+                read = mutator.mutate(genome[start : start + 80])
+                result = classifier.classify(read)
+                total += 1
+                if result.species == species:
+                    correct += 1
+        assert correct >= total * 0.8
+
+    def test_foreign_read_unclassified(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        result = classifier.classify(random_sequence(80, rng))
+        assert result.species is None
+
+    def test_margin_reported(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        genome = pan_genome["species0"]
+        result = classifier.classify(genome[100:180])
+        assert result.runner_up_margin > 0
+
+
+class TestAbundance:
+    def test_mixture_proportions_recovered(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        mutator = Mutator(MutationProfile.illumina(), rng)
+        mixture = [("species0", 30), ("species1", 15), ("species2", 5)]
+        reads = []
+        for species, count in mixture:
+            genome = pan_genome[species]
+            for index in range(count):
+                start = rng.randint(0, 300)
+                reads.append(
+                    (f"{species}-{index}", mutator.mutate(genome[start : start + 80]))
+                )
+        abundances, classified = classifier.abundance(reads)
+        assert classified > 0.8
+        assert abundances["species0"] == pytest.approx(0.6, abs=0.1)
+        assert abundances["species1"] == pytest.approx(0.3, abs=0.1)
+        assert abundances["species2"] == pytest.approx(0.1, abs=0.1)
+
+    def test_empty_sample_rejected(self, pan_genome):
+        with pytest.raises(ValueError):
+            MetagenomicsClassifier(pan_genome).abundance([])
+
+    def test_all_foreign_sample(self, pan_genome, rng):
+        classifier = MetagenomicsClassifier(pan_genome)
+        reads = [(f"x{i}", random_sequence(80, rng)) for i in range(5)]
+        abundances, classified = classifier.abundance(reads)
+        assert classified <= 0.2

@@ -1,0 +1,107 @@
+"""Tests for the reference-guided mapping + variant-calling pipeline."""
+
+import random
+
+import pytest
+
+from repro.pipelines.reference_guided import ReferenceGuidedPipeline
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+@pytest.fixture
+def pipeline_setup(rng):
+    reference = random_sequence(500, rng)
+    pipeline = ReferenceGuidedPipeline(reference)
+    mutator = Mutator(MutationProfile.illumina(), rng)
+    return reference, pipeline, mutator
+
+
+class TestMapping:
+    def test_exact_reads_map_to_origin(self, pipeline_setup, rng):
+        reference, pipeline, _ = pipeline_setup
+        for _ in range(10):
+            start = rng.randint(0, 400)
+            mapping = pipeline.map_read(reference[start : start + 80])
+            assert mapping is not None
+            assert abs(mapping.position - start) <= 2
+
+    def test_noisy_reads_map_near_origin(self, pipeline_setup, rng):
+        reference, pipeline, mutator = pipeline_setup
+        hits = 0
+        for _ in range(15):
+            start = rng.randint(0, 400)
+            read = mutator.mutate(reference[start : start + 80])
+            mapping = pipeline.map_read(read)
+            if mapping and abs(mapping.position - start) <= 3:
+                hits += 1
+        assert hits >= 12
+
+    def test_foreign_read_unmapped_or_low(self, pipeline_setup, rng):
+        _, pipeline, _ = pipeline_setup
+        foreign = random_sequence(80, rng)
+        mapping = pipeline.map_read(foreign)
+        if mapping is not None:
+            assert mapping.score < 40  # no long exact run by chance
+
+    def test_map_all_drops_unplaceable(self, pipeline_setup, rng):
+        reference, pipeline, _ = pipeline_setup
+        reads = [
+            ("good", reference[100:180]),
+            ("bad", "A" * 60),  # masked homopolymer: no seeds
+        ]
+        mappings = pipeline.map_all(reads)
+        assert [m.read_name for m in mappings] == ["good"]
+
+
+class TestVariantCalling:
+    def test_homozygous_snv_called(self, rng):
+        reference = random_sequence(400, rng)
+        position = 200
+        alternate = "A" if reference[position] != "A" else "C"
+        sample = reference[:position] + alternate + reference[position + 1 :]
+        mutator = Mutator(MutationProfile.illumina(), rng)
+
+        pipeline = ReferenceGuidedPipeline(reference)
+        reads = []
+        for index in range(30):
+            start = rng.randint(80, 320 - 80)
+            reads.append((f"r{index}", mutator.mutate(sample[start : start + 90])))
+        mappings = pipeline.map_all(reads)
+        variants = pipeline.call_variants(mappings)
+
+        assert any(
+            v.position == position and v.alternate_base == alternate
+            for v in variants
+        )
+        called = next(v for v in variants if v.position == position)
+        assert called.likelihood_ratio > 0  # PairHMM favors the alt hap
+        assert called.allele_fraction > 0.7
+
+    def test_clean_sample_calls_nothing(self, rng):
+        reference = random_sequence(400, rng)
+        pipeline = ReferenceGuidedPipeline(reference)
+        reads = [
+            (f"r{index}", reference[start : start + 90])
+            for index, start in enumerate(
+                rng.randint(0, 300) for _ in range(20)
+            )
+        ]
+        mappings = pipeline.map_all(reads)
+        assert pipeline.call_variants(mappings) == []
+
+    def test_pileup_depth_reflects_coverage(self, rng):
+        reference = random_sequence(300, rng)
+        pipeline = ReferenceGuidedPipeline(reference)
+        mappings = pipeline.map_all(
+            [("a", reference[50:150]), ("b", reference[100:200])]
+        )
+        columns = pipeline.pileup(mappings)
+        assert columns[120][reference[120]] == 2  # covered by both
+        assert columns[60][reference[60]] == 1
+
+
+class TestInterface:
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            ReferenceGuidedPipeline("")

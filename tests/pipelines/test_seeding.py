@@ -1,0 +1,68 @@
+"""Tests for the k-mer seeding substrate."""
+
+import pytest
+
+from repro.pipelines.seeding import KmerIndex, seed_anchors
+from repro.seq.alphabet import random_sequence
+
+
+class TestKmerIndex:
+    def test_finds_exact_kmers(self, rng):
+        reference = random_sequence(200, rng)
+        index = KmerIndex(reference, k=11)
+        kmer = reference[50:61]
+        assert 50 in index.lookup(kmer)
+
+    def test_absent_kmer_empty(self):
+        index = KmerIndex("ACGT" * 20, k=11)
+        assert index.lookup("A" * 11) == []
+
+    def test_repeat_masking(self):
+        # A homopolymer reference: every k-mer occurs > max_occurrences.
+        index = KmerIndex("A" * 100, k=5, max_occurrences=16)
+        assert index.lookup("AAAAA") == []
+
+    def test_wrong_length_query_rejected(self):
+        index = KmerIndex("ACGTACGTACGT", k=5)
+        with pytest.raises(ValueError):
+            index.lookup("ACGT")
+
+    def test_short_reference_rejected(self):
+        with pytest.raises(ValueError):
+            KmerIndex("ACG", k=11)
+
+
+class TestSeedAnchors:
+    def test_identity_seeds_lie_on_diagonal(self, rng):
+        reference = random_sequence(120, rng)
+        index = KmerIndex(reference, k=11)
+        anchors = seed_anchors(index, reference)
+        diagonal = [a for a in anchors if a.x == a.y]
+        assert len(diagonal) >= 100  # nearly every position self-matches
+
+    def test_offset_read_seeds_share_offset(self, rng):
+        reference = random_sequence(200, rng)
+        index = KmerIndex(reference, k=11)
+        read = reference[60:120]
+        anchors = seed_anchors(index, read)
+        offsets = {a.x - a.y for a in anchors}
+        assert 60 in offsets
+
+    def test_sorted_output(self, rng):
+        reference = random_sequence(150, rng)
+        anchors = seed_anchors(KmerIndex(reference, k=9), reference[20:90])
+        keys = [(a.x, a.y) for a in anchors]
+        assert keys == sorted(keys)
+
+    def test_stride_thins_anchors(self, rng):
+        reference = random_sequence(150, rng)
+        index = KmerIndex(reference, k=9)
+        dense = seed_anchors(index, reference[10:100], stride=1)
+        sparse = seed_anchors(index, reference[10:100], stride=5)
+        assert len(sparse) < len(dense)
+
+    def test_anchor_weight_is_k(self, rng):
+        reference = random_sequence(100, rng)
+        index = KmerIndex(reference, k=13)
+        for anchor in seed_anchors(index, reference[:50]):
+            assert anchor.w == 13

@@ -1,0 +1,111 @@
+"""Property-based assembler round-trip tests."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dfg.graph import Opcode
+from repro.isa.assembler import (
+    assemble_control,
+    assemble_vliw,
+    disassemble_control,
+    disassemble_vliw,
+)
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.isa.control import (
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    PORT_SPACES,
+    Space,
+)
+
+_indexed = st.sampled_from([Space.REG, Space.SPM, Space.IBUF, Space.OBUF])
+_ports = st.sampled_from([Space.IN, Space.OUT, Space.FIFO])
+
+
+@st.composite
+def locations(draw):
+    if draw(st.booleans()):
+        return Loc(draw(_ports))
+    space = draw(_indexed)
+    if draw(st.booleans()):
+        return Loc(space, draw(st.integers(min_value=0, max_value=15)), indirect=True)
+    return Loc(space, draw(st.integers(min_value=0, max_value=255)))
+
+
+@st.composite
+def control_instructions(draw):
+    op = draw(st.sampled_from(list(ControlOp)))
+    a = st.integers(min_value=0, max_value=15)
+    imm = st.integers(min_value=-(1 << 15), max_value=1 << 15)
+    if op is ControlOp.ADD:
+        return ControlInstruction(op, rd=draw(a), rs1=draw(a), rs2=draw(a))
+    if op is ControlOp.ADDI:
+        return ControlInstruction(op, rd=draw(a), rs1=draw(a), imm=draw(imm))
+    if op is ControlOp.LI:
+        return ControlInstruction(op, dest=draw(locations()), imm=draw(imm))
+    if op is ControlOp.MV:
+        return ControlInstruction(op, dest=draw(locations()), src=draw(locations()))
+    if op in (ControlOp.BEQ, ControlOp.BNE, ControlOp.BGE, ControlOp.BLT):
+        return ControlInstruction(
+            op, rs1=draw(a), rs2=draw(a),
+            offset=draw(st.integers(min_value=-64, max_value=64)),
+        )
+    if op is ControlOp.SET:
+        return ControlInstruction(
+            op,
+            target=draw(st.integers(min_value=0, max_value=63)),
+            count=draw(st.integers(min_value=0, max_value=63)),
+        )
+    return ControlInstruction(op)
+
+
+_binary_ops = st.sampled_from(
+    [Opcode.ADD, Opcode.SUB, Opcode.MAX, Opcode.MIN, Opcode.LOG_SUM_LUT]
+)
+
+
+@st.composite
+def operands(draw):
+    if draw(st.booleans()):
+        return Reg(draw(st.integers(min_value=0, max_value=63)))
+    return Imm(draw(st.integers(min_value=-(1 << 20), max_value=1 << 20)))
+
+
+@st.composite
+def cu_ways(draw):
+    dest = Reg(draw(st.integers(min_value=0, max_value=63)))
+    if draw(st.booleans()):
+        return CUInstruction(
+            kind="mul",
+            dest=dest,
+            mul=SlotOp(Opcode.MUL, (draw(operands()), draw(operands()))),
+        )
+    left = SlotOp(draw(_binary_ops), (draw(operands()), draw(operands())))
+    if draw(st.booleans()):
+        right = SlotOp(draw(_binary_ops), (draw(operands()), draw(operands())))
+        root = draw(_binary_ops)
+        return CUInstruction(
+            kind="tree",
+            dest=dest,
+            left=left,
+            right=right,
+            root=root,
+            root_swapped=draw(st.booleans()),
+        )
+    return CUInstruction(kind="tree", dest=dest, left=left)
+
+
+class TestRoundTrips:
+    @given(control_instructions())
+    @settings(max_examples=200, deadline=None)
+    def test_control_roundtrip(self, instruction):
+        instruction.validate()
+        assert assemble_control(disassemble_control(instruction)) == instruction
+
+    @given(cu_ways(), st.one_of(st.none(), cu_ways()))
+    @settings(max_examples=200, deadline=None)
+    def test_vliw_roundtrip(self, cu0, cu1):
+        bundle = VLIWInstruction(cu0=cu0, cu1=cu1)
+        bundle.validate()
+        assert assemble_vliw(disassemble_vliw(bundle)) == bundle

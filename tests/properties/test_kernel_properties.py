@@ -1,0 +1,154 @@
+"""Property-based tests on kernel invariants (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.bsw import banded_sw
+from repro.kernels.chain import Anchor, chain_original, chain_reordered
+from repro.kernels.dtw import dtw_distance
+from repro.kernels.lcs import lcs_length, lcs_string
+from repro.kernels.sw import align
+
+dna = st.text(alphabet="ACGT", min_size=1, max_size=24)
+short_dna = st.text(alphabet="ACGT", min_size=1, max_size=12)
+signals = st.lists(
+    st.integers(min_value=-50, max_value=50), min_size=1, max_size=15
+)
+
+
+class TestLCSProperties:
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_bounded_by_shorter_sequence(self, x, y):
+        assert lcs_length(x, y) <= min(len(x), len(y))
+
+    @given(dna)
+    @settings(max_examples=40, deadline=None)
+    def test_self_lcs_is_identity(self, x):
+        assert lcs_length(x, x) == len(x)
+        assert lcs_string(x, x) == x
+
+    @given(dna, dna)
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, x, y):
+        assert lcs_length(x, y) == lcs_length(y, x)
+
+    @given(dna, dna, st.text(alphabet="ACGT", max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_under_extension(self, x, y, suffix):
+        # Appending to one sequence can only help.
+        assert lcs_length(x + suffix, y) >= lcs_length(x, y)
+
+
+class TestAlignmentProperties:
+    @given(short_dna, short_dna)
+    @settings(max_examples=50, deadline=None)
+    def test_local_score_nonnegative(self, q, t):
+        assert align(q, t, mode=AlignmentMode.LOCAL).score >= 0
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=50, deadline=None)
+    def test_local_at_least_global(self, q, t):
+        local = align(q, t, mode=AlignmentMode.LOCAL).score
+        globl = align(q, t, mode=AlignmentMode.GLOBAL).score
+        assert local >= globl
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=50, deadline=None)
+    def test_semi_global_between_local_and_global(self, q, t):
+        local = align(q, t, mode=AlignmentMode.LOCAL).score
+        semi = align(q, t, mode=AlignmentMode.SEMI_GLOBAL).score
+        globl = align(q, t, mode=AlignmentMode.GLOBAL).score
+        assert globl <= semi <= local
+
+    @given(short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_self_alignment_perfect(self, s):
+        result = align(s, s, mode=AlignmentMode.GLOBAL)
+        assert result.score == len(s)
+        assert result.cigar_string == f"{len(s)}M"
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_global_cigar_consumes_both(self, q, t):
+        result = align(q, t, mode=AlignmentMode.GLOBAL)
+        assert result.aligned_lengths() == (len(q), len(t))
+
+
+class TestBandedProperties:
+    @given(short_dna, short_dna, st.integers(min_value=1, max_value=6))
+    @settings(max_examples=50, deadline=None)
+    def test_band_widening_monotone(self, q, t, band):
+        narrow = banded_sw(q, t, band=band).score
+        wide = banded_sw(q, t, band=band + 4).score
+        assert narrow <= wide
+
+    @given(short_dna, short_dna)
+    @settings(max_examples=50, deadline=None)
+    def test_extension_bounded_by_local_optimum(self, q, t):
+        # banded_sw is an *anchored extension* (seed at (0,0)); its best
+        # score can never beat the free local alignment.
+        full = banded_sw(q, t, band=max(len(q), len(t)) + 1)
+        assert 0 <= full.score <= align(q, t, mode=AlignmentMode.LOCAL).score
+
+    @given(short_dna)
+    @settings(max_examples=40, deadline=None)
+    def test_self_extension_is_perfect(self, s):
+        result = banded_sw(s, s, band=len(s) + 1)
+        assert result.score == len(s)
+        assert result.global_score == len(s)
+
+
+class TestDTWProperties:
+    @given(signals, signals)
+    @settings(max_examples=50, deadline=None)
+    def test_nonnegative_and_symmetric(self, a, b):
+        assert dtw_distance(a, b) >= 0
+        assert dtw_distance(a, b) == dtw_distance(b, a)
+
+    @given(signals)
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, a):
+        assert dtw_distance(a, a) == 0
+
+    @given(signals, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=40, deadline=None)
+    def test_repetition_invariance(self, a, repeats):
+        # Repeating samples is free under warping.
+        stretched = [value for value in a for _ in range(repeats)]
+        assert dtw_distance(a, stretched) == 0
+
+
+anchor_steps = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=80),
+        st.integers(min_value=1, max_value=80),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+class TestChainProperties:
+    @given(anchor_steps, st.integers(min_value=1, max_value=12))
+    @settings(max_examples=50, deadline=None)
+    def test_reordered_equals_original(self, steps, window):
+        anchors, x, y = [], 0, 0
+        for dx, dy in steps:
+            x, y = x + dx, y + dy
+            anchors.append(Anchor(x, y))
+        original = chain_original(anchors, n=window)
+        reordered = chain_reordered(anchors, n=window)
+        assert original.scores == reordered.scores
+        assert original.parents == reordered.parents
+
+    @given(anchor_steps)
+    @settings(max_examples=50, deadline=None)
+    def test_scores_at_least_seed_weight(self, steps):
+        anchors, x, y = [], 0, 0
+        for dx, dy in steps:
+            x, y = x + dx, y + dy
+            anchors.append(Anchor(x, y))
+        result = chain_original(anchors)
+        assert all(score >= anchors[i].w for i, score in enumerate(result.scores))

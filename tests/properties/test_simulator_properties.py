@@ -1,0 +1,82 @@
+"""Property-based end-to-end simulator validation.
+
+The heaviest property in the suite: for random DNA inputs, the full
+ISA-level systolic simulation equals the reference kernel.  Sizes are
+kept small (a few hundred simulated cycles per example) so the
+property still runs in seconds.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.kernels.base import AlignmentMode
+from repro.kernels.lcs import lcs_table
+from repro.kernels.sw import align
+from repro.mapping.kernels2d import bsw_wavefront_spec, lcs_wavefront_spec
+from repro.mapping.wavefront2d import run_wavefront
+from repro.seq.alphabet import encode
+
+dna_stream = st.text(alphabet="ACGT", min_size=1, max_size=10)
+dna_static4 = st.text(alphabet="ACGT", min_size=4, max_size=4)
+dna_static8 = st.text(alphabet="ACGT", min_size=8, max_size=8)
+
+
+class TestSimulatedLCS:
+    @given(dna_stream, dna_static4)
+    @settings(max_examples=25, deadline=None)
+    def test_single_pass_matches_reference(self, x, y):
+        run = run_wavefront(lcs_wavefront_spec(), target=encode(y), stream=encode(x))
+        assert run.finished
+        reference = lcs_table(x, y)
+        assert run.epilogue_series("c_up") == [
+            reference[len(x)][j + 1] for j in range(len(y))
+        ]
+
+    @given(dna_stream, dna_static8)
+    @settings(max_examples=15, deadline=None)
+    def test_multi_pass_matches_reference(self, x, y):
+        run = run_wavefront(lcs_wavefront_spec(), target=encode(y), stream=encode(x))
+        assert run.finished
+        reference = lcs_table(x, y)
+        assert run.epilogue_series("c_up") == [
+            reference[len(x)][j + 1] for j in range(len(y))
+        ]
+
+
+class TestSimulatedBSW:
+    @given(dna_stream, dna_static4)
+    @settings(max_examples=25, deadline=None)
+    def test_best_score_matches_local_alignment(self, query, target):
+        run = run_wavefront(
+            bsw_wavefront_spec(), target=encode(target), stream=encode(query)
+        )
+        assert run.finished
+        best = max(run.epilogue_series("hmax"))
+        assert best == align(query, target, mode=AlignmentMode.LOCAL).score
+
+
+class TestSimulatedChain:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=60),
+                st.integers(min_value=1, max_value=60),
+            ),
+            min_size=2,
+            max_size=12,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_scores_match_fixed_reference(self, steps):
+        from repro.kernels.chain import Anchor
+        from repro.kernels.chain_fixed import chain_reordered_fixed
+        from repro.mapping.sliding1d import run_chain
+
+        anchors, x, y = [], 0, 0
+        for dx, dy in steps:
+            x, y = x + dx, y + dy
+            anchors.append(Anchor(x, y))
+        run = run_chain(anchors, total_pes=4)
+        reference = chain_reordered_fixed(anchors, n=4)
+        assert run.finished
+        assert run.result.scores == reference.scores

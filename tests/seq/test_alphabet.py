@@ -1,0 +1,74 @@
+"""Tests for the DNA alphabet and 2-bit encoding."""
+
+import random
+
+import pytest
+
+from repro.seq.alphabet import (
+    DNA_ALPHABET,
+    complement,
+    decode,
+    encode,
+    is_dna,
+    random_sequence,
+    reverse_complement,
+)
+
+
+class TestEncodeDecode:
+    def test_canonical_order(self):
+        assert encode("ACGT") == [0, 1, 2, 3]
+
+    def test_roundtrip(self, rng):
+        sequence = random_sequence(64, rng)
+        assert decode(encode(sequence)) == sequence
+
+    def test_empty(self):
+        assert encode("") == []
+        assert decode([]) == ""
+
+    def test_encode_rejects_ambiguity_codes(self):
+        with pytest.raises(ValueError):
+            encode("ACGN")
+
+    def test_decode_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            decode([0, 4])
+
+
+class TestComplement:
+    def test_pairs(self):
+        assert complement("A") == "T"
+        assert complement("G") == "C"
+
+    def test_reverse_complement_involution(self, rng):
+        sequence = random_sequence(30, rng)
+        assert reverse_complement(reverse_complement(sequence)) == sequence
+
+    def test_reverse_complement_example(self):
+        assert reverse_complement("AACGT") == "ACGTT"
+
+    def test_unknown_base(self):
+        with pytest.raises(ValueError):
+            complement("Z")
+
+
+class TestRandomSequence:
+    def test_length(self, rng):
+        assert len(random_sequence(17, rng)) == 17
+
+    def test_alphabet_closed(self, rng):
+        assert is_dna(random_sequence(200, rng))
+
+    def test_deterministic_with_seed(self):
+        a = random_sequence(50, random.Random(7))
+        b = random_sequence(50, random.Random(7))
+        assert a == b
+
+    def test_negative_length_rejected(self, rng):
+        with pytest.raises(ValueError):
+            random_sequence(-1, rng)
+
+    def test_is_dna(self):
+        assert is_dna("ACGT")
+        assert not is_dna("ACGU")

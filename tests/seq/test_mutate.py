@@ -1,0 +1,70 @@
+"""Tests for the read mutation model."""
+
+import random
+
+import pytest
+
+from repro.seq.alphabet import is_dna, random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+
+
+class TestMutationProfile:
+    def test_validation_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            MutationProfile(substitution=1.5).validate()
+
+    def test_validation_rejects_saturated_total(self):
+        with pytest.raises(ValueError):
+            MutationProfile(
+                substitution=0.5, insertion=0.3, deletion=0.3
+            ).validate()
+
+    def test_technology_presets_are_valid(self):
+        for profile in (
+            MutationProfile.illumina(),
+            MutationProfile.pacbio(),
+            MutationProfile.nanopore(),
+        ):
+            profile.validate()
+
+    def test_long_read_profiles_are_indel_heavy(self):
+        illumina = MutationProfile.illumina()
+        pacbio = MutationProfile.pacbio()
+        assert pacbio.insertion + pacbio.deletion > (
+            illumina.insertion + illumina.deletion
+        )
+
+
+class TestMutator:
+    def test_output_is_dna(self, rng):
+        mutator = Mutator(MutationProfile.nanopore(), rng)
+        assert is_dna(mutator.mutate(random_sequence(200, rng)))
+
+    def test_zero_rates_are_identity(self, rng):
+        mutator = Mutator(
+            MutationProfile(substitution=0.0, insertion=0.0, deletion=0.0), rng
+        )
+        template = random_sequence(100, rng)
+        assert mutator.mutate(template) == template
+
+    def test_divergence_scales_with_rate(self):
+        template = random_sequence(2000, random.Random(1))
+        low = Mutator(MutationProfile.illumina(), random.Random(2)).mutate(template)
+        high = Mutator(MutationProfile.nanopore(), random.Random(2)).mutate(template)
+        low_same = sum(a == b for a, b in zip(low, template))
+        high_same = sum(a == b for a, b in zip(high, template))
+        assert high_same < low_same
+
+    def test_deterministic_given_seed(self):
+        template = random_sequence(300, random.Random(3))
+        a = Mutator(MutationProfile.pacbio(), random.Random(4)).mutate(template)
+        b = Mutator(MutationProfile.pacbio(), random.Random(4)).mutate(template)
+        assert a == b
+
+    def test_deletions_shorten_on_average(self):
+        template = random_sequence(5000, random.Random(5))
+        profile = MutationProfile(
+            substitution=0.0, insertion=0.0, deletion=0.1, extend=0.2
+        )
+        mutated = Mutator(profile, random.Random(6)).mutate(template)
+        assert len(mutated) < len(template)

@@ -1,0 +1,39 @@
+"""Tests for read/reference record types."""
+
+import pytest
+
+from repro.seq.records import Read, ReadPair, Reference
+
+
+class TestReference:
+    def test_window(self):
+        ref = Reference("r", "ACGTACGT")
+        assert ref.window(2, 4) == "GTAC"
+
+    def test_window_bounds(self):
+        ref = Reference("r", "ACGT")
+        with pytest.raises(ValueError):
+            ref.window(2, 4)
+
+    def test_rejects_non_dna(self):
+        with pytest.raises(ValueError):
+            Reference("bad", "ACGN")
+
+    def test_len(self):
+        assert len(Reference("r", "ACG")) == 3
+
+
+class TestReadPair:
+    def test_cells(self):
+        pair = ReadPair(query="ACGT", target="ACG")
+        assert pair.cells == 12
+
+    def test_rejects_non_dna(self):
+        with pytest.raises(ValueError):
+            ReadPair(query="ACGU", target="ACG")
+
+
+class TestRead:
+    def test_origin_metadata(self):
+        read = Read(name="x", sequence="ACGT", origin=10, origin_end=14)
+        assert read.origin_end - read.origin == len(read)

@@ -1,0 +1,64 @@
+"""Tests for substitution matrices and gap models."""
+
+import pytest
+
+from repro.seq.scoring import (
+    AffineGap,
+    ConvexGap,
+    LinearGap,
+    ScoringScheme,
+    SubstitutionMatrix,
+)
+
+
+class TestSubstitutionMatrix:
+    def test_defaults(self):
+        matrix = SubstitutionMatrix()
+        assert matrix.score("A", "A") == 1
+        assert matrix.score("A", "C") == -1
+
+    def test_overrides(self):
+        matrix = SubstitutionMatrix(overrides={("A", "G"): 0})
+        assert matrix.score("A", "G") == 0
+        assert matrix.score("G", "A") == -1  # override is directional
+
+
+class TestGapModels:
+    def test_linear_is_proportional(self):
+        gap = LinearGap(extend=3)
+        assert gap.penalty(0) == 0
+        assert gap.penalty(5) == 15
+
+    def test_affine_charges_open_once(self):
+        gap = AffineGap(open=4, extend=1)
+        assert gap.penalty(0) == 0
+        assert gap.penalty(1) == 5
+        assert gap.penalty(3) - gap.penalty(2) == 1
+
+    def test_convex_growth_is_subadditive_in_log_term(self):
+        gap = ConvexGap(open=4, extend=1, scale=2)
+        # Marginal cost of extending shrinks relative to linear because
+        # log2 grows sublinearly.
+        assert gap.penalty(8) - gap.penalty(4) < 2 * (gap.penalty(4) - gap.penalty(2))
+
+    def test_convex_matches_formula(self):
+        gap = ConvexGap(open=4, extend=1, scale=1)
+        assert gap.penalty(8) == 4 + 8 + 3  # open + extend*8 + log2(8)
+
+    def test_negative_length_rejected(self):
+        for gap in (LinearGap(), AffineGap(), ConvexGap()):
+            with pytest.raises(ValueError):
+                gap.penalty(-1)
+
+
+class TestScoringScheme:
+    def test_composition(self):
+        scheme = ScoringScheme(
+            substitution=SubstitutionMatrix(match=2, mismatch=-3),
+            gap=AffineGap(open=5, extend=2),
+        )
+        assert scheme.score("C", "C") == 2
+        assert scheme.gap_penalty(2) == 9
+
+    def test_default_is_affine(self):
+        assert isinstance(ScoringScheme().gap, AffineGap)

@@ -1,0 +1,47 @@
+"""Tests for the command-line tools."""
+
+import pytest
+
+from repro.cli import compile_main, report_main, simulate_main
+
+
+class TestCompile:
+    def test_default_prints_program(self, capsys):
+        assert compile_main(["bsw"]) == 0
+        out = capsys.readouterr().out
+        assert "VLIW bundles/cell : 4" in out
+        assert "compute program:" in out
+        assert "match_score" in out
+
+    def test_stats_only(self, capsys):
+        compile_main(["lcs", "--stats-only"])
+        out = capsys.readouterr().out
+        assert "compute program:" not in out
+        assert "CU utilization" in out
+
+    def test_levels_study(self, capsys):
+        compile_main(["chain", "--levels", "1"])
+        out = capsys.readouterr().out
+        assert "tree depth        : 1" in out
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            compile_main(["nope"])
+
+
+class TestSimulate:
+    def test_lcs_simulation(self, capsys):
+        assert simulate_main(["lcs"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles/cell" in out
+        assert "projected MCUPS" in out
+
+
+class TestReport:
+    def test_summary_report(self, capsys):
+        assert report_main([]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 10(a)" in out
+        assert "Table 11" in out
+        assert "Table 12" in out
+        assert "headlines" in out

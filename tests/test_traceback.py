@@ -1,0 +1,116 @@
+"""Tests for traceback reconstruction from accelerator trace output."""
+
+import pytest
+
+from repro.kernels.base import TracebackOp
+from repro.kernels.poa import PartialOrderGraph, graph_dp_tables
+from repro.mapping.longrange import run_poa_row_dp
+from repro.seq.alphabet import random_sequence
+from repro.seq.mutate import MutationProfile, Mutator
+from repro.traceback import (
+    best_cell,
+    cigar_consumes,
+    poa_traceback,
+    score_pairs,
+    traceback_table,
+)
+
+
+def simulate_poa(rng, length=14, reads=2):
+    template = random_sequence(length, rng)
+    mutator = Mutator(MutationProfile.nanopore(), rng)
+    graph = PartialOrderGraph(template)
+    for _ in range(reads):
+        graph.add_sequence(mutator.mutate(template))
+    query = mutator.mutate(template)
+    run = run_poa_row_dp(graph, query)
+    assert run.finished
+    return graph, query, run
+
+
+class TestBestCell:
+    def test_finds_maximum(self):
+        h = [[0, 1], [5, 2]]
+        assert best_cell(h) == (1, 0)
+
+    def test_first_hit_on_ties(self):
+        h = [[3, 3], [3, 3]]
+        assert best_cell(h) == (0, 0)
+
+
+class TestTableTraceback:
+    def test_perfect_match_is_all_diagonal(self, rng):
+        graph = PartialOrderGraph("ACGTACGT")  # a chain: 2D semantics
+        run = run_poa_row_dp(graph, "ACGTACGT")
+        cigar = traceback_table(run.h, run.directions)
+        assert cigar == [(TracebackOp.MATCH, 8)]
+
+    def test_consumption_matches_start_cell(self, rng):
+        graph, query, run = simulate_poa(rng)
+        start = best_cell(run.h)
+        cigar = traceback_table(run.h, run.directions, start)
+        rows, cols = cigar_consumes(cigar)
+        assert rows <= start[0] + 1
+        assert cols <= start[1] + 1
+
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            traceback_table([[5]], [[9]])
+
+
+class TestPOATraceback:
+    def test_chain_graph_path_matches_reference_score(self, rng):
+        # A linear graph: the trace path is unique, so the re-scored
+        # path must reproduce the best H exactly.
+        graph = PartialOrderGraph(random_sequence(12, rng))
+        query = Mutator(MutationProfile.illumina(), rng).mutate(
+            "".join(node.base for node in graph.nodes)
+        )
+        if not query:
+            query = "ACGT"
+        run = run_poa_row_dp(graph, query)
+        start = best_cell(run.h)
+        pairs = poa_traceback(run.h, run.directions, graph, start)
+        assert score_pairs(pairs, graph, query) == run.h[start[0]][start[1]]
+
+    def test_branchy_graph_score_preserved(self, rng):
+        # With branches, ties may pick different-but-equal paths; the
+        # re-scored path still equals the traced H.
+        for _ in range(3):
+            graph, query, run = simulate_poa(rng)
+            start = best_cell(run.h)
+            pairs = poa_traceback(run.h, run.directions, graph, start)
+            assert score_pairs(pairs, graph, query) == run.h[start[0]][start[1]]
+
+    def test_pairs_reference_valid_nodes(self, rng):
+        graph, query, run = simulate_poa(rng)
+        pairs = poa_traceback(run.h, run.directions, graph)
+        for node_index, seq_index in pairs:
+            if node_index is not None:
+                assert 0 <= node_index < len(graph.nodes)
+            if seq_index is not None:
+                assert 0 <= seq_index < len(query)
+
+    def test_matches_reference_tables_traceback(self, rng):
+        # The simulator's trace and the reference tables agree on the
+        # start cell and its value.
+        graph, query, run = simulate_poa(rng)
+        reference_h, _, _ = graph_dp_tables(graph, query)
+        sim_row, sim_col = best_cell(run.h)
+        assert run.h[sim_row][sim_col] == max(
+            max(row[1:]) for row in reference_h
+        )
+
+
+class TestScorePairs:
+    def test_affine_gap_runs(self):
+        graph = PartialOrderGraph("ACGT")
+        # match, two vertical gaps (one open + one extend), match.
+        pairs = [(0, 0), (1, None), (2, None), (3, 1)]
+        score = score_pairs(pairs, graph, "AT")
+        assert score == 1 - (4 + 1) - 1 + 1
+
+    def test_alternating_gaps_reopen(self):
+        graph = PartialOrderGraph("ACGT")
+        pairs = [(0, None), (None, 0)]
+        assert score_pairs(pairs, graph, "A") == -2 * (4 + 1)

@@ -1,0 +1,161 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    generate_bf_workload,
+    generate_bsw_workload,
+    generate_chain_workload,
+    generate_dtw_workload,
+    generate_pairhmm_workload,
+    generate_poa_workload,
+)
+
+
+class TestBSWWorkload:
+    def test_shape(self):
+        workload = generate_bsw_workload(count=10, query_length=100, target_length=60)
+        assert len(workload.pairs) == 10
+        assert all(len(p.query) == 100 and len(p.target) == 60 for p in workload.pairs)
+
+    def test_pairs_are_related(self):
+        from repro.kernels.bsw import banded_sw
+
+        workload = generate_bsw_workload(count=5, seed=1)
+        for pair in workload.pairs:
+            # A related pair scores far above random expectation.
+            assert banded_sw(pair.query, pair.target, band=10).score > 20
+
+    def test_total_cells_counts_band(self):
+        workload = generate_bsw_workload(count=2, query_length=20, target_length=20, band=2)
+        assert workload.total_cells < 2 * 400
+
+    def test_deterministic(self):
+        a = generate_bsw_workload(count=3, seed=9)
+        b = generate_bsw_workload(count=3, seed=9)
+        assert [p.query for p in a.pairs] == [p.query for p in b.pairs]
+
+    def test_seed_changes_data(self):
+        a = generate_bsw_workload(count=3, seed=1)
+        b = generate_bsw_workload(count=3, seed=2)
+        assert [p.query for p in a.pairs] != [p.query for p in b.pairs]
+
+
+class TestPairHMMWorkload:
+    def test_all_pairs_per_region(self):
+        workload = generate_pairhmm_workload(
+            regions=2, reads_per_region=3, haplotypes_per_region=2
+        )
+        assert len(workload.pairs) == 2 * 3 * 2
+
+    def test_true_haplotype_scores_best_on_average(self):
+        from repro.kernels.pairhmm import pairhmm_forward
+
+        workload = generate_pairhmm_workload(
+            regions=3, reads_per_region=2, haplotypes_per_region=2,
+            read_length=40, haplotype_length=40, seed=5,
+        )
+        wins = total = 0
+        by_read = {}
+        for pair in workload.pairs:
+            by_read.setdefault((pair.region, pair.read), []).append(pair)
+        for pairs in by_read.values():
+            scores = [
+                pairhmm_forward(p.read, p.haplotype, qualities=p.qualities)
+                for p in pairs
+            ]
+            best = scores.index(max(scores))
+            total += 1
+            if best == pairs[0].true_haplotype:
+                wins += 1
+        assert wins >= total // 2
+
+    def test_qualities_match_read_length(self):
+        workload = generate_pairhmm_workload(regions=1, reads_per_region=2)
+        for pair in workload.pairs:
+            assert len(pair.qualities) == len(pair.read)
+
+
+class TestChainWorkload:
+    def test_anchors_sorted(self):
+        workload = generate_chain_workload(tasks=2, anchors_per_task=100)
+        for task in workload.tasks:
+            keys = [(a.x, a.y) for a in task.anchors]
+            assert keys == sorted(keys)
+
+    def test_collinear_run_is_chainable(self):
+        from repro.kernels.chain import chain_original, chain_query_coverage
+
+        workload = generate_chain_workload(
+            tasks=1, anchors_per_task=200, collinear_fraction=0.8, seed=2
+        )
+        task = workload.tasks[0]
+        result = chain_original(task.anchors)
+        q_span, _ = chain_query_coverage(task.anchors, result.backtrack())
+        # The best chain recovers a good share of the planted overlap.
+        assert q_span > task.true_span * 0.5
+
+    def test_total_cells_window_dependent(self):
+        workload = generate_chain_workload(tasks=1, anchors_per_task=500)
+        assert workload.total_cells(64) > workload.total_cells(25)
+
+
+class TestPOAWorkload:
+    def test_group_shape(self):
+        workload = generate_poa_workload(tasks=2, reads_per_task=5, template_length=50)
+        assert len(workload.tasks) == 2
+        assert all(len(t.reads) == 5 for t in workload.tasks)
+
+    def test_reads_resemble_template(self):
+        from repro.kernels.sw import align
+
+        workload = generate_poa_workload(tasks=1, reads_per_task=3, template_length=60)
+        task = workload.tasks[0]
+        for read in task.reads:
+            assert align(read, task.template).score > 15
+
+    def test_cells_accounting(self):
+        workload = generate_poa_workload(tasks=1, reads_per_task=3, template_length=40)
+        assert workload.total_cells > 0
+
+
+class TestDTWWorkload:
+    def test_matches_and_decoys_alternate(self):
+        workload = generate_dtw_workload(pairs=6)
+        flags = [p.is_match for p in workload.pairs]
+        assert flags == [True, False] * 3
+
+    def test_matching_pairs_are_closer(self):
+        from repro.kernels.dtw import dtw_distance
+
+        workload = generate_dtw_workload(pairs=6, length=60, seed=4)
+        match_distances = [
+            dtw_distance(p.reference, p.query) / len(p.reference)
+            for p in workload.pairs if p.is_match
+        ]
+        decoy_distances = [
+            dtw_distance(p.reference, p.query) / len(p.reference)
+            for p in workload.pairs if not p.is_match
+        ]
+        assert max(match_distances) < max(decoy_distances)
+
+
+class TestBFWorkload:
+    def test_roadmap_connected_enough(self):
+        from repro.kernels.bellman_ford import bellman_ford
+
+        workload = generate_bf_workload(vertices=50, neighbors=5, seed=8)
+        result = bellman_ford(
+            workload.vertex_count, workload.edges, source=workload.source
+        )
+        reachable = sum(1 for d in result.distances if d != float("inf"))
+        assert reachable > 40
+
+    def test_edges_bidirectional(self):
+        workload = generate_bf_workload(vertices=10, neighbors=2)
+        pairs = {(e.src, e.dst) for e in workload.edges}
+        assert all((dst, src) in pairs for src, dst in pairs)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_bf_workload(vertices=1)

@@ -1,0 +1,57 @@
+"""Tests for the workload sizing estimates."""
+
+import pytest
+
+from repro.workloads.sizing import (
+    FULL_DATASET_CELLS,
+    cells_for_budget,
+    estimate_simulation,
+    full_dataset_estimate,
+)
+
+
+class TestEstimates:
+    def test_linear_in_cells(self):
+        one = estimate_simulation("bsw", 1000)
+        two = estimate_simulation("bsw", 2000)
+        assert two.seconds == pytest.approx(2 * one.seconds)
+
+    def test_budget_inverse(self):
+        cells = cells_for_budget("poa", 60.0)
+        assert estimate_simulation("poa", cells).seconds == pytest.approx(
+            60.0, rel=0.01
+        )
+
+    def test_full_dataset_impractical(self):
+        # The reason every experiment here uses synthetic slices.
+        for kernel in FULL_DATASET_CELLS:
+            assert full_dataset_estimate(kernel).hours > 100
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            estimate_simulation("zzz", 1)
+
+    def test_negative_cells(self):
+        with pytest.raises(ValueError):
+            estimate_simulation("bsw", -1)
+
+    def test_rates_roughly_track_measurements(self):
+        # One small measured run per kernel family keeps the table
+        # honest within an order of magnitude (host-dependent).
+        import time
+
+        from repro.mapping.kernels2d import lcs_wavefront_spec
+        from repro.mapping.wavefront2d import run_wavefront
+        from repro.seq.alphabet import encode, random_sequence
+        import random
+
+        rng = random.Random(1)
+        start = time.perf_counter()
+        run = run_wavefront(
+            lcs_wavefront_spec(),
+            target=encode(random_sequence(8, rng)),
+            stream=encode(random_sequence(32, rng)),
+        )
+        elapsed = time.perf_counter() - start
+        measured_rate = run.cells / elapsed
+        assert measured_rate > 100  # not catastrophically slower
