@@ -10,8 +10,11 @@ Console scripts (installed by ``pip install -e .``):
   validation verdict against the reference implementation.
 - ``gendp-report`` -- regenerate the evaluation's summary tables
   (Figure 10, Tables 2/11/12) in one shot.
+- ``gendp-batch`` -- run a job stream through the batched execution
+  engine (:mod:`repro.engine`) and print a throughput/metrics report;
+  jobs come from a JSON spec file or a synthetic mixed workload.
 
-All three are thin shells over the library; they exist so a user can
+All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
 """
 
@@ -28,7 +31,14 @@ SIMULATABLE = ("bsw", "pairhmm", "lcs", "dtw", "chain", "poa", "bellman_ford")
 
 
 def _pipe_safe(main):
-    """Exit quietly when stdout closes early (``gendp-report | head``)."""
+    """Exit quietly when stdout/stderr close early (``gendp-report | head``).
+
+    A BrokenPipeError can surface from either stream (argparse and
+    warnings write to stderr), and flushing during cleanup can raise it
+    again; every step is therefore individually guarded, and the exit
+    goes through ``os._exit`` so no interpreter-shutdown flush of the
+    dead pipe can traceback after us.
+    """
 
     def wrapped(argv: Optional[List[str]] = None) -> int:
         try:
@@ -36,10 +46,15 @@ def _pipe_safe(main):
         except BrokenPipeError:
             import os
 
-            try:
-                sys.stdout.close()
-            except Exception:
-                pass
+            for stream in (sys.stdout, sys.stderr):
+                try:
+                    stream.flush()
+                except Exception:
+                    pass
+                try:
+                    stream.close()
+                except Exception:
+                    pass
             os._exit(0)
 
     return wrapped
@@ -192,6 +207,250 @@ def report_main(argv: Optional[List[str]] = None) -> int:
         f"(paper: 44.3 mm^2, 297.5 GCUPS, 6.17x)"
     )
     return 0
+
+
+# ----------------------------------------------------------------------
+# gendp-batch
+
+
+def _synthesize_jobs(kernels: List[str], count: int, seed: int) -> List:
+    """A mixed job stream shaped like the paper's workloads."""
+    import random
+
+    from repro.engine.jobs import make_job
+    from repro.seq.alphabet import random_sequence
+
+    rng = random.Random(seed)
+    pools = {}
+    per_kernel = count // len(kernels) + 1
+    for kernel in kernels:
+        payloads = []
+        if kernel == "bsw":
+            from repro.workloads.reads import generate_bsw_workload
+
+            workload = generate_bsw_workload(
+                count=per_kernel, query_length=32, target_length=24, seed=seed
+            )
+            payloads = [
+                {"query": pair.query, "target": pair.target}
+                for pair in workload.pairs
+            ]
+        elif kernel == "pairhmm":
+            from repro.workloads.haplotypes import generate_pairhmm_workload
+
+            workload = generate_pairhmm_workload(
+                regions=per_kernel // 4 + 1,
+                reads_per_region=2,
+                haplotypes_per_region=2,
+                read_length=24,
+                haplotype_length=16,
+                seed=seed,
+            )
+            payloads = [
+                {"read": pair.read, "haplotype": pair.haplotype}
+                for pair in workload.pairs
+            ]
+        elif kernel == "chain":
+            from repro.workloads.anchors import generate_chain_workload
+
+            workload = generate_chain_workload(
+                tasks=per_kernel, anchors_per_task=48, seed=seed
+            )
+            payloads = [
+                {"anchors": [[a.x, a.y, a.w] for a in task.anchors]}
+                for task in workload.tasks
+            ]
+        elif kernel == "lcs":
+            payloads = [
+                {"x": random_sequence(24, rng), "y": random_sequence(16, rng)}
+                for _ in range(per_kernel)
+            ]
+        elif kernel == "dtw":
+            payloads = [
+                {
+                    "a": [rng.randint(0, 50) for _ in range(24)],
+                    "b": [rng.randint(0, 50) for _ in range(16)],
+                }
+                for _ in range(per_kernel)
+            ]
+        else:
+            raise SystemExit(f"gendp-batch cannot synthesize kernel {kernel!r}")
+        pools[kernel] = payloads
+
+    jobs = []
+    index = 0
+    while len(jobs) < count:
+        kernel = kernels[index % len(kernels)]
+        pool = pools[kernel]
+        if pool:
+            jobs.append(make_job(kernel, pool.pop(0)))
+        index += 1
+    return jobs
+
+
+def _load_spec_jobs(path: str) -> List:
+    """Jobs from a JSON spec: {"jobs": [{"kernel", "payload", ...}]}."""
+    import json
+
+    from repro.engine.jobs import make_job
+
+    from repro.engine.jobs import JobValidationError
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"cannot read spec {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"spec {path!r} is not valid JSON: {error}")
+    jobs = []
+    for index, entry in enumerate(spec.get("jobs", [])):
+        try:
+            jobs.append(
+                make_job(
+                    entry["kernel"],
+                    entry["payload"],
+                    priority=int(entry.get("priority", 0)),
+                    deadline_s=entry.get("deadline_s"),
+                )
+            )
+        except (KeyError, TypeError, JobValidationError) as error:
+            raise SystemExit(f"spec {path!r} job #{index}: {error}")
+    if not jobs:
+        raise SystemExit(f"spec {path!r} contains no jobs")
+    return jobs
+
+
+@_pipe_safe
+def batch_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-batch",
+        description="Run a job stream through the batched execution engine.",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=50, help="synthetic job count"
+    )
+    parser.add_argument(
+        "--kernels",
+        default="bsw,chain,pairhmm",
+        help="comma-separated engine kernels for the synthetic stream",
+    )
+    parser.add_argument(
+        "--spec", help="JSON job-spec file (overrides --jobs/--kernels)"
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker processes (0 = in-process execution)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--cache-size", type=int, default=32)
+    parser.add_argument("--timeout", type=float, default=30.0)
+    parser.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the reference-kernel validation pass",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the metrics snapshot as JSON"
+    )
+    args = parser.parse_args(argv)
+    if args.workers < 0:
+        parser.error("--workers must be non-negative")
+    if args.jobs < 0:
+        parser.error("--jobs must be non-negative")
+
+    import time as _time
+
+    from repro.analysis.report import render_table
+    from repro.engine import Engine, EngineConfig
+    from repro.engine.runners import matches_reference, payload_cells
+
+    if args.spec:
+        jobs = _load_spec_jobs(args.spec)
+    else:
+        kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+        if not kernels:
+            raise SystemExit("--kernels must name at least one kernel")
+        jobs = _synthesize_jobs(kernels, args.jobs, args.seed)
+    by_id = {job.job_id: job for job in jobs}
+
+    config = EngineConfig(
+        max_queue=max(len(jobs), 1),
+        cache_capacity=args.cache_size,
+        workers=args.workers,
+        job_timeout_s=args.timeout,
+    )
+    started = _time.perf_counter()
+    with Engine(config) as engine:
+        engine.submit_many(jobs)
+        results = engine.drain()
+        snapshot = engine.snapshot()
+    elapsed = _time.perf_counter() - started
+
+    validated = failed = 0
+    per_kernel: dict = {}
+    total_cells = 0
+    for result in results:
+        job = by_id[result.job_id]
+        row = per_kernel.setdefault(result.kernel, {"jobs": 0, "ok": 0, "valid": 0})
+        row["jobs"] += 1
+        total_cells += payload_cells(job.kernel, job.payload)
+        if not result.ok:
+            failed += 1
+            continue
+        row["ok"] += 1
+        if args.no_validate:
+            continue
+        if matches_reference(result.kernel, result.value, job.payload):
+            row["valid"] += 1
+            validated += 1
+
+    if args.json:
+        import json
+
+        snapshot["wall_seconds"] = elapsed
+        print(json.dumps(snapshot, indent=2, default=str))
+    else:
+        print(
+            render_table(
+                "gendp-batch: job stream summary",
+                ["kernel", "jobs", "ok", "validated"],
+                [
+                    [kernel, row["jobs"], row["ok"],
+                     "-" if args.no_validate else row["valid"]]
+                    for kernel, row in sorted(per_kernel.items())
+                ],
+            )
+        )
+        cache = snapshot["cache"]
+        counters = snapshot["counters"]
+        print()
+        print(f"jobs/sec            : {len(results) / elapsed:,.1f}")
+        print(f"cells/sec           : {total_cells / elapsed:,.0f}")
+        print(f"DPMap compiles      : {cache['compiles']}")
+        print(f"cache hit rate      : {cache['hit_rate']:.1%}")
+        print(
+            f"batches             : {counters.get('batches_total', 0)} "
+            f"({counters.get('parallel_batches', 0)} parallel, "
+            f"{counters.get('inline_batches', 0)} inline)"
+        )
+        print(
+            "mean batch occupancy: "
+            f"{snapshot['derived']['mean_batch_occupancy']:.1%}"
+        )
+        queue_wait = snapshot["histograms"].get("queue_wait_s")
+        if queue_wait:
+            print(f"mean queue wait     : {queue_wait['mean'] * 1e3:.2f} ms")
+        execute = snapshot["histograms"].get("execute_s")
+        if execute:
+            print(f"mean batch execute  : {execute['mean'] * 1e3:.2f} ms")
+        if not args.no_validate:
+            verdict = "PASS" if validated == len(results) - failed and not failed else "FAIL"
+            print(f"validation          : {validated}/{len(results)} vs reference kernels [{verdict}]")
+
+    return 1 if failed or (not args.no_validate and validated != len(results)) else 0
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ it.
 from __future__ import annotations
 
 import enum
+import hashlib
 import math
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -234,6 +235,41 @@ class DataFlowGraph:
                     )
         if not self.outputs:
             raise DFGValidationError("DFG has no outputs")
+
+    def content_hash(self) -> str:
+        """Structural SHA-256 digest of the computation this DFG encodes.
+
+        The digest is a Merkle hash over the output cones: each node
+        hashes its opcode plus, per operand slot in order, the operand's
+        digest (input name, constant value, or producer-node digest);
+        the graph digest combines the outputs sorted by name.  Node ids,
+        node display names, the graph name and dead (output-unreachable)
+        nodes never enter the hash, so two graphs that build the same
+        computation in different node insertion orders hash identically.
+
+        The engine's compiled-program cache keys on this digest so that
+        structurally equal objective functions share one DPMap run.
+        """
+        memo: Dict[int, str] = {}
+        # Iterative post-order walk: graphs are small, but don't bet the
+        # hash on the recursion limit for machine-generated DFGs.
+        for node in self.nodes:
+            parts = [node.opcode.value]
+            for operand in node.operands:
+                if isinstance(operand, ConstRef):
+                    parts.append(f"c{operand.value}")
+                elif isinstance(operand, InputRef):
+                    parts.append(f"i{operand.name}")
+                else:
+                    parts.append(f"n{memo[operand.node_id]}")
+            memo[node.node_id] = hashlib.sha256(
+                "|".join(parts).encode()
+            ).hexdigest()
+        blob = ";".join(
+            f"{name}={memo[node_id]}"
+            for name, node_id in sorted(self.outputs.items())
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
 
     def copy(self) -> "DataFlowGraph":
         """Deep-enough copy for DPMap's destructive edge surgery."""

@@ -1,0 +1,224 @@
+"""Batch execution backends: process pool with inline fallback.
+
+The pool backend mirrors the tile's task parallelism on host cores:
+each batch is one pool task, all batches of a drain are submitted
+before any is collected, and ``concurrent.futures`` overlaps them
+across workers.  Failure handling is layered:
+
+- a job that raises stays *inside* its batch as a per-job error;
+- a batch whose worker dies or times out is retried up to
+  ``max_retries`` times, then degrades to in-process execution;
+- a pool that cannot be created at all (restricted sandboxes without
+  semaphores, ``workers=0``) degrades the whole executor to inline.
+
+Inline execution is the always-available floor: same results, no
+parallelism, which is also what CI's most restricted runners get.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.engine.batcher import Batch
+from repro.engine.cache import CompiledProgram
+
+
+@dataclass
+class BatchOutcome:
+    """How one batch execution went, job results included."""
+
+    batch_id: int
+    #: Per-job dicts: {"ok": bool, "value": ..., "error": ...}.
+    results: List[Dict[str, Any]]
+    backend: str  # "pool" or "inline"
+    attempts: int = 1
+    execute_seconds: float = 0.0
+    #: Set when the pool path failed and inline execution saved the batch.
+    degraded: bool = False
+
+
+def execute_batch_payloads(
+    kernel: str,
+    compiled: CompiledProgram,
+    payloads: Sequence[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Run every payload of one batch; never raises for per-job errors.
+
+    Module-level so the process pool can pickle it by reference.
+    """
+    from repro.engine.runners import run_job
+
+    results: List[Dict[str, Any]] = []
+    for payload in payloads:
+        try:
+            results.append({"ok": True, "value": run_job(kernel, compiled, payload)})
+        except Exception as error:  # job-level isolation
+            results.append(
+                {"ok": False, "error": f"{type(error).__name__}: {error}"}
+            )
+    return results
+
+
+class InlineExecutor:
+    """Serial in-process execution -- the degradation floor."""
+
+    backend = "inline"
+
+    def run_batches(
+        self, items: Sequence[Tuple[Batch, CompiledProgram]]
+    ) -> List[BatchOutcome]:
+        outcomes = []
+        for batch, compiled in items:
+            started = time.perf_counter()
+            results = execute_batch_payloads(
+                batch.kernel, compiled, [job.payload for job in batch.jobs]
+            )
+            outcomes.append(
+                BatchOutcome(
+                    batch_id=batch.batch_id,
+                    results=results,
+                    backend="inline",
+                    execute_seconds=time.perf_counter() - started,
+                )
+            )
+        return outcomes
+
+    def close(self) -> None:  # symmetry with PoolExecutor
+        pass
+
+
+class PoolExecutor:
+    """Process-pool execution with bounded retry and inline fallback."""
+
+    backend = "pool"
+
+    def __init__(
+        self,
+        workers: int,
+        job_timeout_s: float = 30.0,
+        max_retries: int = 1,
+    ):
+        if workers <= 0:
+            raise ValueError("PoolExecutor needs at least one worker")
+        if job_timeout_s <= 0:
+            raise ValueError("job timeout must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self.workers = workers
+        self.job_timeout_s = job_timeout_s
+        self.max_retries = max_retries
+        self._pool = None
+        self._pool_broken = False
+        self._inline = InlineExecutor()
+
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self):
+        """Create the pool lazily; flag permanent failure once."""
+        if self._pool is None and not self._pool_broken:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            except Exception:
+                # No semaphores / fork support: stay inline forever.
+                self._pool_broken = True
+        return self._pool
+
+    def _recreate_pool(self) -> None:
+        """Replace a broken pool (dead worker poisons the whole pool)."""
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
+            self._pool = None
+
+    def run_batches(
+        self, items: Sequence[Tuple[Batch, CompiledProgram]]
+    ) -> List[BatchOutcome]:
+        pool = self._ensure_pool()
+        if pool is None:
+            outcomes = self._inline.run_batches(items)
+            for outcome in outcomes:
+                outcome.degraded = True
+            return outcomes
+
+        pending: List[Tuple[Batch, CompiledProgram, object, float]] = []
+        for batch, compiled in items:
+            future = pool.submit(
+                execute_batch_payloads,
+                batch.kernel,
+                compiled,
+                [job.payload for job in batch.jobs],
+            )
+            pending.append((batch, compiled, future, time.perf_counter()))
+
+        outcomes = []
+        for batch, compiled, future, started in pending:
+            outcomes.append(self._collect(batch, compiled, future, started))
+        return outcomes
+
+    def _collect(
+        self, batch: Batch, compiled: CompiledProgram, future, started: float
+    ) -> BatchOutcome:
+        """Wait for one batch, retrying and degrading as needed."""
+        timeout = self.job_timeout_s * max(1, len(batch.jobs))
+        attempts = 1
+        while True:
+            try:
+                results = future.result(timeout=timeout)
+                return BatchOutcome(
+                    batch_id=batch.batch_id,
+                    results=results,
+                    backend="pool",
+                    attempts=attempts,
+                    execute_seconds=time.perf_counter() - started,
+                )
+            except Exception:
+                future.cancel()
+                if attempts > self.max_retries:
+                    break
+                attempts += 1
+                self._recreate_pool()
+                pool = self._ensure_pool()
+                if pool is None:
+                    break
+                started = time.perf_counter()
+                future = pool.submit(
+                    execute_batch_payloads,
+                    batch.kernel,
+                    compiled,
+                    [job.payload for job in batch.jobs],
+                )
+        # Retries exhausted (or the pool died for good): run inline.
+        inline_started = time.perf_counter()
+        results = execute_batch_payloads(
+            batch.kernel, compiled, [job.payload for job in batch.jobs]
+        )
+        return BatchOutcome(
+            batch_id=batch.batch_id,
+            results=results,
+            backend="inline",
+            attempts=attempts + 1,
+            execute_seconds=time.perf_counter() - inline_started,
+            degraded=True,
+        )
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+
+def make_executor(
+    workers: int, job_timeout_s: float = 30.0, max_retries: int = 1
+):
+    """``workers <= 0`` selects inline execution; otherwise a pool."""
+    if workers <= 0:
+        return InlineExecutor()
+    return PoolExecutor(
+        workers=workers, job_timeout_s=job_timeout_s, max_retries=max_retries
+    )

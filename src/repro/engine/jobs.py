@@ -1,0 +1,125 @@
+"""Typed job records and result envelopes for the execution engine.
+
+A :class:`Job` is one independent DP task: a kernel name plus the
+kernel-specific payload (sequences, signals or anchors), with optional
+priority and deadline.  A :class:`JobResult` carries the kernel output
+back along with the execution provenance the metrics and tests care
+about: which batch ran it, whether the compiled program came from the
+cache, how many attempts the executor needed, and the per-stage
+timings.
+
+Payloads are plain JSON-able dicts so job streams can be read from spec
+files (``gendp-batch --spec jobs.json``) and shipped to worker
+processes without custom pickling.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Kernels the engine can execute (see :mod:`repro.engine.runners`).
+ENGINE_KERNELS = ("bsw", "pairhmm", "lcs", "dtw", "chain")
+
+#: Table dimensionality per kernel: 2-D kernels run one task per 4-PE
+#: array (independent-array interconnect); 1-D kernels stream through
+#: the concatenated 64-PE chain (Section 3.1).
+KERNEL_DIMENSIONS: Dict[str, int] = {
+    "bsw": 2,
+    "pairhmm": 2,
+    "lcs": 2,
+    "dtw": 2,
+    "chain": 1,
+}
+
+_job_ids = itertools.count()
+
+
+class JobValidationError(ValueError):
+    """Raised for unknown kernels or malformed payloads."""
+
+
+@dataclass(frozen=True)
+class Job:
+    """One DP task submitted to the engine."""
+
+    job_id: int
+    kernel: str
+    payload: Dict[str, Any]
+    #: Higher priorities dispatch first within a drain.
+    priority: int = 0
+    #: Seconds after submission by which the job must *start*; jobs
+    #: still queued past the deadline fail with ``deadline-expired``.
+    deadline_s: Optional[float] = None
+    #: Engine-stamped submission time (time.monotonic()).
+    submitted_at: float = 0.0
+
+
+@dataclass
+class JobResult:
+    """The engine's answer for one job."""
+
+    job_id: int
+    kernel: str
+    ok: bool
+    #: Kernel outputs (see runners) when ok, else None.
+    value: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    batch_id: Optional[int] = None
+    #: True when the compiled program was a cache hit for this job.
+    cache_hit: bool = False
+    #: Executor attempts (1 = first try; >1 means retries happened).
+    attempts: int = 1
+    #: "pool" or "inline" -- which backend finally ran the batch.
+    backend: str = "inline"
+    #: Per-stage seconds: queue_wait, compile, execute.
+    timings: Dict[str, float] = field(default_factory=dict)
+
+
+_REQUIRED_PAYLOAD_KEYS: Dict[str, tuple] = {
+    "bsw": ("query", "target"),
+    "pairhmm": ("read", "haplotype"),
+    "lcs": ("x", "y"),
+    "dtw": ("a", "b"),
+    "chain": ("anchors",),
+}
+
+
+def validate_payload(kernel: str, payload: Dict[str, Any]) -> None:
+    """Check *payload* has the keys and shapes *kernel* needs."""
+    if kernel not in ENGINE_KERNELS:
+        raise JobValidationError(
+            f"unknown kernel {kernel!r}; engine kernels: {ENGINE_KERNELS}"
+        )
+    if not isinstance(payload, dict):
+        raise JobValidationError("payload must be a dict")
+    for key in _REQUIRED_PAYLOAD_KEYS[kernel]:
+        value = payload.get(key)
+        if value is None or (hasattr(value, "__len__") and len(value) == 0):
+            raise JobValidationError(
+                f"{kernel} payload needs non-empty {key!r}"
+            )
+    if kernel == "chain":
+        for anchor in payload["anchors"]:
+            if len(anchor) != 3:
+                raise JobValidationError(
+                    "chain anchors must be [x, y, w] triples"
+                )
+
+
+def make_job(
+    kernel: str,
+    payload: Dict[str, Any],
+    priority: int = 0,
+    deadline_s: Optional[float] = None,
+) -> Job:
+    """Validate and wrap a payload as a :class:`Job` with a fresh id."""
+    validate_payload(kernel, payload)
+    return Job(
+        job_id=next(_job_ids),
+        kernel=kernel,
+        payload=payload,
+        priority=priority,
+        deadline_s=deadline_s,
+    )

@@ -1,0 +1,115 @@
+"""Counters and latency histograms for the execution engine.
+
+Deliberately dependency-free (no prometheus client in the container):
+a counter is an int, a histogram is fixed bucket bounds plus count /
+sum / min / max, and :meth:`MetricsRegistry.snapshot` exports the whole
+registry as a plain nested dict -- the contract every later exporter
+(CLI report, JSON dump, scrape endpoint) builds on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Default latency bucket upper bounds, in seconds.
+DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+#: Occupancy buckets (fractions of batch capacity).
+OCCUPANCY_BOUNDS: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+
+
+@dataclass
+class Histogram:
+    """A fixed-bucket histogram with sum/min/max tracking."""
+
+    bounds: Tuple[float, ...] = DEFAULT_LATENCY_BOUNDS
+    counts: List[int] = field(default_factory=list)
+    count: int = 0
+    total: float = 0.0
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        if not self.counts:
+            # One bucket per bound plus the +inf overflow bucket.
+            self.counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.count += 1
+        self.total += value
+        self.minimum = value if self.minimum is None else min(self.minimum, value)
+        self.maximum = value if self.maximum is None else max(self.maximum, value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(list(self.bounds) + ["inf"], self.counts)
+            ],
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms with a plain-dict export."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, int] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> int:
+        return self.counters.get(name, 0)
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS
+    ) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(bounds=tuple(bounds))
+        return self.histograms[name]
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS,
+    ) -> None:
+        self.histogram(name, bounds).observe(value)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "counters": dict(self.counters),
+            "histograms": {
+                name: histogram.snapshot()
+                for name, histogram in self.histograms.items()
+            },
+        }

@@ -1,0 +1,219 @@
+"""The engine front door: bounded submission queue + drain loop.
+
+Lifecycle of a job (see ``docs/engine.md``):
+
+1. ``submit()`` validates backpressure (bounded queue) and stamps the
+   submission time.
+2. ``drain()`` expires past-deadline jobs, packs the rest into
+   tile-shaped batches (:mod:`repro.engine.batcher`), resolves each
+   batch's compiled program through the LRU cache (one DPMap run per
+   distinct objective function), executes batches through the pool or
+   inline backend, and folds everything into :class:`JobResult`
+   envelopes plus metrics.
+
+The engine is deliberately synchronous at the drain level -- callers
+own the cadence (CLI: one drain; a server loop: drain per tick), and
+every later scaling PR (async submission, sharding, remote backends)
+only has to replace the executor seam.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+from repro.dpax.machine import INTEGER_ARRAYS
+from repro.engine.batcher import Batcher
+from repro.engine.cache import ProgramCache, compile_program
+from repro.engine.executor import make_executor
+from repro.engine.jobs import Job, JobResult
+from repro.engine.metrics import (
+    OCCUPANCY_BOUNDS,
+    MetricsRegistry,
+)
+from repro.engine.runners import build_dfg
+
+
+class BackpressureError(RuntimeError):
+    """The submission queue is full; caller must drain or shed load."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine tuning knobs."""
+
+    #: Bounded submission queue length (backpressure beyond it).
+    max_queue: int = 256
+    #: LRU capacity of the compiled-program cache.
+    cache_capacity: int = 32
+    #: Worker processes; 0 = in-process execution only.
+    workers: int = 0
+    #: Per-job execution timeout (scaled by batch size for pool waits).
+    job_timeout_s: float = 30.0
+    #: Batch retries after worker failure before inline fallback.
+    max_retries: int = 1
+    #: Jobs per batch (one tile launch; 16 = the DPAx integer arrays).
+    batch_capacity: int = INTEGER_ARRAYS
+    #: Reduction-tree depth compiled for (2 = the hardware).
+    levels: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_queue <= 0:
+            raise ValueError("max_queue must be positive")
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
+
+
+class Engine:
+    """Batched, cached, parallel execution of DP jobs."""
+
+    def __init__(self, config: Optional[EngineConfig] = None):
+        self.config = config or EngineConfig()
+        self.cache = ProgramCache(capacity=self.config.cache_capacity)
+        self.batcher = Batcher(capacity=self.config.batch_capacity)
+        self.executor = make_executor(
+            self.config.workers,
+            job_timeout_s=self.config.job_timeout_s,
+            max_retries=self.config.max_retries,
+        )
+        self.metrics = MetricsRegistry()
+        self._queue: List[Job] = []
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def submit(self, job: Job) -> Job:
+        """Enqueue *job*; raises :class:`BackpressureError` when full."""
+        if len(self._queue) >= self.config.max_queue:
+            self.metrics.incr("jobs_rejected")
+            raise BackpressureError(
+                f"queue full ({self.config.max_queue} jobs); drain first"
+            )
+        stamped = replace(job, submitted_at=time.monotonic())
+        self._queue.append(stamped)
+        self.metrics.incr("jobs_submitted")
+        return stamped
+
+    def submit_many(self, jobs: List[Job]) -> List[Job]:
+        return [self.submit(job) for job in jobs]
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # drain
+
+    def drain(self) -> List[JobResult]:
+        """Run everything queued; returns results in submission order."""
+        jobs, self._queue = self._queue, []
+        if not jobs:
+            return []
+        now = time.monotonic()
+
+        live: List[Job] = []
+        results: Dict[int, JobResult] = {}
+        for job in jobs:
+            if job.deadline_s is not None and now - job.submitted_at > job.deadline_s:
+                self.metrics.incr("jobs_expired")
+                results[job.job_id] = JobResult(
+                    job_id=job.job_id,
+                    kernel=job.kernel,
+                    ok=False,
+                    error="deadline-expired",
+                    timings={"queue_wait_s": now - job.submitted_at},
+                )
+            else:
+                live.append(job)
+
+        batches = self.batcher.pack(live)
+        self.metrics.incr("batches_total", len(batches))
+
+        # Resolve compiled programs: one cache lookup per *job* (the
+        # hit-rate metric's unit), one DPMap compile per distinct key.
+        items = []
+        batch_meta: Dict[int, Dict[str, object]] = {}
+        for batch in batches:
+            dfg = build_dfg(batch.kernel)
+            key = self.cache.key_for(batch.kernel, self.config.levels, dfg)
+            compiled = None
+            hits: Dict[int, bool] = {}
+            for job in batch.jobs:
+                compiled, hit = self.cache.get_or_compile(
+                    key,
+                    lambda: compile_program(batch.kernel, self.config.levels, dfg),
+                )
+                hits[job.job_id] = hit
+                if not hit:
+                    self.metrics.observe("compile_s", compiled.compile_seconds)
+            items.append((batch, compiled))
+            batch_meta[batch.batch_id] = {
+                "hits": hits,
+                "compile_s": compiled.compile_seconds,
+            }
+            self.metrics.observe(
+                "batch_occupancy", batch.occupancy, bounds=OCCUPANCY_BOUNDS
+            )
+
+        dispatch_time = time.monotonic()
+        outcomes = self.executor.run_batches(items)
+
+        for batch, outcome in zip(batches, outcomes):
+            meta = batch_meta[batch.batch_id]
+            if outcome.backend == "pool":
+                self.metrics.incr("parallel_batches")
+            else:
+                self.metrics.incr("inline_batches")
+            if outcome.degraded:
+                self.metrics.incr("degraded_batches")
+            if outcome.attempts > 1:
+                self.metrics.incr("batch_retries", outcome.attempts - 1)
+            self.metrics.observe("execute_s", outcome.execute_seconds)
+            per_job = outcome.execute_seconds / max(1, len(batch.jobs))
+            for job, result in zip(batch.jobs, outcome.results):
+                wait = dispatch_time - job.submitted_at
+                self.metrics.observe("queue_wait_s", wait)
+                ok = bool(result.get("ok"))
+                self.metrics.incr("jobs_completed" if ok else "jobs_failed")
+                results[job.job_id] = JobResult(
+                    job_id=job.job_id,
+                    kernel=job.kernel,
+                    ok=ok,
+                    value=result.get("value"),
+                    error=result.get("error"),
+                    batch_id=batch.batch_id,
+                    cache_hit=bool(meta["hits"].get(job.job_id)),
+                    attempts=outcome.attempts,
+                    backend=outcome.backend,
+                    timings={
+                        "queue_wait_s": wait,
+                        "compile_s": float(meta["compile_s"]),
+                        "execute_s": per_job,
+                    },
+                )
+
+        return [results[job.job_id] for job in jobs]
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+
+    def snapshot(self) -> Dict[str, object]:
+        """Engine + cache metrics as one plain dict."""
+        snap = self.metrics.snapshot()
+        snap["cache"] = self.cache.stats.snapshot()
+        occupancy = self.metrics.histograms.get("batch_occupancy")
+        snap["derived"] = {
+            "cache_hit_rate": self.cache.stats.hit_rate,
+            "mean_batch_occupancy": occupancy.mean if occupancy else 0.0,
+        }
+        return snap
+
+    def close(self) -> None:
+        self.executor.close()
+
+    def __enter__(self) -> "Engine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,114 @@
+"""Structural content hashing: stable across build order, names, dead code."""
+
+from repro.dfg.graph import DataFlowGraph, Opcode
+from repro.dfg.kernels import bsw_dfg, chain_dfg, lcs_dfg
+
+
+def _diamond(swap_arms=False, names=("l", "r"), extra_dead=False):
+    """max(a + b, a - b), built with the two arms in either order."""
+    dfg = DataFlowGraph("diamond")
+    a = dfg.input("a")
+    b = dfg.input("b")
+    if swap_arms:
+        right = dfg.op(Opcode.SUB, a, b, name=names[1])
+        left = dfg.op(Opcode.ADD, a, b, name=names[0])
+    else:
+        left = dfg.op(Opcode.ADD, a, b, name=names[0])
+        right = dfg.op(Opcode.SUB, a, b, name=names[1])
+    if extra_dead:
+        dfg.op(Opcode.MUL, a, dfg.const(7), name="unused")
+    out = dfg.op(Opcode.MAX, left, right, name="best")
+    dfg.mark_output("out", out)
+    return dfg
+
+
+class TestStability:
+    def test_identical_builds_hash_identically(self):
+        assert _diamond().content_hash() == _diamond().content_hash()
+
+    def test_insertion_order_of_independent_nodes_is_irrelevant(self):
+        # The two arms of the diamond are independent, so building them
+        # in either order encodes the same computation.
+        assert (
+            _diamond(swap_arms=False).content_hash()
+            == _diamond(swap_arms=True).content_hash()
+        )
+
+    def test_node_names_are_irrelevant(self):
+        assert (
+            _diamond(names=("l", "r")).content_hash()
+            == _diamond(names=("foo", "bar")).content_hash()
+        )
+
+    def test_dead_nodes_are_irrelevant(self):
+        # Nodes unreachable from any output do not change the program.
+        assert (
+            _diamond(extra_dead=False).content_hash()
+            == _diamond(extra_dead=True).content_hash()
+        )
+
+    def test_hash_survives_copy(self):
+        dfg = _diamond()
+        assert dfg.copy().content_hash() == dfg.content_hash()
+
+
+class TestSensitivity:
+    def test_opcode_changes_the_hash(self):
+        base = _diamond()
+        variant = DataFlowGraph("diamond")
+        a = variant.input("a")
+        b = variant.input("b")
+        left = variant.op(Opcode.ADD, a, b)
+        right = variant.op(Opcode.SUB, a, b)
+        out = variant.op(Opcode.MIN, left, right)  # MAX -> MIN
+        variant.mark_output("out", out)
+        assert base.content_hash() != variant.content_hash()
+
+    def test_constant_value_changes_the_hash(self):
+        def build(k):
+            dfg = DataFlowGraph()
+            out = dfg.op(Opcode.ADD, dfg.input("a"), dfg.const(k))
+            dfg.mark_output("out", out)
+            return dfg
+
+        assert build(1).content_hash() != build(2).content_hash()
+
+    def test_input_name_changes_the_hash(self):
+        def build(name):
+            dfg = DataFlowGraph()
+            out = dfg.op(Opcode.COPY, dfg.input(name))
+            dfg.mark_output("out", out)
+            return dfg
+
+        assert build("h_up").content_hash() != build("h_left").content_hash()
+
+    def test_output_name_changes_the_hash(self):
+        first, second = _diamond(), _diamond()
+        node_id = second.outputs.pop("out")
+        second.outputs["score"] = node_id
+        assert first.content_hash() != second.content_hash()
+
+    def test_operand_order_changes_the_hash(self):
+        def build(flipped):
+            dfg = DataFlowGraph()
+            a, b = dfg.input("a"), dfg.input("b")
+            out = dfg.op(Opcode.SUB, b, a) if flipped else dfg.op(Opcode.SUB, a, b)
+            dfg.mark_output("out", out)
+            return dfg
+
+        assert build(False).content_hash() != build(True).content_hash()
+
+
+class TestKernels:
+    def test_kernel_builders_are_deterministic(self):
+        assert bsw_dfg().content_hash() == bsw_dfg().content_hash()
+        assert lcs_dfg().content_hash() == lcs_dfg().content_hash()
+        assert chain_dfg().content_hash() == chain_dfg().content_hash()
+
+    def test_distinct_kernels_hash_differently(self):
+        hashes = {
+            bsw_dfg().content_hash(),
+            lcs_dfg().content_hash(),
+            chain_dfg().content_hash(),
+        }
+        assert len(hashes) == 3

@@ -1,0 +1,87 @@
+"""Compiled-program cache: LRU behavior and hit/miss accounting."""
+
+import pytest
+
+from repro.engine.cache import CompiledProgram, ProgramCache, compile_program
+from repro.engine.runners import build_dfg
+
+
+def _compile(kernel):
+    return compile_program(kernel, 2, build_dfg(kernel))
+
+
+class TestLookups:
+    def test_miss_compiles_then_hits(self):
+        cache = ProgramCache(capacity=4)
+        dfg = build_dfg("lcs")
+        key = cache.key_for("lcs", 2, dfg)
+
+        program, hit = cache.get_or_compile(key, lambda: _compile("lcs"))
+        assert not hit
+        assert isinstance(program, CompiledProgram)
+        assert cache.stats.compiles == 1
+
+        again, hit = cache.get_or_compile(key, lambda: _compile("lcs"))
+        assert hit
+        assert again is program
+        assert cache.stats.compiles == 1  # DPMap ran exactly once
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_key_follows_dfg_content(self):
+        cache = ProgramCache()
+        lcs_key = cache.key_for("lcs", 2, build_dfg("lcs"))
+        # A rebuilt (structurally identical) DFG yields the same key...
+        assert lcs_key == cache.key_for("lcs", 2, build_dfg("lcs"))
+        # ...a different depth or kernel does not.
+        assert lcs_key != cache.key_for("lcs", 1, build_dfg("lcs"))
+        assert lcs_key != cache.key_for("dtw", 2, build_dfg("dtw"))
+
+    def test_compile_seconds_accumulate(self):
+        cache = ProgramCache()
+        key = cache.key_for("bsw", 2, build_dfg("bsw"))
+        cache.get_or_compile(key, lambda: _compile("bsw"))
+        assert cache.stats.compile_seconds > 0.0
+
+
+class TestEviction:
+    def test_lru_evicts_least_recent(self):
+        cache = ProgramCache(capacity=2)
+        keys = {
+            kernel: cache.key_for(kernel, 2, build_dfg(kernel))
+            for kernel in ("lcs", "dtw", "bsw")
+        }
+        cache.get_or_compile(keys["lcs"], lambda: _compile("lcs"))
+        cache.get_or_compile(keys["dtw"], lambda: _compile("dtw"))
+        # Touch lcs so dtw becomes the LRU entry.
+        cache.get_or_compile(keys["lcs"], lambda: _compile("lcs"))
+        cache.get_or_compile(keys["bsw"], lambda: _compile("bsw"))
+
+        assert cache.stats.evictions == 1
+        assert keys["dtw"] not in cache
+        assert keys["lcs"] in cache and keys["bsw"] in cache
+
+        # The evicted program recompiles on next use.
+        _, hit = cache.get_or_compile(keys["dtw"], lambda: _compile("dtw"))
+        assert not hit
+        assert cache.stats.compiles == 4
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ProgramCache(capacity=0)
+
+
+class TestCompileProgram:
+    def test_rejects_non_hardware_depths(self):
+        with pytest.raises(ValueError):
+            compile_program("lcs", 3, build_dfg("lcs"))
+
+    def test_payload_is_picklable(self):
+        import pickle
+
+        program = _compile("bsw")
+        clone = pickle.loads(pickle.dumps(program))
+        assert clone.input_regs == program.input_regs
+        assert clone.output_regs == program.output_regs
+        assert len(clone.instructions) == len(program.instructions)

@@ -1,0 +1,138 @@
+"""Engine front door: queueing, backpressure, deadlines, metrics."""
+
+import time
+
+import pytest
+
+from repro.engine import BackpressureError, Engine, EngineConfig, make_job
+from repro.engine.jobs import JobValidationError
+
+
+def _lcs_job(priority=0, deadline_s=None):
+    return make_job(
+        "lcs", {"x": "ACGTACGT", "y": "ACGGT"},
+        priority=priority, deadline_s=deadline_s,
+    )
+
+
+class TestSubmission:
+    def test_backpressure_when_queue_full(self):
+        with Engine(EngineConfig(max_queue=2)) as engine:
+            engine.submit(_lcs_job())
+            engine.submit(_lcs_job())
+            with pytest.raises(BackpressureError):
+                engine.submit(_lcs_job())
+            assert engine.metrics.counter("jobs_rejected") == 1
+            # Draining frees the queue.
+            assert len(engine.drain()) == 2
+            engine.submit(_lcs_job())
+            assert engine.queued == 1
+
+    def test_submit_stamps_time(self):
+        with Engine() as engine:
+            stamped = engine.submit(_lcs_job())
+            assert stamped.submitted_at > 0
+
+    def test_invalid_jobs_rejected_at_creation(self):
+        with pytest.raises(JobValidationError):
+            make_job("nope", {})
+        with pytest.raises(JobValidationError):
+            make_job("lcs", {"x": "ACGT"})  # missing y
+        with pytest.raises(JobValidationError):
+            make_job("chain", {"anchors": [[1, 2]]})  # not [x, y, w]
+
+
+class TestDrain:
+    def test_empty_drain_is_a_noop(self):
+        with Engine() as engine:
+            assert engine.drain() == []
+
+    def test_results_in_submission_order(self):
+        with Engine() as engine:
+            jobs = [
+                _lcs_job(priority=0),
+                _lcs_job(priority=9),
+                _lcs_job(priority=3),
+            ]
+            engine.submit_many(jobs)
+            results = engine.drain()
+            assert [r.job_id for r in results] == [j.job_id for j in jobs]
+            assert all(r.ok for r in results)
+            assert all(r.value["length"] == 5 for r in results)
+
+    def test_deadline_expired_jobs_fail_without_executing(self):
+        with Engine() as engine:
+            expired = engine.submit(_lcs_job(deadline_s=0.01))
+            live = engine.submit(_lcs_job())
+            time.sleep(0.05)
+            results = {r.job_id: r for r in engine.drain()}
+            assert not results[expired.job_id].ok
+            assert results[expired.job_id].error == "deadline-expired"
+            assert results[expired.job_id].batch_id is None
+            assert results[live.job_id].ok
+            assert engine.metrics.counter("jobs_expired") == 1
+
+    def test_failed_job_does_not_poison_its_batch(self):
+        with Engine() as engine:
+            good = engine.submit(_lcs_job())
+            bad = engine.submit(
+                make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_fail": True})
+            )
+            results = {r.job_id: r for r in engine.drain()}
+            assert results[good.job_id].ok
+            assert not results[bad.job_id].ok
+            assert engine.metrics.counter("jobs_failed") == 1
+            assert engine.metrics.counter("jobs_completed") == 1
+
+
+class TestCacheAccounting:
+    def test_one_compile_per_distinct_kernel(self):
+        with Engine() as engine:
+            for _ in range(4):
+                engine.submit(_lcs_job())
+            engine.drain()
+            # Second drain: fully warm.
+            for _ in range(4):
+                engine.submit(_lcs_job())
+            engine.drain()
+            stats = engine.cache.stats
+            assert stats.compiles == 1
+            assert stats.misses == 1
+            assert stats.hits == 7
+
+    def test_results_carry_cache_hit_flags(self):
+        with Engine() as engine:
+            first = engine.submit(_lcs_job())
+            second = engine.submit(_lcs_job())
+            results = {r.job_id: r for r in engine.drain()}
+            assert not results[first.job_id].cache_hit
+            assert results[second.job_id].cache_hit
+
+
+class TestMetrics:
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            engine.drain()
+            snapshot = engine.snapshot()
+        json.dumps(snapshot)  # must serialize without custom encoders
+        assert snapshot["counters"]["jobs_submitted"] == 1
+        assert snapshot["counters"]["batches_total"] == 1
+        assert snapshot["counters"]["inline_batches"] == 1
+        assert snapshot["cache"]["compiles"] == 1
+        assert snapshot["histograms"]["queue_wait_s"]["count"] == 1
+        assert snapshot["histograms"]["execute_s"]["count"] == 1
+        assert snapshot["histograms"]["batch_occupancy"]["count"] == 1
+        assert 0 < snapshot["derived"]["mean_batch_occupancy"] <= 1
+
+    def test_timings_populated_per_result(self):
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            result = engine.drain()[0]
+            assert set(result.timings) == {
+                "queue_wait_s", "compile_s", "execute_s",
+            }
+            assert result.backend == "inline"
+            assert result.attempts == 1

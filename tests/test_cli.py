@@ -1,8 +1,13 @@
 """Tests for the command-line tools."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
-from repro.cli import compile_main, report_main, simulate_main
+from repro.cli import batch_main, compile_main, report_main, simulate_main
 
 
 class TestCompile:
@@ -45,3 +50,94 @@ class TestReport:
         assert "Table 11" in out
         assert "Table 12" in out
         assert "headlines" in out
+
+
+class TestBatch:
+    def test_small_stream_validates(self, capsys):
+        assert batch_main(
+            ["--jobs", "9", "--kernels", "bsw,lcs", "--workers", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "job stream summary" in out
+        assert "DPMap compiles      : 2" in out
+        assert "[PASS]" in out
+
+    def test_json_snapshot(self, capsys):
+        assert batch_main(
+            ["--jobs", "4", "--kernels", "lcs", "--workers", "0", "--json"]
+        ) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["cache"]["compiles"] == 1
+        assert snapshot["counters"]["jobs_completed"] == 4
+        assert snapshot["wall_seconds"] > 0
+
+    def test_spec_file(self, tmp_path, capsys):
+        spec = tmp_path / "jobs.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {"kernel": "lcs", "payload": {"x": "ACGT", "y": "AGT"}},
+                        {
+                            "kernel": "lcs",
+                            "payload": {"x": "TTTT", "y": "TT"},
+                            "priority": 3,
+                        },
+                    ]
+                }
+            )
+        )
+        assert batch_main(["--spec", str(spec), "--workers", "0"]) == 0
+        assert "2" in capsys.readouterr().out
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(SystemExit):
+            batch_main(["--kernels", ",", "--workers", "0"])
+
+
+class TestPipeSafety:
+    def test_broken_pipe_exits_quietly(self, tmp_path):
+        # Run a report into a consumer that hangs up after one line; the
+        # wrapped entry point must neither traceback nor exit nonzero.
+        script = tmp_path / "pipeline.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.cli import report_main\n"
+            "sys.exit(report_main([]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        env["PYTHONUNBUFFERED"] = "1"
+        proc = subprocess.run(
+            f"{sys.executable} {script} | head -1",
+            shell=True,
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert proc.returncode == 0
+        assert "Traceback" not in proc.stderr
+
+    def test_broken_pipe_on_stderr_swallowed(self, tmp_path):
+        # A BrokenPipeError raised while writing to stderr must also be
+        # swallowed by the wrapper (argparse + warnings use stderr).
+        script = tmp_path / "stderr_pipe.py"
+        script.write_text(
+            "from repro.cli import _pipe_safe\n"
+            "@_pipe_safe\n"
+            "def main(argv=None):\n"
+            "    raise BrokenPipeError('stderr hung up')\n"
+            "raise SystemExit(main([]))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.run(
+            [sys.executable, str(script)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+        assert proc.returncode == 0
+        assert "Traceback" not in proc.stderr
