@@ -13,6 +13,11 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-batch`` -- run a job stream through the batched execution
   engine (:mod:`repro.engine`) and print a throughput/metrics report;
   jobs come from a JSON spec file or a synthetic mixed workload.
+  Streams are processed in chunks, so SIGINT/SIGTERM drain the chunk
+  in flight and report what completed instead of dropping it.
+- ``gendp-chaos`` -- run a seeded fault-injection campaign
+  (:mod:`repro.faults`) against the engine and report survival
+  metrics: jobs lost, corruption escapes, degraded fraction.
 
 All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
@@ -22,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import random
+import signal
 import sys
 from typing import List, Optional
 
@@ -321,6 +327,48 @@ def _load_spec_jobs(path: str) -> List:
     return jobs
 
 
+class _ShutdownFlag:
+    """Latches the first SIGINT/SIGTERM so a drain can finish cleanly."""
+
+    def __init__(self) -> None:
+        self.signum: Optional[int] = None
+
+    def trip(self, signum, frame) -> None:  # signal-handler signature
+        self.signum = signum
+
+    @property
+    def tripped(self) -> bool:
+        return self.signum is not None
+
+
+class _graceful_shutdown:
+    """Install SIGINT/SIGTERM latches for the duration of a stream.
+
+    Works as a context manager; restores the previous handlers on the
+    way out.  Installation failures (non-main thread, exotic runtimes)
+    are tolerated -- the flag then simply never trips.
+    """
+
+    def __init__(self) -> None:
+        self.flag = _ShutdownFlag()
+        self._previous: dict = {}
+
+    def __enter__(self) -> _ShutdownFlag:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                self._previous[signum] = signal.signal(signum, self.flag.trip)
+            except (ValueError, OSError):
+                pass
+        return self.flag
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, handler in self._previous.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
+
+
 @_pipe_safe
 def batch_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -348,6 +396,17 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--cache-size", type=int, default=32)
     parser.add_argument("--timeout", type=float, default=30.0)
     parser.add_argument(
+        "--chunk",
+        type=int,
+        default=256,
+        help="jobs per drain (the SIGINT/SIGTERM and --fail-fast grain)",
+    )
+    parser.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop submitting after the first chunk containing a failure",
+    )
+    parser.add_argument(
         "--no-validate",
         action="store_true",
         help="skip the reference-kernel validation pass",
@@ -360,6 +419,8 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be non-negative")
     if args.jobs < 0:
         parser.error("--jobs must be non-negative")
+    if args.chunk <= 0:
+        parser.error("--chunk must be positive")
 
     import time as _time
 
@@ -382,12 +443,22 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         workers=args.workers,
         job_timeout_s=args.timeout,
     )
+    results: list = []
+    failed_fast = False
     started = _time.perf_counter()
-    with Engine(config) as engine:
-        engine.submit_many(jobs)
-        results = engine.drain()
+    with Engine(config) as engine, _graceful_shutdown() as shutdown:
+        for start in range(0, len(jobs), args.chunk):
+            if shutdown.tripped:
+                break
+            engine.submit_many(jobs[start : start + args.chunk])
+            chunk_results = engine.drain()
+            results.extend(chunk_results)
+            if args.fail_fast and any(not r.ok for r in chunk_results):
+                failed_fast = True
+                break
         snapshot = engine.snapshot()
     elapsed = _time.perf_counter() - started
+    interrupted = shutdown.signum
 
     validated = failed = 0
     per_kernel: dict = {}
@@ -411,6 +482,9 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         import json
 
         snapshot["wall_seconds"] = elapsed
+        snapshot["jobs_drained"] = len(results)
+        if interrupted is not None:
+            snapshot["interrupted_by_signal"] = interrupted
         print(json.dumps(snapshot, indent=2, default=str))
     else:
         print(
@@ -427,6 +501,16 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         cache = snapshot["cache"]
         counters = snapshot["counters"]
         print()
+        if interrupted is not None:
+            print(
+                f"shutdown            : signal {interrupted}, drained "
+                f"{len(results)}/{len(jobs)} jobs before exit"
+            )
+        if failed_fast:
+            print(
+                f"fail-fast           : stopped after {len(results)}/"
+                f"{len(jobs)} jobs (first failing chunk)"
+            )
         print(f"jobs/sec            : {len(results) / elapsed:,.1f}")
         print(f"cells/sec           : {total_cells / elapsed:,.0f}")
         print(f"DPMap compiles      : {cache['compiles']}")
@@ -435,6 +519,11 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             f"batches             : {counters.get('batches_total', 0)} "
             f"({counters.get('parallel_batches', 0)} parallel, "
             f"{counters.get('inline_batches', 0)} inline)"
+        )
+        print(
+            f"degraded batches    : {counters.get('degraded_batches', 0)} "
+            f"({counters.get('batch_retries', 0)} retries, "
+            f"{counters.get('dead_letters', 0)} dead letters)"
         )
         print(
             "mean batch occupancy: "
@@ -450,7 +539,99 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             verdict = "PASS" if validated == len(results) - failed and not failed else "FAIL"
             print(f"validation          : {validated}/{len(results)} vs reference kernels [{verdict}]")
 
-    return 1 if failed or (not args.no_validate and validated != len(results)) else 0
+    if interrupted is not None:
+        return 128 + interrupted
+    if failed or (not args.no_validate and validated != len(results)):
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# gendp-chaos
+
+
+@_pipe_safe
+def chaos_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-chaos",
+        description=(
+            "Run a seeded fault-injection campaign against the execution "
+            "engine and report survival metrics."
+        ),
+    )
+    parser.add_argument("--jobs", type=int, default=200, help="campaign size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kernels",
+        default="bsw,lcs,dtw,chain",
+        help="comma-separated engine kernels for the stream",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes (0 disables the pool-only fault classes)",
+    )
+    parser.add_argument("--chunk", type=int, default=48, help="jobs per drain")
+    parser.add_argument("--timeout", type=float, default=0.15)
+    parser.add_argument("--crash-rate", type=float, default=0.03)
+    parser.add_argument("--hang-rate", type=float, default=0.01)
+    parser.add_argument("--corrupt-rate", type=float, default=0.05)
+    parser.add_argument("--fail-rate", type=float, default=0.02)
+    parser.add_argument("--compile-fail-rate", type=float, default=0.10)
+    parser.add_argument(
+        "--validate-fraction",
+        type=float,
+        default=1.0,
+        help="fraction of ok results re-checked against the oracle",
+    )
+    parser.add_argument(
+        "--burst-every",
+        type=int,
+        default=0,
+        help="every Nth chunk submits a queue-pressure burst (0 = off)",
+    )
+    parser.add_argument(
+        "--no-replay",
+        action="store_true",
+        help="skip the dead-letter replay rounds",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the campaign report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.faults import ChaosConfig, run_campaign
+
+    kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+    try:
+        config = ChaosConfig(
+            jobs=args.jobs,
+            seed=args.seed,
+            kernels=kernels,
+            workers=args.workers,
+            chunk_jobs=args.chunk,
+            job_timeout_s=args.timeout,
+            crash_rate=args.crash_rate,
+            hang_rate=args.hang_rate,
+            corrupt_rate=args.corrupt_rate,
+            fail_rate=args.fail_rate,
+            compile_fail_rate=args.compile_fail_rate,
+            validate_fraction=args.validate_fraction,
+            replay_rounds=0 if args.no_replay else 2,
+            burst_every=args.burst_every,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    report = run_campaign(config)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.survived else 1
 
 
 if __name__ == "__main__":

@@ -15,17 +15,26 @@ Module map (one concern each):
 - :mod:`repro.engine.batcher`  -- kernel/size-bin batch packing
 - :mod:`repro.engine.runners`  -- per-kernel functional execution
 - :mod:`repro.engine.executor` -- process-pool / inline batch backends
+- :mod:`repro.engine.breaker`  -- per-kernel circuit breaker
+- :mod:`repro.engine.dlq`     -- dead-letter queue for failed jobs
 - :mod:`repro.engine.metrics`  -- counters and latency histograms
 - :mod:`repro.engine.service`  -- the ``Engine`` front door
 
-See ``docs/engine.md`` for the job lifecycle.
+See ``docs/engine.md`` for the job lifecycle and
+``docs/reliability.md`` for the failure model and hardening knobs;
+:mod:`repro.faults` drives every failure seam deliberately.
 """
 
+from repro.engine.breaker import CircuitBreaker
+from repro.engine.dlq import DeadLetter, DeadLetterQueue
 from repro.engine.jobs import Job, JobResult, make_job
 from repro.engine.service import BackpressureError, Engine, EngineConfig
 
 __all__ = [
     "BackpressureError",
+    "CircuitBreaker",
+    "DeadLetter",
+    "DeadLetterQueue",
     "Engine",
     "EngineConfig",
     "Job",

@@ -1,0 +1,64 @@
+"""Per-kernel circuit breaker for the pool execution path.
+
+A kernel whose batches keep dying in the pool (crashing workers, hangs
+past timeout) makes every drain pay the full retry-and-recreate cost
+before landing on the inline floor anyway.  The breaker shortcuts
+that: after ``failure_threshold`` consecutive pool failures it *opens*
+and the engine routes that kernel's batches straight to inline
+execution for ``cooldown_batches`` batches, then lets one probe batch
+through (*half-open*); a probe success closes the breaker, a probe
+failure re-opens it for a full cooldown.
+
+The breaker is deliberately time-free -- state advances on batch
+events only -- so chaos campaigns with a fixed seed see identical
+breaker behavior run to run.
+"""
+
+from __future__ import annotations
+
+STATE_CLOSED = "closed"
+STATE_OPEN = "open"
+STATE_HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a batch-counted cooldown."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown_batches: int = 8):
+        if failure_threshold <= 0:
+            raise ValueError("failure_threshold must be positive")
+        if cooldown_batches <= 0:
+            raise ValueError("cooldown_batches must be positive")
+        self.failure_threshold = failure_threshold
+        self.cooldown_batches = cooldown_batches
+        self.state = STATE_CLOSED
+        self._consecutive_failures = 0
+        self._cooldown_remaining = 0
+
+    def allow(self) -> bool:
+        """May the next batch use the pool?  Open-state calls count
+        down the cooldown; the call that exhausts it becomes the
+        half-open probe and is allowed through."""
+        if self.state == STATE_OPEN:
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining > 0:
+                return False
+            self.state = STATE_HALF_OPEN
+        return True
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self.state = STATE_CLOSED
+
+    def record_failure(self) -> bool:
+        """Note a pool failure; True when this call opened the breaker."""
+        self._consecutive_failures += 1
+        if (
+            self.state == STATE_HALF_OPEN
+            or self._consecutive_failures >= self.failure_threshold
+        ):
+            self.state = STATE_OPEN
+            self._cooldown_remaining = self.cooldown_batches
+            self._consecutive_failures = 0
+            return True
+        return False

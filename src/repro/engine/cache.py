@@ -54,6 +54,7 @@ class CacheStats:
     misses: int = 0
     evictions: int = 0
     compiles: int = 0
+    compile_failures: int = 0
     compile_seconds: float = 0.0
 
     @property
@@ -70,6 +71,7 @@ class CacheStats:
             "misses": self.misses,
             "evictions": self.evictions,
             "compiles": self.compiles,
+            "compile_failures": self.compile_failures,
             "compile_seconds": self.compile_seconds,
             "hit_rate": self.hit_rate,
         }
@@ -112,7 +114,13 @@ class ProgramCache:
             return entry, True
         self.stats.misses += 1
         started = time.perf_counter()
-        program = compile_fn()
+        try:
+            program = compile_fn()
+        except Exception:
+            # No partial entry is ever inserted: the next lookup for
+            # this key misses again and retries the compile.
+            self.stats.compile_failures += 1
+            raise
         elapsed = time.perf_counter() - started
         self.stats.compiles += 1
         self.stats.compile_seconds += elapsed

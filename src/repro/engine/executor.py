@@ -7,19 +7,29 @@ across workers.  Failure handling is layered:
 
 - a job that raises stays *inside* its batch as a per-job error;
 - a batch whose worker dies or times out is retried up to
-  ``max_retries`` times, then degrades to in-process execution;
+  ``max_retries`` times -- with exponential backoff and deterministic
+  jitter when ``retry_backoff_s`` is set -- then degrades to
+  in-process execution;
+- a dead worker poisons the whole pool, so every failure replaces the
+  pool **and resubmits every still-pending batch of the drain** on the
+  fresh one; innocent batches are not charged an attempt and do not
+  fail serially behind the one that died;
 - a pool that cannot be created at all (restricted sandboxes without
   semaphores, ``workers=0``) degrades the whole executor to inline.
 
 Inline execution is the always-available floor: same results, no
 parallelism, which is also what CI's most restricted runners get.
+``BatchOutcome.attempts`` counts actual executions of the batch
+payloads (pool attempts plus the final inline run when degradation
+happened) -- never phantom attempts that a dead pool prevented.
 """
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.batcher import Batch
 from repro.engine.cache import CompiledProgram
@@ -89,6 +99,17 @@ class InlineExecutor:
         pass
 
 
+@dataclass
+class _Flight:
+    """One batch in flight on the pool (mutated across retries)."""
+
+    batch: Batch
+    compiled: CompiledProgram
+    future: object
+    started: float
+    attempts: int = 1
+
+
 class PoolExecutor:
     """Process-pool execution with bounded retry and inline fallback."""
 
@@ -99,6 +120,8 @@ class PoolExecutor:
         workers: int,
         job_timeout_s: float = 30.0,
         max_retries: int = 1,
+        retry_backoff_s: float = 0.0,
+        jitter_seed: int = 0,
     ):
         if workers <= 0:
             raise ValueError("PoolExecutor needs at least one worker")
@@ -106,9 +129,13 @@ class PoolExecutor:
             raise ValueError("job timeout must be positive")
         if max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
         self.workers = workers
         self.job_timeout_s = job_timeout_s
         self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self._jitter = random.Random(jitter_seed)
         self._pool = None
         self._pool_broken = False
         self._inline = InlineExecutor()
@@ -136,6 +163,57 @@ class PoolExecutor:
                 pass
             self._pool = None
 
+    def _backoff_delay(self, failed_attempts: int) -> float:
+        """Exponential backoff with jitter in [0.5x, 1.0x) of the step."""
+        if self.retry_backoff_s <= 0:
+            return 0.0
+        step = self.retry_backoff_s * (2 ** (failed_attempts - 1))
+        return step * (0.5 + 0.5 * self._jitter.random())
+
+    def _submit(self, pool, flight: _Flight) -> None:
+        flight.started = time.perf_counter()
+        flight.future = pool.submit(
+            execute_batch_payloads,
+            flight.batch.kernel,
+            flight.compiled,
+            [job.payload for job in flight.batch.jobs],
+        )
+
+    def _failover(
+        self, flights: List[_Flight], index: int, retry_self: bool
+    ) -> Optional[object]:
+        """Replace the pool after a failure at *index*.
+
+        Resubmits the failed flight (when it still has retry budget,
+        charging it one attempt after the backoff delay) and every
+        later flight that has no successful result yet -- those ride
+        along for free, because the failure was not theirs.
+        """
+        self._recreate_pool()
+        pool = self._ensure_pool()
+        if pool is None:
+            return None
+        flight = flights[index]
+        if retry_self:
+            delay = self._backoff_delay(flight.attempts)
+            if delay > 0:
+                time.sleep(delay)
+            flight.attempts += 1
+            self._submit(pool, flight)
+        for other in flights[index + 1 :]:
+            future = other.future
+            settled = future.done()
+            if settled:
+                try:
+                    settled = future.exception(timeout=0) is None
+                except Exception:  # cancelled or raced
+                    settled = False
+            if settled:
+                continue  # its result survived the pool; keep it
+            future.cancel()
+            self._submit(pool, other)
+        return pool
+
     def run_batches(
         self, items: Sequence[Tuple[Batch, CompiledProgram]]
     ) -> List[BatchOutcome]:
@@ -146,63 +224,47 @@ class PoolExecutor:
                 outcome.degraded = True
             return outcomes
 
-        pending: List[Tuple[Batch, CompiledProgram, object, float]] = []
+        flights = []
         for batch, compiled in items:
-            future = pool.submit(
-                execute_batch_payloads,
-                batch.kernel,
-                compiled,
-                [job.payload for job in batch.jobs],
+            flight = _Flight(
+                batch=batch, compiled=compiled, future=None, started=0.0
             )
-            pending.append((batch, compiled, future, time.perf_counter()))
+            self._submit(pool, flight)
+            flights.append(flight)
+        return [self._collect(flights, i) for i in range(len(flights))]
 
-        outcomes = []
-        for batch, compiled, future, started in pending:
-            outcomes.append(self._collect(batch, compiled, future, started))
-        return outcomes
-
-    def _collect(
-        self, batch: Batch, compiled: CompiledProgram, future, started: float
-    ) -> BatchOutcome:
+    def _collect(self, flights: List[_Flight], index: int) -> BatchOutcome:
         """Wait for one batch, retrying and degrading as needed."""
-        timeout = self.job_timeout_s * max(1, len(batch.jobs))
-        attempts = 1
+        flight = flights[index]
+        timeout = self.job_timeout_s * max(1, len(flight.batch.jobs))
         while True:
             try:
-                results = future.result(timeout=timeout)
+                results = flight.future.result(timeout=timeout)
                 return BatchOutcome(
-                    batch_id=batch.batch_id,
+                    batch_id=flight.batch.batch_id,
                     results=results,
                     backend="pool",
-                    attempts=attempts,
-                    execute_seconds=time.perf_counter() - started,
+                    attempts=flight.attempts,
+                    execute_seconds=time.perf_counter() - flight.started,
                 )
             except Exception:
-                future.cancel()
-                if attempts > self.max_retries:
+                flight.future.cancel()
+                retry_self = flight.attempts <= self.max_retries
+                pool = self._failover(flights, index, retry_self)
+                if not retry_self or pool is None:
                     break
-                attempts += 1
-                self._recreate_pool()
-                pool = self._ensure_pool()
-                if pool is None:
-                    break
-                started = time.perf_counter()
-                future = pool.submit(
-                    execute_batch_payloads,
-                    batch.kernel,
-                    compiled,
-                    [job.payload for job in batch.jobs],
-                )
         # Retries exhausted (or the pool died for good): run inline.
         inline_started = time.perf_counter()
         results = execute_batch_payloads(
-            batch.kernel, compiled, [job.payload for job in batch.jobs]
+            flight.batch.kernel,
+            flight.compiled,
+            [job.payload for job in flight.batch.jobs],
         )
         return BatchOutcome(
-            batch_id=batch.batch_id,
+            batch_id=flight.batch.batch_id,
             results=results,
             backend="inline",
-            attempts=attempts + 1,
+            attempts=flight.attempts + 1,
             execute_seconds=time.perf_counter() - inline_started,
             degraded=True,
         )
@@ -214,11 +276,19 @@ class PoolExecutor:
 
 
 def make_executor(
-    workers: int, job_timeout_s: float = 30.0, max_retries: int = 1
+    workers: int,
+    job_timeout_s: float = 30.0,
+    max_retries: int = 1,
+    retry_backoff_s: float = 0.0,
+    jitter_seed: int = 0,
 ):
     """``workers <= 0`` selects inline execution; otherwise a pool."""
     if workers <= 0:
         return InlineExecutor()
     return PoolExecutor(
-        workers=workers, job_timeout_s=job_timeout_s, max_retries=max_retries
+        workers=workers,
+        job_timeout_s=job_timeout_s,
+        max_retries=max_retries,
+        retry_backoff_s=retry_backoff_s,
+        jitter_seed=jitter_seed,
     )

@@ -51,6 +51,9 @@ class Job:
     priority: int = 0
     #: Seconds after submission by which the job must *start*; jobs
     #: still queued past the deadline fail with ``deadline-expired``.
+    #: ``0`` means expire-immediately (admitted but never executed --
+    #: the probe a load-shedding caller uses); negatives are rejected
+    #: at construction.
     deadline_s: Optional[float] = None
     #: Engine-stamped submission time (time.monotonic()).
     submitted_at: float = 0.0
@@ -108,6 +111,24 @@ def validate_payload(kernel: str, payload: Dict[str, Any]) -> None:
                 )
 
 
+def validate_deadline(deadline_s: Optional[float]) -> Optional[float]:
+    """Normalize a deadline: None passes, finite >= 0 floats pass,
+    everything else (negatives, NaN, non-numbers) is rejected."""
+    if deadline_s is None:
+        return None
+    try:
+        value = float(deadline_s)
+    except (TypeError, ValueError):
+        raise JobValidationError(
+            f"deadline_s must be a number of seconds, got {deadline_s!r}"
+        )
+    if value != value or value < 0:  # NaN or negative
+        raise JobValidationError(
+            f"deadline_s must be >= 0 (0 = expire immediately), got {deadline_s!r}"
+        )
+    return value
+
+
 def make_job(
     kernel: str,
     payload: Dict[str, Any],
@@ -116,6 +137,7 @@ def make_job(
 ) -> Job:
     """Validate and wrap a payload as a :class:`Job` with a fresh id."""
     validate_payload(kernel, payload)
+    deadline_s = validate_deadline(deadline_s)
     return Job(
         job_id=next(_job_ids),
         kernel=kernel,

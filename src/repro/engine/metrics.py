@@ -28,6 +28,26 @@ DEFAULT_LATENCY_BOUNDS: Tuple[float, ...] = (
 #: Occupancy buckets (fractions of batch capacity).
 OCCUPANCY_BOUNDS: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
 
+#: Reliability counters the hardened engine maintains (all zero on a
+#: healthy run; ``docs/reliability.md`` maps each to its failure mode).
+#: Exported as one block by :meth:`MetricsRegistry.reliability` so the
+#: CLI report and chaos campaigns read a stable schema.
+RELIABILITY_COUNTERS: Tuple[str, ...] = (
+    "batch_retries",  # pool resubmissions after worker death/timeout
+    "degraded_batches",  # batches that fell to the inline floor
+    "breaker_opened",  # circuit-breaker open transitions
+    "breaker_short_circuits",  # batches routed inline by an open breaker
+    "compile_failed_batches",  # batches whose program compile raised
+    "validation_checked",  # results re-checked against the oracle
+    "validation_mismatches",  # corrupted results the guard caught
+    "kernels_quarantined",  # kernels rerouted to the reference path
+    "reference_jobs",  # jobs served by the software baseline
+    "dead_letters",  # failed jobs parked for replay
+    "dead_letters_dropped",  # DLQ overflow (newest letter discarded)
+    "dead_letters_replayed",  # letters resubmitted via replay
+    "drain_faults",  # drain internals raised; envelopes synthesized
+)
+
 
 @dataclass
 class Histogram:
@@ -104,6 +124,10 @@ class MetricsRegistry:
         bounds: Sequence[float] = DEFAULT_LATENCY_BOUNDS,
     ) -> None:
         self.histogram(name, bounds).observe(value)
+
+    def reliability(self) -> Dict[str, int]:
+        """The reliability counters as one fixed-schema dict."""
+        return {name: self.counters.get(name, 0) for name in RELIABILITY_COUNTERS}
 
     def snapshot(self) -> Dict[str, object]:
         return {

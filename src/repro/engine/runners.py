@@ -13,10 +13,15 @@ what a throughput-oriented serving layer needs.
 Runners are module-level functions on plain payload dicts so batches
 pickle cleanly into worker processes.
 
-Fault-injection hooks (used by the executor tests and operational
-chaos drills): payload keys ``_inject_delay_s`` and ``_inject_exit``
-apply **only inside pool worker processes**, so the inline fallback
-path stays healthy by construction.
+Fault-injection hooks (used by the executor tests and
+:mod:`repro.faults` chaos drills): payload keys ``_inject_delay_s``
+and ``_inject_exit`` apply **only inside pool worker processes**, so
+the inline fallback path stays healthy by construction.
+``_inject_fail`` raises on every backend, and ``_inject_corrupt``
+bit-flips the result on every backend -- modelling the accelerator
+soft error that no amount of retrying or degradation fixes, which only
+the engine's validation guard (re-checking results against
+:func:`reference_result`) can catch.
 """
 
 from __future__ import annotations
@@ -351,6 +356,34 @@ def _in_pool_worker() -> bool:
     return multiprocessing.parent_process() is not None
 
 
+def corrupt_value(value: Dict[str, Any]) -> Dict[str, Any]:
+    """Flip one bit (or nudge one float) in a result dict.
+
+    The deterministic stand-in for an accelerator soft error: the
+    first numeric field is damaged beyond any validation tolerance,
+    everything else is untouched, and the envelope still looks
+    perfectly healthy (``ok=True``).
+    """
+    corrupted = dict(value)
+    for key, field_value in corrupted.items():
+        if isinstance(field_value, bool):
+            continue
+        if isinstance(field_value, int):
+            corrupted[key] = field_value ^ (1 << 7)
+            return corrupted
+        if isinstance(field_value, float):
+            corrupted[key] = field_value + 64.0
+            return corrupted
+        if (
+            isinstance(field_value, list)
+            and field_value
+            and isinstance(field_value[0], int)
+        ):
+            corrupted[key] = [field_value[0] ^ (1 << 7)] + field_value[1:]
+            return corrupted
+    return corrupted
+
+
 def run_job(
     kernel: str, compiled: CompiledProgram, payload: Dict[str, Any]
 ) -> Dict[str, Any]:
@@ -365,7 +398,10 @@ def run_job(
             os._exit(3)
     if payload.get("_inject_fail"):
         raise RuntimeError("injected job failure")
-    return _RUNNERS[kernel](compiled, payload)
+    value = _RUNNERS[kernel](compiled, payload)
+    if payload.get("_inject_corrupt"):
+        value = corrupt_value(value)
+    return value
 
 
 # ----------------------------------------------------------------------

@@ -1,15 +1,24 @@
 """The engine front door: bounded submission queue + drain loop.
 
-Lifecycle of a job (see ``docs/engine.md``):
+Lifecycle of a job (see ``docs/engine.md`` and ``docs/reliability.md``):
 
 1. ``submit()`` validates backpressure (bounded queue) and stamps the
    submission time.
-2. ``drain()`` expires past-deadline jobs, packs the rest into
-   tile-shaped batches (:mod:`repro.engine.batcher`), resolves each
-   batch's compiled program through the LRU cache (one DPMap run per
-   distinct objective function), executes batches through the pool or
-   inline backend, and folds everything into :class:`JobResult`
-   envelopes plus metrics.
+2. ``drain()`` expires past-deadline jobs, reroutes quarantined
+   kernels to the reference (software-baseline) path, packs the rest
+   into tile-shaped batches (:mod:`repro.engine.batcher`), resolves
+   each batch's compiled program through the LRU cache (one DPMap run
+   per distinct objective function), executes batches through the pool
+   or inline backend -- consulting a per-kernel circuit breaker before
+   paying the pool's retry cost -- and folds everything into
+   :class:`JobResult` envelopes plus metrics, re-checking a sampled
+   fraction of results against the reference kernels on the way out.
+
+The drain is **crash-safe**: every job popped from the queue yields
+exactly one result envelope even when an executor, cache or validation
+internal raises -- the failure becomes an ``engine-fault`` error
+envelope, never a silently lost job.  Failed jobs (other than deadline
+expiries) are parked in a bounded dead-letter queue for replay.
 
 The engine is deliberately synchronous at the drain level -- callers
 own the cadence (CLI: one drain; a server loop: drain per tick), and
@@ -19,20 +28,23 @@ only has to replace the executor seam.
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dpax.machine import INTEGER_ARRAYS
-from repro.engine.batcher import Batcher
-from repro.engine.cache import ProgramCache, compile_program
-from repro.engine.executor import make_executor
+from repro.engine.batcher import Batch, Batcher
+from repro.engine.breaker import CircuitBreaker
+from repro.engine.cache import CompiledProgram, ProgramCache, compile_program
+from repro.engine.dlq import DeadLetter, DeadLetterQueue
+from repro.engine.executor import BatchOutcome, InlineExecutor, make_executor
 from repro.engine.jobs import Job, JobResult
 from repro.engine.metrics import (
     OCCUPANCY_BOUNDS,
     MetricsRegistry,
 )
-from repro.engine.runners import build_dfg
+from repro.engine.runners import build_dfg, matches_reference, reference_result
 
 
 class BackpressureError(RuntimeError):
@@ -53,16 +65,47 @@ class EngineConfig:
     job_timeout_s: float = 30.0
     #: Batch retries after worker failure before inline fallback.
     max_retries: int = 1
+    #: Base delay for exponential retry backoff (0 = retry immediately);
+    #: jitter is deterministic from ``reliability_seed``.
+    retry_backoff_s: float = 0.0
     #: Jobs per batch (one tile launch; 16 = the DPAx integer arrays).
     batch_capacity: int = INTEGER_ARRAYS
     #: Reduction-tree depth compiled for (2 = the hardware).
     levels: int = 2
+    #: Consecutive pool failures before a kernel's circuit breaker
+    #: opens and its batches short-circuit to the inline floor
+    #: (0 disables the breaker).
+    breaker_threshold: int = 3
+    #: Batches an open breaker skips before letting a probe through.
+    breaker_cooldown: int = 8
+    #: Fraction of ok results re-checked against the reference kernels
+    #: (0 = off, 1 = every result); a mismatch fails the job with
+    #: ``validation-mismatch`` and quarantines the kernel onto the
+    #: reference path.
+    validate_fraction: float = 0.0
+    #: Dead-letter queue capacity (0 disables dead-lettering).
+    dlq_capacity: int = 64
+    #: Seeds validation sampling and retry jitter (reproducible runs).
+    reliability_seed: int = 0
+    #: Optional :class:`repro.faults.FaultPlan`; when set, its
+    #: ``maybe_fail_compile`` hook runs inside the compile seam.
+    fault_plan: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
             raise ValueError("max_queue must be positive")
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry_backoff_s must be non-negative")
+        if self.breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be non-negative")
+        if self.breaker_cooldown <= 0:
+            raise ValueError("breaker_cooldown must be positive")
+        if not 0.0 <= self.validate_fraction <= 1.0:
+            raise ValueError("validate_fraction must be in [0, 1]")
+        if self.dlq_capacity < 0:
+            raise ValueError("dlq_capacity must be non-negative")
 
 
 class Engine:
@@ -76,9 +119,18 @@ class Engine:
             self.config.workers,
             job_timeout_s=self.config.job_timeout_s,
             max_retries=self.config.max_retries,
+            retry_backoff_s=self.config.retry_backoff_s,
+            jitter_seed=self.config.reliability_seed,
         )
         self.metrics = MetricsRegistry()
         self._queue: List[Job] = []
+        self._floor = InlineExecutor()
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._quarantined: Dict[str, str] = {}
+        self._dlq = DeadLetterQueue(capacity=max(self.config.dlq_capacity, 0))
+        self._validation_rng = random.Random(self.config.reliability_seed)
+        self._compile_attempts: Dict[str, int] = {}
+        self._last_drain_fault: Optional[str] = None
 
     # ------------------------------------------------------------------
     # submission
@@ -106,24 +158,61 @@ class Engine:
     # drain
 
     def drain(self) -> List[JobResult]:
-        """Run everything queued; returns results in submission order."""
+        """Run everything queued; returns results in submission order.
+
+        Crash-safe: every popped job gets exactly one envelope.  An
+        exception anywhere in the drain internals becomes an
+        ``engine-fault`` error envelope for the jobs it stranded.
+        """
         jobs, self._queue = self._queue, []
         if not jobs:
             return []
-        now = time.monotonic()
-
-        live: List[Job] = []
+        self._last_drain_fault = None
         results: Dict[int, JobResult] = {}
+        try:
+            self._execute_drain(jobs, results)
+        except Exception as error:
+            self.metrics.incr("drain_faults")
+            self._last_drain_fault = f"{type(error).__name__}: {error}"
+
+        ordered: List[JobResult] = []
         for job in jobs:
-            if job.deadline_s is not None and now - job.submitted_at > job.deadline_s:
+            result = results.get(job.job_id)
+            if result is None:
+                self.metrics.incr("jobs_failed")
+                result = JobResult(
+                    job_id=job.job_id,
+                    kernel=job.kernel,
+                    ok=False,
+                    error=(
+                        "engine-fault: "
+                        + (self._last_drain_fault or "drain aborted")
+                    ),
+                )
+            if not result.ok and result.error != "deadline-expired":
+                self._dead_letter(job, result)
+            ordered.append(result)
+        return ordered
+
+    def _execute_drain(self, jobs: List[Job], results: Dict[int, JobResult]) -> None:
+        now = time.monotonic()
+        live: List[Job] = []
+        for job in jobs:
+            waited = now - job.submitted_at
+            expired = job.deadline_s is not None and (
+                job.deadline_s == 0 or waited > job.deadline_s
+            )
+            if expired:
                 self.metrics.incr("jobs_expired")
                 results[job.job_id] = JobResult(
                     job_id=job.job_id,
                     kernel=job.kernel,
                     ok=False,
                     error="deadline-expired",
-                    timings={"queue_wait_s": now - job.submitted_at},
+                    timings={"queue_wait_s": waited},
                 )
+            elif job.kernel in self._quarantined:
+                self._run_reference(job, results)
             else:
                 live.append(job)
 
@@ -132,68 +221,236 @@ class Engine:
 
         # Resolve compiled programs: one cache lookup per *job* (the
         # hit-rate metric's unit), one DPMap compile per distinct key.
-        items = []
-        batch_meta: Dict[int, Dict[str, object]] = {}
+        # A failed compile fails its batch's jobs, not the drain.
+        executable: List[Tuple[Batch, CompiledProgram, Dict[str, object]]] = []
         for batch in batches:
-            dfg = build_dfg(batch.kernel)
-            key = self.cache.key_for(batch.kernel, self.config.levels, dfg)
-            compiled = None
-            hits: Dict[int, bool] = {}
-            for job in batch.jobs:
-                compiled, hit = self.cache.get_or_compile(
-                    key,
-                    lambda: compile_program(batch.kernel, self.config.levels, dfg),
-                )
-                hits[job.job_id] = hit
-                if not hit:
-                    self.metrics.observe("compile_s", compiled.compile_seconds)
-            items.append((batch, compiled))
-            batch_meta[batch.batch_id] = {
-                "hits": hits,
-                "compile_s": compiled.compile_seconds,
-            }
+            try:
+                compiled, hits = self._resolve_program(batch)
+            except Exception as error:
+                self.metrics.incr("compile_failed_batches")
+                for job in batch.jobs:
+                    self.metrics.incr("jobs_failed")
+                    results[job.job_id] = JobResult(
+                        job_id=job.job_id,
+                        kernel=job.kernel,
+                        ok=False,
+                        error=f"compile-failed: {type(error).__name__}: {error}",
+                        batch_id=batch.batch_id,
+                    )
+                continue
             self.metrics.observe(
                 "batch_occupancy", batch.occupancy, bounds=OCCUPANCY_BOUNDS
             )
+            meta = {"hits": hits, "compile_s": compiled.compile_seconds}
+            executable.append((batch, compiled, meta))
+
+        # Circuit breaker: kernels whose pool batches keep dying are
+        # short-circuited straight to the inline floor.
+        use_breaker = (
+            getattr(self.executor, "backend", "inline") == "pool"
+            and self.config.breaker_threshold > 0
+        )
+        pool_entries, floor_entries = [], []
+        for entry in executable:
+            if use_breaker and not self._breaker_for(entry[0].kernel).allow():
+                self.metrics.incr("breaker_short_circuits")
+                floor_entries.append(entry)
+            else:
+                pool_entries.append(entry)
 
         dispatch_time = time.monotonic()
-        outcomes = self.executor.run_batches(items)
+        paired: List[Tuple[Tuple[Batch, CompiledProgram, Dict], BatchOutcome]] = []
+        if pool_entries:
+            outcomes = self.executor.run_batches(
+                [(batch, compiled) for batch, compiled, _ in pool_entries]
+            )
+            paired.extend(zip(pool_entries, outcomes))
+        if floor_entries:
+            outcomes = self._floor.run_batches(
+                [(batch, compiled) for batch, compiled, _ in floor_entries]
+            )
+            paired.extend(zip(floor_entries, outcomes))
 
-        for batch, outcome in zip(batches, outcomes):
-            meta = batch_meta[batch.batch_id]
-            if outcome.backend == "pool":
-                self.metrics.incr("parallel_batches")
-            else:
-                self.metrics.incr("inline_batches")
-            if outcome.degraded:
-                self.metrics.incr("degraded_batches")
-            if outcome.attempts > 1:
-                self.metrics.incr("batch_retries", outcome.attempts - 1)
-            self.metrics.observe("execute_s", outcome.execute_seconds)
-            per_job = outcome.execute_seconds / max(1, len(batch.jobs))
-            for job, result in zip(batch.jobs, outcome.results):
-                wait = dispatch_time - job.submitted_at
-                self.metrics.observe("queue_wait_s", wait)
-                ok = bool(result.get("ok"))
-                self.metrics.incr("jobs_completed" if ok else "jobs_failed")
-                results[job.job_id] = JobResult(
-                    job_id=job.job_id,
-                    kernel=job.kernel,
-                    ok=ok,
-                    value=result.get("value"),
-                    error=result.get("error"),
-                    batch_id=batch.batch_id,
-                    cache_hit=bool(meta["hits"].get(job.job_id)),
-                    attempts=outcome.attempts,
-                    backend=outcome.backend,
-                    timings={
-                        "queue_wait_s": wait,
-                        "compile_s": float(meta["compile_s"]),
-                        "execute_s": per_job,
-                    },
-                )
+        breaker_fed = {id(entry) for entry in pool_entries}
+        for entry, outcome in paired:
+            batch, _, meta = entry
+            if use_breaker and id(entry) in breaker_fed:
+                breaker = self._breaker_for(batch.kernel)
+                if outcome.degraded:
+                    if breaker.record_failure():
+                        self.metrics.incr("breaker_opened")
+                else:
+                    breaker.record_success()
+            self._fold_outcome(batch, meta, outcome, dispatch_time, results)
 
-        return [results[job.job_id] for job in jobs]
+    # ------------------------------------------------------------------
+    # drain helpers
+
+    def _resolve_program(
+        self, batch: Batch
+    ) -> Tuple[CompiledProgram, Dict[int, bool]]:
+        dfg = build_dfg(batch.kernel)
+        key = self.cache.key_for(batch.kernel, self.config.levels, dfg)
+        compiled: Optional[CompiledProgram] = None
+        hits: Dict[int, bool] = {}
+        for job in batch.jobs:
+            compiled, hit = self.cache.get_or_compile(
+                key, lambda: self._compile(batch.kernel, dfg)
+            )
+            hits[job.job_id] = hit
+            if not hit:
+                self.metrics.observe("compile_s", compiled.compile_seconds)
+        return compiled, hits
+
+    def _compile(self, kernel: str, dfg) -> CompiledProgram:
+        plan = self.config.fault_plan
+        if plan is not None:
+            attempt = self._compile_attempts.get(kernel, 0) + 1
+            self._compile_attempts[kernel] = attempt
+            plan.maybe_fail_compile(kernel, attempt)
+        return compile_program(kernel, self.config.levels, dfg)
+
+    def _fold_outcome(
+        self,
+        batch: Batch,
+        meta: Dict[str, object],
+        outcome: BatchOutcome,
+        dispatch_time: float,
+        results: Dict[int, JobResult],
+    ) -> None:
+        if outcome.backend == "pool":
+            self.metrics.incr("parallel_batches")
+        else:
+            self.metrics.incr("inline_batches")
+        if outcome.degraded:
+            self.metrics.incr("degraded_batches")
+        if outcome.attempts > 1:
+            self.metrics.incr("batch_retries", outcome.attempts - 1)
+        self.metrics.observe("execute_s", outcome.execute_seconds)
+        per_job = outcome.execute_seconds / max(1, len(batch.jobs))
+        for job, result in zip(batch.jobs, outcome.results):
+            wait = dispatch_time - job.submitted_at
+            self.metrics.observe("queue_wait_s", wait)
+            ok = bool(result.get("ok"))
+            value = result.get("value")
+            error = result.get("error")
+            if ok and self._should_validate():
+                self.metrics.incr("validation_checked")
+                try:
+                    valid = matches_reference(job.kernel, value, job.payload)
+                except Exception:
+                    valid = False
+                if not valid:
+                    self.metrics.incr("validation_mismatches")
+                    self._quarantine(job.kernel, "validation-mismatch")
+                    ok, value, error = False, None, "validation-mismatch"
+            self.metrics.incr("jobs_completed" if ok else "jobs_failed")
+            results[job.job_id] = JobResult(
+                job_id=job.job_id,
+                kernel=job.kernel,
+                ok=ok,
+                value=value,
+                error=error,
+                batch_id=batch.batch_id,
+                cache_hit=bool(meta["hits"].get(job.job_id)),
+                attempts=outcome.attempts,
+                backend=outcome.backend,
+                timings={
+                    "queue_wait_s": wait,
+                    "compile_s": float(meta["compile_s"]),
+                    "execute_s": per_job,
+                },
+            )
+
+    def _run_reference(self, job: Job, results: Dict[int, JobResult]) -> None:
+        """Serve a quarantined kernel's job from the software baseline."""
+        self.metrics.incr("reference_jobs")
+        started = time.perf_counter()
+        try:
+            value: Optional[Dict[str, Any]] = reference_result(
+                job.kernel, job.payload
+            )
+            ok, error = True, None
+        except Exception as err:
+            ok, value, error = False, None, f"{type(err).__name__}: {err}"
+        self.metrics.incr("jobs_completed" if ok else "jobs_failed")
+        results[job.job_id] = JobResult(
+            job_id=job.job_id,
+            kernel=job.kernel,
+            ok=ok,
+            value=value,
+            error=error,
+            backend="reference",
+            timings={"execute_s": time.perf_counter() - started},
+        )
+
+    def _should_validate(self) -> bool:
+        fraction = self.config.validate_fraction
+        if fraction <= 0.0:
+            return False
+        if fraction >= 1.0:
+            return True
+        return self._validation_rng.random() < fraction
+
+    def _breaker_for(self, kernel: str) -> CircuitBreaker:
+        breaker = self._breakers.get(kernel)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                failure_threshold=self.config.breaker_threshold,
+                cooldown_batches=self.config.breaker_cooldown,
+            )
+            self._breakers[kernel] = breaker
+        return breaker
+
+    def _quarantine(self, kernel: str, reason: str) -> None:
+        if kernel not in self._quarantined:
+            self._quarantined[kernel] = reason
+            self.metrics.incr("kernels_quarantined")
+
+    def _dead_letter(self, job: Job, result: JobResult) -> None:
+        if self.config.dlq_capacity <= 0:
+            return
+        if self._dlq.push(job, result.error or "unknown", result.attempts):
+            self.metrics.incr("dead_letters")
+        else:
+            self.metrics.incr("dead_letters_dropped")
+
+    # ------------------------------------------------------------------
+    # reliability surface
+
+    @property
+    def quarantined(self) -> Dict[str, str]:
+        """Quarantined kernels and why (kernel -> reason)."""
+        return dict(self._quarantined)
+
+    def lift_quarantine(self, kernel: str) -> bool:
+        """Allow *kernel* back onto the compiled path; True if it was
+        quarantined."""
+        return self._quarantined.pop(kernel, None) is not None
+
+    @property
+    def dead_letters(self) -> List[DeadLetter]:
+        """Parked failed jobs, oldest first (a copy)."""
+        return self._dlq.letters()
+
+    def replay_dead_letters(self) -> List[Job]:
+        """Resubmit every dead letter; returns the resubmitted jobs.
+
+        Jobs keep their ids, so a later drain's envelope supersedes the
+        failed one.  If the queue fills mid-replay the remaining
+        letters stay parked.
+        """
+        letters = self._dlq.drain()
+        replayed: List[Job] = []
+        for index, letter in enumerate(letters):
+            try:
+                replayed.append(self.submit(letter.job))
+            except BackpressureError:
+                self._dlq.extend(letters[index:])
+                break
+        if replayed:
+            self.metrics.incr("dead_letters_replayed", len(replayed))
+        return replayed
 
     # ------------------------------------------------------------------
     # introspection / lifecycle
@@ -202,6 +459,9 @@ class Engine:
         """Engine + cache metrics as one plain dict."""
         snap = self.metrics.snapshot()
         snap["cache"] = self.cache.stats.snapshot()
+        snap["reliability"] = self.metrics.reliability()
+        snap["quarantined"] = sorted(self._quarantined)
+        snap["dead_letter_backlog"] = len(self._dlq)
         occupancy = self.metrics.histograms.get("batch_occupancy")
         snap["derived"] = {
             "cache_hit_rate": self.cache.stats.hit_rate,

@@ -1,0 +1,29 @@
+"""repro.faults -- deterministic fault injection and chaos campaigns.
+
+The serving engine (:mod:`repro.engine`) has failure seams -- pool
+retry, inline degradation, deadlines, the compile path -- but seams
+that are never exercised rot.  This package drives them on purpose:
+
+- :mod:`repro.faults.plan`  -- :class:`FaultPlan`, a seed-driven fault
+  schedule that decorates job payloads with crash / hang / corruption /
+  failure markers and injects compile failures, all reproducible from
+  one integer seed and free when disabled;
+- :mod:`repro.faults.chaos` -- seeded chaos campaigns: run a mixed job
+  stream through an engine under a plan and report survival metrics
+  (jobs lost, corruption escapes, degraded fraction).
+
+The CLI front end is ``gendp-chaos``; ``docs/reliability.md`` has the
+fault taxonomy and the hardening each fault class forced.
+"""
+
+from repro.faults.chaos import CampaignReport, ChaosConfig, run_campaign
+from repro.faults.plan import FAULT_KINDS, FaultPlan, InjectedCompileError
+
+__all__ = [
+    "CampaignReport",
+    "ChaosConfig",
+    "FAULT_KINDS",
+    "FaultPlan",
+    "InjectedCompileError",
+    "run_campaign",
+]

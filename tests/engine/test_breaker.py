@@ -1,0 +1,65 @@
+"""Circuit breaker: closed/open/half-open transitions, batch-counted."""
+
+import pytest
+
+from repro.engine import CircuitBreaker
+from repro.engine.breaker import STATE_CLOSED, STATE_HALF_OPEN, STATE_OPEN
+
+
+class TestOpening:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_batches=4)
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # the opening call reports True
+        assert breaker.state == STATE_OPEN
+
+    def test_success_resets_the_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_batches=4)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()  # streak restarted
+        assert breaker.state == STATE_CLOSED
+
+    def test_closed_breaker_always_allows(self):
+        breaker = CircuitBreaker()
+        assert all(breaker.allow() for _ in range(5))
+
+
+class TestCooldownAndProbe:
+    def test_cooldown_blocks_then_allows_one_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_batches=3)
+        assert breaker.record_failure()
+        # Two batches short-circuit, the third becomes the probe.
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.allow()
+        assert breaker.state == STATE_HALF_OPEN
+
+    def test_probe_success_closes(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_batches=1)
+        breaker.record_failure()
+        assert breaker.allow()  # probe
+        breaker.record_success()
+        assert breaker.state == STATE_CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_full_cooldown(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_batches=2)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.allow()  # probe
+        # One failure suffices in half-open, regardless of threshold.
+        assert breaker.record_failure()
+        assert breaker.state == STATE_OPEN
+        assert not breaker.allow()
+        assert breaker.allow()  # full cooldown counted down again
+
+
+class TestValidation:
+    def test_rejects_non_positive_knobs(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_batches=0)

@@ -45,6 +45,40 @@ class TestLookups:
         assert cache.stats.compile_seconds > 0.0
 
 
+class TestCompileFailure:
+    def test_raise_leaves_no_poisoned_entry(self):
+        cache = ProgramCache(capacity=4)
+        key = cache.key_for("lcs", 2, build_dfg("lcs"))
+
+        def exploding():
+            raise RuntimeError("DPMap fell over")
+
+        with pytest.raises(RuntimeError):
+            cache.get_or_compile(key, exploding)
+        assert key not in cache
+        assert cache.stats.compile_failures == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.compiles == 0  # nothing was produced
+
+        # The failure is not sticky: the next lookup retries and the
+        # good program is cached normally.
+        program, hit = cache.get_or_compile(key, lambda: _compile("lcs"))
+        assert not hit
+        assert key in cache
+        assert cache.stats.compiles == 1
+        assert cache.stats.misses == 2
+
+        again, hit = cache.get_or_compile(key, lambda: _compile("lcs"))
+        assert hit and again is program
+
+    def test_failures_surface_in_snapshot(self):
+        cache = ProgramCache()
+        key = cache.key_for("dtw", 2, build_dfg("dtw"))
+        with pytest.raises(ValueError):
+            cache.get_or_compile(key, lambda: (_ for _ in ()).throw(ValueError()))
+        assert cache.stats.snapshot()["compile_failures"] == 1
+
+
 class TestEviction:
     def test_lru_evicts_least_recent(self):
         cache = ProgramCache(capacity=2)

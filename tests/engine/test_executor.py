@@ -89,6 +89,63 @@ class TestPool:
             PoolExecutor(workers=1, job_timeout_s=0)
         with pytest.raises(ValueError):
             PoolExecutor(workers=1, max_retries=-1)
+        with pytest.raises(ValueError):
+            PoolExecutor(workers=1, retry_backoff_s=-0.1)
+
+    def test_crash_does_not_strand_pending_batches(self, lcs_compiled):
+        # A dead worker poisons the whole pool.  The batch behind the
+        # crashing one must be resubmitted on the fresh pool -- served
+        # from the pool, charged no extra attempts -- instead of
+        # failing serially behind the crash.
+        batches = [
+            (_lcs_batch([{**GOOD, "_inject_exit": True}]), lcs_compiled),
+            (_lcs_batch([GOOD]), lcs_compiled),
+            (_lcs_batch([{"x": "AAAA", "y": "AAAA"}]), lcs_compiled),
+        ]
+        executor = PoolExecutor(workers=1, job_timeout_s=30.0, max_retries=0)
+        try:
+            outcomes = executor.run_batches(batches)
+        finally:
+            executor.close()
+        crashed, innocent, innocent2 = outcomes
+        assert crashed.degraded and crashed.backend == "inline"
+        assert crashed.attempts == 2  # 1 pool try + the inline run
+        for outcome in (innocent, innocent2):
+            assert outcome.backend == "pool"
+            assert not outcome.degraded
+            assert outcome.attempts == 1  # rode along for free
+        assert innocent.results[0]["value"]["length"] == 5
+        assert innocent2.results[0]["value"]["length"] == 4
+
+
+class TestBackoff:
+    def test_disabled_by_default(self):
+        executor = PoolExecutor(workers=1)
+        try:
+            assert executor._backoff_delay(1) == 0.0
+        finally:
+            executor.close()
+
+    def test_exponential_with_bounded_jitter(self):
+        executor = PoolExecutor(workers=1, retry_backoff_s=0.1, jitter_seed=42)
+        try:
+            for failed in (1, 2, 3):
+                step = 0.1 * 2 ** (failed - 1)
+                delay = executor._backoff_delay(failed)
+                assert 0.5 * step <= delay < step
+        finally:
+            executor.close()
+
+    def test_jitter_is_seed_deterministic(self):
+        a = PoolExecutor(workers=1, retry_backoff_s=0.1, jitter_seed=7)
+        b = PoolExecutor(workers=1, retry_backoff_s=0.1, jitter_seed=7)
+        try:
+            assert [a._backoff_delay(n) for n in (1, 2)] == [
+                b._backoff_delay(n) for n in (1, 2)
+            ]
+        finally:
+            a.close()
+            b.close()
 
 
 class TestFactory:

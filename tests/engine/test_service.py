@@ -60,6 +60,25 @@ class TestDrain:
             assert all(r.ok for r in results)
             assert all(r.value["length"] == 5 for r in results)
 
+    def test_deadline_zero_expires_immediately(self):
+        with Engine() as engine:
+            probe = engine.submit(_lcs_job(deadline_s=0))
+            result = engine.drain()[0]
+            assert not result.ok
+            assert result.error == "deadline-expired"
+            assert engine.metrics.counter("jobs_expired") == 1
+            # Expiries are the caller's deadline, never dead-lettered.
+            assert engine.dead_letters == []
+            assert probe.deadline_s == 0.0
+
+    def test_negative_or_nan_deadline_rejected_at_creation(self):
+        with pytest.raises(JobValidationError):
+            make_job("lcs", {"x": "ACGT", "y": "AC"}, deadline_s=-0.5)
+        with pytest.raises(JobValidationError):
+            make_job("lcs", {"x": "ACGT", "y": "AC"}, deadline_s=float("nan"))
+        with pytest.raises(JobValidationError):
+            make_job("lcs", {"x": "ACGT", "y": "AC"}, deadline_s="soon")
+
     def test_deadline_expired_jobs_fail_without_executing(self):
         with Engine() as engine:
             expired = engine.submit(_lcs_job(deadline_s=0.01))
@@ -83,6 +102,150 @@ class TestDrain:
             assert not results[bad.job_id].ok
             assert engine.metrics.counter("jobs_failed") == 1
             assert engine.metrics.counter("jobs_completed") == 1
+
+
+class _RaisingExecutor:
+    """An executor whose internals blow up mid-drain."""
+
+    backend = "inline"
+
+    def run_batches(self, items):
+        raise RuntimeError("executor internals exploded")
+
+    def close(self):
+        pass
+
+
+class _FlakyCompilePlan:
+    """Duck-typed fault plan: the first compile attempt per kernel fails."""
+
+    def __init__(self, failures=1):
+        self.failures = failures
+
+    def maybe_fail_compile(self, kernel, attempt):
+        if attempt <= self.failures:
+            raise RuntimeError(f"injected compile failure ({kernel} #{attempt})")
+
+
+class TestCrashSafeDrain:
+    def test_every_job_gets_an_envelope_when_internals_raise(self):
+        with Engine() as engine:
+            engine.executor = _RaisingExecutor()
+            jobs = engine.submit_many([_lcs_job(), _lcs_job()])
+            results = engine.drain()
+            assert len(results) == len(jobs)
+            assert [r.job_id for r in results] == [j.job_id for j in jobs]
+            for result in results:
+                assert not result.ok
+                assert result.error.startswith("engine-fault: RuntimeError")
+            assert engine.metrics.counter("drain_faults") == 1
+            assert engine.metrics.counter("jobs_failed") == 2
+            # Stranded jobs are parked for replay, and the queue is
+            # empty again -- the engine stays usable.
+            assert len(engine.dead_letters) == 2
+            assert engine.queued == 0
+
+    def test_compile_failure_fails_its_batch_not_the_drain(self):
+        config = EngineConfig(fault_plan=_FlakyCompilePlan(failures=1))
+        with Engine(config) as engine:
+            engine.submit(_lcs_job())
+            result = engine.drain()[0]
+            assert not result.ok
+            assert result.error.startswith("compile-failed: RuntimeError")
+            assert engine.metrics.counter("compile_failed_batches") == 1
+            # The cache holds no poisoned entry: the next drain
+            # recompiles (attempt 2, which the plan lets through).
+            engine.submit(_lcs_job())
+            retried = engine.drain()[0]
+            assert retried.ok
+            assert retried.value["length"] == 5
+            assert engine.cache.stats.compiles == 1
+
+
+class TestValidationGuard:
+    def test_corruption_caught_and_kernel_quarantined(self):
+        with Engine(EngineConfig(validate_fraction=1.0)) as engine:
+            bad = engine.submit(
+                make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_corrupt": True})
+            )
+            result = engine.drain()[0]
+            assert not result.ok
+            assert result.error == "validation-mismatch"
+            assert engine.quarantined == {"lcs": "validation-mismatch"}
+            assert engine.metrics.counter("validation_mismatches") == 1
+            assert bad.job_id == result.job_id
+
+            # Quarantined kernels are served by the software baseline.
+            follow_up = engine.submit(_lcs_job())
+            served = engine.drain()[0]
+            assert served.ok
+            assert served.backend == "reference"
+            assert served.value["length"] == 5
+            assert served.job_id == follow_up.job_id
+            assert engine.metrics.counter("reference_jobs") == 1
+
+            # Lifting the quarantine restores the compiled path.
+            assert engine.lift_quarantine("lcs")
+            assert not engine.lift_quarantine("lcs")
+            engine.submit(_lcs_job())
+            assert engine.drain()[0].backend == "inline"
+
+    def test_clean_results_pass_validation(self):
+        with Engine(EngineConfig(validate_fraction=1.0)) as engine:
+            engine.submit(_lcs_job())
+            assert engine.drain()[0].ok
+            assert engine.metrics.counter("validation_checked") == 1
+            assert engine.quarantined == {}
+
+    def test_validation_off_by_default(self):
+        with Engine() as engine:
+            engine.submit(
+                make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_corrupt": True})
+            )
+            result = engine.drain()[0]
+            assert result.ok  # the corruption sails through, unchecked
+            assert engine.metrics.counter("validation_checked") == 0
+
+
+class TestDeadLetters:
+    def test_failed_jobs_park_and_replay_with_same_id(self):
+        with Engine() as engine:
+            bad = engine.submit(
+                make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_fail": True})
+            )
+            engine.drain()
+            letters = engine.dead_letters
+            assert [l.job.job_id for l in letters] == [bad.job_id]
+            assert "injected" in letters[0].error
+
+            replayed = engine.replay_dead_letters()
+            assert [j.job_id for j in replayed] == [bad.job_id]
+            assert engine.dead_letters == []  # drained into the queue
+            assert engine.metrics.counter("dead_letters_replayed") == 1
+            # The envelope for the replayed drain supersedes the old one.
+            results = engine.drain()
+            assert [r.job_id for r in results] == [bad.job_id]
+
+    def test_dlq_disabled_with_zero_capacity(self):
+        with Engine(EngineConfig(dlq_capacity=0)) as engine:
+            engine.submit(
+                make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_fail": True})
+            )
+            engine.drain()
+            assert engine.dead_letters == []
+            assert engine.metrics.counter("dead_letters") == 0
+
+    def test_replay_stops_at_backpressure(self):
+        with Engine(EngineConfig(max_queue=1)) as engine:
+            for _ in range(2):
+                engine.submit(
+                    make_job("lcs", {"x": "ACGT", "y": "AC", "_inject_fail": True})
+                )
+                engine.drain()
+            assert len(engine.dead_letters) == 2
+            replayed = engine.replay_dead_letters()
+            assert len(replayed) == 1  # the queue only took one
+            assert len(engine.dead_letters) == 1  # the rest stayed parked
 
 
 class TestCacheAccounting:

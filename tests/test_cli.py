@@ -7,7 +7,13 @@ import sys
 
 import pytest
 
-from repro.cli import batch_main, compile_main, report_main, simulate_main
+from repro.cli import (
+    batch_main,
+    chaos_main,
+    compile_main,
+    report_main,
+    simulate_main,
+)
 
 
 class TestCompile:
@@ -93,6 +99,123 @@ class TestBatch:
     def test_empty_kernel_list_rejected(self):
         with pytest.raises(SystemExit):
             batch_main(["--kernels", ",", "--workers", "0"])
+
+    def _failing_spec(self, tmp_path):
+        # The failing job leads, so --fail-fast has later chunks to cut.
+        spec = tmp_path / "jobs.json"
+        spec.write_text(
+            json.dumps(
+                {
+                    "jobs": [
+                        {
+                            "kernel": "lcs",
+                            "payload": {
+                                "x": "ACGT", "y": "AC", "_inject_fail": True,
+                            },
+                        },
+                        {"kernel": "lcs", "payload": {"x": "ACGT", "y": "AGT"}},
+                        {"kernel": "lcs", "payload": {"x": "TTTT", "y": "TT"}},
+                    ]
+                }
+            )
+        )
+        return spec
+
+    def test_nonzero_exit_when_a_job_fails(self, tmp_path, capsys):
+        spec = self._failing_spec(tmp_path)
+        assert batch_main(["--spec", str(spec), "--workers", "0"]) == 1
+        assert "[FAIL]" in capsys.readouterr().out
+
+    def test_fail_fast_stops_the_stream(self, tmp_path, capsys):
+        spec = self._failing_spec(tmp_path)
+        assert batch_main(
+            ["--spec", str(spec), "--workers", "0", "--chunk", "1",
+             "--fail-fast"]
+        ) == 1
+        out = capsys.readouterr().out
+        assert "fail-fast           : stopped after 1/3 jobs" in out
+        assert "degraded batches" in out
+
+    def test_report_includes_reliability_lines(self, capsys):
+        batch_main(["--jobs", "4", "--kernels", "lcs", "--workers", "0"])
+        out = capsys.readouterr().out
+        assert "degraded batches    : 0 (0 retries, 0 dead letters)" in out
+
+
+class TestGracefulShutdown:
+    def test_flag_latches_first_signal(self):
+        import signal as _signal
+        import time
+
+        from repro.cli import _graceful_shutdown
+
+        with _graceful_shutdown() as flag:
+            assert not flag.tripped
+            os.kill(os.getpid(), _signal.SIGTERM)
+            deadline = time.time() + 2.0
+            while not flag.tripped and time.time() < deadline:
+                time.sleep(0.01)  # handlers run between bytecodes
+            assert flag.tripped
+            assert flag.signum == _signal.SIGTERM
+        # Handlers are restored on exit.
+        assert _signal.getsignal(_signal.SIGTERM) is not flag.trip
+
+    def test_sigterm_drains_chunk_and_exits_128_plus_signum(self, tmp_path):
+        import signal as _signal
+        import time
+
+        script = tmp_path / "stream.py"
+        script.write_text(
+            "import sys\n"
+            "from repro.cli import batch_main\n"
+            "sys.exit(batch_main(['--jobs', '4000', '--kernels', 'lcs',\n"
+            "                     '--workers', '0', '--chunk', '8',\n"
+            "                     '--no-validate']))\n"
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath("src")
+        proc = subprocess.Popen(
+            [sys.executable, str(script)],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        time.sleep(1.5)  # let it get into the chunk loop
+        proc.send_signal(_signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 128 + _signal.SIGTERM
+        assert "shutdown" in out  # the partial report still printed
+        assert "Traceback" not in err
+
+
+class TestChaos:
+    def test_small_inline_campaign_survives(self, capsys):
+        assert chaos_main(
+            ["--jobs", "16", "--seed", "9", "--workers", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gendp-chaos: seeded campaign report" in out
+        assert "verdict             : SURVIVED" in out
+
+    def test_json_report(self, capsys):
+        assert chaos_main(
+            ["--jobs", "16", "--seed", "9", "--workers", "0", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["survived"] is True
+        assert report["lost"] == 0
+        assert report["config"]["seed"] == 9
+
+    def test_bad_rates_become_parser_errors(self):
+        with pytest.raises(SystemExit):
+            chaos_main(["--crash-rate", "1.5"])
+        with pytest.raises(SystemExit):
+            chaos_main(["--crash-rate", "0.6", "--corrupt-rate", "0.6"])
+
+    def test_empty_kernel_list_rejected(self):
+        with pytest.raises(SystemExit):
+            chaos_main(["--kernels", ","])
 
 
 class TestPipeSafety:
