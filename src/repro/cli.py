@@ -634,5 +634,99 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     return 0 if report.survived else 1
 
 
+# ----------------------------------------------------------------------
+# gendp-guard
+
+
+@_pipe_safe
+def guard_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-guard",
+        description=(
+            "Differential-fuzz the compiled kernels against their "
+            "reference implementations, with static program "
+            "verification and numerical sentinels.  Exit 0 iff clean."
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--jobs-per-kernel",
+        type=int,
+        default=25,
+        help="differential cases per kernel",
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernel subset (default: all six)",
+    )
+    parser.add_argument(
+        "--probes-per-cell",
+        type=int,
+        default=3,
+        help="random verify_program probes per cell program",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help=(
+            "JSON checkpoint path; an interrupted campaign re-run with "
+            "the same config resumes from it"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10,
+        help="cases between checkpoint writes",
+    )
+    parser.add_argument(
+        "--max-cases",
+        type=int,
+        default=None,
+        help="stop after N differential cases this run (for testing resume)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the campaign report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.guard import DIFF_KERNELS, GuardConfig, run_guard_campaign
+
+    if args.kernels:
+        kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+        unknown = [k for k in kernels if k not in DIFF_KERNELS]
+        if unknown:
+            parser.error(
+                f"unknown kernels {unknown}; choose from {list(DIFF_KERNELS)}"
+            )
+    else:
+        kernels = DIFF_KERNELS
+    if args.jobs_per_kernel <= 0:
+        parser.error("--jobs-per-kernel must be positive")
+
+    config = GuardConfig(
+        seed=args.seed,
+        jobs_per_kernel=args.jobs_per_kernel,
+        kernels=kernels,
+        probes_per_cell=args.probes_per_cell,
+        checkpoint_every=args.checkpoint_every,
+    )
+    report = run_guard_campaign(
+        config, checkpoint_path=args.checkpoint, max_cases=args.max_cases
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.max_cases is not None and report.total_cases < (
+        len(kernels) * args.jobs_per_kernel
+    ):
+        return 0  # partial run by request; verdict comes from the finish
+    return 0 if report.clean else 1
+
+
 if __name__ == "__main__":
     sys.exit(report_main())

@@ -33,6 +33,20 @@ from repro.isa.control import (
 )
 
 
+#: Integer datapath rails (32-bit two's complement) and the 4-lane
+#: SIMD sub-word rails -- shared with the guard's numerical sentinels
+#: (:mod:`repro.guard.sentinels`) so overflow detection matches the
+#: arithmetic that would actually wrap/saturate in hardware.
+INT32_MIN = -(1 << 31)
+INT32_MAX = (1 << 31) - 1
+LANE8_MIN = -(1 << 7)
+LANE8_MAX = (1 << 7) - 1
+
+#: Register-file entries per PE (Table 4); the default bound programs
+#: are checked against when no explicit :class:`PEConfig` is in play.
+DEFAULT_RF_SIZE = 64
+
+
 def wrap32(value: int) -> int:
     """Wrap to 32-bit two's complement (integer datapath width)."""
     value &= 0xFFFFFFFF
@@ -104,7 +118,7 @@ def unpack_lanes(word: int):
 class PEConfig:
     """Static PE parameters."""
 
-    rf_size: int = 64
+    rf_size: int = DEFAULT_RF_SIZE
     spm_size: int = 2048
     address_registers: int = 16
     in_capacity: int = 16

@@ -30,6 +30,10 @@ from repro.dpmap.mgraph import Component, MappingGraph, Source
 from repro.isa.compute import CUInstruction, Imm, Operand, Reg, SlotOp, VLIWInstruction
 
 
+class RegisterOverflowError(ValueError):
+    """A program's register allocation exceeds the PE register file."""
+
+
 @dataclass
 class CellProgram:
     """A cell update compiled to VLIW compute instructions.
@@ -53,13 +57,19 @@ class CellProgram:
         return max(used) + 1 if used else 0
 
 
-def compile_cell(dfg: DataFlowGraph) -> CellProgram:
-    """Map *dfg* with DPMap (2-level CU) and emit its VLIW program."""
+def compile_cell(dfg: DataFlowGraph, strict: bool = False) -> CellProgram:
+    """Map *dfg* with DPMap (2-level CU) and emit its VLIW program.
+
+    With ``strict=True`` the emitted program is additionally checked by
+    the static ISA verifier (:mod:`repro.guard.verifier`) and a
+    :class:`~repro.guard.verifier.ProgramVerificationError` carrying
+    structured violations is raised if it is illegal for the machine.
+    """
     mapping = run_dpmap(dfg, levels=2)
-    return emit(mapping)
+    return emit(mapping, strict=strict)
 
 
-def emit(mapping: DPMapResult) -> CellProgram:
+def emit(mapping: DPMapResult, strict: bool = False) -> CellProgram:
     """Emit VLIW instructions from a 2-level DPMap result."""
     if mapping.stats.levels != 2:
         raise ValueError("instruction emission targets the 2-level CU only")
@@ -91,13 +101,20 @@ def emit(mapping: DPMapResult) -> CellProgram:
         if node_id not in node_regs:
             raise AssertionError(f"output {name!r} was never written to the RF")
         output_regs[name] = node_regs[node_id]
-    return CellProgram(
+    program = CellProgram(
         mapping=mapping,
         instructions=bundles,
         input_regs=input_regs,
         output_regs=output_regs,
         node_regs=node_regs,
     )
+    if strict:
+        # Imported lazily: the verifier consumes programs (this module's
+        # output), so a top-level import would be circular.
+        from repro.guard.verifier import check_program
+
+        check_program(program).raise_if_violations()
+    return program
 
 
 def _resolve(
@@ -194,15 +211,34 @@ def _emit_component(
     )
 
 
-def offset_cell_program(program: CellProgram, base: int) -> CellProgram:
+def offset_cell_program(
+    program: CellProgram, base: int, rf_size: Optional[int] = None
+) -> CellProgram:
     """Rebase every register of *program* by *base*.
 
     Lets two independently compiled cell programs (e.g. POA's per-edge
     block and its combine block) share one PE register file: the second
     program's registers move past the first's allocation.
+
+    The rebased allocation is checked against the register file it will
+    run on -- *rf_size* when given, the default PE register file
+    otherwise -- and :class:`RegisterOverflowError` is raised instead of
+    emitting a program whose reads/writes would fault (or silently
+    alias) at simulation time.
     """
     if base < 0:
         raise ValueError("register base must be non-negative")
+    if rf_size is None:
+        from repro.dpax.pe import DEFAULT_RF_SIZE
+
+        rf_size = DEFAULT_RF_SIZE
+    highest = base + program.register_count - 1
+    if program.register_count and highest >= rf_size:
+        raise RegisterOverflowError(
+            f"rebased program needs registers up to r{highest} but the "
+            f"register file holds {rf_size} entries (base {base}, "
+            f"program spans {program.register_count})"
+        )
 
     def shift_operand(operand: Operand) -> Operand:
         if isinstance(operand, Reg):
@@ -248,15 +284,25 @@ def execute_way(
     way: CUInstruction,
     rf: Dict[int, int],
     match_table: Optional[Callable[[int, int], int]] = None,
+    observe: Optional[Callable[[int], None]] = None,
 ) -> int:
-    """Execute one CU way against a register-file image; returns value."""
+    """Execute one CU way against a register-file image; returns value.
+
+    *observe*, when given, is called with every intermediate ALU/MUL
+    result *and* the way's final value -- the hook the guard's
+    numerical sentinels use to watch for overflow mid-tree, where a
+    wrapped value can cancel out before reaching any output register.
+    """
 
     def run_slot(slot: SlotOp) -> int:
         args = [
             operand.value if isinstance(operand, Imm) else rf.get(operand.index, 0)
             for operand in slot.operands
         ]
-        return _apply(slot.opcode, args, match_table, None)
+        value = _apply(slot.opcode, args, match_table, None)
+        if observe is not None:
+            observe(value)
+        return value
 
     if way.kind == "mul":
         return run_slot(way.mul)
@@ -265,17 +311,22 @@ def execute_way(
     if way.root is None:
         return left_out if left_out is not None else right_out
     if OPCODE_ARITY[way.root] == 1:
-        return _apply(way.root, [left_out], match_table, None)
-    inputs = [left_out, right_out]
-    if way.root_swapped:
-        inputs.reverse()
-    return _apply(way.root, inputs, match_table, None)
+        value = _apply(way.root, [left_out], match_table, None)
+    else:
+        inputs = [left_out, right_out]
+        if way.root_swapped:
+            inputs.reverse()
+        value = _apply(way.root, inputs, match_table, None)
+    if observe is not None:
+        observe(value)
+    return value
 
 
 def run_program(
     program: CellProgram,
     inputs: Dict[str, int],
     match_table: Optional[Callable[[int, int], int]] = None,
+    observe: Optional[Callable[[int], None]] = None,
 ) -> Dict[str, int]:
     """Execute a cell program on named inputs; returns named outputs.
 
@@ -288,7 +339,10 @@ def run_program(
             raise KeyError(f"missing cell input {name!r}")
         rf[reg_index] = inputs[name]
     for bundle in program.instructions:
-        results = [(way.dest.index, execute_way(way, rf, match_table)) for way in bundle.ways]
+        results = [
+            (way.dest.index, execute_way(way, rf, match_table, observe))
+            for way in bundle.ways
+        ]
         for dest_index, value in results:
             rf[dest_index] = value
     return {
@@ -296,12 +350,66 @@ def run_program(
     }
 
 
+@dataclass(frozen=True)
+class CellMismatch:
+    """One output where the mapped program diverged from the DFG."""
+
+    output: str
+    expected: int
+    actual: int
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "output": self.output,
+            "expected": self.expected,
+            "actual": self.actual,
+        }
+
+
+@dataclass(frozen=True)
+class ProgramCheck:
+    """Result of one program-vs-DFG differential check.
+
+    Truthy exactly when the program reproduced every DFG output, so
+    existing ``assert verify_program(...)`` call sites keep working;
+    on divergence ``mismatches`` names each wrong output with the
+    expected/actual pair (what the differential harness serializes
+    into reproducers).
+    """
+
+    inputs: Dict[str, int]
+    expected: Dict[str, int]
+    actual: Dict[str, int]
+    mismatches: Tuple[CellMismatch, ...]
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
 def verify_program(
     program: CellProgram,
     inputs: Dict[str, int],
     match_table: Optional[Callable[[int, int], int]] = None,
-) -> bool:
-    """True iff the mapped program matches the DFG interpreter."""
+) -> ProgramCheck:
+    """Differentially check the mapped program against the DFG.
+
+    Returns a :class:`ProgramCheck` that is truthy iff every output
+    matched and otherwise details each mismatching output.
+    """
     expected = program.mapping.dfg.evaluate(inputs, match_table=match_table)
     actual = run_program(program, inputs, match_table=match_table)
-    return expected == actual
+    mismatches = tuple(
+        CellMismatch(output=name, expected=value, actual=actual.get(name))
+        for name, value in expected.items()
+        if actual.get(name) != value
+    )
+    return ProgramCheck(
+        inputs=dict(inputs),
+        expected=expected,
+        actual=actual,
+        mismatches=mismatches,
+    )

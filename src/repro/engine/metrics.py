@@ -46,6 +46,18 @@ RELIABILITY_COUNTERS: Tuple[str, ...] = (
     "dead_letters_dropped",  # DLQ overflow (newest letter discarded)
     "dead_letters_replayed",  # letters resubmitted via replay
     "drain_faults",  # drain internals raised; envelopes synthesized
+    "verifier_rejections",  # illegal programs the static verifier refused
+)
+
+#: Numerical-sentinel counters (prefixed ``sentinel_``), folded from
+#: per-job snapshots when ``EngineConfig.sentinels`` is on.  Mirrors
+#: :data:`repro.guard.sentinels.SENTINEL_FIELDS`; all-zero hazard
+#: counts on a healthy run (``values_observed`` is volume, not error).
+SENTINEL_COUNTERS: Tuple[str, ...] = (
+    "sentinel_values_observed",  # ALU values watched
+    "sentinel_int32_overflows",  # values outside the signed-32 rails
+    "sentinel_lane_saturations",  # values an 8-bit SIMD lane would clamp
+    "sentinel_underflows",  # values at/below the log-domain floor
 )
 
 
@@ -128,6 +140,10 @@ class MetricsRegistry:
     def reliability(self) -> Dict[str, int]:
         """The reliability counters as one fixed-schema dict."""
         return {name: self.counters.get(name, 0) for name in RELIABILITY_COUNTERS}
+
+    def sentinels(self) -> Dict[str, int]:
+        """The numerical-sentinel counters as one fixed-schema dict."""
+        return {name: self.counters.get(name, 0) for name in SENTINEL_COUNTERS}
 
     def snapshot(self) -> Dict[str, object]:
         return {

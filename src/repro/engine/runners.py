@@ -43,6 +43,7 @@ from repro.dfg.kernels import (
 from repro.dpmap.codegen import execute_way
 from repro.engine.cache import CompiledProgram
 from repro.engine.jobs import JobValidationError
+from repro.guard.sentinels import Sentinel, make_sentinel
 from repro.kernels.chain import DEFAULT_AVG_SEED_WEIGHT, Anchor
 from repro.kernels.pairhmm import (
     LOG_FRACTION_BITS,
@@ -58,6 +59,14 @@ INF = 1 << 20
 
 #: Chain lookback window (the paper's reordered N=64 configuration).
 DEFAULT_CHAIN_WINDOW = 64
+
+#: The active numerical sentinel for the job being executed, if any.
+#: Per-process (workers each see their own), set by :func:`run_job`
+#: around the runner call when the payload carries ``_sentinels``, and
+#: read by :func:`_cell_executor` so every intermediate ALU value of
+#: the sweep is observed.  The counts travel back to the parent inside
+#: the result dict (workers are separate processes).
+_SENTINEL: Optional[Sentinel] = None
 
 
 def build_dfg(kernel: str) -> DataFlowGraph:
@@ -142,6 +151,7 @@ def _cell_executor(
     instructions = compiled.instructions
     input_regs = compiled.input_regs
     output_regs = compiled.output_regs
+    observe = _SENTINEL.observe if _SENTINEL is not None else None
 
     def run_cell(inputs: Dict[str, int]) -> Dict[str, int]:
         rf: Dict[int, int] = {}
@@ -149,7 +159,7 @@ def _cell_executor(
             rf[index] = inputs[name]
         for bundle in instructions:
             results = [
-                (way.dest.index, execute_way(way, rf, match_table))
+                (way.dest.index, execute_way(way, rf, match_table, observe=observe))
                 for way in bundle.ways
             ]
             for dest, value in results:
@@ -398,9 +408,17 @@ def run_job(
             os._exit(3)
     if payload.get("_inject_fail"):
         raise RuntimeError("injected job failure")
-    value = _RUNNERS[kernel](compiled, payload)
+    global _SENTINEL
+    sentinel = make_sentinel(kernel) if payload.get("_sentinels") else None
+    try:
+        _SENTINEL = sentinel
+        value = _RUNNERS[kernel](compiled, payload)
+    finally:
+        _SENTINEL = None
     if payload.get("_inject_corrupt"):
         value = corrupt_value(value)
+    if sentinel is not None and isinstance(value, dict):
+        value["_sentinels"] = sentinel.snapshot()
     return value
 
 

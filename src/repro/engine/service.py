@@ -45,6 +45,7 @@ from repro.engine.metrics import (
     MetricsRegistry,
 )
 from repro.engine.runners import build_dfg, matches_reference, reference_result
+from repro.guard.verifier import check_program
 
 
 class BackpressureError(RuntimeError):
@@ -90,6 +91,14 @@ class EngineConfig:
     #: Optional :class:`repro.faults.FaultPlan`; when set, its
     #: ``maybe_fail_compile`` hook runs inside the compile seam.
     fault_plan: Optional[object] = None
+    #: Statically verify every compiled program against the ISA limits
+    #: before it is cached; violations reject the batch's jobs with a
+    #: ``compile-failed`` envelope and never poison the cache.
+    verify_programs: bool = True
+    #: Arm numerical sentinels on every job: intermediate ALU values
+    #: are watched for int32 overflow / lane saturation / log-domain
+    #: underflow, folded into the ``sentinel_*`` metrics counters.
+    sentinels: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
@@ -142,7 +151,10 @@ class Engine:
             raise BackpressureError(
                 f"queue full ({self.config.max_queue} jobs); drain first"
             )
-        stamped = replace(job, submitted_at=time.monotonic())
+        payload = job.payload
+        if self.config.sentinels and not payload.get("_sentinels"):
+            payload = dict(payload, _sentinels=True)
+        stamped = replace(job, payload=payload, submitted_at=time.monotonic())
         self._queue.append(stamped)
         self.metrics.incr("jobs_submitted")
         return stamped
@@ -308,7 +320,16 @@ class Engine:
             attempt = self._compile_attempts.get(kernel, 0) + 1
             self._compile_attempts[kernel] = attempt
             plan.maybe_fail_compile(kernel, attempt)
-        return compile_program(kernel, self.config.levels, dfg)
+        compiled = compile_program(kernel, self.config.levels, dfg)
+        if self.config.verify_programs:
+            check = check_program(compiled, name=kernel)
+            if not check.ok:
+                # Raising here means ProgramCache.get_or_compile counts
+                # a compile failure and inserts nothing: an illegal
+                # program can never be cached, let alone executed.
+                self.metrics.incr("verifier_rejections")
+                check.raise_if_violations()
+        return compiled
 
     def _fold_outcome(
         self,
@@ -334,6 +355,9 @@ class Engine:
             ok = bool(result.get("ok"))
             value = result.get("value")
             error = result.get("error")
+            if isinstance(value, dict) and "_sentinels" in value:
+                for name, count in value.pop("_sentinels").items():
+                    self.metrics.incr(f"sentinel_{name}", int(count))
             if ok and self._should_validate():
                 self.metrics.incr("validation_checked")
                 try:
@@ -460,6 +484,7 @@ class Engine:
         snap = self.metrics.snapshot()
         snap["cache"] = self.cache.stats.snapshot()
         snap["reliability"] = self.metrics.reliability()
+        snap["sentinels"] = self.metrics.sentinels()
         snap["quarantined"] = sorted(self._quarantined)
         snap["dead_letter_backlog"] = len(self._dlq)
         occupancy = self.metrics.histograms.get("batch_occupancy")

@@ -17,7 +17,13 @@ fault taxonomy and the hardening each fault class forced.
 """
 
 from repro.faults.chaos import CampaignReport, ChaosConfig, run_campaign
-from repro.faults.plan import FAULT_KINDS, FaultPlan, InjectedCompileError
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    InjectedCompileError,
+    seeded_rng,
+    unit_draw,
+)
 
 __all__ = [
     "CampaignReport",
@@ -26,4 +32,6 @@ __all__ = [
     "FaultPlan",
     "InjectedCompileError",
     "run_campaign",
+    "seeded_rng",
+    "unit_draw",
 ]

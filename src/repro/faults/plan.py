@@ -36,6 +36,7 @@ campaign check :attr:`FaultPlan.enabled` once and skip every hook.
 from __future__ import annotations
 
 import hashlib
+import random
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
@@ -47,16 +48,36 @@ class InjectedCompileError(RuntimeError):
     """A compile failure injected by a :class:`FaultPlan`."""
 
 
-def _unit(seed: int, *parts: object) -> float:
+def unit_draw(seed: int, *parts: object) -> float:
     """A uniform [0, 1) draw that is a pure function of its arguments.
 
     Built on blake2b rather than ``hash()`` (salted per process) or a
     shared ``random.Random`` (order-dependent), so every decision is
-    independently reproducible.
+    independently reproducible.  This is the seeded-determinism
+    primitive shared by fault plans, chaos campaigns and the guard's
+    differential fuzzer: any consumer that derives all randomness
+    through it gets byte-identical behavior for the same seed.
     """
     text = ":".join(str(part) for part in (seed, *parts))
     digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "big") / 2.0**64
+
+
+def seeded_rng(seed: int, *parts: object) -> random.Random:
+    """A ``random.Random`` whose state is a pure function of its args.
+
+    Use when a consumer needs many draws for one decision point (e.g.
+    generating one fuzz workload): the sub-seed is derived through the
+    same blake2b scheme as :func:`unit_draw`, so two processes build
+    identical generators from identical ``(seed, *parts)``.
+    """
+    text = ":".join(str(part) for part in (seed, *parts))
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return random.Random(int.from_bytes(digest, "big"))
+
+
+#: Backward-compatible private alias (pre-guard internal name).
+_unit = unit_draw
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,94 @@
+"""repro.guard: compiler/simulator correctness guardrails.
+
+Three layers, ordered by cost:
+
+1. **Static verification** (:mod:`repro.guard.verifier`) -- every
+   compiled program checked against the machine-encoded ISA limits
+   (CU tree shape, VLIW ways, register/scratchpad bounds, immediate
+   rails) before it runs, returning structured :class:`Violation`
+   records.
+2. **Differential fuzzing** (:mod:`repro.guard.diff`) -- seeded random
+   workloads per kernel, compiled-program execution vs. the reference
+   kernel; mismatches shrink to minimal JSON reproducers.
+3. **Numerical sentinels** (:mod:`repro.guard.sentinels`) -- int32
+   overflow / SIMD-lane saturation / log-domain underflow counters on
+   every intermediate ALU value.
+
+:mod:`repro.guard.campaign` sweeps all three resumable-y; the
+``gendp-guard`` CLI drives it.
+
+The differential layers import the engine (whose runners import
+:mod:`repro.guard.sentinels` back), so this package loads them lazily:
+``repro.guard.Reproducer`` etc. resolve on first access (PEP 562).
+"""
+
+from repro.guard.sentinels import (
+    PAIRHMM_UNDERFLOW_FLOOR,
+    SENTINEL_FIELDS,
+    Sentinel,
+    make_sentinel,
+)
+from repro.guard.verifier import (
+    MachineLimits,
+    ProgramVerificationError,
+    VerificationResult,
+    Violation,
+    check_control_program,
+    check_instructions,
+    check_program,
+)
+
+#: Lazily-exported name -> submodule (avoids the engine import cycle).
+_LAZY = {
+    "DIFF_KERNELS": "diff",
+    "DiffOutcome": "diff",
+    "KernelPrograms": "diff",
+    "Reproducer": "diff",
+    "compile_kernel_programs": "diff",
+    "dfg_from_dict": "diff",
+    "dfg_to_dict": "diff",
+    "generate_payload": "diff",
+    "probe_cell": "diff",
+    "restrict_outputs": "diff",
+    "run_case": "diff",
+    "shrink_case": "diff",
+    "shrink_mismatch": "diff",
+    "shrink_payload": "diff",
+    "GuardConfig": "campaign",
+    "GuardReport": "campaign",
+    "KernelOutcome": "campaign",
+    "load_checkpoint": "campaign",
+    "run_guard_campaign": "campaign",
+    "save_checkpoint": "campaign",
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        module = importlib.import_module(f"repro.guard.{_LAZY[name]}")
+        value = getattr(module, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))
+
+
+__all__ = [
+    "MachineLimits",
+    "PAIRHMM_UNDERFLOW_FLOOR",
+    "ProgramVerificationError",
+    "SENTINEL_FIELDS",
+    "Sentinel",
+    "VerificationResult",
+    "Violation",
+    "check_control_program",
+    "check_instructions",
+    "check_program",
+    "make_sentinel",
+    *sorted(_LAZY),
+]

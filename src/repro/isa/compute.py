@@ -22,6 +22,16 @@ from typing import List, Optional, Tuple, Union
 
 from repro.dfg.graph import FOUR_INPUT_OPCODES, OPCODE_ARITY, Opcode
 
+#: Machine-encoded CU shape constants (Section 4.4), shared by
+#: instruction validation here and the static program verifier in
+#: :mod:`repro.guard.verifier` so the two can never drift apart.
+VLIW_WAYS = 2  # compute units per PE (one way each per bundle)
+TREE_ALU_SLOTS = 3  # left + right + root of the 2-level reduction tree
+LEFT_ALU_MAX_OPERANDS = 4  # the 4-input-capable leaf ALU
+RIGHT_ALU_MAX_OPERANDS = 2
+ROOT_ALU_MAX_OPERANDS = 2  # root reads the two leaf outputs
+MUL_MAX_OPERANDS = 2  # the standalone multiplier
+
 
 @dataclass(frozen=True)
 class Reg:
@@ -96,18 +106,18 @@ class CUInstruction:
         if self.kind == "mul":
             if self.mul is None or self.mul.opcode is not Opcode.MUL:
                 raise ValueError("mul way requires a MUL slot op")
-            self.mul.validate(max_operands=2)
+            self.mul.validate(max_operands=MUL_MAX_OPERANDS)
             return
         if self.kind != "tree":
             raise ValueError(f"unknown CU way kind {self.kind!r}")
         if self.left is None and self.right is None:
             raise ValueError("tree way must populate at least one leaf")
         if self.left is not None:
-            self.left.validate(max_operands=4)
+            self.left.validate(max_operands=LEFT_ALU_MAX_OPERANDS)
         if self.right is not None:
             if self.right.opcode in FOUR_INPUT_OPCODES:
                 raise ValueError("4-input ops only fit the left ALU")
-            self.right.validate(max_operands=2)
+            self.right.validate(max_operands=RIGHT_ALU_MAX_OPERANDS)
         if self.root is not None:
             if self.root in FOUR_INPUT_OPCODES or self.root is Opcode.MUL:
                 raise ValueError("root ALU is a 2-input ALU")

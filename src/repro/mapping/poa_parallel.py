@@ -126,7 +126,9 @@ def run_poa_parallel(
 
     edge = compile_cell(poa_edge_dfg(gap.open, gap.extend))
     final = offset_cell_program(
-        compile_cell(poa_final_dfg(gap.open, gap.extend)), edge.register_count
+        compile_cell(poa_final_dfg(gap.open, gap.extend)),
+        edge.register_count,
+        rf_size=96,  # matches the PEConfig below
     )
     compute = list(edge.instructions) + list(final.instructions)
     tmp_reg = final.register_count  # past both programs' allocations

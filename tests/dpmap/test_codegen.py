@@ -99,3 +99,57 @@ class TestRunProgram:
             program, {"c_diag": 1, "c_up": 0, "c_left": 0, "x": 2, "y": 2}
         )
         assert outputs == {"c": 2}
+
+
+class TestVerifyProgramDetails:
+    """verify_program returns structured mismatch details (PR 3)."""
+
+    def test_clean_check_reports_no_mismatches(self):
+        dfg = KERNEL_DFGS["lcs"]()
+        program = compile_cell(dfg)
+        inputs = {name: 3 for name in dfg.inputs}
+        check = verify_program(program, inputs)
+        assert check and check.ok
+        assert check.mismatches == ()
+        assert check.expected and check.actual == check.expected
+
+    def test_mismatching_cells_are_itemized(self):
+        import dataclasses
+
+        dfg = KERNEL_DFGS["lcs"]()
+        program = compile_cell(dfg)
+        # Point an output at a different (wrong) register.
+        wrong_regs = dict(program.output_regs)
+        name = next(iter(wrong_regs))
+        other = next(iter(program.input_regs.values()))
+        wrong_regs[name] = other
+        corrupt = dataclasses.replace(program, output_regs=wrong_regs)
+        inputs = {input_name: 7 for input_name in dfg.inputs}
+        check = verify_program(corrupt, inputs)
+        if check.ok:  # the wrong register may coincide by value
+            return
+        assert not check
+        detail = check.mismatches[0]
+        assert detail.output == name
+        assert detail.expected != detail.actual
+        record = detail.to_dict()
+        assert set(record) == {"output", "expected", "actual"}
+
+
+class TestRegisterOverflow:
+    def test_offset_past_rf_size_raises_typed_error(self):
+        from repro.dpmap.codegen import RegisterOverflowError
+
+        program = compile_cell(KERNEL_DFGS["lcs"]())
+        with pytest.raises(RegisterOverflowError):
+            offset_cell_program(program, 60)  # spills past the 64-entry RF
+
+    def test_custom_rf_size_extends_the_range(self):
+        program = compile_cell(KERNEL_DFGS["lcs"]())
+        shifted = offset_cell_program(program, 60, rf_size=128)
+        assert max(shifted.input_regs.values()) >= 60
+
+    def test_error_is_still_a_value_error(self):
+        from repro.dpmap.codegen import RegisterOverflowError
+
+        assert issubclass(RegisterOverflowError, ValueError)

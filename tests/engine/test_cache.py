@@ -119,3 +119,27 @@ class TestCompileProgram:
         assert clone.input_regs == program.input_regs
         assert clone.output_regs == program.output_regs
         assert len(clone.instructions) == len(program.instructions)
+
+
+class TestVerifierIntegration:
+    def test_verification_failure_leaves_no_poisoned_entry(self):
+        from repro.guard.verifier import ProgramVerificationError, check_program
+
+        cache = ProgramCache(capacity=4)
+        dfg = build_dfg("lcs")
+        key = cache.key_for("lcs", 2, dfg)
+
+        def verified_compile():
+            compiled = _compile("lcs")
+            compiled.input_regs[next(iter(compiled.input_regs))] = 4096
+            check_program(compiled).raise_if_violations()
+            return compiled
+
+        with pytest.raises(ProgramVerificationError):
+            cache.get_or_compile(key, verified_compile)
+        assert key not in cache
+        assert len(cache) == 0
+        assert cache.stats.compile_failures == 1
+        # The next lookup with a healthy compile succeeds normally.
+        program, hit = cache.get_or_compile(key, lambda: _compile("lcs"))
+        assert not hit and key in cache

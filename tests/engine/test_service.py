@@ -299,3 +299,90 @@ class TestMetrics:
             }
             assert result.backend == "inline"
             assert result.attempts == 1
+
+
+class TestStaticVerification:
+    """The guard verifier gates the compile seam (PR 3)."""
+
+    def _corrupting(self, monkeypatch):
+        """Patch the compile seam to emit an out-of-range input reg."""
+        import dataclasses
+
+        import repro.engine.service as service
+
+        real = service.compile_program
+
+        def corrupt(kernel, levels, dfg):
+            compiled = real(kernel, levels, dfg)
+            regs = dict(compiled.input_regs)
+            first = next(iter(regs))
+            regs[first] = 4096
+            return dataclasses.replace(compiled, input_regs=regs)
+
+        monkeypatch.setattr(service, "compile_program", corrupt)
+
+    def test_illegal_program_rejected_before_cache(self, monkeypatch):
+        self._corrupting(monkeypatch)
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            engine.submit(_lcs_job())
+            results = engine.drain()
+            assert all(not result.ok for result in results)
+            assert all(
+                result.error.startswith("compile-failed: ProgramVerificationError")
+                for result in results
+            )
+            # The batch fails as a unit; nothing poisons the cache.
+            assert len(engine.cache) == 0
+            assert engine.cache.stats.compile_failures == 1
+            assert engine.metrics.counter("verifier_rejections") == 1
+            assert engine.metrics.counter("compile_failed_batches") == 1
+            # A later drain re-attempts the compile (no stale entry).
+            engine.submit(_lcs_job())
+            retry = engine.drain()[0]
+            assert not retry.ok
+            assert engine.metrics.counter("verifier_rejections") == 2
+
+    def test_verification_can_be_disabled(self, monkeypatch):
+        self._corrupting(monkeypatch)
+        with Engine(EngineConfig(verify_programs=False)) as engine:
+            engine.submit(_lcs_job())
+            engine.drain()
+            # The corrupted program sails through into the cache and
+            # computes garbage -- exactly what the default prevents.
+            assert engine.metrics.counter("verifier_rejections") == 0
+            assert len(engine.cache) == 1
+
+    def test_clean_programs_unaffected(self):
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            assert engine.drain()[0].ok
+            assert engine.metrics.counter("verifier_rejections") == 0
+
+
+class TestSentinels:
+    def test_sentinel_counters_folded_into_metrics(self):
+        with Engine(EngineConfig(sentinels=True)) as engine:
+            engine.submit(_lcs_job())
+            result = engine.drain()[0]
+            assert result.ok
+            # The marker never leaks into the user-visible value.
+            assert "_sentinels" not in result.value
+            counters = engine.metrics.sentinels()
+            assert counters["sentinel_values_observed"] > 0
+            assert counters["sentinel_int32_overflows"] == 0
+
+    def test_sentinels_off_by_default(self):
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            assert engine.drain()[0].ok
+            assert engine.metrics.sentinels()["sentinel_values_observed"] == 0
+
+    def test_results_identical_with_and_without_sentinels(self):
+        with Engine() as engine:
+            engine.submit(_lcs_job())
+            plain = engine.drain()[0].value
+        with Engine(EngineConfig(sentinels=True)) as engine:
+            engine.submit(_lcs_job())
+            watched = engine.drain()[0].value
+        assert plain == watched

@@ -1,0 +1,81 @@
+"""Campaign determinism, checkpointing, and exact resume."""
+
+import json
+import os
+
+from repro.guard.campaign import (
+    GuardConfig,
+    KernelOutcome,
+    load_checkpoint,
+    run_guard_campaign,
+    save_checkpoint,
+)
+
+#: A fast two-kernel config for checkpoint mechanics.
+SMALL = GuardConfig(seed=3, jobs_per_kernel=4, kernels=("dtw", "bellman_ford"))
+
+
+class TestDeterminism:
+    def test_same_config_serializes_byte_identical(self):
+        first = run_guard_campaign(SMALL)
+        second = run_guard_campaign(SMALL)
+        assert first.to_json() == second.to_json()
+        assert first.clean and first.total_cases == 8
+
+    def test_render_mentions_verdict(self):
+        report = run_guard_campaign(SMALL)
+        assert "CLEAN" in report.render()
+
+    def test_different_seed_differs(self):
+        other = GuardConfig(seed=4, jobs_per_kernel=4, kernels=SMALL.kernels)
+        assert run_guard_campaign(SMALL).to_json() != run_guard_campaign(other).to_json()
+
+
+class TestCheckpointResume:
+    def test_interrupted_campaign_resumes_to_identical_report(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        baseline = run_guard_campaign(SMALL)
+        # Simulate an interruption: stop after 3 of 8 cases.
+        partial = run_guard_campaign(SMALL, checkpoint_path=path, max_cases=3)
+        assert partial.total_cases == 3
+        resumed = run_guard_campaign(SMALL, checkpoint_path=path)
+        assert resumed.resumed
+        assert resumed.to_json() == baseline.to_json()
+
+    def test_resume_at_kernel_boundary(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        baseline = run_guard_campaign(SMALL)
+        # Exactly the first kernel's cases: the second kernel must stay
+        # untouched in the checkpoint (verify/probes not yet run).
+        run_guard_campaign(SMALL, checkpoint_path=path, max_cases=4)
+        state = json.load(open(path))
+        by_kernel = {entry["kernel"]: entry for entry in state["kernels"]}
+        assert by_kernel["dtw"]["cases_run"] == 4
+        assert by_kernel["bellman_ford"]["cases_run"] == 0
+        resumed = run_guard_campaign(SMALL, checkpoint_path=path)
+        assert resumed.to_json() == baseline.to_json()
+
+    def test_mismatched_config_starts_fresh(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        run_guard_campaign(SMALL, checkpoint_path=path, max_cases=3)
+        other = GuardConfig(seed=99, jobs_per_kernel=4, kernels=SMALL.kernels)
+        assert load_checkpoint(path, other) is None
+        report = run_guard_campaign(other, checkpoint_path=path)
+        assert not report.resumed
+        assert report.total_cases == 8
+
+    def test_corrupted_checkpoint_ignored(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        with open(path, "w") as handle:
+            handle.write("{not json")
+        assert load_checkpoint(path, SMALL) is None
+        report = run_guard_campaign(SMALL, checkpoint_path=path)
+        assert not report.resumed and report.clean
+
+    def test_checkpoint_write_is_atomic(self, tmp_path):
+        path = str(tmp_path / "ck.json")
+        outcomes = [KernelOutcome(kernel="dtw")]
+        save_checkpoint(path, SMALL, outcomes)
+        assert not os.path.exists(path + ".tmp")
+        loaded = load_checkpoint(path, SMALL)
+        assert loaded is not None and loaded[0].kernel == "dtw"

@@ -1,0 +1,185 @@
+"""Static verifier: clean programs pass, corrupted programs are caught."""
+
+import dataclasses
+
+import pytest
+
+from repro.dfg.graph import Opcode
+from repro.dpmap.codegen import compile_cell
+from repro.engine.cache import compile_program
+from repro.engine.runners import build_dfg
+from repro.guard.diff import DIFF_KERNELS, compile_kernel_programs
+from repro.guard.verifier import (
+    MachineLimits,
+    ProgramVerificationError,
+    check_control_program,
+    check_instructions,
+    check_program,
+)
+from repro.isa.compute import Imm, Reg, SlotOp
+from repro.isa.control import ControlOp, Loc, Space, branch, li, mv, set_unit
+
+
+def _rules(result):
+    return {violation.rule for violation in result.violations}
+
+
+class TestCleanPrograms:
+    def test_every_kernel_program_verifies(self):
+        for kernel in DIFF_KERNELS:
+            for name, program in compile_kernel_programs(kernel).verifiable():
+                result = check_program(program, name=name)
+                assert result.ok, [str(v) for v in result.violations]
+
+    def test_compiled_engine_payload_verifies(self):
+        compiled = compile_program("bsw", 2, build_dfg("bsw"))
+        assert check_program(compiled).ok
+
+    def test_result_is_truthy_when_clean(self):
+        result = check_program(compile_cell(build_dfg("dtw")))
+        assert result and result.ok
+        result.raise_if_violations()  # no-op when clean
+
+
+class TestCorruptedPrograms:
+    def test_out_of_range_input_register(self):
+        program = compile_cell(build_dfg("bsw"))
+        program.input_regs[next(iter(program.input_regs))] = 4096
+        result = check_program(program)
+        assert not result.ok
+        assert "rf-input-out-of-range" in _rules(result)
+
+    def test_mutated_opcode_breaks_arity(self):
+        program = compile_cell(build_dfg("dtw"))
+        bundle = program.instructions[0]
+        way = bundle.ways[0]
+        slot = way.left if way.left is not None else way.right
+        # Swap the slot's opcode for one of a different arity, keeping
+        # the operands -- the classic bit-flipped-opcode corruption.
+        wrong = Opcode.COPY if len(slot.operands) != 1 else Opcode.ADD
+        corrupt_way = dataclasses.replace(
+            way, left=SlotOp(wrong, slot.operands), right=None, root=None
+        )
+        program.instructions[0] = dataclasses.replace(bundle, cu0=corrupt_way, cu1=None)
+        result = check_program(program)
+        assert not result.ok
+        assert "arity-mismatch" in _rules(result)
+
+    def test_mul_smuggled_into_tree_slot(self):
+        program = compile_cell(build_dfg("dtw"))
+        bundle = program.instructions[0]
+        way = bundle.ways[0]
+        corrupt_way = dataclasses.replace(
+            way,
+            left=SlotOp(Opcode.MUL, (Reg(0), Reg(1))),
+            right=None,
+            root=None,
+        )
+        program.instructions[0] = dataclasses.replace(bundle, cu0=corrupt_way, cu1=None)
+        result = check_program(program)
+        assert "mul-in-tree-slot" in _rules(result)
+
+    def test_read_before_write(self):
+        program = compile_cell(build_dfg("dtw"))
+        bundle = program.instructions[0]
+        way = bundle.ways[0]
+        # Reference a register no input and no earlier bundle defines.
+        corrupt_way = dataclasses.replace(
+            way, left=SlotOp(Opcode.ADD, (Reg(60), Reg(61))), right=None, root=None
+        )
+        program.instructions[0] = dataclasses.replace(bundle, cu0=corrupt_way, cu1=None)
+        result = check_program(program)
+        assert "read-before-write" in _rules(result)
+
+    def test_immediate_outside_rails(self):
+        program = compile_cell(build_dfg("dtw"))
+        bundle = program.instructions[0]
+        way = bundle.ways[0]
+        input_reg = next(iter(program.input_regs.values()))
+        corrupt_way = dataclasses.replace(
+            way,
+            left=SlotOp(Opcode.ADD, (Reg(input_reg), Imm(1 << 40))),
+            right=None,
+            root=None,
+        )
+        program.instructions[0] = dataclasses.replace(bundle, cu0=corrupt_way, cu1=None)
+        result = check_program(program)
+        assert "immediate-out-of-range" in _rules(result)
+
+    def test_raise_if_violations_is_structured(self):
+        program = compile_cell(build_dfg("bsw"))
+        program.input_regs[next(iter(program.input_regs))] = 4096
+        result = check_program(program, name="bsw")
+        with pytest.raises(ProgramVerificationError) as excinfo:
+            result.raise_if_violations()
+        error = excinfo.value
+        assert error.violations  # structured records, not a bare string
+        record = error.violations[0].to_dict()
+        assert record["rule"] == "rf-input-out-of-range"
+        assert "bsw" in str(error)
+
+    def test_simd_lane_tightens_immediate_rails(self):
+        from repro.isa.compute import CUInstruction, VLIWInstruction
+
+        bundle = VLIWInstruction(
+            cu0=CUInstruction(
+                kind="tree",
+                dest=Reg(1),
+                left=SlotOp(Opcode.ADD, (Reg(0), Imm(1 << 20))),
+            )
+        )
+        # Fine at full scalar width, out of rails per 8-bit lane.
+        assert not check_instructions([bundle], {"x": 0}, {"y": 1})
+        lanes = MachineLimits(simd_lanes=4)
+        violations = check_instructions([bundle], {"x": 0}, {"y": 1}, limits=lanes)
+        assert any(v.rule == "immediate-out-of-range" for v in violations)
+
+
+class TestCheckInstructions:
+    def test_output_never_written(self):
+        program = compile_cell(build_dfg("dtw"))
+        violations = check_instructions(
+            program.instructions,
+            program.input_regs,
+            dict(program.output_regs, phantom=63),
+        )
+        assert any(v.rule == "output-never-written" for v in violations)
+
+
+class TestControlPrograms:
+    def test_clean_control_program(self):
+        instructions = [
+            li(Loc(Space.ADDR, 0), 0),
+            mv(Loc(Space.REG, 3), Loc(Space.SPM, 10)),
+            mv(Loc(Space.OUT), Loc(Space.REG, 3)),
+            branch(ControlOp.BNE, 0, 1, -2),
+            set_unit(0, 4),
+        ]
+        assert not check_control_program(instructions, compute_length=8)
+
+    def test_spm_and_rf_bounds(self):
+        instructions = [mv(Loc(Space.REG, 999), Loc(Space.SPM, 99999))]
+        rules = {v.rule for v in check_control_program(instructions)}
+        assert "rf-bound" in rules and "spm-bound" in rules
+
+    def test_port_direction(self):
+        instructions = [
+            mv(Loc(Space.IN), Loc(Space.REG, 0)),  # IN is read-only
+            mv(Loc(Space.REG, 0), Loc(Space.OUT)),  # OUT is write-only
+        ]
+        rules = {v.rule for v in check_control_program(instructions)}
+        assert rules == {"port-direction"}
+
+    def test_branch_and_set_ranges(self):
+        instructions = [
+            branch(ControlOp.BEQ, 0, 1, 99),  # jumps past the end
+            set_unit(6, 4),  # 6..9 exceeds an 8-bundle program
+        ]
+        rules = {v.rule for v in check_control_program(instructions, compute_length=8)}
+        assert "branch-out-of-range" in rules
+        assert "set-range-out-of-range" in rules
+
+    def test_address_register_bounds(self):
+        instructions = [li(Loc(Space.ADDR, 99), 0)]
+        rules = {v.rule for v in check_control_program(instructions)}
+        assert "address-register-out-of-range" in rules

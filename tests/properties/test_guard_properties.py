@@ -1,0 +1,86 @@
+"""Property tests for the guard layer.
+
+Two invariants:
+
+- every program DPMap emits for a random well-formed DFG passes the
+  static verifier (the compiler never produces an illegal program);
+- the shrinkers always return a smaller-or-equal case that still
+  satisfies the failure predicate.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.dpmap.codegen import compile_cell
+from repro.guard.diff import (
+    case_size,
+    generate_payload,
+    payload_size,
+    restrict_outputs,
+    shrink_case,
+    shrink_payload,
+)
+from repro.guard.verifier import check_program
+
+from .test_dpmap_properties import random_dfg
+
+
+class TestCompilerNeverEmitsIllegalPrograms:
+    @given(random_dfg())
+    @settings(max_examples=60, deadline=None)
+    def test_compiled_random_dfg_passes_verifier(self, dfg):
+        program = compile_cell(dfg)
+        result = check_program(program)
+        assert result.ok, [str(v) for v in result.violations]
+
+
+class TestShrinkerContracts:
+    @given(
+        st.sampled_from(["bsw", "pairhmm", "dtw", "chain", "poa", "bellman_ford"]),
+        st.integers(min_value=0, max_value=50),
+        st.integers(min_value=0, max_value=6),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_payload_shrink_smaller_or_equal_and_still_failing(
+        self, kernel, seed, index
+    ):
+        payload = generate_payload(kernel, seed, index)
+        # An arbitrary-but-stable predicate over payload shape: the
+        # shrinker must respect it whatever it is.
+        threshold = payload_size(kernel, payload) // 2
+
+        def still_fails(candidate):
+            return payload_size(kernel, candidate) > threshold
+
+        if not still_fails(payload):
+            return
+        shrunk = shrink_payload(kernel, payload, still_fails)
+        assert still_fails(shrunk)
+        assert payload_size(kernel, shrunk) <= payload_size(kernel, payload)
+
+    @given(random_dfg(), st.integers(min_value=-64, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_case_shrink_smaller_or_equal_and_still_failing(self, dfg, seed_value):
+        import random as _random
+
+        rng = _random.Random(seed_value)
+        inputs = {name: rng.randint(-100, 100) for name in dfg.inputs}
+
+        def still_fails(candidate_dfg, candidate_inputs):
+            return len(candidate_dfg.outputs) >= 1
+
+        shrunk_dfg, shrunk_inputs = shrink_case(dfg, inputs, still_fails)
+        assert still_fails(shrunk_dfg, shrunk_inputs)
+        assert case_size(shrunk_dfg, shrunk_inputs) <= case_size(dfg, inputs)
+        # The shrunk DFG still compiles and is still verifier-clean.
+        assert check_program(compile_cell(shrunk_dfg)).ok
+
+    @given(random_dfg())
+    @settings(max_examples=40, deadline=None)
+    def test_restrict_outputs_preserves_semantics(self, dfg):
+        name = sorted(dfg.outputs)[0]
+        cone = restrict_outputs(dfg, [name])
+        assert len(cone.nodes) <= len(dfg.nodes)
+        inputs = {input_name: 5 for input_name in dfg.inputs}
+        cone_inputs = {input_name: 5 for input_name in cone.inputs}
+        assert cone.evaluate(cone_inputs)[name] == dfg.evaluate(inputs)[name]

@@ -11,6 +11,7 @@ from repro.cli import (
     batch_main,
     chaos_main,
     compile_main,
+    guard_main,
     report_main,
     simulate_main,
 )
@@ -264,3 +265,44 @@ class TestPipeSafety:
         )
         assert proc.returncode == 0
         assert "Traceback" not in proc.stderr
+
+
+class TestGuard:
+    def test_small_campaign_is_clean(self, capsys):
+        assert guard_main(
+            ["--seed", "5", "--jobs-per-kernel", "2", "--kernels", "dtw,bsw"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gendp-guard campaign" in out
+        assert "CLEAN" in out
+
+    def test_json_report(self, capsys):
+        assert guard_main(
+            ["--seed", "5", "--jobs-per-kernel", "2", "--kernels", "dtw", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is True
+        assert report["total_cases"] == 2
+        assert report["config"]["seed"] == 5
+
+    def test_checkpoint_resume_via_cli(self, tmp_path, capsys):
+        checkpoint = str(tmp_path / "guard.json")
+        common = [
+            "--seed", "5", "--jobs-per-kernel", "3",
+            "--kernels", "dtw,bellman_ford",
+            "--checkpoint", checkpoint, "--checkpoint-every", "1", "--json",
+        ]
+        assert guard_main(common + ["--max-cases", "2"]) == 0
+        partial = json.loads(capsys.readouterr().out)
+        assert partial["total_cases"] == 2
+        assert guard_main(common) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["total_cases"] == 6 and resumed["clean"] is True
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            guard_main(["--kernels", "warp-drive"])
+
+    def test_nonpositive_budget_rejected(self):
+        with pytest.raises(SystemExit):
+            guard_main(["--jobs-per-kernel", "0"])
