@@ -18,6 +18,9 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-chaos`` -- run a seeded fault-injection campaign
   (:mod:`repro.faults`) against the engine and report survival
   metrics: jobs lost, corruption escapes, degraded fraction.
+- ``gendp-lint`` -- run the optimizer's report-only analyses
+  (:mod:`repro.opt.lint`) over the compiled kernel programs and print
+  structured diagnostics; fails only at error severity by default.
 
 All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
@@ -87,7 +90,14 @@ def compile_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--stats-only", action="store_true", help="skip the instruction listing"
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the optimizer's before/after cost model (2-level only)",
+    )
     args = parser.parse_args(argv)
+    if args.stats and args.levels != 2:
+        parser.error("--stats requires --levels 2 (the only depth with codegen)")
 
     dfg = KERNEL_DFGS[args.kernel]()
     if args.levels == 2:
@@ -108,6 +118,22 @@ def compile_main(argv: Optional[List[str]] = None) -> int:
     print(f"VLIW bundles/cell : {stats.instructions_per_cell}")
     print(f"RF accesses/cell  : {stats.rf_accesses}")
     print(f"CU utilization    : {stats.cu_utilization:.1%}")
+    if args.stats and program is not None:
+        from repro.opt import contract_for, cost_of, default_pipeline
+
+        outcome = default_pipeline(contract_for(args.kernel)).run(program)
+        before, after = cost_of(program), cost_of(outcome.program)
+        print()
+        print("optimizer cost model (before -> after):")
+        print(f"  bundles/cell    : {before.instructions} -> {after.instructions}")
+        print(f"  ways            : {before.ways} -> {after.ways}")
+        print(f"  ALU ops         : {before.alu_ops} -> {after.alu_ops}")
+        print(f"  RF reads        : {before.rf_reads} -> {after.rf_reads}")
+        print(f"  RF writes       : {before.rf_writes} -> {after.rf_writes}")
+        print(f"  registers       : {before.register_count} -> {after.register_count}")
+        print(f"  peak live regs  : {before.peak_live} -> {after.peak_live}")
+        print(f"  critical path   : {before.critical_path} -> {after.critical_path}")
+        program = outcome.program
     if program is not None and not args.stats_only:
         print()
         print("compute program:")
@@ -726,6 +752,60 @@ def guard_main(argv: Optional[List[str]] = None) -> int:
     ):
         return 0  # partial run by request; verdict comes from the finish
     return 0 if report.clean else 1
+
+
+# ----------------------------------------------------------------------
+# gendp-lint
+
+
+@_pipe_safe
+def lint_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-lint",
+        description=(
+            "Run the optimizer's report-only analyses over the compiled "
+            "kernel programs.  Exit 0 unless a finding reaches the "
+            "--fail-on severity (default: error)."
+        ),
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernel subset (default: all six)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="error",
+        help="lowest severity that fails the run",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.diagnostics import Severity
+    from repro.guard.diff import DIFF_KERNELS
+    from repro.opt import run_lint
+
+    if args.kernels:
+        kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+        unknown = [k for k in kernels if k not in DIFF_KERNELS]
+        if unknown:
+            parser.error(
+                f"unknown kernels {unknown}; choose from {list(DIFF_KERNELS)}"
+            )
+    else:
+        kernels = None
+
+    report = run_lint(kernels)
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code(Severity.from_label(args.fail_on))
 
 
 if __name__ == "__main__":

@@ -1,0 +1,78 @@
+"""Shared structured diagnostics for static tooling.
+
+The static verifier (:mod:`repro.guard.verifier`) and the optimizer's
+lint analyses (:mod:`repro.opt.lint`) both report findings about
+compiled programs.  They share one record shape so campaign reports,
+``gendp-lint`` output and job error envelopes all speak the same
+schema: a stable kebab-case ``rule``, a human message, a
+:class:`Severity`, and an optional bundle/way location.
+
+``guard.Violation`` is an alias of :class:`Diagnostic` -- verifier
+findings default to :data:`Severity.ERROR` (an illegal program is
+never advisory), while lint findings span the whole scale.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+class Severity(enum.IntEnum):
+    """Diagnostic severity, ordered so findings compare and sort.
+
+    ``ERROR`` findings fail ``gendp-lint`` (and the verifier rejects
+    the program); ``WARNING`` marks likely waste a pass could remove;
+    ``INFO`` is purely informational (optimization opportunities,
+    accounting).
+    """
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def from_label(cls, label: str) -> "Severity":
+        try:
+            return cls[label.upper()]
+        except KeyError:
+            raise ValueError(f"unknown severity {label!r}") from None
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One structured finding about a compiled program.
+
+    ``rule`` is a stable kebab-case identifier (what tests and
+    campaign reports key on); ``bundle``/``way`` locate the offending
+    instruction when the rule is positional.
+    """
+
+    rule: str
+    message: str
+    bundle: Optional[int] = None
+    way: Optional[str] = None
+    severity: Severity = Severity.ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "severity": self.severity.label,
+            "bundle": self.bundle,
+            "way": self.way,
+        }
+
+    def __str__(self) -> str:
+        where = ""
+        if self.bundle is not None:
+            where = f" [bundle {self.bundle}" + (
+                f", {self.way}]" if self.way else "]"
+            )
+        prefix = "" if self.severity is Severity.ERROR else f"{self.severity.label} "
+        return f"{prefix}{self.rule}{where}: {self.message}"

@@ -15,8 +15,9 @@ outputs bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.dfg.graph import (
     FOUR_INPUT_OPCODES,
@@ -55,6 +56,44 @@ class CellProgram:
         """RF entries the program touches (for RF sizing)."""
         used = set(self.input_regs.values()) | set(self.node_regs.values())
         return max(used) + 1 if used else 0
+
+    def content_hash(self) -> str:
+        """Digest of the full instruction encoding and register maps.
+
+        Unlike :meth:`repro.dfg.graph.DataFlowGraph.content_hash`
+        (which identifies the *computation*), this identifies the
+        *emitted program*: two programs for the same DFG that differ
+        in any slot, operand, bundling or register assignment -- an
+        optimized program versus its unoptimized original, say --
+        hash differently.
+        """
+        return program_content_hash(
+            self.instructions, self.input_regs, self.output_regs
+        )
+
+
+def program_content_hash(
+    instructions: Sequence[VLIWInstruction],
+    input_regs: Dict[str, int],
+    output_regs: Dict[str, int],
+) -> str:
+    """SHA-256 over a program's exact instruction encoding.
+
+    ``VLIWInstruction.text()`` is an unambiguous rendering of every
+    slot, opcode, operand and root flag, so the digest covers the full
+    encoding; the register maps pin down the load/store contract.
+    Shared by :meth:`CellProgram.content_hash` and the engine's
+    :class:`~repro.engine.cache.CompiledProgram` so both layers agree
+    on program identity.
+    """
+    parts = [bundle.text() for bundle in instructions]
+    parts.append(
+        "in:" + ",".join(f"{k}={v}" for k, v in sorted(input_regs.items()))
+    )
+    parts.append(
+        "out:" + ",".join(f"{k}={v}" for k, v in sorted(output_regs.items()))
+    )
+    return hashlib.sha256("\n".join(parts).encode()).hexdigest()
 
 
 def compile_cell(dfg: DataFlowGraph, strict: bool = False) -> CellProgram:

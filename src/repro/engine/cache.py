@@ -3,10 +3,16 @@
 DPMap is the engine's expensive per-kernel step: partitioning the
 objective-function DFG and emitting the VLIW cell program costs orders
 of magnitude more than executing one small job.  The cache keys on
-``(kernel, tree depth, DFG content hash)`` -- the content hash (see
+``(kernel, tree depth, DFG content hash, optimization signature)`` --
+the content hash (see
 :meth:`repro.dfg.graph.DataFlowGraph.content_hash`) makes the key
 follow the *computation*, so a renamed or rebuilt-in-different-order
 DFG still hits, while any change to the objective function misses.
+The optimization signature (:meth:`repro.opt.passes.PassPipeline.signature`,
+empty when optimization is off) keeps optimized and unoptimized
+compiles of the same DFG on distinct entries -- they are different
+*programs*, as their :attr:`CompiledProgram.program_hash` (the full
+instruction-encoding digest) records.
 
 Lookups are counted per job (hits/misses/evictions), which is what the
 ``cache_hit_rate`` metric reports: with a warm cache a mixed stream
@@ -23,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 from repro.dfg.graph import DataFlowGraph
 from repro.isa.compute import VLIWInstruction
 
-CacheKey = Tuple[str, int, str]
+CacheKey = Tuple[str, int, str, str]
 
 
 @dataclass(frozen=True)
@@ -34,6 +40,9 @@ class CompiledProgram:
     the VLIW bundles plus the input/output register maps.  The full
     :class:`~repro.dpmap.codegen.CellProgram` (mapping graph, schedule,
     stats) stays in the parent for inspection via ``mapping_stats``.
+    ``program_hash`` digests the exact instruction encoding
+    (:func:`repro.dpmap.codegen.program_content_hash`); ``opt_stats``
+    carries the optimizer's counters when a pass pipeline ran.
     """
 
     kernel: str
@@ -44,6 +53,8 @@ class CompiledProgram:
     output_regs: Dict[str, int]
     compile_seconds: float
     mapping_stats: Optional[object] = None
+    program_hash: str = ""
+    opt_stats: Optional[Dict[str, int]] = None
 
 
 @dataclass
@@ -98,8 +109,13 @@ class ProgramCache:
         return list(self._entries)
 
     @staticmethod
-    def key_for(kernel: str, levels: int, dfg: DataFlowGraph) -> CacheKey:
-        return (kernel, levels, dfg.content_hash())
+    def key_for(
+        kernel: str,
+        levels: int,
+        dfg: DataFlowGraph,
+        opt_signature: str = "",
+    ) -> CacheKey:
+        return (kernel, levels, dfg.content_hash(), opt_signature)
 
     def get_or_compile(
         self,
@@ -132,13 +148,18 @@ class ProgramCache:
 
 
 def compile_program(
-    kernel: str, levels: int, dfg: DataFlowGraph
+    kernel: str,
+    levels: int,
+    dfg: DataFlowGraph,
+    pipeline: Optional[object] = None,
 ) -> CompiledProgram:
     """Run DPMap + codegen on *dfg* and wrap the result for the cache.
 
     Only the 2-level reduction tree has instruction emission (the
     hardware configuration); other depths exist for the Table 2 study
-    and are rejected here.
+    and are rejected here.  *pipeline*, when given, is a
+    :class:`repro.opt.passes.PassPipeline` run over the emitted cell
+    program before wrapping -- its counters land in ``opt_stats``.
     """
     if levels != 2:
         raise ValueError(
@@ -149,6 +170,11 @@ def compile_program(
 
     started = time.perf_counter()
     cell = compile_cell(dfg)
+    opt_stats: Optional[Dict[str, int]] = None
+    if pipeline is not None:
+        outcome = pipeline.run(cell)
+        cell = outcome.program
+        opt_stats = dict(outcome.stats)
     elapsed = time.perf_counter() - started
     return CompiledProgram(
         kernel=kernel,
@@ -159,4 +185,6 @@ def compile_program(
         output_regs=dict(cell.output_regs),
         compile_seconds=elapsed,
         mapping_stats=cell.mapping.stats,
+        program_hash=cell.content_hash(),
+        opt_stats=opt_stats,
     )

@@ -60,6 +60,15 @@ SENTINEL_COUNTERS: Tuple[str, ...] = (
     "sentinel_underflows",  # values at/below the log-domain floor
 )
 
+#: Program-optimizer counters (prefixed ``opt_``), bumped at compile
+#: time when ``EngineConfig.optimize_programs`` is on.  Compiles are
+#: cached, so these count distinct compiles, not jobs.
+OPT_COUNTERS: Tuple[str, ...] = (
+    "opt_programs_optimized",  # compiles run through the pass pipeline
+    "opt_instructions_eliminated",  # VLIW bundles removed across compiles
+    "opt_ways_repacked",  # ways moved to a different bundle by re-packing
+)
+
 
 @dataclass
 class Histogram:
@@ -144,6 +153,10 @@ class MetricsRegistry:
     def sentinels(self) -> Dict[str, int]:
         """The numerical-sentinel counters as one fixed-schema dict."""
         return {name: self.counters.get(name, 0) for name in SENTINEL_COUNTERS}
+
+    def optimization(self) -> Dict[str, int]:
+        """The program-optimizer counters as one fixed-schema dict."""
+        return {name: self.counters.get(name, 0) for name in OPT_COUNTERS}
 
     def snapshot(self) -> Dict[str, object]:
         return {

@@ -60,6 +60,22 @@ INF = 1 << 20
 #: Chain lookback window (the paper's reordered N=64 configuration).
 DEFAULT_CHAIN_WINDOW = 64
 
+#: Per-kernel consumer contract: the program outputs each runner below
+#: actually reads.  DPMap compiles every DFG output (BSW and POA carry
+#: traceback ``dir`` bits, for instance) but the score-only sweeps
+#: here never consume some of them -- the optimizer's
+#: :class:`repro.opt.passes.PruneOutputsPass` uses this map to drop
+#: those outputs and eliminate their compute cones.  Any runner change
+#: that reads a new output MUST extend its entry (the differential
+#: tests against the reference kernels catch a stale contract).
+CONSUMED_OUTPUTS: Dict[str, frozenset] = {
+    "bsw": frozenset({"h", "e", "f"}),
+    "pairhmm": frozenset({"m", "i", "d"}),
+    "lcs": frozenset({"c"}),
+    "dtw": frozenset({"d"}),
+    "chain": frozenset({"f", "parent"}),
+}
+
 #: The active numerical sentinel for the job being executed, if any.
 #: Per-process (workers each see their own), set by :func:`run_job`
 #: around the runner call when the payload carries ``_sentinels``, and

@@ -99,6 +99,13 @@ class EngineConfig:
     #: are watched for int32 overflow / lane saturation / log-domain
     #: underflow, folded into the ``sentinel_*`` metrics counters.
     sentinels: bool = False
+    #: Run every compiled program through the optimizer's pass pipeline
+    #: (:func:`repro.opt.default_pipeline`) before caching, with the
+    #: kernel's consumed-output contract.  Optimized programs live on
+    #: distinct cache keys (the pipeline signature is key material) and
+    #: still face the static verifier; wins land in the ``opt_*``
+    #: metrics counters.
+    optimize_programs: bool = False
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
@@ -139,6 +146,7 @@ class Engine:
         self._dlq = DeadLetterQueue(capacity=max(self.config.dlq_capacity, 0))
         self._validation_rng = random.Random(self.config.reliability_seed)
         self._compile_attempts: Dict[str, int] = {}
+        self._pipelines: Dict[str, Optional[object]] = {}
         self._last_drain_fault: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -298,29 +306,69 @@ class Engine:
     # ------------------------------------------------------------------
     # drain helpers
 
+    def _pipeline_for(self, kernel: str) -> Optional[object]:
+        """The kernel's pass pipeline when optimization is on.
+
+        Pipelines carry per-kernel consumed-output contracts, so they
+        are built once per kernel and memoized.  ``repro.opt`` is
+        imported lazily: an engine with ``optimize_programs=False``
+        never touches the optimizer.
+        """
+        if not self.config.optimize_programs:
+            return None
+        if kernel not in self._pipelines:
+            from repro.opt import contract_for, default_pipeline
+
+            self._pipelines[kernel] = default_pipeline(contract_for(kernel))
+        return self._pipelines[kernel]
+
     def _resolve_program(
         self, batch: Batch
     ) -> Tuple[CompiledProgram, Dict[int, bool]]:
         dfg = build_dfg(batch.kernel)
-        key = self.cache.key_for(batch.kernel, self.config.levels, dfg)
+        pipeline = self._pipeline_for(batch.kernel)
+        key = self.cache.key_for(
+            batch.kernel,
+            self.config.levels,
+            dfg,
+            pipeline.signature() if pipeline is not None else "",
+        )
         compiled: Optional[CompiledProgram] = None
         hits: Dict[int, bool] = {}
         for job in batch.jobs:
             compiled, hit = self.cache.get_or_compile(
-                key, lambda: self._compile(batch.kernel, dfg)
+                key, lambda: self._compile(batch.kernel, dfg, pipeline)
             )
             hits[job.job_id] = hit
             if not hit:
                 self.metrics.observe("compile_s", compiled.compile_seconds)
         return compiled, hits
 
-    def _compile(self, kernel: str, dfg) -> CompiledProgram:
+    def _compile(
+        self, kernel: str, dfg, pipeline: Optional[object] = None
+    ) -> CompiledProgram:
         plan = self.config.fault_plan
         if plan is not None:
             attempt = self._compile_attempts.get(kernel, 0) + 1
             self._compile_attempts[kernel] = attempt
             plan.maybe_fail_compile(kernel, attempt)
-        compiled = compile_program(kernel, self.config.levels, dfg)
+        # The 3-arg call shape is the engine's compile seam (tests and
+        # fault hooks wrap it); the pipeline rides along only when set.
+        if pipeline is None:
+            compiled = compile_program(kernel, self.config.levels, dfg)
+        else:
+            compiled = compile_program(
+                kernel, self.config.levels, dfg, pipeline
+            )
+        if compiled.opt_stats is not None:
+            self.metrics.incr("opt_programs_optimized")
+            self.metrics.incr(
+                "opt_instructions_eliminated",
+                compiled.opt_stats.get("instructions_eliminated", 0),
+            )
+            self.metrics.incr(
+                "opt_ways_repacked", compiled.opt_stats.get("ways_repacked", 0)
+            )
         if self.config.verify_programs:
             check = check_program(compiled, name=kernel)
             if not check.ok:
@@ -485,6 +533,7 @@ class Engine:
         snap["cache"] = self.cache.stats.snapshot()
         snap["reliability"] = self.metrics.reliability()
         snap["sentinels"] = self.metrics.sentinels()
+        snap["optimization"] = self.metrics.optimization()
         snap["quarantined"] = sorted(self._quarantined)
         snap["dead_letter_backlog"] = len(self._dlq)
         occupancy = self.metrics.histograms.get("batch_occupancy")

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.dfg.graph import FOUR_INPUT_OPCODES, OPCODE_ARITY, Opcode
+from repro.diagnostics import Diagnostic, Severity
 from repro.dpax.pe import DEFAULT_RF_SIZE, INT32_MAX, INT32_MIN
 from repro.isa.compute import (
     CUInstruction,
@@ -82,35 +83,10 @@ class MachineLimits:
         return -(1 << (bits - 1)), (1 << (bits - 1)) - 1
 
 
-@dataclass(frozen=True)
-class Violation:
-    """One static-verification failure, machine-readable.
-
-    ``rule`` is a stable kebab-case identifier (what tests and
-    campaign reports key on); ``bundle``/``way`` locate the offending
-    instruction when the rule is positional.
-    """
-
-    rule: str
-    message: str
-    bundle: Optional[int] = None
-    way: Optional[str] = None
-
-    def to_dict(self) -> Dict[str, object]:
-        return {
-            "rule": self.rule,
-            "message": self.message,
-            "bundle": self.bundle,
-            "way": self.way,
-        }
-
-    def __str__(self) -> str:
-        where = ""
-        if self.bundle is not None:
-            where = f" [bundle {self.bundle}" + (
-                f", {self.way}]" if self.way else "]"
-            )
-        return f"{self.rule}{where}: {self.message}"
+#: Verifier findings are :class:`repro.diagnostics.Diagnostic` records
+#: (severity defaults to ``ERROR`` -- an illegal program is never
+#: advisory), so ``gendp-lint`` and the verifier share one schema.
+Violation = Diagnostic
 
 
 class ProgramVerificationError(ValueError):

@@ -1,0 +1,87 @@
+"""Dataflow analysis + optimizing/linting passes over cell programs.
+
+The DPMap compiler (:mod:`repro.dpmap`) emits correct but naive 2-way
+VLIW programs.  This package adds the classic post-compile layer:
+
+- :mod:`repro.opt.model` -- instruction-level def/use model.  Programs
+  are loop-free and SSA-like (each register written once), so liveness,
+  reachability, and heights are exact single-sweep computations.
+- :mod:`repro.opt.passes` -- rewrite passes (constant folding, copy
+  propagation, CSE, slot simplification, dead-code elimination) plus a
+  height-priority VLIW re-packer, composed by :class:`PassPipeline`.
+- :mod:`repro.opt.cost` -- the static cost model
+  (:class:`ProgramCost`) feeding the tile-level performance model.
+- :mod:`repro.opt.kernels` -- optimized programs for the six
+  differential-fuzz kernels, wired to their consumer contracts.
+- :mod:`repro.opt.lint` -- the report-only analyses behind
+  ``gendp-lint``.
+
+See ``docs/optimizer.md`` for the pass catalog and safety argument.
+"""
+
+from repro.opt.cost import ProgramCost, cost_of, program_stats
+from repro.opt.kernels import (
+    SWEEP_CONTRACTS,
+    contract_for,
+    optimize_all_kernels,
+    optimize_kernel_programs,
+)
+from repro.opt.lint import LintReport, ProgramLint, lint_program, run_lint
+from repro.opt.model import (
+    LinearProgram,
+    NonSSAProgramError,
+    critical_path,
+    heights,
+    linearize,
+    live_sets,
+    live_ways,
+    peak_live,
+    schedule_lower_bound,
+)
+from repro.opt.passes import (
+    CommonSubexpressionPass,
+    ConstantFoldPass,
+    CopyPropagationPass,
+    DeadCodePass,
+    OptResult,
+    Pass,
+    PassPipeline,
+    PruneOutputsPass,
+    SimplifySlotsPass,
+    default_pipeline,
+    pack_ways,
+)
+
+__all__ = [
+    "CommonSubexpressionPass",
+    "ConstantFoldPass",
+    "CopyPropagationPass",
+    "DeadCodePass",
+    "LinearProgram",
+    "LintReport",
+    "NonSSAProgramError",
+    "OptResult",
+    "Pass",
+    "PassPipeline",
+    "ProgramCost",
+    "ProgramLint",
+    "PruneOutputsPass",
+    "SWEEP_CONTRACTS",
+    "SimplifySlotsPass",
+    "contract_for",
+    "cost_of",
+    "critical_path",
+    "default_pipeline",
+    "heights",
+    "lint_program",
+    "linearize",
+    "live_sets",
+    "live_ways",
+    "optimize_all_kernels",
+    "optimize_kernel_programs",
+    "pack_ways",
+    "peak_live",
+    "program_stats",
+    "run_lint",
+    "schedule_lower_bound",
+]

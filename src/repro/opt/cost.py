@@ -1,0 +1,106 @@
+"""Static cost model for compiled cell programs.
+
+One :class:`ProgramCost` summarizes what a program spends per DP cell:
+VLIW bundles issued (= compute cycles on the PE), CU ways, busy ALU
+slots, RF traffic, register-file footprint and the dependency-chain
+floor.  The optimizer reports costs before/after its pipeline
+(``gendp-compile --stats``, ``gendp-lint``), and the bundle count is
+the per-cell cycle weight :func:`repro.perfmodel.schedule.weighted_task_cells`
+uses to turn cell counts into array-time when packing tasks onto the
+tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.dpmap.codegen import CellProgram
+from repro.dpmap.mapper import MappingStats
+from repro.opt.model import (
+    NonSSAProgramError,
+    critical_path,
+    linearize,
+    peak_live,
+    way_reads,
+    way_slots,
+)
+
+
+@dataclass(frozen=True)
+class ProgramCost:
+    """Static per-cell cost of one compiled program."""
+
+    #: VLIW bundles = compute cycles per cell update.
+    instructions: int
+    #: Occupied CU ways across all bundles.
+    ways: int
+    #: Busy ALU/MUL slots (the Table 11 utilization numerator).
+    alu_ops: int
+    #: RF operand reads / result writes per cell.
+    rf_reads: int
+    rf_writes: int
+    #: Registers the allocation spans (RF sizing).
+    register_count: int
+    #: Peak simultaneously-live RF values (true pressure).
+    peak_live: int
+    #: Longest dependency chain -- no schedule can issue fewer bundles.
+    critical_path: int
+
+    @property
+    def cycles_per_cell(self) -> int:
+        """Alias for the scheduler feed: one bundle is one cycle."""
+        return self.instructions
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "instructions": self.instructions,
+            "ways": self.ways,
+            "alu_ops": self.alu_ops,
+            "rf_reads": self.rf_reads,
+            "rf_writes": self.rf_writes,
+            "register_count": self.register_count,
+            "peak_live": self.peak_live,
+            "critical_path": self.critical_path,
+        }
+
+
+def cost_of(program: CellProgram) -> ProgramCost:
+    """Measure *program*'s static cost."""
+    ways = [way for bundle in program.instructions for way in bundle.ways]
+    rf_reads = sum(len(way_reads(way)) for way in ways)
+    alu_ops = sum(len(way_slots(way)) + (1 if way.root else 0) for way in ways)
+    try:
+        depth = critical_path(linearize(program))
+    except NonSSAProgramError:
+        depth = len(program.instructions)
+    return ProgramCost(
+        instructions=len(program.instructions),
+        ways=len(ways),
+        alu_ops=alu_ops,
+        rf_reads=rf_reads,
+        rf_writes=len(ways),
+        register_count=program.register_count,
+        peak_live=peak_live(
+            program.instructions, program.input_regs, program.output_regs
+        ),
+        critical_path=depth,
+    )
+
+
+def program_stats(program: CellProgram, levels: int = 2) -> MappingStats:
+    """Recompute :class:`MappingStats` from a program's instructions.
+
+    After an optimization pass rewrites the bundles, the mapping-time
+    statistics no longer describe the program; this keeps
+    ``mapping.stats`` (and the utilization tables built on it) honest.
+    """
+    cost = cost_of(program)
+    return MappingStats(
+        rf_reads=cost.rf_reads,
+        rf_writes=cost.rf_writes,
+        cycles=cost.instructions,
+        alu_ops=cost.alu_ops,
+        component_count=cost.ways,
+        levels=levels,
+    )

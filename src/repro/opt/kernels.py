@@ -1,0 +1,126 @@
+"""Optimized compiled programs for the six differential-fuzz kernels.
+
+Mirrors :func:`repro.guard.diff.compile_kernel_programs` -- same DFGs,
+same cell-program shapes, same POA register offsetting -- but runs
+each cell program through the optimizer's pass pipeline with that
+program's *consumer contract*: the outputs its runner or functional
+sweep actually reads.  Engine-served kernels take their contract from
+:data:`repro.engine.runners.CONSUMED_OUTPUTS`; the scratchpad-mapped
+POA and Bellman-Ford programs have theirs recorded here, matching
+``repro.guard.diff``'s functional models (``_run_poa_compiled`` reads
+``h``/``e`` from the combine program, never its traceback ``dir``).
+
+The result plugs straight into the guard's differential harness
+(:func:`repro.guard.diff.run_case`), which is how the tests prove the
+optimized programs still match the reference kernels on seeded
+workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.dpmap.codegen import CellProgram, compile_cell, offset_cell_program
+from repro.engine.cache import CompiledProgram
+from repro.engine.runners import CONSUMED_OUTPUTS, build_dfg
+from repro.guard.diff import _ENGINE_BACKED, DIFF_KERNELS, KernelPrograms
+from repro.opt.passes import OptResult, default_pipeline
+from repro.seq.scoring import ScoringScheme
+
+#: Consumer contracts for programs not served by the engine's runners,
+#: keyed by the guard's ``kernel:cell`` naming.  These mirror what
+#: :mod:`repro.guard.diff`'s functional sweeps read back per cell --
+#: POA's combine program computes a traceback ``dir`` that the
+#: score-only sweep ignores.
+SWEEP_CONTRACTS: Dict[str, frozenset] = {
+    "poa:edge": frozenset({"diag_best", "up_best"}),
+    "poa:final": frozenset({"h", "e"}),
+    "bellman_ford": frozenset({"dist", "pred"}),
+}
+
+
+def contract_for(name: str) -> Optional[frozenset]:
+    """The consumed-output contract for a program label, if known.
+
+    *name* is either an engine kernel (``"bsw"``) or the guard's
+    ``kernel:cell`` label (``"poa:final"``).  Unknown labels get None:
+    the pipeline then keeps every output (purely semantics-preserving).
+    """
+    if name in CONSUMED_OUTPUTS:
+        return CONSUMED_OUTPUTS[name]
+    return SWEEP_CONTRACTS.get(name)
+
+
+def _compiled_from_cell(
+    kernel: str, dfg_hash: str, cell: CellProgram, outcome: OptResult
+) -> CompiledProgram:
+    return CompiledProgram(
+        kernel=kernel,
+        levels=2,
+        dfg_hash=dfg_hash,
+        instructions=tuple(cell.instructions),
+        input_regs=dict(cell.input_regs),
+        output_regs=dict(cell.output_regs),
+        compile_seconds=0.0,
+        mapping_stats=cell.mapping.stats if cell.mapping else None,
+        program_hash=cell.content_hash(),
+        opt_stats=dict(outcome.stats),
+    )
+
+
+def optimize_kernel_programs(
+    kernel: str,
+) -> Tuple[KernelPrograms, Dict[str, OptResult]]:
+    """Compile and optimize *kernel*'s program(s), diff-harness-ready.
+
+    Returns the optimized :class:`~repro.guard.diff.KernelPrograms`
+    (drop-in for :func:`repro.guard.diff.run_case`) plus the per-cell
+    :class:`~repro.opt.passes.OptResult` outcomes.
+    """
+    if kernel in _ENGINE_BACKED:
+        dfg = build_dfg(kernel)
+        outcome = default_pipeline(contract_for(kernel)).run(compile_cell(dfg))
+        programs = KernelPrograms(
+            kernel=kernel,
+            compiled=_compiled_from_cell(
+                kernel, dfg.content_hash(), outcome.program, outcome
+            ),
+            cells={"cell": outcome.program},
+        )
+        return programs, {"cell": outcome}
+    if kernel == "poa":
+        from repro.dfg.kernels import poa_edge_dfg, poa_final_dfg
+
+        gap = ScoringScheme().gap
+        edge_out = default_pipeline(contract_for("poa:edge")).run(
+            compile_cell(poa_edge_dfg(gap.open, gap.extend))
+        )
+        final_out = default_pipeline(contract_for("poa:final")).run(
+            compile_cell(poa_final_dfg(gap.open, gap.extend))
+        )
+        # Offset *after* optimizing: the combine program's registers
+        # move past the (possibly shrunken) edge allocation, exactly
+        # as the unoptimized path does with its own register counts.
+        final = offset_cell_program(
+            final_out.program, edge_out.program.register_count
+        )
+        programs = KernelPrograms(
+            kernel=kernel, cells={"edge": edge_out.program, "final": final}
+        )
+        return programs, {"edge": edge_out, "final": final_out}
+    if kernel == "bellman_ford":
+        from repro.dfg.kernels import bellman_ford_dfg
+
+        outcome = default_pipeline(contract_for("bellman_ford")).run(
+            compile_cell(bellman_ford_dfg())
+        )
+        programs = KernelPrograms(kernel=kernel, cells={"cell": outcome.program})
+        return programs, {"cell": outcome}
+    raise ValueError(f"unknown guard kernel {kernel!r}")
+
+
+def optimize_all_kernels() -> Dict[
+    str, Tuple[KernelPrograms, Dict[str, OptResult]]
+]:
+    """Optimized programs for every differential-fuzz kernel."""
+    return {kernel: optimize_kernel_programs(kernel) for kernel in DIFF_KERNELS}

@@ -1,0 +1,690 @@
+"""Optimizing passes over compiled cell programs.
+
+The pipeline works on the SSA-like linear form from
+:mod:`repro.opt.model`: bundles are flattened into a def/use-ordered
+way list, the rewriting passes iterate to a fixpoint on that list, and
+a final list scheduler re-packs the surviving ways into 2-way VLIW
+bundles.  Keeping bundling out of the rewrite passes means every
+intermediate state is trivially valid (a way only reads earlier ways'
+destinations) and the scheduler is the single place that knows the
+machine's issue shape.
+
+Passes (composed by :func:`default_pipeline`, in order):
+
+- :class:`PruneOutputsPass` -- drop program outputs the consumer
+  contract never reads (e.g. traceback direction bits the engine's
+  score-only runners ignore), exposing their cones as dead code;
+- :class:`ConstantFoldPass` -- evaluate Imm-only slots and roots at
+  compile time (LUT-backed opcodes are never folded: their results
+  depend on runtime tables);
+- :class:`CopyPropagationPass` -- forward pure-copy ways into their
+  readers (sound because registers are single-assignment);
+- :class:`CommonSubexpressionPass` -- reuse an earlier way's result
+  for duplicate whole-way or single-slot computations;
+- :class:`SimplifySlotsPass` -- drop dead right slots (a root-less
+  way only forwards its left leaf) and collapse trees whose leaves
+  are both copies into a single slot;
+- :class:`DeadCodePass` -- remove ways whose results reach no output.
+
+Everything the pipeline emits must pass the guard verifier and
+:func:`repro.dpmap.codegen.verify_program`; the engine and the tests
+enforce that on every program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.dfg.graph import Opcode, _apply
+from repro.dpmap.codegen import CellProgram
+from repro.isa.compute import (
+    CUInstruction,
+    Imm,
+    Operand,
+    Reg,
+    SlotOp,
+    VLIW_WAYS,
+    VLIWInstruction,
+)
+from repro.opt.model import (
+    LinearProgram,
+    NonSSAProgramError,
+    heights,
+    is_pure_copy,
+    linearize,
+    live_ways,
+    way_reads,
+)
+
+#: Opcodes safe to evaluate at compile time.  LUT-backed opcodes
+#: (MATCH_SCORE, LOG_SUM_LUT, LOG2_LUT) are excluded: their results
+#: depend on tables bound at run time, so "folding" them would bake in
+#: one table's answers.  COPY is excluded as there is nothing to fold.
+FOLDABLE_OPCODES = frozenset(
+    {
+        Opcode.ADD,
+        Opcode.SUB,
+        Opcode.MUL,
+        Opcode.CARRY,
+        Opcode.BORROW,
+        Opcode.MAX,
+        Opcode.MIN,
+        Opcode.SHL16,
+        Opcode.SHR16,
+        Opcode.CMP_GT,
+        Opcode.CMP_EQ,
+    }
+)
+
+Stats = Dict[str, int]
+
+
+def _bump(stats: Stats, key: str, amount: int = 1) -> None:
+    if amount:
+        stats[key] = stats.get(key, 0) + amount
+
+
+def _operand_key(operand: Operand) -> Tuple[str, int]:
+    if isinstance(operand, Reg):
+        return ("r", operand.index)
+    return ("#", operand.value)
+
+
+def _slot_key(slot: Optional[SlotOp]) -> Optional[Tuple]:
+    if slot is None:
+        return None
+    return (slot.opcode.value, tuple(_operand_key(op) for op in slot.operands))
+
+
+def _way_key(way: CUInstruction) -> Tuple:
+    """Canonical computation key: two ways with equal keys compute the
+    same value (registers are single-assignment, all opcodes are
+    deterministic functions of their operands and the bound tables)."""
+    return (
+        way.kind,
+        _slot_key(way.left),
+        _slot_key(way.right),
+        way.root.value if way.root else None,
+        way.root_swapped,
+        _slot_key(way.mul),
+    )
+
+
+def _copy_way(dest: Reg, source: Operand) -> CUInstruction:
+    return CUInstruction(
+        kind="tree", dest=dest, right=SlotOp(Opcode.COPY, (source,))
+    )
+
+
+def encode_instructions(instructions: Sequence[VLIWInstruction]) -> str:
+    """A stable textual encoding of a bundle list (for comparisons)."""
+    return "\n".join(bundle.text() for bundle in instructions)
+
+
+# ----------------------------------------------------------------------
+# passes
+
+
+class Pass:
+    """One rewrite over the linear form; subclasses set ``name``."""
+
+    name = "pass"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        raise NotImplementedError
+
+
+class PruneOutputsPass(Pass):
+    """Restrict the program's outputs to a consumer contract.
+
+    A kernel's runner often reads a subset of what the DFG computes
+    (the engine's BSW runner consumes h/e/f and ignores the traceback
+    ``dir`` bits).  Dropping unread outputs exposes their compute
+    cones to :class:`DeadCodePass`.  If the contract would remove
+    every output the pass backs off -- a program with no outputs is
+    meaningless.
+    """
+
+    name = "prune-outputs"
+
+    def __init__(self, keep: Sequence[str]):
+        self.keep = frozenset(keep)
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        kept = {
+            name: reg
+            for name, reg in lp.output_regs.items()
+            if name in self.keep
+        }
+        if not kept or len(kept) == len(lp.output_regs):
+            return lp
+        _bump(stats, "outputs_pruned", len(lp.output_regs) - len(kept))
+        lp.output_regs = kept
+        return lp
+
+
+class ConstantFoldPass(Pass):
+    """Evaluate Imm-only slots and roots at compile time."""
+
+    name = "constant-fold"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        for index, way in enumerate(lp.ways):
+            folded = self._fold_way(way, stats)
+            if folded is not way:
+                lp.ways[index] = folded
+        return lp
+
+    def _fold_slot(self, slot: Optional[SlotOp], stats: Stats) -> Optional[SlotOp]:
+        if slot is None or slot.opcode not in FOLDABLE_OPCODES:
+            return slot
+        if not all(isinstance(op, Imm) for op in slot.operands):
+            return slot
+        value = _apply(
+            slot.opcode, [op.value for op in slot.operands], None, None
+        )
+        _bump(stats, "constants_folded")
+        return SlotOp(Opcode.COPY, (Imm(value),))
+
+    @staticmethod
+    def _imm_of(slot: Optional[SlotOp]) -> Optional[int]:
+        if (
+            slot is not None
+            and slot.opcode is Opcode.COPY
+            and isinstance(slot.operands[0], Imm)
+        ):
+            return slot.operands[0].value
+        return None
+
+    def _fold_way(self, way: CUInstruction, stats: Stats) -> CUInstruction:
+        if way.kind == "mul":
+            folded = self._fold_slot(way.mul, stats)
+            if folded is not way.mul:
+                # The product is a constant; the way degenerates to a
+                # copy on the tree datapath, freeing the multiplier.
+                return CUInstruction(kind="tree", dest=way.dest, right=folded)
+            return way
+        left = self._fold_slot(way.left, stats)
+        right = self._fold_slot(way.right, stats)
+        if left is not way.left or right is not way.right:
+            way = dc_replace(way, left=left, right=right)
+        if way.root is None or way.root not in FOLDABLE_OPCODES:
+            return way
+        from repro.dfg.graph import OPCODE_ARITY
+
+        arity = OPCODE_ARITY[way.root]
+        left_imm = self._imm_of(way.left)
+        right_imm = self._imm_of(way.right)
+        if arity == 1 and left_imm is not None:
+            value = _apply(way.root, [left_imm], None, None)
+        elif arity == 2 and left_imm is not None and right_imm is not None:
+            inputs = [left_imm, right_imm]
+            if way.root_swapped:
+                inputs.reverse()
+            value = _apply(way.root, inputs, None, None)
+        else:
+            return way
+        _bump(stats, "constants_folded")
+        return _copy_way(way.dest, Imm(value))
+
+
+class CopyPropagationPass(Pass):
+    """Forward pure-copy results into every reader.
+
+    Sound because the allocation is single-assignment: the copied
+    source register can never be rewritten between the copy and its
+    readers.  Copies feeding an output register are retargeted at the
+    map level when the source is a register (outputs must live in the
+    RF, so Imm-sourced copies stay for the output's sake).
+    """
+
+    name = "copy-propagation"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        output_regs = set(lp.output_regs.values())
+        for index, way in enumerate(lp.ways):
+            source = is_pure_copy(way)
+            if source is None:
+                continue
+            dest = way.dest.index
+            if dest in output_regs:
+                if not isinstance(source, Reg):
+                    continue  # an output must live in a register
+                lp.output_regs = {
+                    name: (source.index if reg == dest else reg)
+                    for name, reg in lp.output_regs.items()
+                }
+                output_regs = set(lp.output_regs.values())
+            changed = self._substitute(lp, index + 1, dest, source)
+            if changed:
+                _bump(stats, "copies_propagated")
+        return lp
+
+    @staticmethod
+    def _substitute(
+        lp: LinearProgram, start: int, reg_index: int, source: Operand
+    ) -> bool:
+        def rewrite(slot: Optional[SlotOp]) -> Optional[SlotOp]:
+            if slot is None or not any(
+                isinstance(op, Reg) and op.index == reg_index
+                for op in slot.operands
+            ):
+                return slot
+            return SlotOp(
+                slot.opcode,
+                tuple(
+                    source
+                    if isinstance(op, Reg) and op.index == reg_index
+                    else op
+                    for op in slot.operands
+                ),
+            )
+
+        changed = False
+        for i in range(start, len(lp.ways)):
+            way = lp.ways[i]
+            left, right, mul = (
+                rewrite(way.left),
+                rewrite(way.right),
+                rewrite(way.mul),
+            )
+            if left is not way.left or right is not way.right or mul is not way.mul:
+                lp.ways[i] = dc_replace(way, left=left, right=right, mul=mul)
+                changed = True
+        return changed
+
+
+class CommonSubexpressionPass(Pass):
+    """Reuse earlier results for duplicate computations.
+
+    Two levels: a whole way repeating an earlier way's computation
+    becomes a copy of its result, and a slot repeating an earlier
+    *single-op* way's computation becomes a COPY of that way's
+    destination (legal in any slot position).  Equal keys imply equal
+    values because registers are single-assignment.
+    """
+
+    name = "common-subexpression"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        seen_ways: Dict[Tuple, int] = {}
+        # A single-op way's dest *is* its slot's value: key -> dest reg.
+        seen_slots: Dict[Tuple, int] = {}
+        for index, way in enumerate(lp.ways):
+            key = _way_key(way)
+            first = seen_ways.get(key)
+            if first is not None and is_pure_copy(way) is None:
+                lp.ways[index] = _copy_way(
+                    way.dest, Reg(lp.ways[first].dest.index)
+                )
+                _bump(stats, "subexpressions_shared")
+                continue
+            seen_ways.setdefault(key, index)
+            way = self._dedupe_slots(lp, index, seen_slots, stats)
+            if (
+                way.kind == "tree"
+                and way.root is None
+                and len([s for s in (way.left, way.right) if s]) == 1
+                and way.mul is None
+            ):
+                slot = way.left if way.left is not None else way.right
+                if slot.opcode is not Opcode.COPY:
+                    seen_slots.setdefault(_slot_key(slot), way.dest.index)
+            elif way.kind == "mul" and way.mul is not None:
+                seen_slots.setdefault(_slot_key(way.mul), way.dest.index)
+        return lp
+
+    @staticmethod
+    def _dedupe_slots(
+        lp: LinearProgram,
+        index: int,
+        seen_slots: Dict[Tuple, int],
+        stats: Stats,
+    ) -> CUInstruction:
+        way = lp.ways[index]
+        if way.kind != "tree":
+            return way
+
+        def rewrite(slot: Optional[SlotOp]) -> Optional[SlotOp]:
+            if slot is None or slot.opcode is Opcode.COPY:
+                return slot
+            earlier = seen_slots.get(_slot_key(slot))
+            if earlier is None:
+                return slot
+            _bump(stats, "subexpressions_shared")
+            return SlotOp(Opcode.COPY, (Reg(earlier),))
+
+        left, right = rewrite(way.left), rewrite(way.right)
+        if left is not way.left or right is not way.right:
+            way = dc_replace(way, left=left, right=right)
+            lp.ways[index] = way
+        return way
+
+
+class SimplifySlotsPass(Pass):
+    """Remove dead slots and collapse copy-fed reduction trees.
+
+    With no root, a tree way's result is its *left* leaf whenever both
+    leaves are populated (:func:`repro.dpmap.codegen.execute_way`), so
+    the right slot is dead weight.  A root whose leaves are both
+    copies is the same operation with direct operands -- one slot on
+    the 2-operand right ALU (tree roots are never 4-input ops).
+    """
+
+    name = "simplify-slots"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        from repro.dfg.graph import OPCODE_ARITY
+
+        for index, way in enumerate(lp.ways):
+            if way.kind != "tree":
+                continue
+            if way.root is None and way.left is not None and way.right is not None:
+                lp.ways[index] = dc_replace(way, right=None)
+                _bump(stats, "dead_slots_removed")
+                continue
+            if way.root is None:
+                continue
+            arity = OPCODE_ARITY[way.root]
+            left_src = self._copy_source(way.left)
+            right_src = self._copy_source(way.right)
+            if arity == 1 and left_src is not None:
+                slot = SlotOp(way.root, (left_src,))
+            elif arity == 2 and left_src is not None and right_src is not None:
+                operands = (left_src, right_src)
+                if way.root_swapped:
+                    operands = (right_src, left_src)
+                slot = SlotOp(way.root, operands)
+            else:
+                continue
+            lp.ways[index] = CUInstruction(
+                kind="tree", dest=way.dest, right=slot
+            )
+            _bump(stats, "slots_simplified")
+        return lp
+
+    @staticmethod
+    def _copy_source(slot: Optional[SlotOp]) -> Optional[Operand]:
+        if slot is not None and slot.opcode is Opcode.COPY:
+            return slot.operands[0]
+        return None
+
+
+class DeadCodePass(Pass):
+    """Remove ways whose results never reach a program output."""
+
+    name = "dead-code"
+
+    def run(self, lp: LinearProgram, stats: Stats) -> LinearProgram:
+        needed = live_ways(lp)
+        if len(needed) == len(lp.ways):
+            return lp
+        _bump(stats, "ways_eliminated", len(lp.ways) - len(needed))
+        kept = [i for i in range(len(lp.ways)) if i in needed]
+        lp.ways = [lp.ways[i] for i in kept]
+        lp.origin_bundles = [lp.origin_bundles[i] for i in kept]
+        surviving = {way.dest.index for way in lp.ways}
+        surviving.update(lp.input_regs.values())
+        lp.node_regs = {
+            node: reg for node, reg in lp.node_regs.items() if reg in surviving
+        }
+        return lp
+
+
+# ----------------------------------------------------------------------
+# VLIW re-packing (list scheduling)
+
+
+def pack_ways(lp: LinearProgram) -> Tuple[List[VLIWInstruction], int]:
+    """Schedule the linear ways back into 2-way bundles.
+
+    Height-priority list scheduling: each cycle issues the (up to) two
+    ready ways with the longest remaining dependency chains, breaking
+    ties by list order -- deterministic, so re-running on its own
+    output reproduces the same schedule (the pipeline's idempotence
+    rests on this).  A way is ready once all its producers sit in
+    strictly earlier bundles (no same-bundle forwarding on the PE).
+
+    Returns the bundles and how many surviving ways landed in a
+    different bundle than they originally occupied.
+    """
+    deps = lp.dependencies()
+    priority = heights(lp)
+    total = len(lp.ways)
+    bundle_of: List[Optional[int]] = [None] * total
+    unscheduled: Set[int] = set(range(total))
+    bundles: List[VLIWInstruction] = []
+    cycle = 0
+    while unscheduled:
+        ready = [
+            i
+            for i in unscheduled
+            if all(
+                bundle_of[d] is not None and bundle_of[d] < cycle
+                for d in deps[i]
+            )
+        ]
+        # Some topologically-minimal unscheduled way always qualifies,
+        # so every cycle issues at least one way and the loop ends.
+        ready.sort(key=lambda i: (-priority[i], i))
+        chosen = ready[:VLIW_WAYS]
+        for i in chosen:
+            bundle_of[i] = cycle
+            unscheduled.discard(i)
+        ways = [lp.ways[i] for i in chosen]
+        bundles.append(
+            VLIWInstruction(
+                cu0=ways[0], cu1=ways[1] if len(ways) > 1 else None
+            )
+        )
+        cycle += 1
+    moved = sum(
+        1
+        for i in range(total)
+        if lp.origin_bundles[i] is not None
+        and bundle_of[i] != lp.origin_bundles[i]
+    )
+    return bundles, moved
+
+
+# ----------------------------------------------------------------------
+# the pipeline
+
+
+@dataclass
+class OptResult:
+    """Outcome of one pipeline run."""
+
+    program: CellProgram
+    stats: Dict[str, int]
+
+    @property
+    def changed(self) -> bool:
+        return self.stats.get("instructions_eliminated", 0) > 0 or any(
+            self.stats.get(key, 0)
+            for key in (
+                "ways_eliminated",
+                "ways_repacked",
+                "copies_propagated",
+                "constants_folded",
+                "subexpressions_shared",
+                "slots_simplified",
+                "dead_slots_removed",
+                "outputs_pruned",
+            )
+        )
+
+
+class PassPipeline:
+    """Compose rewrite passes and re-pack the result.
+
+    ``keep_outputs`` is the consumer contract for
+    :class:`PruneOutputsPass` (None keeps every output, making the
+    pipeline purely semantics-preserving).  The rewrite passes iterate
+    until a round changes nothing (bounded by ``max_rounds``), then
+    the scheduler re-packs; if nothing changed at all the original
+    program object is returned untouched, so running the pipeline on
+    its own output is a no-op.
+    """
+
+    VERSION = "opt-v1"
+
+    def __init__(
+        self,
+        keep_outputs: Optional[Sequence[str]] = None,
+        passes: Optional[Sequence[Pass]] = None,
+        max_rounds: int = 8,
+    ):
+        if max_rounds <= 0:
+            raise ValueError("max_rounds must be positive")
+        self.keep_outputs = (
+            frozenset(keep_outputs) if keep_outputs is not None else None
+        )
+        if passes is None:
+            passes = [
+                ConstantFoldPass(),
+                CopyPropagationPass(),
+                CommonSubexpressionPass(),
+                SimplifySlotsPass(),
+                DeadCodePass(),
+            ]
+        self.passes: List[Pass] = list(passes)
+        self.max_rounds = max_rounds
+
+    def signature(self) -> str:
+        """A stable id of what this pipeline does (cache-key material).
+
+        Two pipelines with the same signature produce the same program
+        from the same input, so the engine's compiled-program cache
+        folds the signature into its key: optimized and unoptimized
+        compiles of one kernel can never collide on an entry.
+        """
+        tag = ">".join(p.name for p in self.passes)
+        if self.keep_outputs is not None:
+            tag += "|keep=" + ",".join(sorted(self.keep_outputs))
+        return f"{self.VERSION}:{tag}"
+
+    #: Derived bookkeeping recomputed by :meth:`run` over the whole
+    #: fixpoint, not summed across iterations.
+    _SNAPSHOT_KEYS = frozenset(
+        {
+            "instructions_before",
+            "instructions_after",
+            "instructions_eliminated",
+            "ways_before",
+            "ways_after",
+        }
+    )
+
+    def run(self, program: CellProgram) -> OptResult:
+        """Optimize *program* to a global fixpoint.
+
+        One rewrite+repack iteration is not idempotent on its own: the
+        scheduler reorders ways, which can expose CSE/copy-propagation
+        opportunities that the original issue order hid.  Iterating
+        until an iteration changes nothing makes the result a true
+        fixed point -- running the pipeline on its own output returns
+        the same program object.
+        """
+        total: Stats = {}
+        current = program
+        for _ in range(self.max_rounds):
+            outcome = self._run_once(current)
+            for key, value in outcome.stats.items():
+                if key not in self._SNAPSHOT_KEYS:
+                    _bump(total, key, value)
+            if outcome.program is current:
+                break
+            current = outcome.program
+        if current is not program:
+            total["instructions_before"] = len(program.instructions)
+            total["instructions_after"] = len(current.instructions)
+            total["instructions_eliminated"] = len(program.instructions) - len(
+                current.instructions
+            )
+            total["ways_before"] = sum(
+                len(b.ways) for b in program.instructions
+            )
+            total["ways_after"] = sum(
+                len(b.ways) for b in current.instructions
+            )
+        return OptResult(program=current, stats=total)
+
+    def _run_once(self, program: CellProgram) -> OptResult:
+        stats: Stats = {}
+        try:
+            lp = linearize(program)
+        except NonSSAProgramError:
+            return OptResult(program=program, stats={"skipped_non_ssa": 1})
+        before_instructions = len(program.instructions)
+        before_ways = len(lp.ways)
+
+        if self.keep_outputs is not None:
+            PruneOutputsPass(self.keep_outputs).run(lp, stats)
+        for _ in range(self.max_rounds):
+            marker = dict(stats)
+            for one_pass in self.passes:
+                lp = one_pass.run(lp, stats)
+            if stats == marker:
+                break
+
+        bundles, moved = pack_ways(lp)
+        if len(bundles) > before_instructions:
+            # The greedy scheduler should never lose to the original
+            # schedule; if it somehow does, keep the original program.
+            return OptResult(
+                program=program, stats={"scheduler_regressed": 1}
+            )
+        if encode_instructions(bundles) == encode_instructions(
+            program.instructions
+        ) and lp.output_regs == dict(program.output_regs):
+            return OptResult(program=program, stats=stats)
+
+        mapping = program.mapping
+        if mapping is not None:
+            dfg = mapping.dfg
+            if set(lp.output_regs) != set(program.output_regs):
+                dfg = dfg.copy()
+                dfg.outputs = {
+                    name: node
+                    for name, node in dfg.outputs.items()
+                    if name in lp.output_regs
+                }
+            optimized_for_stats = CellProgram(
+                mapping=mapping,
+                instructions=bundles,
+                input_regs=lp.input_regs,
+                output_regs=lp.output_regs,
+                node_regs=lp.node_regs,
+            )
+            from repro.opt.cost import program_stats
+
+            mapping = dc_replace(
+                mapping,
+                dfg=dfg,
+                stats=program_stats(
+                    optimized_for_stats, levels=mapping.stats.levels
+                ),
+            )
+        optimized = CellProgram(
+            mapping=mapping,
+            instructions=bundles,
+            input_regs=lp.input_regs,
+            output_regs=lp.output_regs,
+            node_regs=lp.node_regs,
+        )
+        _bump(stats, "ways_repacked", moved)
+        stats["instructions_before"] = before_instructions
+        stats["instructions_after"] = len(bundles)
+        stats["instructions_eliminated"] = before_instructions - len(bundles)
+        stats["ways_before"] = before_ways
+        stats["ways_after"] = len(lp.ways)
+        return OptResult(program=optimized, stats=stats)
+
+
+def default_pipeline(
+    keep_outputs: Optional[Sequence[str]] = None,
+) -> PassPipeline:
+    """The standard pipeline, optionally with a consumer contract."""
+    return PassPipeline(keep_outputs=keep_outputs)

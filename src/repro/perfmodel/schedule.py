@@ -84,6 +84,23 @@ def schedule_fifo(
     return ScheduleResult(assignments=assignments, array_loads=loads)
 
 
+def weighted_task_cells(
+    task_cells: Sequence[float], cycles_per_cell: float
+) -> List[float]:
+    """Scale cell counts into cycle costs via the optimizer's cost model.
+
+    The packing above treats a task's cost as its cell count, which
+    assumes every cell takes the same time.  The static cost model
+    (:attr:`repro.opt.cost.ProgramCost.cycles_per_cell` -- one cycle
+    per VLIW bundle) turns counts into cycles, so schedules for an
+    optimized program (fewer bundles per cell) can be compared with the
+    unoptimized baseline in one unit.
+    """
+    if cycles_per_cell <= 0:
+        raise ValueError("cycles_per_cell must be positive")
+    return [cells * cycles_per_cell for cells in task_cells]
+
+
 def tile_throughput_efficiency(
     task_cells: Sequence[float], arrays: int = DEFAULT_ARRAYS
 ) -> float:

@@ -1,0 +1,177 @@
+"""The lint analyses and the whole-kernel report."""
+
+import json
+
+from repro.diagnostics import Diagnostic, Severity
+from repro.dfg.graph import Opcode
+from repro.dpmap.codegen import CellProgram
+from repro.guard.verifier import MachineLimits
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.opt.lint import PRESSURE_WARNING_FRACTION, lint_program, run_lint
+
+
+def way(dest, opcode, *operands, root=None, right=None):
+    return CUInstruction(
+        kind="tree",
+        dest=Reg(dest),
+        left=SlotOp(opcode, tuple(operands)),
+        right=right,
+        root=root,
+    )
+
+
+def program(bundles, inputs, outputs):
+    return CellProgram(
+        mapping=None,
+        instructions=[
+            VLIWInstruction(cu0=b[0], cu1=b[1] if len(b) > 1 else None)
+            for b in bundles
+        ],
+        input_regs=dict(inputs),
+        output_regs=dict(outputs),
+        node_regs={},
+    )
+
+
+def rules(findings):
+    return {d.rule for d in findings}
+
+
+class TestDiagnosticsType:
+    def test_verifier_violation_is_the_shared_diagnostic(self):
+        from repro.guard.verifier import Violation
+
+        assert Violation is Diagnostic
+
+    def test_severity_labels_round_trip(self):
+        for severity in Severity:
+            assert Severity.from_label(severity.label) is severity
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+
+    def test_str_keeps_the_legacy_error_format(self):
+        error = Diagnostic(rule="r", message="m", bundle=2)
+        assert str(error) == "r [bundle 2]: m"
+        note = Diagnostic(rule="r", message="m", severity=Severity.INFO)
+        assert str(note) == "info r: m"
+
+
+class TestLintProgram:
+    def test_clean_program_has_no_findings(self):
+        prog = program(
+            [[way(1, Opcode.ADD, Reg(0), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": 1},
+        )
+        assert lint_program("t", prog) == []
+
+    def test_dead_instruction_flagged(self):
+        prog = program(
+            [[way(1, Opcode.ADD, Reg(0), Imm(1)), way(2, Opcode.SUB, Reg(0), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": 1},
+        )
+        findings = lint_program("t", prog)
+        assert rules(findings) == {"dead-instruction"}
+        (finding,) = findings
+        assert finding.severity is Severity.WARNING
+        assert finding.bundle == 0 and finding.way == "cu1"
+
+    def test_dead_slot_flagged(self):
+        w = way(
+            1, Opcode.ADD, Reg(0), Imm(1),
+            right=SlotOp(Opcode.SUB, (Reg(0), Imm(1))),
+        )
+        prog = program([[w]], inputs={"a": 0}, outputs={"o": 1})
+        assert "dead-slot" in rules(lint_program("t", prog))
+
+    def test_redundant_copy_and_foldable_constant_are_notes(self):
+        copy = CUInstruction(
+            kind="tree", dest=Reg(1), right=SlotOp(Opcode.COPY, (Reg(0),))
+        )
+        prog = program(
+            [[copy, way(2, Opcode.ADD, Imm(2), Imm(3))],
+             [way(3, Opcode.MAX, Reg(1), Reg(2))]],
+            inputs={"a": 0},
+            outputs={"o": 3},
+        )
+        findings = lint_program("t", prog)
+        assert {"redundant-copy", "foldable-constant"} <= rules(findings)
+        assert all(d.severity is Severity.INFO for d in findings)
+
+    def test_common_subexpression_flagged(self):
+        prog = program(
+            [[way(1, Opcode.ADD, Reg(0), Imm(2)), way(2, Opcode.ADD, Reg(0), Imm(2))],
+             [way(3, Opcode.MAX, Reg(1), Reg(2))]],
+            inputs={"a": 0},
+            outputs={"o": 3},
+        )
+        assert "common-subexpression" in rules(lint_program("t", prog))
+
+    def test_schedule_slack_flagged(self):
+        prog = program(
+            [[way(1, Opcode.ADD, Reg(0), Imm(1))],
+             [way(2, Opcode.SUB, Reg(0), Imm(1))],
+             [way(3, Opcode.MAX, Reg(1), Reg(2))]],
+            inputs={"a": 0},
+            outputs={"o": 3},
+        )
+        assert "schedule-slack" in rules(lint_program("t", prog))
+
+    def test_unconsumed_output_needs_a_contract(self):
+        prog = program(
+            [[way(1, Opcode.ADD, Reg(0), Imm(1)), way(2, Opcode.SUB, Reg(0), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": 1, "dir": 2},
+        )
+        assert "unconsumed-output" not in rules(lint_program("t", prog))
+        findings = lint_program("t", prog, contract=frozenset({"o"}))
+        assert "unconsumed-output" in rules(findings)
+
+    def test_register_pressure_thresholds(self):
+        limits = MachineLimits()
+        hot = int(PRESSURE_WARNING_FRACTION * limits.rf_size)
+        prog = program(
+            [[way(hot, Opcode.ADD, Reg(0), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": hot},
+        )
+        # register_count derives from the allocation map, so record it.
+        prog.node_regs[0] = hot
+        assert prog.register_count == hot + 1
+        findings = [
+            d for d in lint_program("t", prog) if d.rule == "register-pressure"
+        ]
+        assert [d.severity for d in findings] == [Severity.WARNING]
+
+
+class TestRunLint:
+    def test_all_kernels_are_clean(self):
+        report = run_lint()
+        assert report.ok
+        assert report.exit_code() == 0
+        assert report.count(Severity.ERROR) == 0
+        assert {p.name for p in report.programs} == {
+            "bsw", "pairhmm", "poa:edge", "poa:final",
+            "chain", "dtw", "bellman_ford",
+        }
+
+    def test_fail_on_info_trips_on_known_notes(self):
+        # BSW's unread traceback output is a permanent info finding.
+        report = run_lint(["bsw"])
+        assert report.exit_code(Severity.INFO) == 1
+        assert report.exit_code(Severity.ERROR) == 0
+
+    def test_report_serializes_and_renders(self):
+        report = run_lint(["dtw"])
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["ok"] is True
+        (prog,) = data["programs"]
+        assert prog["cost"]["instructions"] >= prog["optimized_cost"]["instructions"]
+        assert "gendp-lint:" in report.render()
+
+    def test_optimized_costs_show_the_wins(self):
+        report = run_lint(["bsw"])
+        (prog,) = report.programs
+        assert prog.cost.instructions == 4
+        assert prog.optimized_cost.instructions == 3
+        assert prog.opt_stats["instructions_eliminated"] == 1

@@ -1,0 +1,186 @@
+"""The def/use model: linearization, liveness, heights."""
+
+import pytest
+
+from repro.dfg.graph import Opcode
+from repro.dpmap.codegen import CellProgram, compile_cell
+from repro.engine.runners import build_dfg
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.opt.model import (
+    NonSSAProgramError,
+    critical_path,
+    heights,
+    is_pure_copy,
+    linearize,
+    live_sets,
+    live_ways,
+    peak_live,
+    schedule_lower_bound,
+    way_reads,
+    way_slots,
+)
+
+
+def way(dest, opcode, *operands, root=None):
+    return CUInstruction(
+        kind="tree",
+        dest=Reg(dest),
+        left=SlotOp(opcode, tuple(operands)),
+        root=root,
+    )
+
+
+def program(bundles, inputs, outputs):
+    return CellProgram(
+        mapping=None,
+        instructions=[
+            VLIWInstruction(cu0=b[0], cu1=b[1] if len(b) > 1 else None)
+            for b in bundles
+        ],
+        input_regs=dict(inputs),
+        output_regs=dict(outputs),
+        node_regs={},
+    )
+
+
+class TestWayHelpers:
+    def test_way_reads_in_operand_order_with_repeats(self):
+        w = way(3, Opcode.ADD, Reg(1), Reg(1))
+        assert way_reads(w) == [1, 1]
+        assert len(way_slots(w)) == 1
+
+    def test_mul_way_slots(self):
+        w = CUInstruction(
+            kind="mul", dest=Reg(2), mul=SlotOp(Opcode.MUL, (Reg(0), Imm(3)))
+        )
+        assert way_reads(w) == [0]
+        assert len(way_slots(w)) == 1
+
+    def test_pure_copy_detection(self):
+        copy = CUInstruction(
+            kind="tree", dest=Reg(4), right=SlotOp(Opcode.COPY, (Reg(1),))
+        )
+        assert is_pure_copy(copy) == Reg(1)
+        assert is_pure_copy(way(4, Opcode.ADD, Reg(0), Reg(1))) is None
+        # A copy under a root is a real computation, not a forward.
+        rooted = CUInstruction(
+            kind="tree",
+            dest=Reg(4),
+            left=SlotOp(Opcode.COPY, (Reg(1),)),
+            root=Opcode.MAX,
+        )
+        assert is_pure_copy(rooted) is None
+
+
+class TestLinearize:
+    def test_flattens_in_issue_order_with_origins(self):
+        prog = program(
+            [
+                [way(2, Opcode.ADD, Reg(0), Reg(1)), way(3, Opcode.SUB, Reg(0), Imm(1))],
+                [way(4, Opcode.MAX, Reg(2), Reg(3))],
+            ],
+            inputs={"a": 0, "b": 1},
+            outputs={"o": 4},
+        )
+        lp = linearize(prog)
+        assert [w.dest.index for w in lp.ways] == [2, 3, 4]
+        assert lp.origin_bundles == [0, 0, 1]
+        assert lp.dependencies() == [set(), set(), {0, 1}]
+        assert lp.readers()[0] == {2}
+
+    def test_rejects_double_write(self):
+        prog = program(
+            [
+                [way(2, Opcode.ADD, Reg(0), Imm(1))],
+                [way(2, Opcode.SUB, Reg(0), Imm(1))],
+            ],
+            inputs={"a": 0},
+            outputs={"o": 2},
+        )
+        with pytest.raises(NonSSAProgramError):
+            linearize(prog)
+
+    def test_rejects_input_overwrite(self):
+        prog = program(
+            [[way(0, Opcode.ADD, Reg(0), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": 0},
+        )
+        with pytest.raises(NonSSAProgramError):
+            linearize(prog)
+
+    def test_rejects_read_before_write(self):
+        prog = program(
+            [[way(2, Opcode.ADD, Reg(9), Imm(1))]],
+            inputs={"a": 0},
+            outputs={"o": 2},
+        )
+        with pytest.raises(NonSSAProgramError):
+            linearize(prog)
+
+    def test_compiled_kernels_are_ssa(self):
+        for kernel in ("bsw", "pairhmm", "chain", "dtw"):
+            prog = compile_cell(build_dfg(kernel))
+            lp = linearize(prog)
+            assert len(lp.ways) == sum(
+                len(b.ways) for b in prog.instructions
+            )
+
+
+class TestLiveness:
+    def test_live_sets_track_last_use(self):
+        prog = program(
+            [
+                [way(2, Opcode.ADD, Reg(0), Reg(1))],
+                [way(3, Opcode.SUB, Reg(2), Reg(1))],
+            ],
+            inputs={"a": 0, "b": 1},
+            outputs={"o": 3},
+        )
+        sets = live_sets(prog.instructions, prog.input_regs, prog.output_regs)
+        assert sets[0] == {0, 1}  # both inputs still needed
+        assert sets[1] == {1, 2}  # a is dead after bundle 0
+        assert sets[2] == {3}  # only the output survives
+        assert peak_live(
+            prog.instructions, prog.input_regs, prog.output_regs
+        ) == 2
+
+    def test_live_ways_is_transitive(self):
+        prog = program(
+            [
+                [way(2, Opcode.ADD, Reg(0), Imm(1)), way(3, Opcode.SUB, Reg(0), Imm(1))],
+                [way(4, Opcode.MAX, Reg(2), Imm(0))],
+            ],
+            inputs={"a": 0},
+            outputs={"o": 4},
+        )
+        # Way writing r3 feeds nothing.
+        assert live_ways(linearize(prog)) == {0, 2}
+
+
+class TestHeights:
+    def test_chain_heights_and_bounds(self):
+        prog = program(
+            [
+                [way(2, Opcode.ADD, Reg(0), Imm(1)), way(5, Opcode.SUB, Reg(0), Imm(2))],
+                [way(3, Opcode.ADD, Reg(2), Imm(1))],
+                [way(4, Opcode.ADD, Reg(3), Imm(1))],
+            ],
+            inputs={"a": 0},
+            outputs={"o": 4, "p": 5},
+        )
+        lp = linearize(prog)
+        assert heights(lp) == [3, 1, 2, 1]
+        assert critical_path(lp) == 3
+        assert schedule_lower_bound(lp) == 3
+
+    def test_width_bound_dominates_flat_programs(self):
+        ways = [way(10 + i, Opcode.ADD, Reg(0), Imm(i)) for i in range(5)]
+        prog = program(
+            [[w] for w in ways],
+            inputs={"a": 0},
+            outputs={f"o{i}": 10 + i for i in range(5)},
+        )
+        lp = linearize(prog)
+        assert critical_path(lp) == 1
+        assert schedule_lower_bound(lp) == 3  # ceil(5 / 2)

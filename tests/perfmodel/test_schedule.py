@@ -7,6 +7,7 @@ from repro.perfmodel.schedule import (
     schedule_fifo,
     schedule_lpt,
     tile_throughput_efficiency,
+    weighted_task_cells,
 )
 
 
@@ -79,3 +80,26 @@ class TestEfficiency:
     def test_empty_batch_rejected(self):
         with pytest.raises(ValueError):
             tile_throughput_efficiency([])
+
+
+class TestWeightedTaskCells:
+    def test_scales_by_the_cost_model(self):
+        from repro.dpmap.codegen import compile_cell
+        from repro.engine.runners import build_dfg
+        from repro.opt import contract_for, cost_of, default_pipeline
+
+        program = compile_cell(build_dfg("bsw"))
+        outcome = default_pipeline(contract_for("bsw")).run(program)
+        before = cost_of(program).cycles_per_cell
+        after = cost_of(outcome.program).cycles_per_cell
+        cells = [100.0, 250.0]
+        assert weighted_task_cells(cells, before) == [400.0, 1000.0]
+        assert weighted_task_cells(cells, after) == [300.0, 750.0]
+        # Same packing, cheaper cycles: makespan shrinks proportionally.
+        slow = schedule_lpt(weighted_task_cells(cells, before)).makespan
+        fast = schedule_lpt(weighted_task_cells(cells, after)).makespan
+        assert fast == pytest.approx(slow * after / before)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_task_cells([1.0], 0)

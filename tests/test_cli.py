@@ -12,6 +12,7 @@ from repro.cli import (
     chaos_main,
     compile_main,
     guard_main,
+    lint_main,
     report_main,
     simulate_main,
 )
@@ -39,6 +40,36 @@ class TestCompile:
     def test_unknown_kernel_rejected(self):
         with pytest.raises(SystemExit):
             compile_main(["nope"])
+
+    def test_stats_prints_before_after_costs(self, capsys):
+        assert compile_main(["bsw", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "optimizer cost model (before -> after):" in out
+        assert "bundles/cell    : 4 -> 3" in out
+
+    def test_stats_requires_hardware_depth(self):
+        with pytest.raises(SystemExit):
+            compile_main(["bsw", "--stats", "--levels", "1"])
+
+
+class TestLint:
+    def test_all_kernels_exit_zero(self, capsys):
+        assert lint_main([]) == 0
+        out = capsys.readouterr().out
+        assert "gendp-lint: 7 programs, 0 errors" in out
+
+    def test_kernel_subset_and_json(self, capsys):
+        assert lint_main(["--kernels", "dtw", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] is True
+        assert [p["name"] for p in data["programs"]] == ["dtw"]
+
+    def test_fail_on_info_trips_on_known_notes(self, capsys):
+        assert lint_main(["--kernels", "bsw", "--fail-on", "info"]) == 1
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            lint_main(["--kernels", "nope"])
 
 
 class TestSimulate:
