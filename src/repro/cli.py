@@ -21,6 +21,12 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-lint`` -- run the optimizer's report-only analyses
   (:mod:`repro.opt.lint`) over the compiled kernel programs and print
   structured diagnostics; fails only at error severity by default.
+- ``gendp-trace`` -- run a job stream through the engine with a
+  :class:`~repro.obs.trace.TraceRecorder` attached and write the
+  Chrome-trace JSON (open it in Perfetto or ``chrome://tracing``).
+- ``gendp-metrics`` -- render a saved metrics snapshot as Prometheus
+  text or JSON (``render``), or serve a live/saved snapshot over a
+  stdlib HTTP scrape endpoint (``serve``).
 
 All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
@@ -440,6 +446,15 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--json", action="store_true", help="dump the metrics snapshot as JSON"
     )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write the final metrics snapshot (with derived histogram "
+            "quantiles) as JSON to PATH"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers must be non-negative")
@@ -485,6 +500,13 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         snapshot = engine.snapshot()
     elapsed = _time.perf_counter() - started
     interrupted = shutdown.signum
+
+    if args.metrics_out:
+        from repro.obs.export import snapshot_json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_json(snapshot))
+            handle.write("\n")
 
     validated = failed = 0
     per_kernel: dict = {}
@@ -806,6 +828,238 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
     else:
         print(report.render())
     return report.exit_code(Severity.from_label(args.fail_on))
+
+
+# ----------------------------------------------------------------------
+# gendp-trace
+
+
+@_pipe_safe
+def trace_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-trace",
+        description=(
+            "Run a job stream through the execution engine with tracing "
+            "attached and write the Chrome-trace JSON (Perfetto / "
+            "chrome://tracing)."
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=24, help="synthetic job count"
+    )
+    parser.add_argument(
+        "--kernels",
+        default="bsw",
+        help="comma-separated engine kernels for the synthetic stream",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker processes (0 = in-process execution)",
+    )
+    parser.add_argument(
+        "--validate-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of ok results re-checked (adds job:validate spans)",
+    )
+    parser.add_argument(
+        "--out",
+        default="gendp-trace.json",
+        metavar="PATH",
+        help="Chrome-trace output path",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="also write the metrics snapshot (with quantiles) as JSON",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit structured JSON logs (with trace_id) to stderr",
+    )
+    args = parser.parse_args(argv)
+    if args.jobs <= 0:
+        parser.error("--jobs must be positive")
+    if args.workers < 0:
+        parser.error("--workers must be non-negative")
+    if not 0.0 <= args.validate_fraction <= 1.0:
+        parser.error("--validate-fraction must be in [0, 1]")
+
+    from repro.engine import Engine, EngineConfig
+    from repro.obs.logs import configure_json_logging
+    from repro.obs.trace import TraceRecorder, validate_chrome_trace
+
+    if args.log_json:
+        configure_json_logging()
+
+    kernels = [k.strip() for k in args.kernels.split(",") if k.strip()]
+    if not kernels:
+        raise SystemExit("--kernels must name at least one kernel")
+    jobs = _synthesize_jobs(kernels, args.jobs, args.seed)
+
+    tracer = TraceRecorder()
+    config = EngineConfig(
+        max_queue=max(len(jobs), 1),
+        workers=args.workers,
+        validate_fraction=args.validate_fraction,
+    )
+    with Engine(config, tracer=tracer) as engine:
+        engine.submit_many(jobs)
+        results = engine.drain()
+        snapshot = engine.snapshot()
+
+    document = tracer.to_chrome_trace()
+    problems = validate_chrome_trace(document)
+    if problems:
+        for problem in problems:
+            print(f"trace schema violation: {problem}", file=sys.stderr)
+        return 1
+    tracer.write(args.out)
+    if args.metrics_out:
+        from repro.obs.export import snapshot_json
+
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(snapshot_json(snapshot))
+            handle.write("\n")
+
+    ok = sum(1 for result in results if result.ok)
+    span_names = sorted({span.name for span in tracer.spans()})
+    print(f"trace id     : {tracer.trace_id}")
+    print(f"jobs         : {ok}/{len(results)} ok")
+    print(f"events       : {len(document['traceEvents'])} "
+          f"({tracer.dropped} dropped)")
+    print(f"span names   : {', '.join(span_names)}")
+    print(f"trace written: {args.out}")
+    if args.metrics_out:
+        print(f"metrics      : {args.metrics_out}")
+    return 0 if ok == len(results) else 1
+
+
+# ----------------------------------------------------------------------
+# gendp-metrics
+
+
+def _load_snapshot(path: str) -> dict:
+    import json
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            snapshot = json.load(handle)
+    except OSError as error:
+        raise SystemExit(f"cannot read snapshot {path!r}: {error}")
+    except json.JSONDecodeError as error:
+        raise SystemExit(f"snapshot {path!r} is not valid JSON: {error}")
+    if not isinstance(snapshot, dict):
+        raise SystemExit(f"snapshot {path!r} must be a JSON object")
+    return snapshot
+
+
+def _demo_snapshot(seed: int = 0) -> dict:
+    """A small live engine run, for ``gendp-metrics serve --demo``."""
+    from repro.engine import Engine, EngineConfig
+
+    jobs = _synthesize_jobs(["bsw", "lcs"], 8, seed)
+    with Engine(EngineConfig(max_queue=len(jobs))) as engine:
+        engine.submit_many(jobs)
+        engine.drain()
+        return engine.snapshot()
+
+
+@_pipe_safe
+def metrics_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-metrics",
+        description=(
+            "Render or serve engine metrics snapshots (Prometheus text "
+            "or JSON with derived quantiles)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    render = sub.add_parser(
+        "render", help="convert a saved snapshot to an exposition format"
+    )
+    render.add_argument(
+        "--snapshot", required=True, metavar="PATH", help="saved snapshot JSON"
+    )
+    render.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="output format",
+    )
+    render.add_argument(
+        "--namespace", default="gendp", help="metric name prefix"
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a snapshot over an HTTP scrape endpoint"
+    )
+    serve.add_argument(
+        "--snapshot", metavar="PATH", help="saved snapshot JSON to serve"
+    )
+    serve.add_argument(
+        "--demo",
+        action="store_true",
+        help="serve the snapshot of a small live engine run",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=9101, help="0 binds an ephemeral port"
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve before exiting (default: until interrupted)",
+    )
+    serve.add_argument("--namespace", default="gendp")
+    args = parser.parse_args(argv)
+
+    from repro.obs.export import prometheus_text, snapshot_json
+
+    if args.command == "render":
+        snapshot = _load_snapshot(args.snapshot)
+        if args.format == "prometheus":
+            sys.stdout.write(prometheus_text(snapshot, namespace=args.namespace))
+        else:
+            print(snapshot_json(snapshot))
+        return 0
+
+    # serve
+    if bool(args.snapshot) == bool(args.demo):
+        parser.error("serve needs exactly one of --snapshot or --demo")
+    if args.snapshot:
+        snapshot = _load_snapshot(args.snapshot)
+    else:
+        snapshot = _demo_snapshot()
+
+    import time as _time
+
+    from repro.obs.server import MetricsServer
+
+    server = MetricsServer(
+        lambda: snapshot,
+        host=args.host,
+        port=args.port,
+        namespace=args.namespace,
+    )
+    with server:
+        print(f"serving metrics on {server.url}/metrics (and /metrics.json)")
+        try:
+            if args.duration is not None:
+                _time.sleep(args.duration)
+            else:
+                while True:
+                    _time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
 
 
 if __name__ == "__main__":

@@ -32,6 +32,10 @@ class SimulationResult:
     cycles: int
     pe_stats: PEStats
     finished: bool
+    #: Per-PE cycle accounting (:class:`repro.obs.profile.ProfileReport`)
+    #: when the machine ran with :meth:`DPAxMachine.enable_profiling`.
+    profile: Optional[object] = None
+
     #: Derived occupancy: compute bundles / (PE cycles), over started PEs.
     def compute_occupancy(self) -> float:
         if self.pe_stats.cycles == 0:
@@ -61,6 +65,27 @@ class DPAxMachine:
             for i in range(fp_arrays)
         ]
         self.cycles = 0
+        self._tile_profile = None
+
+    def enable_profiling(self, timeline: bool = True, max_timeline: int = 200_000):
+        """Attach cycle profiling to every array; returns a TileProfile.
+
+        Opt-in by design: an unprofiled machine pays one ``is not
+        None`` check per array per cycle (the <5% throughput budget of
+        ``benchmarks/test_simulator_throughput.py``).
+        """
+        if self._tile_profile is None:
+            from repro.obs.profile import TileProfile
+
+            self._tile_profile = TileProfile(
+                [
+                    array.enable_profiling(
+                        timeline=timeline, max_timeline=max_timeline
+                    )
+                    for array in self.arrays
+                ]
+            )
+        return self._tile_profile
 
     @property
     def arrays(self) -> List[PEArray]:
@@ -120,8 +145,14 @@ class DPAxMachine:
         stats = PEStats()
         for array in active:
             stats = stats.merge(array.merged_pe_stats())
+        profile = (
+            self._tile_profile.report() if self._tile_profile is not None else None
+        )
         return SimulationResult(
-            cycles=self.cycles - start, pe_stats=stats, finished=finished
+            cycles=self.cycles - start,
+            pe_stats=stats,
+            finished=finished,
+            profile=profile,
         )
 
 

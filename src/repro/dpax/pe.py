@@ -183,6 +183,10 @@ class PE:
         self.started = False
         self.halted = False
         self.stats = PEStats()
+        #: Optional :class:`repro.obs.profile.PEProfile`; attached by
+        #: ``PEArray.enable_profiling()``.  When None (the default)
+        #: the simulator pays one attribute check per cycle.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     # program loading
@@ -223,15 +227,23 @@ class PE:
     def _step_compute(self) -> None:
         if not self.compute_busy:
             self.stats.compute_idle += 1
+            if self.profiler is not None:
+                self.profiler.idle(self.stats.cycles)
             return
         bundle = self.compute[self.compute_pc]
+        bundle_alu_ops = 0
         for way in bundle.ways:
             value = self._execute_way(way)
             self.rf.write(way.dest.index, self._clamp(value))
-            self.stats.alu_ops += way.alu_ops
+            bundle_alu_ops += way.alu_ops
+        self.stats.alu_ops += bundle_alu_ops
         self.compute_pc += 1
         self.compute_remaining -= 1
         self.stats.compute_bundles += 1
+        if self.profiler is not None:
+            self.profiler.bundle(
+                self.stats.cycles, len(bundle.ways), bundle_alu_ops
+            )
 
     def _execute_way(self, way: CUInstruction):
         lane_count = self.config.simd_lanes
@@ -296,6 +308,23 @@ class PE:
     # ------------------------------------------------------------------
     # control thread
 
+    def _stall(self, reason: str) -> None:
+        self.stats.control_stalls += 1
+        if self.profiler is not None:
+            self.profiler.stall(reason)
+
+    @staticmethod
+    def _empty_reason(loc: Loc) -> str:
+        return "fifo_empty" if loc.space is Space.FIFO else "in_empty"
+
+    @staticmethod
+    def _full_reason(loc: Loc) -> str:
+        if loc.space is Space.FIFO:
+            return "fifo_full"
+        if loc.space is Space.OUT:
+            return "out_full"
+        return "dest_full"
+
     def _step_control(self) -> None:
         if self.pc >= len(self.control):
             self.halted = True
@@ -339,7 +368,7 @@ class PE:
             return
         if op is ControlOp.SET:
             if self.compute_busy:
-                self.stats.control_stalls += 1
+                self._stall("compute_busy")
                 return
             if not 0 <= instruction.target <= len(self.compute):
                 raise StorageError(f"set target out of range: {instruction.target}")
@@ -352,10 +381,10 @@ class PE:
             return
         if op is ControlOp.LI:
             if self._blocked_on_compute(instruction.dest):
-                self.stats.control_stalls += 1
+                self._stall("compute_fence")
                 return
             if not self._write_loc(instruction.dest, instruction.imm):
-                self.stats.control_stalls += 1
+                self._stall(self._full_reason(instruction.dest))
                 return
             self.pc += 1
             self.stats.control_executed += 1
@@ -364,18 +393,18 @@ class PE:
             if self._blocked_on_compute(instruction.dest) or self._blocked_on_compute(
                 instruction.src
             ):
-                self.stats.control_stalls += 1
+                self._stall("compute_fence")
                 return
             value = self._read_loc(instruction.src)
             if value is None:
-                self.stats.control_stalls += 1
+                self._stall(self._empty_reason(instruction.src))
                 return
             if not self._write_loc(instruction.dest, value):
                 # Destination full: the popped value must not be lost.
                 # Ports are only full transiently; re-push is safe
                 # because this thread is the only producer this cycle.
                 self._unread_loc(instruction.src, value)
-                self.stats.control_stalls += 1
+                self._stall(self._full_reason(instruction.dest))
                 return
             self.pc += 1
             self.stats.control_executed += 1

@@ -67,6 +67,9 @@ class PEArray:
         self.halted = False
         self.control_executed = 0
         self.control_stalls = 0
+        #: Optional :class:`repro.obs.profile.ArrayProfile`; see
+        #: :meth:`enable_profiling`.
+        self.profiler = None
 
     # ------------------------------------------------------------------
 
@@ -90,6 +93,28 @@ class PEArray:
             self._step_control()
         for pe in self.pes:
             pe.step()
+        if self.profiler is not None:
+            self.profiler.sample(len(self.fifo))
+
+    def enable_profiling(self, timeline: bool = True, max_timeline: int = 200_000):
+        """Attach per-PE cycle profiling; returns the ArrayProfile.
+
+        Idempotent: a second call returns the already-attached profile
+        so counters keep accumulating across runs.
+        """
+        if self.profiler is None:
+            from repro.obs.profile import ArrayProfile
+
+            profile = ArrayProfile(
+                self.array_index,
+                len(self.pes),
+                timeline=timeline,
+                max_timeline=max_timeline,
+            )
+            self.profiler = profile
+            for pe, pe_profile in zip(self.pes, profile.pes):
+                pe.profiler = pe_profile
+        return self.profiler
 
     def merged_pe_stats(self) -> PEStats:
         stats = PEStats()
@@ -99,6 +124,23 @@ class PEArray:
 
     # ------------------------------------------------------------------
     # array control thread
+
+    def _stall(self, reason: str) -> None:
+        self.control_stalls += 1
+        if self.profiler is not None:
+            self.profiler.control_stall(reason)
+
+    @staticmethod
+    def _empty_reason(loc: Loc) -> str:
+        return "fifo_empty" if loc.space is Space.FIFO else "in_empty"
+
+    @staticmethod
+    def _full_reason(loc: Loc) -> str:
+        if loc.space is Space.FIFO:
+            return "fifo_full"
+        if loc.space is Space.OUT:
+            return "out_full"
+        return "dest_full"
 
     def _step_control(self) -> None:
         if self.pc >= len(self.control):
@@ -144,18 +186,18 @@ class PEArray:
             return
         if op is ControlOp.LI:
             if not self._write_loc(instruction.dest, instruction.imm):
-                self.control_stalls += 1
+                self._stall(self._full_reason(instruction.dest))
                 return
             self._advance()
             return
         if op is ControlOp.MV:
             value = self._read_loc(instruction.src)
             if value is None:
-                self.control_stalls += 1
+                self._stall(self._empty_reason(instruction.src))
                 return
             if not self._write_loc(instruction.dest, value):
                 self._unread_loc(instruction.src, value)
-                self.control_stalls += 1
+                self._stall(self._full_reason(instruction.dest))
                 return
             self._advance()
             return

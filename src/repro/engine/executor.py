@@ -33,6 +33,9 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.batcher import Batch
 from repro.engine.cache import CompiledProgram
+from repro.obs.logs import get_logger
+
+_LOG = get_logger("repro.engine.executor")
 
 
 @dataclass
@@ -152,6 +155,9 @@ class PoolExecutor:
             except Exception:
                 # No semaphores / fork support: stay inline forever.
                 self._pool_broken = True
+                _LOG.warning(
+                    "process pool unavailable; degrading to inline execution"
+                )
         return self._pool
 
     def _recreate_pool(self) -> None:
@@ -250,10 +256,27 @@ class PoolExecutor:
             except Exception:
                 flight.future.cancel()
                 retry_self = flight.attempts <= self.max_retries
+                _LOG.warning(
+                    "batch failed on pool",
+                    extra={
+                        "batch_id": flight.batch.batch_id,
+                        "kernel": flight.batch.kernel,
+                        "attempts": flight.attempts,
+                        "retrying": retry_self,
+                    },
+                )
                 pool = self._failover(flights, index, retry_self)
                 if not retry_self or pool is None:
                     break
         # Retries exhausted (or the pool died for good): run inline.
+        _LOG.warning(
+            "batch degraded to inline",
+            extra={
+                "batch_id": flight.batch.batch_id,
+                "kernel": flight.batch.kernel,
+                "attempts": flight.attempts,
+            },
+        )
         inline_started = time.perf_counter()
         results = execute_batch_payloads(
             flight.batch.kernel,

@@ -9,6 +9,7 @@ registry as a plain nested dict -- the contract every later exporter
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -89,12 +90,9 @@ class Histogram:
             self.counts = [0] * (len(self.bounds) + 1)
 
     def observe(self, value: float) -> None:
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if value <= bound:
-                index = i
-                break
-        self.counts[index] += 1
+        # bisect_left preserves the ``value <= bound`` bucket edge the
+        # linear scan used (a value equal to a bound stays in its bucket).
+        self.counts[bisect_left(self.bounds, value)] += 1
         self.count += 1
         self.total += value
         self.minimum = value if self.minimum is None else min(self.minimum, value)
@@ -103,6 +101,21 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-quantile by interpolating within buckets.
+
+        Shares the estimator with the exporters
+        (:func:`repro.obs.export.quantile_from_buckets`), clamped to
+        the tracked min/max so tails never extrapolate past observed
+        values.
+        """
+        from repro.obs.export import quantile_from_buckets
+
+        buckets = list(zip(list(self.bounds) + ["inf"], self.counts))
+        return quantile_from_buckets(
+            buckets, q, minimum=self.minimum, maximum=self.maximum
+        )
 
     def snapshot(self) -> Dict[str, object]:
         return {

@@ -45,6 +45,7 @@ from repro.engine.cache import CompiledProgram
 from repro.engine.jobs import JobValidationError
 from repro.guard.sentinels import Sentinel, make_sentinel
 from repro.kernels.chain import DEFAULT_AVG_SEED_WEIGHT, Anchor
+from repro.obs.trace import worker_span
 from repro.kernels.pairhmm import (
     LOG_FRACTION_BITS,
     HMMParameters,
@@ -426,6 +427,12 @@ def run_job(
         raise RuntimeError("injected job failure")
     global _SENTINEL
     sentinel = make_sentinel(kernel) if payload.get("_sentinels") else None
+    # ``_trace`` carries the engine's correlation ids (see
+    # Engine.submit); the span travels back inside the result dict the
+    # same way sentinel counts do, because workers are separate
+    # processes and cannot share the recorder.
+    trace = payload.get("_trace")
+    run_started = time.time() if trace is not None else 0.0
     try:
         _SENTINEL = sentinel
         value = _RUNNERS[kernel](compiled, payload)
@@ -435,6 +442,18 @@ def run_job(
         value = corrupt_value(value)
     if sentinel is not None and isinstance(value, dict):
         value["_sentinels"] = sentinel.snapshot()
+    if trace is not None and isinstance(value, dict):
+        value["_trace_spans"] = [
+            worker_span(
+                "job:run",
+                run_started,
+                time.time(),
+                kernel=kernel,
+                trace_id=trace.get("trace_id") if isinstance(trace, dict) else None,
+                job_id=trace.get("job_id") if isinstance(trace, dict) else None,
+                in_pool=_in_pool_worker(),
+            )
+        ]
     return value
 
 

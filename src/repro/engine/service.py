@@ -46,6 +46,9 @@ from repro.engine.metrics import (
 )
 from repro.engine.runners import build_dfg, matches_reference, reference_result
 from repro.guard.verifier import check_program
+from repro.obs.logs import get_logger, log_context
+
+_LOG = get_logger("repro.engine.service")
 
 
 class BackpressureError(RuntimeError):
@@ -125,10 +128,25 @@ class EngineConfig:
 
 
 class Engine:
-    """Batched, cached, parallel execution of DP jobs."""
+    """Batched, cached, parallel execution of DP jobs.
 
-    def __init__(self, config: Optional[EngineConfig] = None):
+    ``tracer`` (a :class:`repro.obs.trace.TraceRecorder`) is an
+    ``__init__`` parameter rather than a config field because
+    :class:`EngineConfig` is frozen and hashable while a recorder is
+    live mutable state.  With a tracer attached, the engine emits the
+    full job lifecycle -- submit instants, queue waits, per-batch
+    compile (with cache hit counts) and execute spans, validation
+    spans, expiry/quarantine events and the drain envelope -- and
+    ingests ``job:run`` spans shipped back from worker processes.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        tracer: Optional[object] = None,
+    ):
         self.config = config or EngineConfig()
+        self.tracer = tracer
         self.cache = ProgramCache(capacity=self.config.cache_capacity)
         self.batcher = Batcher(capacity=self.config.batch_capacity)
         self.executor = make_executor(
@@ -162,9 +180,24 @@ class Engine:
         payload = job.payload
         if self.config.sentinels and not payload.get("_sentinels"):
             payload = dict(payload, _sentinels=True)
+        if self.tracer is not None and "_trace" not in payload:
+            # Correlation ids ride inside the payload so worker
+            # processes (which cannot share the recorder) can stamp
+            # their spans with the same trace/job ids.
+            payload = dict(
+                payload,
+                _trace={
+                    "trace_id": self.tracer.trace_id,
+                    "job_id": job.job_id,
+                },
+            )
         stamped = replace(job, payload=payload, submitted_at=time.monotonic())
         self._queue.append(stamped)
         self.metrics.incr("jobs_submitted")
+        if self.tracer is not None:
+            self.tracer.event(
+                "job:submit", job_id=stamped.job_id, kernel=stamped.kernel
+            )
         return stamped
 
     def submit_many(self, jobs: List[Job]) -> List[Job]:
@@ -187,13 +220,21 @@ class Engine:
         jobs, self._queue = self._queue, []
         if not jobs:
             return []
+        trace_id = self.tracer.trace_id if self.tracer is not None else None
+        with log_context(trace_id=trace_id):
+            return self._drain(jobs)
+
+    def _drain(self, jobs: List[Job]) -> List[JobResult]:
         self._last_drain_fault = None
+        _LOG.info("drain started", extra={"jobs": len(jobs)})
+        drain_start = self.tracer.now() if self.tracer is not None else 0.0
         results: Dict[int, JobResult] = {}
         try:
             self._execute_drain(jobs, results)
         except Exception as error:
             self.metrics.incr("drain_faults")
             self._last_drain_fault = f"{type(error).__name__}: {error}"
+            _LOG.error("drain fault: %s", self._last_drain_fault)
 
         ordered: List[JobResult] = []
         for job in jobs:
@@ -212,18 +253,52 @@ class Engine:
             if not result.ok and result.error != "deadline-expired":
                 self._dead_letter(job, result)
             ordered.append(result)
+        ok_count = sum(1 for result in ordered if result.ok)
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "engine:drain",
+                drain_start,
+                self.tracer.now(),
+                jobs=len(jobs),
+                ok=ok_count,
+                failed=len(ordered) - ok_count,
+            )
+        _LOG.info(
+            "drain complete",
+            extra={
+                "jobs": len(jobs),
+                "ok": ok_count,
+                "failed": len(ordered) - ok_count,
+            },
+        )
         return ordered
 
     def _execute_drain(self, jobs: List[Job], results: Dict[int, JobResult]) -> None:
         now = time.monotonic()
+        # ``submitted_at`` is monotonic; translate queue waits onto the
+        # tracer's (wall-clock) axis by ending them "now".
+        wall = self.tracer.now() if self.tracer is not None else 0.0
         live: List[Job] = []
         for job in jobs:
             waited = now - job.submitted_at
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "job:queue",
+                    wall - waited,
+                    wall,
+                    cat="queue",
+                    job_id=job.job_id,
+                    kernel=job.kernel,
+                )
             expired = job.deadline_s is not None and (
                 job.deadline_s == 0 or waited > job.deadline_s
             )
             if expired:
                 self.metrics.incr("jobs_expired")
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "job:expired", job_id=job.job_id, kernel=job.kernel
+                    )
                 results[job.job_id] = JobResult(
                     job_id=job.job_id,
                     kernel=job.kernel,
@@ -232,6 +307,10 @@ class Engine:
                     timings={"queue_wait_s": waited},
                 )
             elif job.kernel in self._quarantined:
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "job:reference", job_id=job.job_id, kernel=job.kernel
+                    )
                 self._run_reference(job, results)
             else:
                 live.append(job)
@@ -244,10 +323,31 @@ class Engine:
         # A failed compile fails its batch's jobs, not the drain.
         executable: List[Tuple[Batch, CompiledProgram, Dict[str, object]]] = []
         for batch in batches:
+            compile_start = (
+                self.tracer.now() if self.tracer is not None else 0.0
+            )
             try:
                 compiled, hits = self._resolve_program(batch)
             except Exception as error:
                 self.metrics.incr("compile_failed_batches")
+                if self.tracer is not None:
+                    self.tracer.add_span(
+                        "batch:compile",
+                        compile_start,
+                        self.tracer.now(),
+                        cat="compile",
+                        batch_id=batch.batch_id,
+                        kernel=batch.kernel,
+                        ok=False,
+                    )
+                _LOG.warning(
+                    "compile failed",
+                    extra={
+                        "kernel": batch.kernel,
+                        "batch_id": batch.batch_id,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                )
                 for job in batch.jobs:
                     self.metrics.incr("jobs_failed")
                     results[job.job_id] = JobResult(
@@ -258,6 +358,19 @@ class Engine:
                         batch_id=batch.batch_id,
                     )
                 continue
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "batch:compile",
+                    compile_start,
+                    self.tracer.now(),
+                    cat="compile",
+                    batch_id=batch.batch_id,
+                    kernel=batch.kernel,
+                    jobs=len(batch.jobs),
+                    cache_hits=sum(hits.values()),
+                    cache_misses=len(hits) - sum(hits.values()),
+                    ok=True,
+                )
             self.metrics.observe(
                 "batch_occupancy", batch.occupancy, bounds=OCCUPANCY_BOUNDS
             )
@@ -396,6 +509,23 @@ class Engine:
         if outcome.attempts > 1:
             self.metrics.incr("batch_retries", outcome.attempts - 1)
         self.metrics.observe("execute_s", outcome.execute_seconds)
+        if self.tracer is not None:
+            # The executor runs all batches in one call, so per-batch
+            # execute intervals are reconstructed from the measured
+            # execute_seconds ending at fold time.
+            fold_time = self.tracer.now()
+            self.tracer.add_span(
+                "batch:execute",
+                fold_time - outcome.execute_seconds,
+                fold_time,
+                cat="execute",
+                batch_id=batch.batch_id,
+                kernel=batch.kernel,
+                jobs=len(batch.jobs),
+                backend=outcome.backend,
+                attempts=outcome.attempts,
+                degraded=outcome.degraded,
+            )
         per_job = outcome.execute_seconds / max(1, len(batch.jobs))
         for job, result in zip(batch.jobs, outcome.results):
             wait = dispatch_time - job.submitted_at
@@ -406,12 +536,29 @@ class Engine:
             if isinstance(value, dict) and "_sentinels" in value:
                 for name, count in value.pop("_sentinels").items():
                     self.metrics.incr(f"sentinel_{name}", int(count))
+            if isinstance(value, dict) and "_trace_spans" in value:
+                spans = value.pop("_trace_spans")
+                if self.tracer is not None:
+                    self.tracer.ingest(spans)
             if ok and self._should_validate():
                 self.metrics.incr("validation_checked")
+                validate_start = (
+                    self.tracer.now() if self.tracer is not None else 0.0
+                )
                 try:
                     valid = matches_reference(job.kernel, value, job.payload)
                 except Exception:
                     valid = False
+                if self.tracer is not None:
+                    self.tracer.add_span(
+                        "job:validate",
+                        validate_start,
+                        self.tracer.now(),
+                        cat="validate",
+                        job_id=job.job_id,
+                        kernel=job.kernel,
+                        valid=valid,
+                    )
                 if not valid:
                     self.metrics.incr("validation_mismatches")
                     self._quarantine(job.kernel, "validation-mismatch")
@@ -478,6 +625,14 @@ class Engine:
         if kernel not in self._quarantined:
             self._quarantined[kernel] = reason
             self.metrics.incr("kernels_quarantined")
+            if self.tracer is not None:
+                self.tracer.event(
+                    "kernel:quarantined", kernel=kernel, reason=reason
+                )
+            _LOG.warning(
+                "kernel quarantined",
+                extra={"kernel": kernel, "reason": reason},
+            )
 
     def _dead_letter(self, job: Job, result: JobResult) -> None:
         if self.config.dlq_capacity <= 0:

@@ -27,6 +27,9 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
+from repro.obs.logs import get_logger, log_context
+
+_LOG = get_logger("repro.faults.chaos")
 
 #: Chaos-safe engine kernels (pairhmm is excluded from the default mix
 #: only because its reference oracle is the slowest; pass it explicitly
@@ -287,7 +290,15 @@ def run_campaign(
     envelopes: Dict[int, Any] = {}
     submitted = rejected = 0
 
-    with Engine(engine_config) as engine:
+    _LOG.info(
+        "campaign started",
+        extra={
+            "campaign_seed": config.seed,
+            "campaign_jobs": config.jobs,
+            "workers": config.workers,
+        },
+    )
+    with log_context(campaign_seed=config.seed), Engine(engine_config) as engine:
         chunks = [
             jobs[start : start + config.chunk_jobs]
             for start in range(0, len(jobs), config.chunk_jobs)
@@ -357,6 +368,17 @@ def run_campaign(
 
     counters = snapshot["counters"]
     reliability = snapshot["reliability"]
+    _LOG.info(
+        "campaign complete",
+        extra={
+            "campaign_seed": config.seed,
+            "submitted": submitted,
+            "rejected": rejected,
+            "envelopes": len(envelopes),
+            "lost": submitted - len(envelopes),
+            "corruption_escapes": escapes,
+        },
+    )
     return CampaignReport(
         config={
             "jobs": config.jobs,

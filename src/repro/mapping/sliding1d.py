@@ -36,7 +36,7 @@ pushes the exiting anchor into the head FIFO as the next broadcast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.dfg.kernels import chain_dfg
 from repro.dpmap.codegen import CellProgram, compile_cell
@@ -240,6 +240,8 @@ class ChainRun:
     cycles: int
     cells: int
     finished: bool
+    #: :class:`repro.obs.profile.ProfileReport` when run with profiling.
+    profile: Optional[object] = None
 
     @property
     def cycles_per_cell(self) -> float:
@@ -251,6 +253,7 @@ def run_chain(
     total_pes: int = 8,
     pes_per_array: int = 4,
     max_cycles: int = 20_000_000,
+    profile: bool = False,
 ) -> ChainRun:
     """Simulate reordered chaining (window N = *total_pes*) on DPAx.
 
@@ -264,6 +267,8 @@ def run_chain(
     programs = build_chain_programs(count, total_pes, pes_per_array)
     array_count = total_pes // pes_per_array
     machine = DPAxMachine(integer_arrays=array_count, fp_arrays=0)
+    if profile:
+        machine.enable_profiling()
     if array_count > 1:
         machine.concatenate(list(range(array_count)))
 
@@ -309,6 +314,7 @@ def run_chain(
         cycles=sim.cycles,
         cells=count * total_pes,
         finished=sim.finished,
+        profile=sim.profile,
     )
 
 

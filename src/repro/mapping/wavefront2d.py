@@ -365,6 +365,8 @@ class WavefrontRun:
     epilogue_values: List[List[Dict[str, int]]]
     finished: bool
     stats: object
+    #: :class:`repro.obs.profile.ProfileReport` when run with profiling.
+    profile: Optional[object] = None
 
     @property
     def cycles_per_cell(self) -> float:
@@ -387,6 +389,7 @@ def run_wavefront(
     max_cycles: int = 5_000_000,
     simd_lanes: int = 1,
     datapath: str = "int",
+    profile: bool = False,
 ) -> WavefrontRun:
     """Build programs for one task and run them on a fresh PE array.
 
@@ -395,12 +398,15 @@ def run_wavefront(
     boundary constants are packed (see :mod:`repro.mapping.simd`).
     ``datapath="fp"`` runs on a floating-point PE array (Figure 4),
     with float boundary constants and match-table values.
+    ``profile=True`` attaches per-PE cycle accounting
+    (:mod:`repro.obs.profile`) and returns it on ``WavefrontRun.profile``.
     """
     programs = build_wavefront_programs(spec, len(target), len(stream), pe_count)
     config = PEConfig(
         match_table=spec.match_table, simd_lanes=simd_lanes, datapath=datapath
     )
     array = PEArray(array_index=0, pe_config=config, pe_count=pe_count)
+    array_profile = array.enable_profiling() if profile else None
     array.ibuf.preload(list(target), base=0)
     array.ibuf.preload(list(stream), base=len(target))
     array.load_array_control(programs.array_control)
@@ -437,4 +443,5 @@ def run_wavefront(
         epilogue_values=epilogue_values,
         finished=array.done,
         stats=array.merged_pe_stats(),
+        profile=array_profile.report() if array_profile is not None else None,
     )

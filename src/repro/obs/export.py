@@ -1,0 +1,162 @@
+"""Metrics exporters over ``MetricsRegistry.snapshot()``.
+
+Two formats from the same plain-dict snapshot contract:
+
+- :func:`prometheus_text` -- the Prometheus text exposition format
+  (counters as ``_total``, histograms as cumulative ``_bucket{le=}``
+  series plus ``_sum``/``_count`` and p50/p95/p99 quantile gauges),
+  which is what the :mod:`repro.obs.server` scrape endpoint serves;
+- :func:`snapshot_json` -- the snapshot as JSON with derived quantiles
+  injected per histogram (``gendp-batch --metrics-out`` and
+  ``gendp-trace --metrics-out`` write this).
+
+Both are pure functions of the snapshot dict, so saved snapshots
+convert offline (``gendp-metrics render``).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Quantiles the exporters derive for every histogram.
+EXPORT_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(*parts: str) -> str:
+    """A legal Prometheus metric name from snapshot key parts."""
+    return _NAME_RE.sub("_", "_".join(part for part in parts if part))
+
+
+def quantile_from_buckets(
+    buckets: Sequence[Sequence[Any]],
+    q: float,
+    minimum: Optional[float] = None,
+    maximum: Optional[float] = None,
+) -> float:
+    """Estimate the q-quantile from fixed-bucket counts.
+
+    Linear interpolation within the target bucket (the Prometheus
+    ``histogram_quantile`` estimator), clamped to the observed min/max
+    when known.  The overflow bucket has no upper bound, so a quantile
+    landing there returns the observed maximum (or the last finite
+    bound when no maximum was tracked).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    total = sum(int(count) for _, count in buckets)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cumulative = 0
+    lower = 0.0 if minimum is None else float(minimum)
+    last_finite = lower
+    for bound, count in buckets:
+        count = int(count)
+        infinite = not isinstance(bound, (int, float))
+        upper = last_finite if infinite else float(bound)
+        if count and cumulative + count >= target:
+            if infinite:
+                value = float(maximum) if maximum is not None else upper
+            else:
+                fraction = (target - cumulative) / count
+                value = lower + (upper - lower) * fraction
+            if minimum is not None:
+                value = max(value, float(minimum))
+            if maximum is not None:
+                value = min(value, float(maximum))
+            return value
+        cumulative += count
+        if not infinite:
+            lower = upper
+            last_finite = upper
+    return float(maximum) if maximum is not None else last_finite
+
+
+def histogram_quantiles(
+    histogram: Dict[str, Any], quantiles: Sequence[float] = EXPORT_QUANTILES
+) -> Dict[str, float]:
+    """p-quantile estimates for one snapshot histogram dict."""
+    return {
+        f"p{int(q * 100)}": quantile_from_buckets(
+            histogram.get("buckets", []),
+            q,
+            minimum=histogram.get("min"),
+            maximum=histogram.get("max"),
+        )
+        for q in quantiles
+    }
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _gauge_sections(snapshot: Dict[str, Any]) -> List[Tuple[str, float]]:
+    """Flatten non-counter/histogram numeric content into gauges."""
+    gauges: List[Tuple[str, float]] = []
+    for section, content in snapshot.items():
+        if section in ("counters", "histograms"):
+            continue
+        if isinstance(content, bool):
+            continue
+        if isinstance(content, (int, float)):
+            gauges.append((_metric_name(section), float(content)))
+        elif isinstance(content, dict):
+            for key, value in content.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                gauges.append((_metric_name(section, str(key)), float(value)))
+        elif isinstance(content, (list, tuple)):
+            gauges.append((_metric_name(section, "count"), float(len(content))))
+    return gauges
+
+
+def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
+    """Render a metrics snapshot in Prometheus text exposition format."""
+    lines: List[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        # Counter names already ending in _total keep a single suffix.
+        suffix = "" if name.endswith("_total") else "total"
+        metric = _metric_name(namespace, name, suffix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, histogram in sorted(snapshot.get("histograms", {}).items()):
+        metric = _metric_name(namespace, name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in histogram.get("buckets", []):
+            cumulative += int(count)
+            le = "+Inf" if not isinstance(bound, (int, float)) else repr(float(bound))
+            lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(histogram.get('sum', 0.0))}")
+        lines.append(f"{metric}_count {int(histogram.get('count', 0))}")
+        for label, value in histogram_quantiles(histogram).items():
+            quantile = int(label[1:]) / 100.0
+            lines.append(f'{metric}{{quantile="{quantile}"}} {_format_value(value)}')
+
+    for metric, value in sorted(_gauge_sections(snapshot)):
+        name = _metric_name(namespace, metric)
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(snapshot: Dict[str, Any], indent: int = 2) -> str:
+    """The snapshot as JSON, with derived quantiles per histogram."""
+    enriched = dict(snapshot)
+    histograms = {}
+    for name, histogram in snapshot.get("histograms", {}).items():
+        histograms[name] = dict(histogram, quantiles=histogram_quantiles(histogram))
+    if histograms:
+        enriched["histograms"] = histograms
+    return json.dumps(enriched, indent=indent, sort_keys=True, default=str)

@@ -1,0 +1,126 @@
+"""Structured JSON logging with correlation-id context.
+
+Stdlib ``logging`` underneath: modules grab loggers with
+:func:`get_logger` and log as usual; nothing is emitted until a caller
+(CLI, server, test) installs the JSON handler with
+:func:`configure_json_logging`.  Engine hot paths therefore pay only a
+disabled-logger check when observability is off.
+
+Correlation ids (``trace_id``/``job_id``/``batch_id``/``campaign``...)
+bind through :func:`log_context`, a contextvar-backed context manager:
+every record emitted inside the block carries the bound ids, which is
+what lets a JSON log line join against the trace file from the same
+run (``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import json
+import logging
+import sys
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+_LOG_CONTEXT: contextvars.ContextVar[Dict[str, Any]] = contextvars.ContextVar(
+    "gendp_log_context", default={}
+)
+
+#: LogRecord attributes that are plumbing, not user payload.
+_RESERVED = frozenset(
+    (
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    )
+)
+
+
+def current_context() -> Dict[str, Any]:
+    """The correlation ids bound in the current context (a copy)."""
+    return dict(_LOG_CONTEXT.get())
+
+
+@contextmanager
+def log_context(**ids: Any) -> Iterator[Dict[str, Any]]:
+    """Bind correlation ids for every record logged in the block.
+
+    ``None`` values are dropped so callers can pass optional ids
+    unconditionally.  Nested blocks merge (inner wins on conflicts).
+    """
+    merged = dict(_LOG_CONTEXT.get())
+    merged.update({key: value for key, value in ids.items() if value is not None})
+    token = _LOG_CONTEXT.set(merged)
+    try:
+        yield merged
+    finally:
+        _LOG_CONTEXT.reset(token)
+
+
+def get_logger(name: str) -> logging.Logger:
+    return logging.getLogger(name)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per line: level, logger, message, context, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: Dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+            "pid": record.process,
+        }
+        payload.update(current_context())
+        for key, value in record.__dict__.items():
+            if key not in _RESERVED and not key.startswith("_") and key not in payload:
+                payload[key] = value
+        if record.exc_info:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, sort_keys=True)
+
+
+def configure_json_logging(
+    level: int = logging.INFO,
+    stream: Optional[Any] = None,
+    logger_name: str = "repro",
+) -> logging.Handler:
+    """Install (or replace) the JSON handler on the ``repro`` logger.
+
+    Idempotent: a previous handler installed by this function is
+    removed first, so repeated CLI invocations in one process do not
+    double-log.  Returns the installed handler (tests capture its
+    stream).
+    """
+    logger = logging.getLogger(logger_name)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_gendp_json", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(JsonLogFormatter())
+    handler._gendp_json = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return handler

@@ -1,0 +1,258 @@
+"""Dependency-free span/event tracing with a Chrome-trace exporter.
+
+A :class:`TraceRecorder` collects **spans** (named intervals with
+start/end timestamps) and **instant events**, each carrying arbitrary
+correlation arguments (``trace_id``/``job_id``/``batch_id`` by
+convention -- see ``docs/observability.md``).  The clock is injectable
+so tests record deterministic timelines; the default is ``time.time``
+(wall clock), which keeps parent-process and worker-process timestamps
+on one comparable axis.
+
+Export is the Chrome trace-event JSON format (the ``traceEvents``
+array of ``ph: "X"`` complete events and ``ph: "i"`` instants), which
+Perfetto and ``chrome://tracing`` open directly.  Timestamps are
+normalized to the earliest event so traces start at t=0.
+
+Worker processes cannot share the recorder object; they build plain
+span payload dicts with :func:`worker_span` and ship them back inside
+the result envelope, and the engine folds them in with
+:meth:`TraceRecorder.ingest`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Microseconds per second (Chrome trace timestamps are in us).
+_US = 1_000_000.0
+
+
+def new_trace_id() -> str:
+    """A random 16-hex-digit trace id."""
+    return os.urandom(8).hex()
+
+
+def _thread_id() -> int:
+    get_native = getattr(threading, "get_native_id", None)
+    return get_native() if get_native is not None else threading.get_ident()
+
+
+@dataclass(frozen=True)
+class Span:
+    """One named interval (``end`` == ``start`` for instant events)."""
+
+    name: str
+    cat: str
+    start: float
+    end: float
+    pid: int
+    tid: int
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def instant(self) -> bool:
+        return self.end == self.start
+
+
+class TraceRecorder:
+    """Thread-safe span/event collection with Chrome-trace export."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float] = time.time,
+        trace_id: Optional[str] = None,
+        max_events: int = 1_000_000,
+    ):
+        if max_events <= 0:
+            raise ValueError("max_events must be positive")
+        self.clock = clock
+        self.trace_id = trace_id or new_trace_id()
+        self.max_events = max_events
+        self._spans: List[Span] = []
+        self._dropped = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # recording
+
+    def now(self) -> float:
+        return self.clock()
+
+    def _append(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_events:
+                self._dropped += 1
+                return
+            self._spans.append(span)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        cat: str = "engine",
+        pid: Optional[int] = None,
+        tid: Optional[int] = None,
+        **args: Any,
+    ) -> Span:
+        """Record a completed interval measured by the caller."""
+        span = Span(
+            name=name,
+            cat=cat,
+            start=start,
+            end=max(start, end),
+            pid=os.getpid() if pid is None else pid,
+            tid=_thread_id() if tid is None else tid,
+            args={k: v for k, v in args.items() if v is not None},
+        )
+        self._append(span)
+        return span
+
+    def event(self, name: str, cat: str = "engine", **args: Any) -> Span:
+        """Record an instant event at the current clock reading."""
+        now = self.now()
+        return self.add_span(name, now, now, cat=cat, **args)
+
+    @contextmanager
+    def span(self, name: str, cat: str = "engine", **args: Any) -> Iterator[Dict[str, Any]]:
+        """Record the interval around the managed block.
+
+        Yields a mutable dict; keys added inside the block land in the
+        span's args (e.g. outcomes discovered mid-flight).
+        """
+        extra: Dict[str, Any] = {}
+        start = self.now()
+        try:
+            yield extra
+        finally:
+            self.add_span(name, start, self.now(), cat=cat, **{**args, **extra})
+
+    def ingest(self, payloads: List[Dict[str, Any]]) -> int:
+        """Fold worker-built span payloads (see :func:`worker_span`)."""
+        count = 0
+        for payload in payloads:
+            try:
+                self.add_span(
+                    str(payload["name"]),
+                    float(payload["start"]),
+                    float(payload["end"]),
+                    cat=str(payload.get("cat", "worker")),
+                    pid=payload.get("pid"),
+                    tid=payload.get("tid"),
+                    **dict(payload.get("args", {})),
+                )
+                count += 1
+            except (KeyError, TypeError, ValueError):
+                continue  # malformed worker payloads are dropped, not fatal
+        return count
+
+    # ------------------------------------------------------------------
+    # introspection / export
+
+    def spans(self) -> List[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """The ``traceEvents`` document for Perfetto/chrome://tracing."""
+        spans = self.spans()
+        origin = min((span.start for span in spans), default=0.0)
+        events: List[Dict[str, Any]] = []
+        for span in spans:
+            event: Dict[str, Any] = {
+                "name": span.name,
+                "cat": span.cat,
+                "ph": "i" if span.instant else "X",
+                "ts": (span.start - origin) * _US,
+                "pid": span.pid,
+                "tid": span.tid,
+                "args": {"trace_id": self.trace_id, **span.args},
+            }
+            if span.instant:
+                event["s"] = "t"  # thread-scoped instant
+            else:
+                event["dur"] = span.duration * _US
+            events.append(event)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "trace_id": self.trace_id,
+                "dropped_events": self._dropped,
+            },
+        }
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=2, default=str)
+
+
+def worker_span(
+    name: str,
+    start: float,
+    end: float,
+    cat: str = "worker",
+    **args: Any,
+) -> Dict[str, Any]:
+    """A plain span payload a worker process can ship in its result."""
+    return {
+        "name": name,
+        "cat": cat,
+        "start": start,
+        "end": end,
+        "pid": os.getpid(),
+        "tid": _thread_id(),
+        "args": {k: v for k, v in args.items() if v is not None},
+    }
+
+
+def validate_chrome_trace(document: Dict[str, Any]) -> List[str]:
+    """Schema-check a Chrome trace document; returns problem strings.
+
+    An empty list means valid.  Used by the CI trace smoke and the
+    ``gendp-trace`` tests so a malformed export fails loudly.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents is not an array"]
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            problems.append(f"{where}: unsupported phase {phase!r}")
+        if phase == "X" and not isinstance(event.get("dur"), (int, float)):
+            problems.append(f"{where}: complete event without numeric dur")
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+        args = event.get("args", {})
+        if not isinstance(args, dict):
+            problems.append(f"{where}: args is not an object")
+    return problems

@@ -1,0 +1,152 @@
+"""Opt-in simulator profiling: per-PE accounting and invariants."""
+
+import random
+
+import pytest
+
+from repro.dpax.machine import DPAxMachine
+from repro.dpax.pe_array import PEArray
+from repro.kernels.chain import Anchor
+from repro.mapping import kernels2d
+from repro.mapping.sliding1d import run_chain
+from repro.mapping.wavefront2d import run_wavefront
+from repro.obs.profile import (
+    ALU_SLOTS_PER_BUNDLE,
+    PEProfile,
+    ProfileReport,
+    STALL_REASONS,
+)
+from repro.obs.trace import validate_chrome_trace
+from repro.seq.alphabet import encode, random_sequence
+
+
+@pytest.fixture(scope="module")
+def profiled_bsw():
+    rng = random.Random(7)
+    run = run_wavefront(
+        kernels2d.bsw_wavefront_spec(),
+        target=encode(random_sequence(12, rng)),
+        stream=encode(random_sequence(16, rng)),
+        profile=True,
+    )
+    assert run.finished
+    return run
+
+
+def test_profiled_run_matches_unprofiled(profiled_bsw):
+    rng = random.Random(7)
+    plain = run_wavefront(
+        kernels2d.bsw_wavefront_spec(),
+        target=encode(random_sequence(12, rng)),
+        stream=encode(random_sequence(16, rng)),
+    )
+    assert plain.profile is None
+    assert plain.cycles == profiled_bsw.cycles
+    assert plain.cells == profiled_bsw.cells
+
+
+def test_stall_reasons_are_known(profiled_bsw):
+    breakdown = profiled_bsw.profile.stall_breakdown()
+    assert set(breakdown) <= set(STALL_REASONS)
+    assert all(count > 0 for count in breakdown.values())
+
+
+def test_way_histogram_sums_to_bundles(profiled_bsw):
+    report = profiled_bsw.profile
+    histogram = report.way_histogram()
+    assert sum(histogram.values()) == report.bundles
+    assert report.bundles > 0
+    # Ways per bundle are bounded by the 2-way issue width.
+    assert set(histogram) <= {0, 1, 2}
+    assert report.ways_issued == sum(
+        ways * count for ways, count in histogram.items()
+    )
+
+
+def test_fifo_histogram_counts_sampled_cycles(profiled_bsw):
+    report = profiled_bsw.profile
+    (array,) = report.arrays
+    assert sum(report.fifo_depth_histogram().values()) == array.sampled_cycles
+    assert array.sampled_cycles == profiled_bsw.cycles
+
+
+def test_slot_utilization_bounds(profiled_bsw):
+    report = profiled_bsw.profile
+    utilization = report.vliw_slot_utilization()
+    assert 0.0 < utilization <= 1.0
+    assert utilization == pytest.approx(
+        report.alu_ops / (report.bundles * ALU_SLOTS_PER_BUNDLE)
+    )
+    assert 0.0 < report.way_occupancy() <= 1.0
+
+
+def test_chrome_trace_export(profiled_bsw):
+    document = profiled_bsw.profile.to_chrome_trace()
+    assert validate_chrome_trace(document) == []
+    events = document["traceEvents"]
+    compute = [event for event in events if event["name"] == "compute"]
+    assert compute
+    # Cycle-denominated durations; segments are coalesced, not per cycle.
+    assert all(event["dur"] >= 1 for event in compute)
+    assert len(compute) < profiled_bsw.cycles
+
+
+def test_report_to_dict_and_render(profiled_bsw):
+    document = profiled_bsw.profile.to_dict()
+    assert document["bundles"] == profiled_bsw.profile.bundles
+    assert document["per_pe"]
+    text = profiled_bsw.profile.render()
+    assert "VLIW slot util" in text
+    assert "bundles executed" in text
+
+
+def test_enable_profiling_is_idempotent():
+    array = PEArray()
+    profile = array.enable_profiling()
+    assert array.enable_profiling() is profile
+    machine = DPAxMachine(integer_arrays=2, fp_arrays=0)
+    tile = machine.enable_profiling()
+    assert machine.enable_profiling() is tile
+    assert len(tile.arrays) == 2
+
+
+def test_machine_profiling_via_chain():
+    rng = random.Random(3)
+    anchors = []
+    x = y = 0
+    for _ in range(12):
+        x += rng.randint(1, 60)
+        y += rng.randint(1, 60)
+        anchors.append(Anchor(x, y))
+    run = run_chain(anchors, total_pes=8, pes_per_array=4, profile=True)
+    assert run.finished
+    assert isinstance(run.profile, ProfileReport)
+    assert run.profile.bundles > 0
+    assert len(run.profile.arrays) >= 1
+    plain = run_chain(anchors, total_pes=8, pes_per_array=4)
+    assert plain.profile is None
+    assert plain.result.scores == run.result.scores
+
+
+def test_empty_profile_is_all_zero():
+    profile = PEProfile(array_index=0, pe_index=0)
+    assert profile.way_occupancy == 0.0
+    assert profile.slot_utilization == 0.0
+    report = ProfileReport(arrays=[])
+    assert report.vliw_slot_utilization() == 0.0
+    assert report.way_histogram() == {}
+
+
+def test_timeline_truncation_cap():
+    profile = PEProfile(array_index=0, pe_index=0, max_timeline=4)
+    # Alternate states so no coalescing happens.
+    for cycle in range(12):
+        if cycle % 2:
+            profile.idle(cycle)
+        else:
+            profile.bundle(cycle, ways=1, alu_ops=1)
+    assert len(profile.segments()) == 4
+    assert profile.timeline_truncated
+    # Accounting keeps going after the timeline stops.
+    assert profile.bundles == 6
+    assert profile.idle_cycles == 6

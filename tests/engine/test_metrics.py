@@ -1,0 +1,117 @@
+"""Histogram internals and the counter-name drift guard.
+
+The drift test is deliberately grep-shaped: every counter name the
+fixed schemas (:data:`RELIABILITY_COUNTERS`, :data:`SENTINEL_COUNTERS`,
+:data:`OPT_COUNTERS`) promise must have a real ``incr`` call site in
+the source tree, so a renamed counter cannot silently decouple the
+dashboards from the engine.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.engine.metrics import (
+    Histogram,
+    OPT_COUNTERS,
+    RELIABILITY_COUNTERS,
+    SENTINEL_COUNTERS,
+)
+from repro.guard.sentinels import SENTINEL_FIELDS
+
+SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def _linear_bucket(bounds, value):
+    for index, bound in enumerate(bounds):
+        if value <= bound:
+            return index
+    return len(bounds)
+
+
+class TestHistogramObserve:
+    def test_bisect_matches_linear_scan(self):
+        bounds = (0.001, 0.01, 0.1, 1.0, 10.0)
+        values = [0.0005, 0.005, 0.05, 0.5, 5.0, 50.0, -1.0]
+        # Values exactly on a bound must land in that bound's bucket
+        # (value <= bound semantics).
+        values += list(bounds)
+        reference = [0] * (len(bounds) + 1)
+        histogram = Histogram(bounds=bounds)
+        for value in values:
+            reference[_linear_bucket(bounds, value)] += 1
+            histogram.observe(value)
+        assert histogram.counts == reference
+        assert histogram.count == len(values)
+
+    def test_tracks_sum_min_max(self):
+        histogram = Histogram(bounds=(1.0,))
+        for value in (0.5, 2.0, 3.5):
+            histogram.observe(value)
+        assert histogram.total == pytest.approx(6.0)
+        assert histogram.minimum == 0.5
+        assert histogram.maximum == 3.5
+
+
+class TestHistogramQuantile:
+    def test_quantiles_are_monotone_and_clamped(self):
+        histogram = Histogram(bounds=(0.01, 0.1, 1.0))
+        for value in (0.004, 0.05, 0.06, 0.5, 0.7, 3.0):
+            histogram.observe(value)
+        p50 = histogram.quantile(0.5)
+        p95 = histogram.quantile(0.95)
+        p99 = histogram.quantile(0.99)
+        assert histogram.minimum <= p50 <= p95 <= p99 <= histogram.maximum
+
+    def test_quantile_of_empty_histogram_is_zero(self):
+        assert Histogram(bounds=(1.0,)).quantile(0.5) == 0.0
+
+    def test_single_bucket_median_interpolates(self):
+        histogram = Histogram(bounds=(10.0,))
+        for _ in range(10):
+            histogram.observe(8.0)
+        # All mass in (0, 10]; interpolation puts the median mid-bucket,
+        # clamped into the observed [8, 8] range.
+        assert histogram.quantile(0.5) == 8.0
+
+
+def _source_blob():
+    return "\n".join(
+        path.read_text() for path in sorted(SRC_ROOT.rglob("*.py"))
+    )
+
+
+class TestCounterSchemaDrift:
+    """Satellite guard: schema names must match real incr call sites."""
+
+    def test_reliability_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in RELIABILITY_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_opt_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in OPT_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_sentinel_counters_mirror_guard_fields(self):
+        # Sentinel counters are folded dynamically via one f-string
+        # site; the schema must track SENTINEL_FIELDS exactly.
+        service = (SRC_ROOT / "engine" / "service.py").read_text()
+        assert re.search(r"incr\(\s*f[\"']sentinel_\{name\}[\"']", service)
+        assert tuple(f"sentinel_{field}" for field in SENTINEL_FIELDS) == (
+            SENTINEL_COUNTERS
+        )
+
+    def test_schemas_are_disjoint_and_unique(self):
+        names = RELIABILITY_COUNTERS + SENTINEL_COUNTERS + OPT_COUNTERS
+        assert len(names) == len(set(names))

@@ -1,0 +1,122 @@
+"""Exporters: quantile estimation, Prometheus text, JSON snapshots."""
+
+import json
+
+import pytest
+
+from repro.engine.metrics import Histogram, MetricsRegistry
+from repro.obs.export import (
+    histogram_quantiles,
+    prometheus_text,
+    quantile_from_buckets,
+    snapshot_json,
+)
+
+
+def test_quantile_empty_histogram_is_zero():
+    assert quantile_from_buckets([], 0.5) == 0.0
+    assert quantile_from_buckets([[1.0, 0], ["inf", 0]], 0.9) == 0.0
+
+
+def test_quantile_interpolates_within_bucket():
+    # 100 observations uniformly in the (0, 10] bucket.
+    buckets = [[10.0, 100], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(5.0)
+    assert quantile_from_buckets(buckets, 0.25) == pytest.approx(2.5)
+
+
+def test_quantile_spans_buckets():
+    buckets = [[1.0, 50], [2.0, 50], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(1.0)
+    assert quantile_from_buckets(buckets, 0.75) == pytest.approx(1.5)
+
+
+def test_quantile_overflow_bucket_returns_maximum():
+    buckets = [[1.0, 10], ["inf", 10]]
+    assert quantile_from_buckets(buckets, 0.99, maximum=42.0) == 42.0
+    # No tracked maximum: fall back to the last finite bound.
+    assert quantile_from_buckets(buckets, 0.99) == 1.0
+
+
+def test_quantile_clamps_to_observed_range():
+    buckets = [[10.0, 4], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.01, minimum=3.0) >= 3.0
+    assert quantile_from_buckets(buckets, 0.99, maximum=7.5) <= 7.5
+
+
+def test_quantile_rejects_out_of_range_q():
+    with pytest.raises(ValueError):
+        quantile_from_buckets([[1.0, 1]], 1.5)
+
+
+def test_histogram_quantile_method_matches_exporter():
+    histogram = Histogram(bounds=(1.0, 5.0, 10.0))
+    for value in (0.5, 2.0, 3.0, 7.0, 9.0, 12.0):
+        histogram.observe(value)
+    snap = histogram.snapshot()
+    for q in (0.5, 0.95, 0.99):
+        assert histogram.quantile(q) == pytest.approx(
+            quantile_from_buckets(
+                snap["buckets"], q, minimum=snap["min"], maximum=snap["max"]
+            )
+        )
+
+
+def test_histogram_quantiles_labels():
+    histogram = Histogram(bounds=(1.0,))
+    histogram.observe(0.5)
+    labels = histogram_quantiles(histogram.snapshot())
+    assert set(labels) == {"p50", "p95", "p99"}
+
+
+def _sample_snapshot():
+    registry = MetricsRegistry()
+    registry.incr("jobs_completed", 5)
+    registry.incr("batches_total", 2)
+    for value in (0.001, 0.02, 0.3):
+        registry.observe("execute_s", value)
+    snapshot = registry.snapshot()
+    snapshot["derived"] = {"cache_hit_rate": 0.5}
+    snapshot["quarantined"] = ["bsw"]
+    return snapshot
+
+
+def test_prometheus_text_counters_and_histograms():
+    text = prometheus_text(_sample_snapshot())
+    assert "# TYPE gendp_jobs_completed_total counter" in text
+    assert "gendp_jobs_completed_total 5" in text
+    # No double _total suffix for counters already ending in _total.
+    assert "gendp_batches_total 2" in text
+    assert "_total_total" not in text
+    # Cumulative buckets plus sum/count plus quantile gauges.
+    assert 'gendp_execute_s_bucket{le="+Inf"} 3' in text
+    assert "gendp_execute_s_count 3" in text
+    assert 'gendp_execute_s{quantile="0.5"}' in text
+    # Non-histogram sections flatten to gauges.
+    assert "# TYPE gendp_derived_cache_hit_rate gauge" in text
+    assert "gendp_quarantined_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_prometheus_buckets_are_cumulative():
+    registry = MetricsRegistry()
+    for value in (0.1, 0.2, 0.9):
+        registry.observe("lat", value, bounds=(0.5, 1.0))
+    text = prometheus_text(registry.snapshot())
+    assert 'gendp_lat_bucket{le="0.5"} 2' in text
+    assert 'gendp_lat_bucket{le="1.0"} 3' in text
+    assert 'gendp_lat_bucket{le="+Inf"} 3' in text
+
+
+def test_snapshot_json_injects_quantiles():
+    document = json.loads(snapshot_json(_sample_snapshot()))
+    histogram = document["histograms"]["execute_s"]
+    assert set(histogram["quantiles"]) == {"p50", "p95", "p99"}
+    assert histogram["count"] == 3
+    # Original sections survive untouched.
+    assert document["counters"]["jobs_completed"] == 5
+
+
+def test_snapshot_json_is_deterministic():
+    snapshot = _sample_snapshot()
+    assert snapshot_json(snapshot) == snapshot_json(snapshot)

@@ -1,0 +1,75 @@
+"""The stdlib metrics scrape endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.server import MetricsServer
+
+
+def _snapshot():
+    registry = MetricsRegistry()
+    registry.incr("jobs_completed", 3)
+    registry.observe("execute_s", 0.01)
+    return registry.snapshot()
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.read().decode("utf-8")
+
+
+def test_serves_prometheus_and_json_and_health():
+    with MetricsServer(_snapshot, port=0) as server:
+        status, body = _get(f"{server.url}/metrics")
+        assert status == 200
+        assert "gendp_jobs_completed_total 3" in body
+
+        status, body = _get(f"{server.url}/metrics.json")
+        assert status == 200
+        document = json.loads(body)
+        assert document["counters"]["jobs_completed"] == 3
+        assert "quantiles" in document["histograms"]["execute_s"]
+
+        status, body = _get(f"{server.url}/healthz")
+        assert status == 200
+        assert body == "ok\n"
+
+
+def test_unknown_path_is_404():
+    with MetricsServer(_snapshot, port=0) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/nope")
+        assert excinfo.value.code == 404
+
+
+def test_snapshot_failure_is_500():
+    def broken():
+        raise RuntimeError("registry gone")
+
+    with MetricsServer(broken, port=0) as server:
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{server.url}/metrics")
+        assert excinfo.value.code == 500
+
+
+def test_live_snapshot_function_is_called_per_scrape():
+    registry = MetricsRegistry()
+    with MetricsServer(registry.snapshot, port=0) as server:
+        _, body = _get(f"{server.url}/metrics")
+        assert "jobs_completed" not in body
+        registry.incr("jobs_completed")
+        _, body = _get(f"{server.url}/metrics")
+        assert "gendp_jobs_completed_total 1" in body
+
+
+def test_stop_is_idempotent_and_port_is_ephemeral():
+    server = MetricsServer(_snapshot, port=0)
+    server.start()
+    port = server.port
+    assert port != 0
+    server.stop()
+    server.stop()

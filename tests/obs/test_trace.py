@@ -1,0 +1,169 @@
+"""TraceRecorder: deterministic clocks, export, schema validation."""
+
+import json
+
+import pytest
+
+from repro.obs.trace import (
+    Span,
+    TraceRecorder,
+    new_trace_id,
+    validate_chrome_trace,
+    worker_span,
+)
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic timelines."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def test_span_duration_and_instant():
+    span = Span(name="x", cat="c", start=1.0, end=3.5, pid=1, tid=1)
+    assert span.duration == 2.5
+    assert not span.instant
+    instant = Span(name="x", cat="c", start=1.0, end=1.0, pid=1, tid=1)
+    assert instant.instant
+
+
+def test_recorder_records_spans_with_injected_clock():
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock, trace_id="abc123")
+    with recorder.span("work", phase="compile") as extra:
+        clock.tick(2.0)
+        extra["outcome"] = "ok"
+    spans = recorder.spans()
+    assert len(spans) == 1
+    assert spans[0].name == "work"
+    assert spans[0].duration == pytest.approx(2.0)
+    assert spans[0].args == {"phase": "compile", "outcome": "ok"}
+
+
+def test_event_is_instant():
+    clock = FakeClock()
+    recorder = TraceRecorder(clock=clock)
+    recorder.event("submitted", job_id=7)
+    (span,) = recorder.spans()
+    assert span.instant
+    assert span.args["job_id"] == 7
+
+
+def test_none_args_are_dropped():
+    recorder = TraceRecorder(clock=FakeClock())
+    recorder.event("e", job_id=None, kernel="bsw")
+    (span,) = recorder.spans()
+    assert "job_id" not in span.args
+    assert span.args["kernel"] == "bsw"
+
+
+def test_end_clamped_to_start():
+    recorder = TraceRecorder(clock=FakeClock())
+    span = recorder.add_span("backwards", 10.0, 5.0)
+    assert span.end == 10.0  # never negative durations
+
+
+def test_max_events_drops_and_counts():
+    recorder = TraceRecorder(clock=FakeClock(), max_events=2)
+    for index in range(5):
+        recorder.event(f"e{index}")
+    assert len(recorder) == 2
+    assert recorder.dropped == 3
+
+
+def test_ingest_worker_spans():
+    recorder = TraceRecorder(clock=FakeClock(), trace_id="t1")
+    payloads = [
+        worker_span("job:run", 1.0, 2.0, kernel="bsw", job_id=3),
+        {"name": "bad"},  # malformed: missing start/end
+        "not-a-dict",
+    ]
+    assert recorder.ingest(payloads) == 1
+    (span,) = recorder.spans()
+    assert span.name == "job:run"
+    assert span.args["job_id"] == 3
+    assert span.cat == "worker"
+
+
+def test_chrome_trace_normalizes_to_origin():
+    clock = FakeClock(start=1000.0)
+    recorder = TraceRecorder(clock=clock, trace_id="deadbeef")
+    recorder.event("first")
+    clock.tick(0.5)
+    with recorder.span("second"):
+        clock.tick(1.0)
+    document = recorder.to_chrome_trace()
+    events = document["traceEvents"]
+    assert len(events) == 2
+    by_name = {event["name"]: event for event in events}
+    assert by_name["first"]["ts"] == 0
+    assert by_name["first"]["ph"] == "i"
+    assert by_name["first"]["s"] == "t"
+    assert by_name["second"]["ts"] == pytest.approx(0.5e6)
+    assert by_name["second"]["dur"] == pytest.approx(1.0e6)
+    for event in events:
+        assert event["args"]["trace_id"] == "deadbeef"
+    assert document["otherData"]["trace_id"] == "deadbeef"
+    assert validate_chrome_trace(document) == []
+
+
+def test_write_round_trips(tmp_path):
+    recorder = TraceRecorder(clock=FakeClock())
+    recorder.event("e")
+    path = tmp_path / "trace.json"
+    recorder.write(str(path))
+    document = json.loads(path.read_text())
+    assert validate_chrome_trace(document) == []
+
+
+def test_new_trace_id_is_unique_hex():
+    ids = {new_trace_id() for _ in range(32)}
+    assert len(ids) == 32
+    for trace_id in ids:
+        int(trace_id, 16)
+        assert len(trace_id) == 16
+
+
+def test_validate_rejects_malformed_documents():
+    assert validate_chrome_trace([]) == ["document is not an object"]
+    assert validate_chrome_trace({"traceEvents": 3}) == [
+        "traceEvents is not an array"
+    ]
+    problems = validate_chrome_trace(
+        {
+            "traceEvents": [
+                {"ph": "X", "ts": 1, "pid": 1, "tid": 1},  # no name, no dur
+                {"name": "n", "ph": "Z", "ts": -1, "pid": 1, "tid": 1},
+                {"name": "ok", "ph": "i", "ts": 0, "pid": 1, "tid": 1, "args": 4},
+            ]
+        }
+    )
+    assert any("missing 'name'" in p for p in problems)
+    assert any("without numeric dur" in p for p in problems)
+    assert any("unsupported phase" in p for p in problems)
+    assert any("non-negative" in p for p in problems)
+    assert any("args is not an object" in p for p in problems)
+
+
+def test_recorder_is_thread_safe():
+    import threading
+
+    recorder = TraceRecorder(clock=FakeClock())
+
+    def record():
+        for _ in range(200):
+            recorder.event("e")
+
+    threads = [threading.Thread(target=record) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert len(recorder) == 800

@@ -13,8 +13,10 @@ from repro.cli import (
     compile_main,
     guard_main,
     lint_main,
+    metrics_main,
     report_main,
     simulate_main,
+    trace_main,
 )
 
 
@@ -172,6 +174,90 @@ class TestBatch:
         batch_main(["--jobs", "4", "--kernels", "lcs", "--workers", "0"])
         out = capsys.readouterr().out
         assert "degraded batches    : 0 (0 retries, 0 dead letters)" in out
+
+    def test_metrics_out_writes_snapshot(self, tmp_path, capsys):
+        out_path = tmp_path / "metrics.json"
+        assert batch_main(
+            ["--jobs", "4", "--kernels", "lcs", "--workers", "0",
+             "--metrics-out", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        snapshot = json.loads(out_path.read_text())
+        assert snapshot["counters"]["jobs_completed"] == 4
+        for histogram in snapshot["histograms"].values():
+            assert "quantiles" in histogram
+
+
+class TestTrace:
+    def test_writes_valid_trace(self, tmp_path, capsys):
+        from repro.obs.trace import validate_chrome_trace
+
+        trace_path = tmp_path / "trace.json"
+        assert trace_main(
+            ["--jobs", "6", "--kernels", "bsw,lcs", "--workers", "0",
+             "--out", str(trace_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace id" in out
+        document = json.loads(trace_path.read_text())
+        assert validate_chrome_trace(document) == []
+        names = {event["name"] for event in document["traceEvents"]}
+        assert {
+            "job:submit", "job:queue", "batch:compile", "batch:execute",
+            "job:run", "engine:drain",
+        } <= names
+
+    def test_metrics_out_alongside_trace(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert trace_main(
+            ["--jobs", "4", "--kernels", "lcs", "--workers", "0",
+             "--out", str(trace_path), "--metrics-out", str(metrics_path)]
+        ) == 0
+        capsys.readouterr()
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["counters"]["jobs_completed"] == 4
+
+
+class TestMetricsCLI:
+    def _snapshot_file(self, tmp_path, capsys):
+        path = tmp_path / "snapshot.json"
+        batch_main(
+            ["--jobs", "4", "--kernels", "lcs", "--workers", "0",
+             "--metrics-out", str(path)]
+        )
+        capsys.readouterr()
+        return path
+
+    def test_render_prometheus(self, tmp_path, capsys):
+        path = self._snapshot_file(tmp_path, capsys)
+        assert metrics_main(["render", "--snapshot", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE gendp_jobs_completed_total counter" in out
+        assert "gendp_jobs_completed_total 4" in out
+
+    def test_render_json(self, tmp_path, capsys):
+        path = self._snapshot_file(tmp_path, capsys)
+        assert metrics_main(
+            ["render", "--snapshot", str(path), "--format", "json"]
+        ) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["counters"]["jobs_completed"] == 4
+
+    def test_serve_requires_a_source(self):
+        with pytest.raises(SystemExit):
+            metrics_main(["serve"])
+        with pytest.raises(SystemExit):
+            metrics_main(["serve", "--snapshot", "x.json", "--demo"])
+
+    def test_serve_snapshot_for_duration(self, tmp_path, capsys):
+        path = self._snapshot_file(tmp_path, capsys)
+        assert metrics_main(
+            ["serve", "--snapshot", str(path), "--port", "0",
+             "--duration", "0.1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serving metrics on http://127.0.0.1:" in out
 
 
 class TestGracefulShutdown:
