@@ -27,6 +27,11 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-metrics`` -- render a saved metrics snapshot as Prometheus
   text or JSON (``render``), or serve a live/saved snapshot over a
   stdlib HTTP scrape endpoint (``serve``).
+- ``gendp-serve`` -- run the asyncio serving tier
+  (:mod:`repro.serve`): newline-delimited JSON over TCP or a Unix
+  socket, per-tenant quotas, priority classes, backpressure, and
+  graceful drain on SIGINT/SIGTERM; the engine underneath can use the
+  shared-memory warm-worker transport (``--transport shm``).
 
 All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
@@ -1059,6 +1064,135 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
                     _time.sleep(3600)
         except KeyboardInterrupt:
             pass
+    return 0
+
+
+# ----------------------------------------------------------------------
+# gendp-serve
+
+
+@_pipe_safe
+def serve_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-serve",
+        description=(
+            "Serve DP jobs over newline-delimited JSON (TCP or Unix "
+            "socket) with admission control, per-tenant quotas, "
+            "priority classes and graceful drain."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8787, help="0 binds an ephemeral port"
+    )
+    parser.add_argument(
+        "--unix-socket",
+        metavar="PATH",
+        default=None,
+        help="serve on a Unix socket instead of TCP",
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("inline", "pickle", "shm"),
+        default="shm",
+        help="engine execution backend (default: shared-memory rings)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=2, help="warm workers (shm/pickle)"
+    )
+    parser.add_argument(
+        "--warm-kernels",
+        default="bsw",
+        help="comma-separated kernels to pre-compile at startup ('' = none)",
+    )
+    parser.add_argument(
+        "--max-pending", type=int, default=256, help="backpressure ceiling"
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=64, help="jobs per engine drain"
+    )
+    parser.add_argument(
+        "--quota-rate",
+        type=float,
+        default=200.0,
+        help="default tenant tokens/second",
+    )
+    parser.add_argument(
+        "--quota-burst", type=float, default=100.0, help="default tenant burst"
+    )
+    parser.add_argument(
+        "--tenant-quota",
+        action="append",
+        default=[],
+        metavar="TENANT=RATE:BURST",
+        help="per-tenant override (repeatable)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace JSON of the serving session on exit",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="seconds to serve before draining (default: until signalled)",
+    )
+    args = parser.parse_args(argv)
+
+    overrides = {}
+    for spec in args.tenant_quota:
+        try:
+            tenant, limits = spec.split("=", 1)
+            rate, burst = limits.split(":", 1)
+            overrides[tenant] = (float(rate), float(burst))
+        except ValueError:
+            parser.error(f"bad --tenant-quota {spec!r} (want TENANT=RATE:BURST)")
+
+    import asyncio
+
+    from repro.engine import Engine, EngineConfig
+    from repro.obs.trace import TraceRecorder
+    from repro.serve import TransportConfig
+    from repro.serve.server import GendpServer, ServeConfig
+
+    warm = tuple(k for k in args.warm_kernels.split(",") if k)
+    transport = TransportConfig(
+        backend=args.transport,
+        workers=max(1, args.workers),
+        warm_kernels=warm,
+    )
+    serve_config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        max_pending=args.max_pending,
+        max_batch=args.max_batch,
+        default_rate=args.quota_rate,
+        default_burst=args.quota_burst,
+        tenant_quotas=overrides,
+    )
+    tracer = TraceRecorder() if args.trace_out else None
+
+    async def _serve() -> None:
+        with Engine(
+            EngineConfig(max_queue=args.max_pending, transport=transport),
+            tracer=tracer,
+        ) as engine:
+            server = GendpServer(engine, serve_config)
+            await server.start()
+            server.install_signal_handlers()
+            print(f"gendp-serve listening on {server.endpoint}", flush=True)
+            if args.duration is not None:
+                loop = asyncio.get_running_loop()
+                loop.call_later(args.duration, server.request_shutdown)
+            await server.serve_forever()
+
+    asyncio.run(_serve())
+    if tracer is not None and args.trace_out:
+        tracer.write(args.trace_out)
+        print(f"wrote serve trace to {args.trace_out}")
     return 0
 
 

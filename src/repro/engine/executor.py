@@ -26,6 +26,7 @@ happened) -- never phantom attempts that a dead pool prevented.
 
 from __future__ import annotations
 
+import pickle
 import random
 import time
 from dataclasses import dataclass
@@ -45,11 +46,15 @@ class BatchOutcome:
     batch_id: int
     #: Per-job dicts: {"ok": bool, "value": ..., "error": ...}.
     results: List[Dict[str, Any]]
-    backend: str  # "pool" or "inline"
+    backend: str  # "pool", "shm" or "inline"
     attempts: int = 1
     execute_seconds: float = 0.0
     #: Set when the pool path failed and inline execution saved the batch.
     degraded: bool = False
+    #: Bytes serialized across the process boundary for this batch
+    #: (pickle: payloads + compiled program; shm: slot headers + SoA
+    #: bodies + amortized program broadcasts; inline: 0).
+    transport_bytes: int = 0
 
 
 def execute_batch_payloads(
@@ -111,6 +116,8 @@ class _Flight:
     future: object
     started: float
     attempts: int = 1
+    #: Pickled bytes shipped to the pool across all attempts.
+    transport_bytes: int = 0
 
 
 class PoolExecutor:
@@ -142,6 +149,10 @@ class PoolExecutor:
         self._pool = None
         self._pool_broken = False
         self._inline = InlineExecutor()
+        #: Pickled size of each compiled program (keyed by program
+        #: hash): the pool re-pickles the program with *every* task, so
+        #: this is per-submit transport cost, measured once.
+        self._program_pickle_bytes: Dict[str, int] = {}
 
     # ------------------------------------------------------------------
 
@@ -176,7 +187,28 @@ class PoolExecutor:
         step = self.retry_backoff_s * (2 ** (failed_attempts - 1))
         return step * (0.5 + 0.5 * self._jitter.random())
 
+    def _measure_submit(self, flight: _Flight) -> None:
+        """Charge one submit's pickled bytes to the flight.
+
+        ``concurrent.futures`` pickles ``(kernel, program, payloads)``
+        for every task, so each attempt pays the program again; the
+        program's size is measured once per distinct program and the
+        (small) payload list per submit.
+        """
+        key = flight.compiled.program_hash
+        program_bytes = self._program_pickle_bytes.get(key)
+        if program_bytes is None:
+            program_bytes = len(
+                pickle.dumps(flight.compiled, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+            self._program_pickle_bytes[key] = program_bytes
+        payloads = [job.payload for job in flight.batch.jobs]
+        flight.transport_bytes += program_bytes + len(
+            pickle.dumps(payloads, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+
     def _submit(self, pool, flight: _Flight) -> None:
+        self._measure_submit(flight)
         flight.started = time.perf_counter()
         flight.future = pool.submit(
             execute_batch_payloads,
@@ -252,6 +284,7 @@ class PoolExecutor:
                     backend="pool",
                     attempts=flight.attempts,
                     execute_seconds=time.perf_counter() - flight.started,
+                    transport_bytes=flight.transport_bytes,
                 )
             except Exception:
                 flight.future.cancel()
@@ -290,6 +323,7 @@ class PoolExecutor:
             attempts=flight.attempts + 1,
             execute_seconds=time.perf_counter() - inline_started,
             degraded=True,
+            transport_bytes=flight.transport_bytes,
         )
 
     def close(self) -> None:
@@ -304,8 +338,29 @@ def make_executor(
     max_retries: int = 1,
     retry_backoff_s: float = 0.0,
     jitter_seed: int = 0,
+    transport: Optional[object] = None,
 ):
-    """``workers <= 0`` selects inline execution; otherwise a pool."""
+    """Build the engine's execution backend.
+
+    *transport* (a :class:`repro.serve.transport.TransportConfig`)
+    takes precedence when set: it selects inline, the pickling pool, or
+    the shared-memory ring executor, all byte-identical in results.
+    Without it, ``workers <= 0`` selects inline and anything else the
+    pool -- the original seam, untouched for existing callers.
+    """
+    if transport is not None:
+        if transport.backend == "inline":
+            return InlineExecutor()
+        if transport.backend == "shm":
+            # Imported lazily: the serve package depends on this module.
+            from repro.serve.transport import ShmExecutor
+
+            return ShmExecutor(
+                transport,
+                job_timeout_s=job_timeout_s,
+                max_retries=max_retries,
+            )
+        workers = transport.workers  # "pickle": the classic pool below
     if workers <= 0:
         return InlineExecutor()
     return PoolExecutor(

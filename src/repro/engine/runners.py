@@ -190,11 +190,15 @@ def _cell_executor(
 # kernel sweeps
 
 
-def _run_bsw(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, Any]:
+def _run_bsw(
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
+) -> Dict[str, Any]:
     """Local affine alignment; reports the best cell score."""
     query = encode(payload["query"])
     target = encode(payload["target"])
-    cell = _cell_executor(compiled, match_table_for("bsw"))
+    cell = cell or _cell_executor(compiled, match_table_for("bsw"))
     cols = len(target) + 1
     h_prev = [0] * cols
     e_prev = [NEG] * cols
@@ -223,14 +227,16 @@ def _run_bsw(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, An
 
 
 def _run_pairhmm(
-    compiled: CompiledProgram, payload: Dict[str, Any]
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
 ) -> Dict[str, Any]:
     """Log2 fixed-point forward pass; reports log10 likelihood."""
     read = encode(payload["read"])
     haplotype = encode(payload["haplotype"])
     fixed = _pairhmm_fixed()
     params = {k: fixed[k] for k in ("a_mm", "a_im", "a_gap", "a_ext")}
-    cell = _cell_executor(compiled, match_table_for("pairhmm"))
+    cell = cell or _cell_executor(compiled, match_table_for("pairhmm"))
     cols = len(haplotype) + 1
     scale = 1 << LOG_FRACTION_BITS
     init_d = int(round(math.log2(1.0 / len(haplotype)) * scale))
@@ -269,10 +275,14 @@ def _run_pairhmm(
     }
 
 
-def _run_lcs(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, Any]:
+def _run_lcs(
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
+) -> Dict[str, Any]:
     x = encode(payload["x"])
     y = encode(payload["y"])
-    cell = _cell_executor(compiled, None)
+    cell = cell or _cell_executor(compiled, None)
     cols = len(y) + 1
     c_prev = [0] * cols
     for i in range(1, len(x) + 1):
@@ -292,10 +302,14 @@ def _run_lcs(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, An
     return {"length": c_prev[-1], "cells": len(x) * len(y)}
 
 
-def _run_dtw(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, Any]:
+def _run_dtw(
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
+) -> Dict[str, Any]:
     a = [int(v) for v in payload["a"]]
     b = [int(v) for v in payload["b"]]
-    cell = _cell_executor(compiled, None)
+    cell = cell or _cell_executor(compiled, None)
     cols = len(b) + 1
     d_prev = [0] + [INF] * len(b)  # row 0: only the corner is reachable
     for i in range(1, len(a) + 1):
@@ -316,7 +330,9 @@ def _run_dtw(compiled: CompiledProgram, payload: Dict[str, Any]) -> Dict[str, An
 
 
 def _run_chain(
-    compiled: CompiledProgram, payload: Dict[str, Any]
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
 ) -> Dict[str, Any]:
     """Reordered fixed-point chaining (anchor j pushes to anchor i).
 
@@ -337,7 +353,7 @@ def _run_chain(
                 f"weight {anchor.w} would diverge from the reference"
             )
     n = int(payload.get("n", DEFAULT_CHAIN_WINDOW))
-    cell = _cell_executor(compiled, None)
+    cell = cell or _cell_executor(compiled, None)
     count = len(anchors)
     scores: List[int] = [anchor.w * SCALE for anchor in anchors]
     parents = [-1] * count
@@ -370,7 +386,7 @@ def _run_chain(
     }
 
 
-_RUNNERS: Dict[str, Callable[[CompiledProgram, Dict[str, Any]], Dict[str, Any]]] = {
+_RUNNERS: Dict[str, Callable[..., Dict[str, Any]]] = {
     "bsw": _run_bsw,
     "pairhmm": _run_pairhmm,
     "lcs": _run_lcs,
@@ -412,9 +428,19 @@ def corrupt_value(value: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def run_job(
-    kernel: str, compiled: CompiledProgram, payload: Dict[str, Any]
+    kernel: str,
+    compiled: CompiledProgram,
+    payload: Dict[str, Any],
+    cell: Optional[Callable[[Dict[str, int]], Dict[str, int]]] = None,
 ) -> Dict[str, Any]:
-    """Execute one job with *compiled* and return its output dict."""
+    """Execute one job with *compiled* and return its output dict.
+
+    *cell* lets warm serve workers substitute a specialized cell
+    function (:func:`repro.serve.warm.specialize_cell`) for the
+    interpreted one; it is ignored -- the interpreter runs -- whenever
+    the payload arms sentinels, because only the interpreted path
+    carries the per-ALU observe hook.
+    """
     if kernel not in _RUNNERS:
         raise JobValidationError(f"unknown kernel {kernel!r}")
     if _in_pool_worker():
@@ -427,6 +453,8 @@ def run_job(
         raise RuntimeError("injected job failure")
     global _SENTINEL
     sentinel = make_sentinel(kernel) if payload.get("_sentinels") else None
+    if sentinel is not None:
+        cell = None  # sentinels need the interpreter's observe hook
     # ``_trace`` carries the engine's correlation ids (see
     # Engine.submit); the span travels back inside the result dict the
     # same way sentinel counts do, because workers are separate
@@ -435,7 +463,7 @@ def run_job(
     run_started = time.time() if trace is not None else 0.0
     try:
         _SENTINEL = sentinel
-        value = _RUNNERS[kernel](compiled, payload)
+        value = _RUNNERS[kernel](compiled, payload, cell)
     finally:
         _SENTINEL = None
     if payload.get("_inject_corrupt"):
@@ -451,6 +479,7 @@ def run_job(
                 kernel=kernel,
                 trace_id=trace.get("trace_id") if isinstance(trace, dict) else None,
                 job_id=trace.get("job_id") if isinstance(trace, dict) else None,
+                tenant=trace.get("tenant") if isinstance(trace, dict) else None,
                 in_pool=_in_pool_worker(),
             )
         ]

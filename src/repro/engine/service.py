@@ -109,6 +109,12 @@ class EngineConfig:
     #: still face the static verifier; wins land in the ``opt_*``
     #: metrics counters.
     optimize_programs: bool = False
+    #: Transport seam (:class:`repro.serve.transport.TransportConfig`):
+    #: selects how batches cross the process boundary -- inline, the
+    #: pickling pool, or shared-memory rings with warm workers.  When
+    #: None the classic ``workers`` knob rules, so existing configs are
+    #: untouched.
+    transport: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
@@ -155,6 +161,7 @@ class Engine:
             max_retries=self.config.max_retries,
             retry_backoff_s=self.config.retry_backoff_s,
             jitter_seed=self.config.reliability_seed,
+            transport=self.config.transport,
         )
         self.metrics = MetricsRegistry()
         self._queue: List[Job] = []
@@ -166,6 +173,46 @@ class Engine:
         self._compile_attempts: Dict[str, int] = {}
         self._pipelines: Dict[str, Optional[object]] = {}
         self._last_drain_fault: Optional[str] = None
+        self._warm_start()
+
+    def _warm_start(self) -> None:
+        """Compile and broadcast the transport's warm kernels.
+
+        Pre-seeds both the engine's LRU cache and -- through the
+        executor's ``preload`` hook -- the warm workers' program
+        caches, so the first real request pays neither a compile nor a
+        worker-side unpickle/specialize.  Warm-start failures are
+        logged, not fatal: a kernel that cannot compile will fail its
+        first batch the normal way.
+        """
+        transport = self.config.transport
+        if transport is None or not getattr(transport, "warm_kernels", ()):
+            return
+        preload = getattr(self.executor, "preload", None)
+        for kernel in transport.warm_kernels:
+            try:
+                dfg = build_dfg(kernel)
+                pipeline = self._pipeline_for(kernel)
+                key = self.cache.key_for(
+                    kernel,
+                    self.config.levels,
+                    dfg,
+                    pipeline.signature() if pipeline is not None else "",
+                )
+                compiled, _ = self.cache.get_or_compile(
+                    key, lambda: self._compile(kernel, dfg, pipeline)
+                )
+                if preload is not None:
+                    preload(compiled)
+                self.metrics.incr("warm_kernels_preloaded")
+            except Exception as error:
+                _LOG.warning(
+                    "warm-start failed",
+                    extra={
+                        "kernel": kernel,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                )
 
     # ------------------------------------------------------------------
     # submission
@@ -380,7 +427,7 @@ class Engine:
         # Circuit breaker: kernels whose pool batches keep dying are
         # short-circuited straight to the inline floor.
         use_breaker = (
-            getattr(self.executor, "backend", "inline") == "pool"
+            getattr(self.executor, "backend", "inline") in ("pool", "shm")
             and self.config.breaker_threshold > 0
         )
         pool_entries, floor_entries = [], []
@@ -500,7 +547,7 @@ class Engine:
         dispatch_time: float,
         results: Dict[int, JobResult],
     ) -> None:
-        if outcome.backend == "pool":
+        if outcome.backend in ("pool", "shm"):
             self.metrics.incr("parallel_batches")
         else:
             self.metrics.incr("inline_batches")
@@ -509,6 +556,11 @@ class Engine:
         if outcome.attempts > 1:
             self.metrics.incr("batch_retries", outcome.attempts - 1)
         self.metrics.observe("execute_s", outcome.execute_seconds)
+        if outcome.transport_bytes:
+            self.metrics.incr("transport_bytes", outcome.transport_bytes)
+            self.metrics.observe(
+                "transport_batch_bytes", float(outcome.transport_bytes)
+            )
         if self.tracer is not None:
             # The executor runs all batches in one call, so per-batch
             # execute intervals are reconstructed from the measured

@@ -1,0 +1,76 @@
+"""Admission control for ``gendp-serve``.
+
+Every request passes three gates, cheapest first, before it may touch
+the engine:
+
+1. **lifecycle** -- a draining server admits nothing new (in-flight
+   work still completes: that is what graceful drain means);
+2. **backpressure** -- a bounded pending-queue depth; past it the
+   request is rejected immediately rather than queued into unbounded
+   memory, mirroring the engine's own bounded submission queue;
+3. **quota** -- the tenant's token bucket (:mod:`repro.serve.quota`).
+
+Rejections carry a machine-readable reason (``draining`` /
+``backpressure`` / ``quota-exceeded``) so clients can distinguish
+"back off and retry" from "slow down, you specifically".
+
+Priority classes map client-friendly names onto the engine's integer
+job priorities; within a drain the batcher dispatches higher
+priorities first, so ``high`` traffic overtakes ``low`` at every batch
+boundary rather than preempting mid-batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.serve.quota import TenantQuotas
+
+#: Client priority classes -> engine job priority.
+PRIORITY_CLASSES = {
+    "high": 10,
+    "normal": 0,
+    "low": -10,
+}
+
+#: Machine-readable rejection reasons.
+REJECT_DRAINING = "draining"
+REJECT_BACKPRESSURE = "backpressure"
+REJECT_QUOTA = "quota-exceeded"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The outcome of one admission check."""
+
+    admitted: bool
+    reason: Optional[str] = None  # set on rejection
+
+
+class AdmissionController:
+    """The three serving gates, in rejection-cheapness order."""
+
+    def __init__(self, quotas: TenantQuotas, max_pending: int):
+        if max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        self.quotas = quotas
+        self.max_pending = max_pending
+
+    def check(
+        self, tenant: str, pending: int, draining: bool
+    ) -> AdmissionDecision:
+        if draining:
+            return AdmissionDecision(False, REJECT_DRAINING)
+        if pending >= self.max_pending:
+            return AdmissionDecision(False, REJECT_BACKPRESSURE)
+        if not self.quotas.take(tenant):
+            return AdmissionDecision(False, REJECT_QUOTA)
+        return AdmissionDecision(True)
+
+
+def priority_for(name: Optional[str]) -> int:
+    """Engine priority for a class name (unknown names -> ``normal``)."""
+    if name is None:
+        return PRIORITY_CLASSES["normal"]
+    return PRIORITY_CLASSES.get(str(name).lower(), PRIORITY_CLASSES["normal"])

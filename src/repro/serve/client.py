@@ -1,0 +1,166 @@
+"""Async ndjson client helpers for ``gendp-serve``.
+
+Thin by design: the protocol is one JSON object per line in each
+direction, so a client is a reader/writer pair plus a request counter.
+These helpers exist so the tests, the CI smoke job, and interactive
+use all speak the protocol the same way instead of each hand-rolling
+``json.dumps(...) + "\\n"``.
+
+Responses are returned as plain dicts -- admission rejections come
+back as ``{"ok": False, "rejected": True, "error": "<reason>"}``
+rather than raising, because a rejection is an expected protocol
+outcome the caller usually branches on (back off, drop, retry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class ServeClient:
+    """One connection to a ``gendp-serve`` endpoint.
+
+    Requests are sent with monotonically increasing ``id`` fields and
+    responses are matched back by id, so a single connection may have
+    many requests in flight (the server handles lines concurrently).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._waiters: Dict[int, asyncio.Future] = {}
+        self._reader_task: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # connection management
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        unix_socket: Optional[str] = None,
+    ) -> "ServeClient":
+        if unix_socket:
+            reader, writer = await asyncio.open_unix_connection(unix_socket)
+        else:
+            reader, writer = await asyncio.open_connection(host, port)
+        client = cls(reader, writer)
+        client._reader_task = asyncio.create_task(client._read_loop())
+        return client
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass
+        for waiter in self._waiters.values():
+            if not waiter.done():
+                waiter.set_exception(ConnectionError("client closed"))
+        self._waiters.clear()
+
+    async def __aenter__(self) -> "ServeClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # protocol
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    continue
+                waiter = self._waiters.pop(response.get("id"), None)
+                if waiter is not None and not waiter.done():
+                    waiter.set_result(response)
+        except (ConnectionResetError, asyncio.CancelledError):
+            raise
+        finally:
+            for waiter in list(self._waiters.values()):
+                if not waiter.done():
+                    waiter.set_exception(ConnectionError("server closed"))
+            self._waiters.clear()
+
+    async def request(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one request object; await its matched response."""
+        self._next_id += 1
+        request_id = self._next_id
+        body = dict(body, id=request_id)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._waiters[request_id] = future
+        try:
+            self._writer.write((json.dumps(body) + "\n").encode("utf-8"))
+            await self._writer.drain()
+        except Exception:
+            # the caller gets the write error; the waiter must not linger
+            # for close() to fail later with nobody left to retrieve it
+            self._waiters.pop(request_id, None)
+            raise
+        return await future
+
+    # ------------------------------------------------------------------
+    # convenience ops
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"op": "ping"})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request({"op": "stats"})
+
+    async def submit(
+        self,
+        kernel: str,
+        payload: Dict[str, Any],
+        tenant: Optional[str] = None,
+        priority: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {
+            "op": "submit",
+            "kernel": kernel,
+            "payload": payload,
+        }
+        if tenant is not None:
+            body["tenant"] = tenant
+        if priority is not None:
+            body["priority"] = priority
+        return await self.request(body)
+
+    async def submit_batch(
+        self,
+        jobs: Sequence[Dict[str, Any]],
+        tenant: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"op": "batch", "jobs": list(jobs)}
+        if tenant is not None:
+            body["tenant"] = tenant
+        return await self.request(body)
+
+
+async def submit_all(
+    client: ServeClient, requests: Sequence[Dict[str, Any]]
+) -> List[Dict[str, Any]]:
+    """Fire many submit bodies concurrently; responses in request order."""
+    return list(
+        await asyncio.gather(
+            *(client.request(dict(body, op="submit")) for body in requests)
+        )
+    )

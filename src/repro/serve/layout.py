@@ -1,0 +1,467 @@
+"""Fixed-slot SoA layouts for the shared-memory transport.
+
+Job and result rings are two shared-memory segments each: an ``int64``
+header plane (one row of :data:`JOB_FIELDS` / :data:`RESULT_FIELDS`
+words per slot) and a ``uint8`` data plane (one fixed-capacity byte
+region per slot).  The codecs here translate between the engine's
+plain payload/result dicts and those planes **without pickling** for
+the structured fast path:
+
+- sequence kernels (``bsw``/``pairhmm``/``lcs``) store their two
+  strings as raw ASCII bytes side by side (structure-of-arrays: all
+  lengths live in the header plane, all bytes in the data plane);
+- ``dtw`` stores its two signals as little-endian ``int64`` arrays;
+- ``chain`` stores its anchors as one ``(n, 3) int64`` array plus the
+  lookback window in the header's AUX word;
+- results store their score words (``int64``) and likelihoods
+  (``float64``) at fixed offsets, with chain's score/parent arrays as
+  two ``int64`` runs.
+
+Payloads or results the fast path cannot express exactly -- extra
+keys, non-ASCII sequences, sentinel/trace side-channels riding on the
+result -- fall back to a pickled blob in the same slot
+(:data:`FMT_PICKLE`), so the transport is *complete* even though the
+hot kernels never pay for pickle.  Fault-injection markers
+(:mod:`repro.faults`) are header bits, not payload keys, so chaos
+campaigns ride the fast path too.
+
+Everything here is pure functions over ``memoryview``/numpy slices;
+the ring state machine lives in :mod:`repro.serve.ring`.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+#: Engine kernels the SoA fast path encodes (id 0 is reserved).
+KERNEL_IDS: Dict[str, int] = {
+    "bsw": 1,
+    "pairhmm": 2,
+    "lcs": 3,
+    "dtw": 4,
+    "chain": 5,
+}
+KERNEL_NAMES: Dict[int, str] = {index: name for name, index in KERNEL_IDS.items()}
+
+#: Slot states (header STATE word).  The lifecycle is
+#: claim -> fill -> publish (READY) -> claim (RUNNING) -> publish
+#: (DONE) -> reclaim (FREE, generation bumped).
+FREE = 0
+READY = 1
+RUNNING = 2
+DONE = 3
+
+#: Body formats.
+FMT_SOA = 0
+FMT_PICKLE = 1
+
+#: Job-header flag bits (fault markers + side channels).
+FLAG_FAIL = 1  # _inject_fail: raise inside the runner
+FLAG_EXIT = 2  # _inject_exit: kill the worker process
+FLAG_CORRUPT = 4  # _inject_corrupt: bit-flip the result
+FLAG_SENTINELS = 8  # _sentinels: arm numerical sentinels
+FLAG_TRACE = 16  # _trace: correlation ids ride behind the payload
+
+#: Job slot header words.
+(
+    J_STATE,
+    J_GEN,
+    J_JOB_ID,
+    J_KERNEL,
+    J_PROGRAM,
+    J_FORMAT,
+    J_LEN_A,
+    J_LEN_B,
+    J_AUX,
+    J_FLAGS,
+    J_DELAY_US,
+    J_WORKER,
+    J_TRACE_LEN,
+) = range(13)
+JOB_FIELDS = 13
+
+#: Result slot header words.
+(
+    R_STATE,
+    R_GEN,
+    R_JOB_ID,
+    R_OK,
+    R_KERNEL,
+    R_FORMAT,
+    R_LEN_A,
+    R_LEN_B,
+    R_WORKER,
+) = range(9)
+RESULT_FIELDS = 9
+
+_INT64 = np.dtype("<i8")
+_FLOAT64 = np.dtype("<f8")
+
+#: Payload keys the SoA path understands, per kernel (beyond these ->
+#: pickle fallback).  Fault markers and ``_trace``/``_sentinels`` are
+#: handled separately and never force the fallback.
+_SIDE_KEYS = frozenset(
+    {
+        "_inject_fail",
+        "_inject_exit",
+        "_inject_corrupt",
+        "_inject_delay_s",
+        "_sentinels",
+        "_trace",
+    }
+)
+_SOA_KEYS: Dict[str, Tuple[str, ...]] = {
+    "bsw": ("query", "target"),
+    "pairhmm": ("read", "haplotype"),
+    "lcs": ("x", "y"),
+    "dtw": ("a", "b"),
+    "chain": ("anchors", "n"),
+}
+
+
+class SlotOverflowError(ValueError):
+    """The encoded payload/result does not fit one slot's byte region."""
+
+
+def _ascii_bytes(value: Any) -> Optional[bytes]:
+    if not isinstance(value, str):
+        return None
+    try:
+        raw = value.encode("ascii")
+    except UnicodeEncodeError:
+        return None
+    return raw
+
+
+def _int_array(values: Any, shape_cols: int = 0) -> Optional[np.ndarray]:
+    """``values`` as a little-endian int64 array, or None if unexpressible."""
+    if not isinstance(values, (list, tuple)):
+        return None
+    try:
+        # Two-step with an equality check: a direct int64 cast would
+        # silently truncate floats, making the transport lossy.
+        exact = np.asarray(values)
+        array = exact.astype(_INT64)
+        if not np.array_equal(array, exact):
+            return None
+    except (TypeError, ValueError, OverflowError):
+        return None
+    if shape_cols:
+        if array.ndim != 2 or array.shape[1] != shape_cols:
+            return None
+    elif array.ndim != 1:
+        return None
+    return array
+
+
+def _flags_for(payload: Dict[str, Any]) -> Tuple[int, int]:
+    """(flag bits, delay in microseconds) from the fault markers."""
+    flags = 0
+    if payload.get("_inject_fail"):
+        flags |= FLAG_FAIL
+    if payload.get("_inject_exit"):
+        flags |= FLAG_EXIT
+    if payload.get("_inject_corrupt"):
+        flags |= FLAG_CORRUPT
+    if payload.get("_sentinels"):
+        flags |= FLAG_SENTINELS
+    delay_us = int(round(float(payload.get("_inject_delay_s") or 0.0) * 1e6))
+    return flags, delay_us
+
+
+def _write(region: np.ndarray, offset: int, raw: bytes) -> int:
+    end = offset + len(raw)
+    if end > region.shape[0]:
+        raise SlotOverflowError(
+            f"encoded body needs {end} bytes; slot holds {region.shape[0]}"
+        )
+    region[offset:end] = np.frombuffer(raw, dtype=np.uint8)
+    return end
+
+
+def encode_payload(
+    kernel: str, payload: Dict[str, Any], region: np.ndarray
+) -> Dict[int, int]:
+    """Encode *payload* into *region*; returns header words to store.
+
+    The returned dict maps job-header field index -> value (state,
+    generation, ids and program words are the ring's business, not the
+    codec's).  Raises :class:`SlotOverflowError` when the body does not
+    fit, which callers treat as "this job cannot ride the ring".
+    """
+    flags, delay_us = _flags_for(payload)
+    header: Dict[int, int] = {
+        J_KERNEL: KERNEL_IDS.get(kernel, 0),
+        J_FLAGS: flags,
+        J_DELAY_US: delay_us,
+        J_AUX: 0,
+        J_TRACE_LEN: 0,
+    }
+    trace_raw = b""
+    trace = payload.get("_trace")
+    if trace is not None:
+        try:
+            trace_raw = json.dumps(trace, sort_keys=True).encode("utf-8")
+            header[J_TRACE_LEN] = len(trace_raw)
+            flags |= FLAG_TRACE
+            header[J_FLAGS] = flags
+        except (TypeError, ValueError):
+            trace_raw = b""  # unserializable trace -> pickle fallback below
+
+    body = dict(payload)
+    for key in _SIDE_KEYS:
+        body.pop(key, None)
+    soa = _encode_soa_body(kernel, body, header)
+    if soa is None or (trace is not None and not trace_raw):
+        raw = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        header = {
+            J_KERNEL: KERNEL_IDS.get(kernel, 0),
+            J_FORMAT: FMT_PICKLE,
+            J_LEN_A: len(raw),
+            J_LEN_B: 0,
+            J_AUX: 0,
+            J_FLAGS: 0,
+            J_DELAY_US: 0,
+            J_TRACE_LEN: 0,
+        }
+        _write(region, 0, raw)
+        return header
+    header[J_FORMAT] = FMT_SOA
+    offset = 0
+    for raw in soa:
+        offset = _write(region, offset, raw)
+    _write(region, offset, trace_raw)
+    return header
+
+
+def _encode_soa_body(
+    kernel: str, body: Dict[str, Any], header: Dict[int, int]
+) -> Optional[Tuple[bytes, ...]]:
+    """SoA byte runs for the kernel-specific keys, or None to fall back."""
+    allowed = _SOA_KEYS.get(kernel)
+    if allowed is None or not set(body) <= set(allowed):
+        return None
+    if kernel in ("bsw", "pairhmm", "lcs"):
+        key_a, key_b = allowed
+        raw_a = _ascii_bytes(body.get(key_a))
+        raw_b = _ascii_bytes(body.get(key_b))
+        if raw_a is None or raw_b is None:
+            return None
+        header[J_LEN_A] = len(raw_a)
+        header[J_LEN_B] = len(raw_b)
+        return raw_a, raw_b
+    if kernel == "dtw":
+        array_a = _int_array(body.get("a"))
+        array_b = _int_array(body.get("b"))
+        if array_a is None or array_b is None:
+            return None
+        header[J_LEN_A] = array_a.shape[0]
+        header[J_LEN_B] = array_b.shape[0]
+        return array_a.tobytes(), array_b.tobytes()
+    if kernel == "chain":
+        anchors = _int_array(body.get("anchors"), shape_cols=3)
+        if anchors is None:
+            return None
+        window = body.get("n")
+        if window is not None and not isinstance(window, int):
+            return None
+        header[J_LEN_A] = anchors.shape[0]
+        header[J_LEN_B] = 0
+        header[J_AUX] = -1 if window is None else window
+        return (anchors.tobytes(),)
+    return None
+
+
+def decode_payload(header: np.ndarray, region: np.ndarray) -> Dict[str, Any]:
+    """Rebuild the payload dict a job slot carries."""
+    fmt = int(header[J_FORMAT])
+    if fmt == FMT_PICKLE:
+        return pickle.loads(region[: int(header[J_LEN_A])].tobytes())
+    kernel = KERNEL_NAMES.get(int(header[J_KERNEL]))
+    if kernel is None:
+        raise ValueError(f"job slot carries unknown kernel id {header[J_KERNEL]}")
+    len_a, len_b = int(header[J_LEN_A]), int(header[J_LEN_B])
+    payload: Dict[str, Any]
+    if kernel in ("bsw", "pairhmm", "lcs"):
+        key_a, key_b = _SOA_KEYS[kernel]
+        split = len_a + len_b
+        payload = {
+            key_a: region[:len_a].tobytes().decode("ascii"),
+            key_b: region[len_a:split].tobytes().decode("ascii"),
+        }
+        body_end = split
+    elif kernel == "dtw":
+        bytes_a, bytes_b = len_a * 8, len_b * 8
+        payload = {
+            "a": np.frombuffer(region[:bytes_a].tobytes(), dtype=_INT64).tolist(),
+            "b": np.frombuffer(
+                region[bytes_a : bytes_a + bytes_b].tobytes(), dtype=_INT64
+            ).tolist(),
+        }
+        body_end = bytes_a + bytes_b
+    else:  # chain
+        nbytes = len_a * 3 * 8
+        anchors = np.frombuffer(region[:nbytes].tobytes(), dtype=_INT64)
+        payload = {"anchors": anchors.reshape(len_a, 3).tolist()}
+        window = int(header[J_AUX])
+        if window >= 0:
+            payload["n"] = window
+        body_end = nbytes
+
+    flags = int(header[J_FLAGS])
+    if flags & FLAG_FAIL:
+        payload["_inject_fail"] = True
+    if flags & FLAG_EXIT:
+        payload["_inject_exit"] = True
+    if flags & FLAG_CORRUPT:
+        payload["_inject_corrupt"] = True
+    if flags & FLAG_SENTINELS:
+        payload["_sentinels"] = True
+    delay_us = int(header[J_DELAY_US])
+    if delay_us:
+        payload["_inject_delay_s"] = delay_us / 1e6
+    trace_len = int(header[J_TRACE_LEN])
+    if flags & FLAG_TRACE and trace_len:
+        payload["_trace"] = json.loads(
+            region[body_end : body_end + trace_len].tobytes().decode("utf-8")
+        )
+    return payload
+
+
+# ----------------------------------------------------------------------
+# results
+
+_SCALAR_RESULT_KEYS: Dict[str, Tuple[str, ...]] = {
+    "bsw": ("score", "cells"),
+    "pairhmm": ("log10_likelihood", "cells"),
+    "lcs": ("length", "cells"),
+    "dtw": ("distance", "cells"),
+}
+_CHAIN_RESULT_KEYS = ("scores", "parents", "best_index", "best_score", "cells")
+
+
+def encode_result(
+    kernel: str,
+    ok: bool,
+    value: Optional[Dict[str, Any]],
+    error: Optional[str],
+    region: np.ndarray,
+) -> Dict[int, int]:
+    """Encode one job outcome into a result slot's byte region."""
+    header: Dict[int, int] = {
+        R_OK: 1 if ok else 0,
+        R_KERNEL: KERNEL_IDS.get(kernel, 0),
+        R_LEN_B: 0,
+    }
+    if not ok:
+        raw = (error or "unknown").encode("utf-8")
+        header[R_FORMAT] = FMT_SOA
+        header[R_LEN_A] = len(raw)
+        _write(region, 0, raw)
+        return header
+    soa = _encode_soa_result(kernel, value, header)
+    if soa is None:
+        raw = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        header[R_FORMAT] = FMT_PICKLE
+        header[R_LEN_A] = len(raw)
+        _write(region, 0, raw)
+        return header
+    header[R_FORMAT] = FMT_SOA
+    offset = 0
+    for raw in soa:
+        offset = _write(region, offset, raw)
+    return header
+
+
+def _encode_soa_result(
+    kernel: str, value: Optional[Dict[str, Any]], header: Dict[int, int]
+) -> Optional[Tuple[bytes, ...]]:
+    if not isinstance(value, dict):
+        return None
+    keys = _SCALAR_RESULT_KEYS.get(kernel)
+    if keys is not None:
+        if set(value) != set(keys):
+            return None
+        first = value[keys[0]]
+        cells = value["cells"]
+        if not isinstance(cells, int) or isinstance(cells, bool):
+            return None
+        if kernel == "pairhmm":
+            if not isinstance(first, float):
+                return None
+            packed = np.array([first], dtype=_FLOAT64).tobytes()
+        else:
+            if not isinstance(first, int) or isinstance(first, bool):
+                return None
+            try:
+                packed = np.array([first], dtype=_INT64).tobytes()
+            except OverflowError:
+                return None
+        header[R_LEN_A] = 1
+        return packed, np.array([cells], dtype=_INT64).tobytes()
+    if kernel == "chain":
+        if set(value) != set(_CHAIN_RESULT_KEYS):
+            return None
+        scores = _int_array(value["scores"])
+        parents = _int_array(value["parents"])
+        if scores is None or parents is None or len(scores) != len(parents):
+            return None
+        tail = (value["best_index"], value["best_score"], value["cells"])
+        if any(not isinstance(word, int) or isinstance(word, bool) for word in tail):
+            return None
+        header[R_LEN_A] = scores.shape[0]
+        return (
+            scores.tobytes(),
+            parents.tobytes(),
+            np.array(tail, dtype=_INT64).tobytes(),
+        )
+    return None
+
+
+def decode_result(
+    header: np.ndarray, region: np.ndarray
+) -> Tuple[bool, Optional[Dict[str, Any]], Optional[str]]:
+    """Rebuild ``(ok, value, error)`` from a result slot."""
+    ok = bool(header[R_OK])
+    fmt = int(header[R_FORMAT])
+    len_a = int(header[R_LEN_A])
+    if not ok:
+        return False, None, region[:len_a].tobytes().decode("utf-8")
+    if fmt == FMT_PICKLE:
+        return True, pickle.loads(region[:len_a].tobytes()), None
+    kernel = KERNEL_NAMES.get(int(header[R_KERNEL]))
+    keys = _SCALAR_RESULT_KEYS.get(kernel or "")
+    if keys is not None:
+        if kernel == "pairhmm":
+            first: Any = float(
+                np.frombuffer(region[:8].tobytes(), dtype=_FLOAT64)[0]
+            )
+        else:
+            first = int(np.frombuffer(region[:8].tobytes(), dtype=_INT64)[0])
+        cells = int(np.frombuffer(region[8:16].tobytes(), dtype=_INT64)[0])
+        return True, {keys[0]: first, "cells": cells}, None
+    if kernel == "chain":
+        nbytes = len_a * 8
+        scores = np.frombuffer(region[:nbytes].tobytes(), dtype=_INT64).tolist()
+        parents = np.frombuffer(
+            region[nbytes : 2 * nbytes].tobytes(), dtype=_INT64
+        ).tolist()
+        tail = np.frombuffer(
+            region[2 * nbytes : 2 * nbytes + 24].tobytes(), dtype=_INT64
+        )
+        return (
+            True,
+            {
+                "scores": scores,
+                "parents": parents,
+                "best_index": int(tail[0]),
+                "best_score": int(tail[1]),
+                "cells": int(tail[2]),
+            },
+            None,
+        )
+    raise ValueError(f"result slot carries unknown kernel id {header[R_KERNEL]}")

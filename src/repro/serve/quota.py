@@ -1,0 +1,90 @@
+"""Per-tenant token-bucket rate limiting for the serving tier.
+
+Classic token bucket: a tenant's bucket refills continuously at
+``rate`` tokens/second up to ``burst`` capacity, and each admitted
+request takes one token.  Admission is strictly non-blocking -- a
+request that finds the bucket empty is *rejected* (the client sees a
+``quota-exceeded`` response and decides whether to back off or retry),
+never queued, because queueing unpaid work is exactly the overload the
+serving tier exists to prevent.
+
+The clock is injectable so the tests drive time deterministically; the
+default is ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+
+@dataclass
+class TokenBucket:
+    """One tenant's refillable admission budget."""
+
+    rate: float
+    burst: float
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("token rate must be positive")
+        if self.burst <= 0:
+            raise ValueError("burst capacity must be positive")
+        self._tokens = float(self.burst)
+        self._updated = self.clock()
+
+    def _refill(self) -> None:
+        now = self.clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(float(self.burst), self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        self._refill()
+        return self._tokens
+
+    def take(self, count: float = 1.0) -> bool:
+        """Spend *count* tokens; False (and no spend) when short."""
+        self._refill()
+        if self._tokens < count:
+            return False
+        self._tokens -= count
+        return True
+
+
+class TenantQuotas:
+    """Token buckets per tenant, with defaults and per-tenant overrides.
+
+    Buckets materialize lazily on a tenant's first request, from
+    ``overrides[tenant]`` when present, else the defaults -- unseen
+    tenants therefore cost nothing.
+    """
+
+    def __init__(
+        self,
+        default_rate: float = 100.0,
+        default_burst: float = 50.0,
+        overrides: Optional[Mapping[str, Tuple[float, float]]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self.overrides = dict(overrides or {})
+        self.clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket_for(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            rate, burst = self.overrides.get(
+                tenant, (self.default_rate, self.default_burst)
+            )
+            bucket = TokenBucket(rate=rate, burst=burst, clock=self.clock)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def take(self, tenant: str, count: float = 1.0) -> bool:
+        return self.bucket_for(tenant).take(count)

@@ -1,0 +1,545 @@
+"""``gendp-serve``: the asyncio newline-delimited-JSON serving tier.
+
+Stdlib only, mirroring the :class:`repro.obs.server.MetricsServer`
+idiom: a thin network front door over the engine, with the policy --
+admission control, queue-depth backpressure, priority classes,
+per-tenant token buckets, graceful drain -- in plain objects that the
+tests drive directly.
+
+Protocol: one JSON object per line, both directions, over TCP or a
+Unix socket.  Requests:
+
+- ``{"op": "ping"}`` -- liveness, answers ``{"ok": true, "op": "pong"}``;
+- ``{"op": "submit", "kernel": ..., "payload": {...}, "tenant": ...,
+  "priority": "high|normal|low", "id": ...}`` -- one job; the response
+  carries the job's result (or the admission rejection) and echoes
+  ``id``;
+- ``{"op": "batch", "tenant": ..., "jobs": [{kernel, payload,
+  priority}, ...]}`` -- many jobs in one round trip; per-job admission,
+  one ``results`` array back;
+- ``{"op": "stats"}`` -- serving counters + queue depth.
+
+Dispatch: admitted jobs land on an asyncio queue; a single dispatcher
+task batches them up (``flush_interval_s`` / ``max_batch``), submits
+to the engine and runs the **synchronous** drain in the default
+executor so the event loop keeps accepting while DP tables sweep.  The
+engine under the server is typically configured with the
+shared-memory transport (:mod:`repro.serve.transport`), making the
+whole path: socket -> admission -> ring -> warm worker -> ring ->
+socket, with the only pickling on rejected fast-path payloads.
+
+Observability: ``serve:accept`` / ``serve:admit`` / ``serve:dispatch``
+spans land in the engine's tracer when one is attached, every log
+record inside the request path carries ``trace_id``/``tenant``/
+``job_id`` via :func:`repro.obs.logs.log_context`, and the
+:data:`SERVE_COUNTERS` live in the engine's metrics registry so the
+existing Prometheus exporters pick them up unchanged.
+
+Graceful drain: SIGINT/SIGTERM (or :meth:`GendpServer.request_shutdown`)
+stops admission (``draining`` rejections), lets in-flight work
+complete up to ``drain_timeout_s``, then closes the listener.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from dataclasses import replace
+
+from repro.engine import Engine, make_job
+from repro.obs.logs import get_logger, log_context
+from repro.serve.admission import (
+    AdmissionController,
+    priority_for,
+)
+from repro.serve.quota import TenantQuotas
+
+_LOG = get_logger("repro.serve.server")
+
+#: Tenant used when a request names none.
+DEFAULT_TENANT = "default"
+
+#: Counters the serving tier owns inside the engine's registry.  The
+#: obs exporters pick these up like any engine counter; the drift test
+#: in ``tests/serve`` pins this schema.
+SERVE_COUNTERS = (
+    "serve_connections",
+    "serve_requests",
+    "serve_admitted",
+    "serve_rejected_draining",
+    "serve_rejected_backpressure",
+    "serve_rejected_quota",
+    "serve_dispatches",
+    "serve_responses",
+    "serve_errors",
+)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """``gendp-serve`` tuning knobs."""
+
+    host: str = "127.0.0.1"
+    #: TCP port (0 = ephemeral); ignored when ``unix_socket`` is set.
+    port: int = 0
+    #: Path to serve a Unix socket on instead of TCP.
+    unix_socket: Optional[str] = None
+    #: Admitted-but-unanswered request ceiling (backpressure past it).
+    max_pending: int = 256
+    #: Jobs the dispatcher packs into one engine drain.
+    max_batch: int = 64
+    #: How long the dispatcher waits to fill a batch before flushing.
+    flush_interval_s: float = 0.01
+    #: Token-bucket defaults (tokens/second, burst) for unnamed tenants.
+    default_rate: float = 200.0
+    default_burst: float = 100.0
+    #: Per-tenant ``(rate, burst)`` overrides.
+    tenant_quotas: Mapping[str, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+    #: Seconds a drain waits for in-flight work before closing anyway.
+    drain_timeout_s: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_pending <= 0:
+            raise ValueError("max_pending must be positive")
+        if self.max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if self.flush_interval_s < 0:
+            raise ValueError("flush_interval_s must be non-negative")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be non-negative")
+
+
+class GendpServer:
+    """The asyncio serving front-end over one :class:`Engine`."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        config: Optional[ServeConfig] = None,
+        tracer: Optional[object] = None,
+    ):
+        self.engine = engine
+        self.config = config or ServeConfig()
+        # Default to the engine's tracer so serve spans and engine
+        # spans land in one timeline.
+        self.tracer = tracer if tracer is not None else engine.tracer
+        self.quotas = TenantQuotas(
+            default_rate=self.config.default_rate,
+            default_burst=self.config.default_burst,
+            overrides=self.config.tenant_quotas,
+        )
+        self.admission = AdmissionController(
+            self.quotas, self.config.max_pending
+        )
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._pending = 0
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._dispatcher_task: Optional[asyncio.Task] = None
+        self._done = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        for counter in SERVE_COUNTERS:
+            self.engine.metrics.incr(counter, 0)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    async def start(self) -> "GendpServer":
+        if self._server is not None:
+            return self
+        if self.config.unix_socket:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self.config.unix_socket
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, self.config.host, self.config.port
+            )
+        self._dispatcher_task = asyncio.create_task(
+            self._dispatcher(), name="gendp-serve-dispatcher"
+        )
+        _LOG.info("gendp-serve listening", extra={"endpoint": self.endpoint})
+        return self
+
+    @property
+    def endpoint(self) -> str:
+        if self.config.unix_socket:
+            return f"unix:{self.config.unix_socket}"
+        return f"tcp:{self.config.host}:{self.port}"
+
+    @property
+    def port(self) -> int:
+        if self._server is None or self.config.unix_socket:
+            return self.config.port
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def install_signal_handlers(self) -> None:
+        """Graceful drain on SIGINT/SIGTERM (call from the loop thread)."""
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, self.request_shutdown)
+            except (NotImplementedError, RuntimeError):
+                pass  # platforms without loop signal support
+
+    def request_shutdown(self) -> None:
+        """Stop admitting; finish in-flight work; then close and stop."""
+        if self._draining:
+            return
+        self._draining = True
+        _LOG.info("gendp-serve draining", extra={"pending": self._pending})
+        asyncio.get_running_loop().create_task(self._finish())
+
+    async def _finish(self) -> None:
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            _LOG.warning(
+                "drain timeout; closing with work in flight",
+                extra={"pending": self._pending},
+            )
+        await self.stop()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._dispatcher_task is not None:
+            self._dispatcher_task.cancel()
+            try:
+                await self._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher_task = None
+        self._done.set()
+
+    async def serve_forever(self) -> None:
+        """Block until a drain (signal or explicit) completes."""
+        await self.start()
+        await self._done.wait()
+
+    # ------------------------------------------------------------------
+    # connections
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.engine.metrics.incr("serve_connections")
+        peer = writer.get_extra_info("peername") or writer.get_extra_info(
+            "sockname"
+        )
+        if self.tracer is not None:
+            self.tracer.event("serve:accept", cat="serve", peer=str(peer))
+        write_lock = asyncio.Lock()
+        tasks: List[asyncio.Task] = []
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                task = asyncio.create_task(
+                    self._handle_line(line, writer, write_lock)
+                )
+                tasks.append(task)
+                tasks = [t for t in tasks if not t.done()]
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+        except (
+            ConnectionResetError,
+            asyncio.IncompleteReadError,
+            asyncio.CancelledError,  # server close cancels handlers
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (Exception, asyncio.CancelledError):
+                pass  # server close cancels the wait; nothing to flush
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        response: Dict[str, Any],
+    ) -> None:
+        data = (json.dumps(response, default=str) + "\n").encode("utf-8")
+        async with write_lock:
+            writer.write(data)
+            await writer.drain()
+        self.engine.metrics.incr("serve_responses")
+
+    async def _handle_line(
+        self,
+        line: bytes,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+    ) -> None:
+        self.engine.metrics.incr("serve_requests")
+        try:
+            request = json.loads(line.decode("utf-8"))
+            if not isinstance(request, dict):
+                raise ValueError("request must be a JSON object")
+        except (ValueError, UnicodeDecodeError) as error:
+            self.engine.metrics.incr("serve_errors")
+            await self._respond(
+                writer,
+                write_lock,
+                {"ok": False, "error": f"bad request: {error}"},
+            )
+            return
+        request_id = request.get("id")
+        tenant = str(request.get("tenant") or DEFAULT_TENANT)
+        trace_id = (
+            self.tracer.trace_id if self.tracer is not None else None
+        )
+        with log_context(trace_id=trace_id, tenant=tenant):
+            try:
+                op = str(request.get("op") or "submit")
+                if op == "ping":
+                    response: Dict[str, Any] = {
+                        "ok": True,
+                        "op": "pong",
+                        "draining": self._draining,
+                    }
+                elif op == "stats":
+                    response = self._stats()
+                elif op == "submit":
+                    response = await self._submit_one(request, tenant)
+                elif op == "batch":
+                    response = await self._submit_batch(request, tenant)
+                else:
+                    self.engine.metrics.incr("serve_errors")
+                    response = {"ok": False, "error": f"unknown op {op!r}"}
+            except Exception as error:  # request-level isolation
+                self.engine.metrics.incr("serve_errors")
+                response = {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+            if request_id is not None:
+                response["id"] = request_id
+            if trace_id is not None:
+                response.setdefault("trace_id", trace_id)
+            await self._respond(writer, write_lock, response)
+
+    def _stats(self) -> Dict[str, Any]:
+        counters = self.engine.metrics.snapshot().get("counters", {})
+        return {
+            "ok": True,
+            "op": "stats",
+            "draining": self._draining,
+            "pending": self._pending,
+            "endpoint": self.endpoint,
+            "counters": {
+                name: counters.get(name, 0) for name in SERVE_COUNTERS
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # submission
+
+    def _admit(self, tenant: str) -> Optional[Dict[str, Any]]:
+        """None when admitted; the rejection response otherwise."""
+        decision = self.admission.check(
+            tenant, self._pending, self._draining
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                "serve:admit",
+                cat="serve",
+                tenant=tenant,
+                admitted=decision.admitted,
+                reason=decision.reason,
+            )
+        if decision.admitted:
+            self.engine.metrics.incr("serve_admitted")
+            return None
+        self.engine.metrics.incr(
+            f"serve_rejected_{decision.reason.replace('-exceeded', '')}"
+        )
+        _LOG.info(
+            "request rejected",
+            extra={"tenant": tenant, "reason": decision.reason},
+        )
+        return {"ok": False, "rejected": True, "error": decision.reason}
+
+    def _build_job(
+        self, spec: Mapping[str, Any], tenant: str
+    ):
+        job = make_job(
+            str(spec.get("kernel")),
+            dict(spec.get("payload") or {}),
+            priority=priority_for(spec.get("priority")),
+            deadline_s=spec.get("deadline_s"),
+        )
+        if self.tracer is not None and "_trace" not in job.payload:
+            # Tenant + trace ids ride to the workers inside the payload
+            # (Engine.submit would add trace/job ids; adding tenant here
+            # correlates worker spans back to the paying tenant too).
+            job = replace(
+                job,
+                payload=dict(
+                    job.payload,
+                    _trace={
+                        "trace_id": self.tracer.trace_id,
+                        "job_id": job.job_id,
+                        "tenant": tenant,
+                    },
+                ),
+            )
+        return job
+
+    async def _enqueue(self, job, tenant: str) -> asyncio.Future:
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending += 1
+        self._idle.clear()
+        await self._queue.put((job, tenant, future))
+        return future
+
+    def _result_payload(self, result) -> Dict[str, Any]:
+        return {
+            "ok": result.ok,
+            "job_id": result.job_id,
+            "kernel": result.kernel,
+            "value": result.value,
+            "error": result.error,
+            "backend": result.backend,
+            "attempts": result.attempts,
+        }
+
+    async def _submit_one(
+        self, request: Mapping[str, Any], tenant: str
+    ) -> Dict[str, Any]:
+        rejection = self._admit(tenant)
+        if rejection is not None:
+            return rejection
+        job = self._build_job(request, tenant)
+        with log_context(job_id=job.job_id):
+            future = await self._enqueue(job, tenant)
+            result = await future
+            return self._result_payload(result)
+
+    async def _submit_batch(
+        self, request: Mapping[str, Any], tenant: str
+    ) -> Dict[str, Any]:
+        specs = request.get("jobs")
+        if not isinstance(specs, list) or not specs:
+            self.engine.metrics.incr("serve_errors")
+            return {"ok": False, "error": "batch needs a non-empty jobs array"}
+        entries: List[Dict[str, Any]] = []
+        futures: List[Tuple[int, asyncio.Future]] = []
+        for index, spec in enumerate(specs):
+            rejection = self._admit(tenant)
+            if rejection is not None:
+                entries.append(rejection)
+                continue
+            job = self._build_job(spec, tenant)
+            futures.append((index, await self._enqueue(job, tenant)))
+            entries.append({})  # placeholder, filled below
+        for index, future in futures:
+            entries[index] = self._result_payload(await future)
+        return {
+            "ok": all(entry.get("ok") for entry in entries),
+            "op": "batch",
+            "results": entries,
+        }
+
+    # ------------------------------------------------------------------
+    # dispatch
+
+    async def _dispatcher(self) -> None:
+        """Single consumer: pack pending jobs, drain, resolve futures."""
+        loop = asyncio.get_running_loop()
+        while True:
+            item = await self._queue.get()
+            batch = [item]
+            deadline = loop.time() + self.config.flush_interval_s
+            while len(batch) < self.config.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), timeout)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            await self._dispatch(loop, batch)
+
+    async def _dispatch(self, loop, batch: List[Tuple]) -> None:
+        self.engine.metrics.incr("serve_dispatches")
+        trace_id = self.tracer.trace_id if self.tracer is not None else None
+        start = self.tracer.now() if self.tracer is not None else 0.0
+        tenants = sorted({tenant for _, tenant, _ in batch})
+        with log_context(trace_id=trace_id):
+            accepted: List[Tuple[Any, asyncio.Future]] = []
+            for job, tenant, future in batch:
+                with log_context(tenant=tenant, job_id=job.job_id):
+                    try:
+                        self.engine.submit(job)
+                        accepted.append((job, future))
+                    except Exception as error:  # incl. BackpressureError
+                        self._resolve(
+                            future,
+                            _ErrorResult(job, f"{type(error).__name__}: {error}"),
+                        )
+            if accepted:
+                # The drain is synchronous engine code; the default
+                # executor keeps the loop accepting while tables sweep.
+                results = await loop.run_in_executor(None, self.engine.drain)
+                by_id = {result.job_id: result for result in results}
+                for job, future in accepted:
+                    result = by_id.get(job.job_id)
+                    if result is None:
+                        result = _ErrorResult(job, "lost in drain")
+                    self._resolve(future, result)
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "serve:dispatch",
+                start,
+                self.tracer.now(),
+                cat="serve",
+                jobs=len(batch),
+                tenants=",".join(tenants),
+            )
+
+    def _resolve(self, future: asyncio.Future, result) -> None:
+        self._pending -= 1
+        if self._pending <= 0:
+            self._idle.set()
+        if not future.done():
+            future.set_result(result)
+
+
+class _ErrorResult:
+    """A JobResult-shaped envelope for jobs that never reached a drain."""
+
+    def __init__(self, job, error: str):
+        self.ok = False
+        self.job_id = job.job_id
+        self.kernel = job.kernel
+        self.value = None
+        self.error = error
+        self.backend = "none"
+        self.attempts = 0

@@ -1,0 +1,94 @@
+"""Admission control units: token buckets, tenant quotas, gate order."""
+
+import pytest
+
+from repro.serve.admission import (
+    PRIORITY_CLASSES,
+    REJECT_BACKPRESSURE,
+    REJECT_DRAINING,
+    REJECT_QUOTA,
+    AdmissionController,
+    priority_for,
+)
+from repro.serve.quota import TenantQuotas, TokenBucket
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def test_token_bucket_burst_then_refill():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=2.0, burst=3.0, clock=clock)
+    assert [bucket.take() for _ in range(4)] == [True, True, True, False]
+    clock.advance(0.5)  # +1 token
+    assert bucket.take()
+    assert not bucket.take()
+    clock.advance(10.0)  # refill caps at burst
+    assert bucket.tokens == pytest.approx(3.0)
+
+
+def test_token_bucket_rejects_without_spending():
+    clock = FakeClock()
+    bucket = TokenBucket(rate=1.0, burst=1.0, clock=clock)
+    assert bucket.take()
+    before = bucket.tokens
+    assert not bucket.take()
+    assert bucket.tokens == pytest.approx(before)  # failed take is free
+
+
+@pytest.mark.parametrize("rate, burst", [(0, 1), (-1, 1), (1, 0), (1, -2)])
+def test_token_bucket_validates_parameters(rate, burst):
+    with pytest.raises(ValueError):
+        TokenBucket(rate=rate, burst=burst)
+
+
+def test_tenant_quotas_defaults_and_overrides():
+    clock = FakeClock()
+    quotas = TenantQuotas(
+        default_rate=100.0,
+        default_burst=2.0,
+        overrides={"vip": (100.0, 5.0)},
+        clock=clock,
+    )
+    assert [quotas.take("anon") for _ in range(3)] == [True, True, False]
+    assert [quotas.take("vip") for _ in range(6)] == [True] * 5 + [False]
+    # Buckets are per-tenant: exhausting one leaves others untouched.
+    assert quotas.take("other")
+
+
+def test_admission_gate_order():
+    clock = FakeClock()
+    quotas = TenantQuotas(default_rate=1.0, default_burst=1.0, clock=clock)
+    controller = AdmissionController(quotas, max_pending=2)
+
+    # Draining wins over everything and spends no tokens.
+    decision = controller.check("t", pending=0, draining=True)
+    assert not decision.admitted and decision.reason == REJECT_DRAINING
+    assert quotas.bucket_for("t").tokens == pytest.approx(1.0)
+
+    # Backpressure beats quota (also token-free).
+    decision = controller.check("t", pending=2, draining=False)
+    assert not decision.admitted and decision.reason == REJECT_BACKPRESSURE
+    assert quotas.bucket_for("t").tokens == pytest.approx(1.0)
+
+    # Then the bucket: one admit, then quota-exceeded.
+    assert controller.check("t", pending=0, draining=False).admitted
+    decision = controller.check("t", pending=0, draining=False)
+    assert not decision.admitted and decision.reason == REJECT_QUOTA
+
+
+def test_priority_classes_map_onto_engine_priorities():
+    assert priority_for("high") == PRIORITY_CLASSES["high"] > 0
+    assert priority_for("low") == PRIORITY_CLASSES["low"] < 0
+    assert priority_for("normal") == 0
+    assert priority_for(None) == 0
+    assert priority_for("HIGH") == PRIORITY_CLASSES["high"]  # case-folded
+    assert priority_for("not-a-class") == 0

@@ -1,0 +1,228 @@
+"""Transport backends: inline, pickling pool and shared-memory rings.
+
+The headline contract -- referenced from
+:mod:`repro.serve.transport`'s docstring -- is **byte-identical
+results across all three backends for every engine kernel**, plus the
+ring-specific behaviors: full-ring backpressure, slot wraparound
+across drains, transport accounting, and reclaim after a worker crash
+(driven through a :class:`repro.faults.FaultPlan`, mirroring the
+chaos campaigns).
+
+One CPU core is assumed: workloads here are tiny, the point is
+protocol correctness, not throughput (that is
+``benchmarks/test_engine_throughput.py``).
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Engine, EngineConfig, make_job
+from repro.engine.jobs import ENGINE_KERNELS
+from repro.faults import FaultPlan
+from repro.serve import TransportConfig
+from repro.serve.transport import ShmExecutor
+from repro.workloads.anchors import generate_chain_workload
+
+
+def _payloads(kernel, count, seed=31):
+    rng = random.Random((seed, kernel).__hash__())
+    dna = lambda n: "".join(rng.choice("ACGT") for _ in range(n))
+    if kernel == "bsw":
+        return [{"query": dna(18), "target": dna(14)} for _ in range(count)]
+    if kernel == "pairhmm":
+        return [{"read": dna(10), "haplotype": dna(12)} for _ in range(count)]
+    if kernel == "lcs":
+        return [{"x": dna(16), "y": dna(13)} for _ in range(count)]
+    if kernel == "dtw":
+        return [
+            {
+                "a": [rng.randrange(-40, 40) for _ in range(10)],
+                "b": [rng.randrange(-40, 40) for _ in range(9)],
+            }
+            for _ in range(count)
+        ]
+    if kernel == "chain":
+        tasks = generate_chain_workload(
+            tasks=count, anchors_per_task=12, seed=seed
+        ).tasks
+        return [
+            {"anchors": [[a.x, a.y, a.w] for a in task.anchors]}
+            for task in tasks
+        ]
+    raise AssertionError(kernel)
+
+
+def _drain(transport, jobs_by_kernel):
+    """Run one mixed stream through an engine on *transport*."""
+    config = EngineConfig(max_queue=256, transport=transport)
+    with Engine(config) as engine:
+        keyed = {}
+        for kernel, payloads in jobs_by_kernel.items():
+            for index, payload in enumerate(payloads):
+                job = make_job(kernel, dict(payload))
+                keyed[(kernel, index)] = job.job_id
+                engine.submit(job)
+        results = {r.job_id: r for r in engine.drain()}
+        snapshot = engine.snapshot()
+    return (
+        {key: results[job_id] for key, job_id in keyed.items()},
+        snapshot,
+    )
+
+
+def test_results_byte_identical_across_backends():
+    jobs_by_kernel = {kernel: _payloads(kernel, 3) for kernel in ENGINE_KERNELS}
+    inline, _ = _drain(TransportConfig(backend="inline"), jobs_by_kernel)
+    pickled, _ = _drain(
+        TransportConfig(backend="pickle", workers=1), jobs_by_kernel
+    )
+    shm, shm_snapshot = _drain(
+        TransportConfig(backend="shm", workers=2, poll_interval_s=0.01),
+        jobs_by_kernel,
+    )
+    for key, reference in inline.items():
+        assert reference.ok, (key, reference.error)
+        for name, other in (("pickle", pickled[key]), ("shm", shm[key])):
+            assert other.ok, (name, key, other.error)
+            assert other.value == reference.value, (name, key)
+    # The shm stream really ran on the rings, not a degraded fallback.
+    assert shm_snapshot["counters"].get("degraded_batches", 0) == 0
+    assert shm_snapshot["counters"]["parallel_batches"] > 0
+
+
+def test_transport_bytes_accounted_for_pool_and_shm():
+    jobs = {"bsw": _payloads("bsw", 6)}
+    _, inline_snap = _drain(TransportConfig(backend="inline"), jobs)
+    _, pool_snap = _drain(TransportConfig(backend="pickle", workers=1), jobs)
+    _, shm_snap = _drain(TransportConfig(backend="shm", workers=1), jobs)
+    assert inline_snap["counters"].get("transport_bytes", 0) == 0
+    assert pool_snap["counters"]["transport_bytes"] > 0
+    assert shm_snap["counters"]["transport_bytes"] > 0
+
+
+def test_shm_program_broadcast_amortizes_across_drains():
+    """The rings pay the pickled program once; later drains move only
+    SoA bytes, unlike the pool which re-pickles the program per task."""
+    transport = TransportConfig(backend="shm", workers=1, poll_interval_s=0.01)
+    with Engine(EngineConfig(max_queue=64, transport=transport)) as engine:
+        def one_drain(seed):
+            before = engine.metrics.counter("transport_bytes")
+            for payload in _payloads("bsw", 6, seed=seed):
+                engine.submit(make_job("bsw", dict(payload)))
+            assert all(r.ok for r in engine.drain())
+            return engine.metrics.counter("transport_bytes") - before
+
+        first, second = one_drain(1), one_drain(2)
+    assert second < first / 2, (first, second)
+
+
+def test_full_ring_applies_backpressure_not_loss():
+    """More jobs in one drain than the ring has slots: every job still
+    completes, because publishing simply waits for free slots."""
+    transport = TransportConfig(
+        backend="shm", workers=1, ring_slots=4, poll_interval_s=0.01
+    )
+    jobs = {"bsw": _payloads("bsw", 20)}
+    results, snapshot = _drain(transport, jobs)
+    assert len(results) == 20
+    assert all(result.ok for result in results.values())
+    assert snapshot["counters"].get("degraded_batches", 0) == 0
+
+
+def test_slot_wraparound_across_consecutive_drains():
+    """Slots are reused across drains with bumped generations; results
+    stay correct and the program broadcast is not repaid."""
+    transport = TransportConfig(
+        backend="shm", workers=1, ring_slots=4, poll_interval_s=0.01
+    )
+    with Engine(EngineConfig(max_queue=64, transport=transport)) as engine:
+        reference = {}
+        for drain_round in range(3):
+            payloads = _payloads("lcs", 6, seed=drain_round)
+            jobs = [make_job("lcs", dict(p)) for p in payloads]
+            for job in jobs:
+                engine.submit(job)
+            results = {r.job_id: r for r in engine.drain()}
+            for job, payload in zip(jobs, payloads):
+                result = results[job.job_id]
+                assert result.ok, result.error
+                key = (payload["x"], payload["y"])
+                if key in reference:
+                    assert result.value == reference[key]
+                reference[key] = result.value
+        snapshot = engine.snapshot()
+        executor = engine.executor
+        generations = executor._segments.jobs.header[:, 1]
+        assert int(generations.max()) >= 2  # slots really wrapped
+    assert snapshot["cache"]["compiles"] == 1  # one program, reused
+
+
+def test_reclaim_after_worker_crash_via_fault_plan():
+    """A crash-marked job kills its worker mid-ring; the transport
+    requeues the slot, respawns the worker, and the job survives
+    (degrading to inline where the marker is inert), exactly like the
+    pool's resubmission semantics in repro.faults campaigns."""
+    plan = FaultPlan(seed=3, crash_rate=1.0)
+    base = _payloads("bsw", 1)[0]
+    crash_payload, kind = plan.decorate(0, dict(base))
+    assert kind == "crash" and crash_payload.get("_inject_exit")
+
+    transport = TransportConfig(
+        backend="shm", workers=2, ring_slots=8, poll_interval_s=0.01
+    )
+    with Engine(
+        EngineConfig(max_queue=64, transport=transport, max_retries=1)
+    ) as engine:
+        executor = engine.executor
+        assert isinstance(executor, ShmExecutor)
+        healthy = [make_job("bsw", dict(p)) for p in _payloads("bsw", 5)]
+        crash_job = make_job("bsw", crash_payload)
+        for job in (*healthy, crash_job):
+            engine.submit(job)
+        results = {r.job_id: r for r in engine.drain()}
+
+        assert all(r.ok for r in results.values()), [
+            r.error for r in results.values() if not r.ok
+        ]
+        # The crash-marked job exhausted ring retries and finished on
+        # the inline floor, where _inject_exit does not apply.
+        assert results[crash_job.job_id].backend == "inline"
+        assert results[crash_job.job_id].attempts >= 2
+
+        # Workers were respawned and the ring is healthy again: a
+        # fresh batch runs parallel with no degradation.
+        alive = [p for p in executor._workers if p is not None and p.is_alive()]
+        assert len(alive) == 2
+        followup = [make_job("bsw", dict(p)) for p in _payloads("bsw", 4, seed=9)]
+        for job in followup:
+            engine.submit(job)
+        again = engine.drain()
+        assert all(r.ok for r in again)
+        assert all(r.backend == "shm" for r in again)
+
+
+def test_injected_failures_stay_job_level():
+    """_inject_fail raises inside the warm worker; the error comes back
+    over the result ring as a per-job error, not a transport fault."""
+    transport = TransportConfig(backend="shm", workers=1, poll_interval_s=0.01)
+    with Engine(EngineConfig(max_queue=16, transport=transport)) as engine:
+        good = make_job("lcs", _payloads("lcs", 1)[0])
+        bad = make_job("lcs", dict(_payloads("lcs", 1)[0], _inject_fail=True))
+        engine.submit(good)
+        engine.submit(bad)
+        results = {r.job_id: r for r in engine.drain()}
+    assert results[good.job_id].ok
+    assert not results[bad.job_id].ok
+    assert "injected job failure" in results[bad.job_id].error
+
+
+def test_shm_executor_close_releases_segments():
+    transport = TransportConfig(backend="shm", workers=1)
+    executor = ShmExecutor(transport)
+    names = executor._segments.names
+    executor.close()
+    from multiprocessing import shared_memory
+
+    with pytest.raises(FileNotFoundError):
+        shared_memory.SharedMemory(name=names.job_header)

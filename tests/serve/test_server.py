@@ -1,0 +1,285 @@
+"""``gendp-serve`` end to end: protocol, quotas, drain, correlation.
+
+Each test spins a real asyncio server over a Unix socket (ephemeral
+path under pytest's tmp dir) with an inline-transport engine -- the
+transport/ring machinery has its own tests; here the subject is the
+serving tier itself.  ``asyncio.run`` keeps the suite synchronous, no
+async test plugin needed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.obs.trace import TraceRecorder, validate_chrome_trace
+from repro.serve import ServeClient, TransportConfig
+from repro.serve.server import (
+    DEFAULT_TENANT,
+    SERVE_COUNTERS,
+    GendpServer,
+    ServeConfig,
+)
+
+BSW = {"query": "ACGTACGTAC", "target": "ACGTTGCA"}
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+def serving(tmp_path, serve_config=None, engine_config=None, tracer=None):
+    """Async context manager: (server, socket path) with cleanup."""
+
+    class _Serving:
+        async def __aenter__(self):
+            self.sock = str(tmp_path / "gendp.sock")
+            self.engine = Engine(
+                engine_config or EngineConfig(max_queue=128), tracer=tracer
+            )
+            config = serve_config or ServeConfig()
+            config = ServeConfig(
+                **{
+                    **config.__dict__,
+                    "unix_socket": self.sock,
+                }
+            )
+            self.server = GendpServer(self.engine, config)
+            await self.server.start()
+            return self.server, self.sock
+
+        async def __aexit__(self, *exc_info):
+            await self.server.stop()
+            self.engine.close()
+
+    return _Serving()
+
+
+def test_ping_and_stats(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                pong = await client.ping()
+                assert pong["ok"] and pong["op"] == "pong"
+                assert pong["draining"] is False
+                stats = await client.stats()
+                assert stats["ok"]
+                assert set(stats["counters"]) == set(SERVE_COUNTERS)
+                assert stats["counters"]["serve_connections"] == 1
+
+    run(scenario())
+
+
+def test_submit_returns_engine_results(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                response = await client.submit("bsw", BSW, tenant="alpha")
+                assert response["ok"], response
+                assert response["kernel"] == "bsw"
+                assert isinstance(response["value"]["score"], int)
+                assert response["backend"] == "inline"
+                # Identical to a direct engine run.
+                from repro.engine import make_job
+
+                with Engine(EngineConfig()) as ref:
+                    ref.submit(make_job("bsw", dict(BSW)))
+                    expected = ref.drain()[0].value
+                assert response["value"] == expected
+
+    run(scenario())
+
+
+def test_batch_mixed_priorities_all_complete(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                specs = [
+                    {"kernel": "bsw", "payload": BSW, "priority": priority}
+                    for priority in ("low", "high", "normal", "high")
+                ]
+                response = await client.submit_batch(specs, tenant="alpha")
+                assert response["ok"], response
+                assert len(response["results"]) == 4
+                values = {
+                    json.dumps(r["value"], sort_keys=True)
+                    for r in response["results"]
+                }
+                assert len(values) == 1  # same payload, same answer
+
+    run(scenario())
+
+
+def test_quota_rejections_are_reported_not_queued(tmp_path):
+    async def scenario():
+        config = ServeConfig(tenant_quotas={"tight": (0.001, 2.0)})
+        async with serving(tmp_path, serve_config=config) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                responses = await asyncio.gather(
+                    *(
+                        client.submit("bsw", BSW, tenant="tight")
+                        for _ in range(5)
+                    )
+                )
+                admitted = [r for r in responses if r.get("ok")]
+                rejected = [r for r in responses if r.get("rejected")]
+                assert len(admitted) == 2
+                assert len(rejected) == 3
+                assert {r["error"] for r in rejected} == {"quota-exceeded"}
+                # Other tenants are unaffected.
+                other = await client.submit("bsw", BSW, tenant="roomy")
+                assert other["ok"]
+                stats = await client.stats()
+                assert stats["counters"]["serve_rejected_quota"] == 3
+
+    run(scenario())
+
+
+def test_backpressure_rejects_past_max_pending(tmp_path):
+    async def scenario():
+        config = ServeConfig(max_pending=2)
+        async with serving(tmp_path, serve_config=config) as (server, sock):
+            # Freeze dispatch so admitted requests stay pending.
+            server._dispatcher_task.cancel()
+            try:
+                await server._dispatcher_task
+            except asyncio.CancelledError:
+                pass
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                stuck = [
+                    asyncio.create_task(client.submit("bsw", BSW))
+                    for _ in range(2)
+                ]
+                while server.pending < 2:
+                    await asyncio.sleep(0.001)
+                overflow = await client.submit("bsw", BSW)
+                assert overflow.get("rejected")
+                assert overflow["error"] == "backpressure"
+                # Resume dispatch: the stuck requests complete.
+                server._dispatcher_task = asyncio.create_task(
+                    server._dispatcher()
+                )
+                done = await asyncio.gather(*stuck)
+                assert all(r["ok"] for r in done)
+
+    run(scenario())
+
+
+def test_graceful_drain_completes_inflight_rejects_new(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                inflight = asyncio.create_task(client.submit("bsw", BSW))
+                while server.pending == 0:
+                    await asyncio.sleep(0.001)
+                server.request_shutdown()
+                assert server.draining
+                late = await client.submit("bsw", BSW)
+                assert late.get("rejected") and late["error"] == "draining"
+                finished = await inflight
+                assert finished["ok"], finished
+            await asyncio.wait_for(server._done.wait(), timeout=10)
+
+    run(scenario())
+
+
+def test_correlation_ids_and_serve_spans(tmp_path):
+    tracer = TraceRecorder()
+
+    async def scenario():
+        transport = TransportConfig(
+            backend="shm", workers=1, poll_interval_s=0.01
+        )
+        engine_config = EngineConfig(max_queue=64, transport=transport)
+        async with serving(
+            tmp_path, engine_config=engine_config, tracer=tracer
+        ) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                response = await client.submit("bsw", BSW, tenant="alpha")
+                assert response["ok"], response
+                assert response["trace_id"] == tracer.trace_id
+
+    run(scenario())
+    document = tracer.to_chrome_trace()
+    assert validate_chrome_trace(document) == []
+    by_name = {}
+    for event in document["traceEvents"]:
+        by_name.setdefault(event["name"], []).append(event)
+    for name in ("serve:accept", "serve:admit", "serve:dispatch"):
+        assert name in by_name, sorted(by_name)
+    # The admit event records the tenant; the worker span (shipped back
+    # over the result ring) carries tenant + trace id end to end.
+    admit_args = by_name["serve:admit"][0].get("args", {})
+    assert admit_args.get("tenant") == "alpha"
+    worker_spans = by_name.get("job:run", [])
+    assert worker_spans, "worker span missing from trace"
+    args = worker_spans[0].get("args", {})
+    assert args.get("tenant") == "alpha"
+    assert args.get("trace_id") == tracer.trace_id
+
+
+def test_serve_counters_schema_is_stable(tmp_path):
+    """Drift guard: the serving counters the exporters scrape."""
+    assert SERVE_COUNTERS == (
+        "serve_connections",
+        "serve_requests",
+        "serve_admitted",
+        "serve_rejected_draining",
+        "serve_rejected_backpressure",
+        "serve_rejected_quota",
+        "serve_dispatches",
+        "serve_responses",
+        "serve_errors",
+    )
+
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            counters = server.engine.metrics.snapshot()["counters"]
+            for name in SERVE_COUNTERS:
+                assert name in counters  # pre-registered at zero
+
+    run(scenario())
+
+
+def test_malformed_requests_get_errors_not_disconnects(tmp_path):
+    async def scenario():
+        async with serving(tmp_path) as (server, sock):
+            reader, writer = await asyncio.open_unix_connection(sock)
+            writer.write(b"this is not json\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert not response["ok"] and "bad request" in response["error"]
+
+            writer.write(json.dumps({"op": "nope", "id": 1}).encode() + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert not response["ok"] and "unknown op" in response["error"]
+
+            # Connection survived both; a good request still works.
+            writer.write(
+                json.dumps(
+                    {"op": "submit", "kernel": "bsw", "payload": BSW, "id": 2}
+                ).encode()
+                + b"\n"
+            )
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            assert response["ok"] and response["id"] == 2
+            writer.close()
+            await writer.wait_closed()
+
+    run(scenario())
+
+
+def test_default_tenant_used_when_unnamed(tmp_path):
+    async def scenario():
+        config = ServeConfig(tenant_quotas={DEFAULT_TENANT: (0.001, 1.0)})
+        async with serving(tmp_path, serve_config=config) as (server, sock):
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                first = await client.submit("bsw", BSW)
+                second = await client.submit("bsw", BSW)
+                assert first["ok"]
+                assert second.get("rejected")  # default tenant's bucket
+
+    run(scenario())
