@@ -1,0 +1,173 @@
+"""Cluster scaling: virtual-time throughput across 1/2/4/8 shards.
+
+Reproduces the *shape* of Table 12's replicated-array scaling argument
+at the serving tier: N independent engine shards behind the
+consistent-hash router should serve a fixed job stream in roughly
+1/N the time.  The host container has a single core, so shards drain
+sequentially in wall-clock but are modeled as parallel machines on the
+cluster's virtual-time axis (:mod:`repro.cluster.clock`): each drain
+round costs the *max* of the per-shard drain times, and throughput is
+jobs per **virtual** second.  Under a :class:`SimClock` every drain
+costs ``jobs x per_job_cost``, so the numbers are seed-deterministic
+and measure pure placement quality (hash balance + work stealing),
+not host jitter.
+
+The degraded-mode point kills one of four shards mid-campaign: the
+router fails the dead shard's in-flight jobs over to the survivors
+(exactly once -- zero lost jobs is asserted) and throughput must
+recover to at least ``(N-1)/N`` of the healthy cluster.
+
+Besides the human-readable ``results/cluster_throughput.txt`` table,
+the run emits machine-readable ``results/BENCH_cluster.json``.
+"""
+
+import json
+
+from repro.analysis.report import render_table
+from repro.cluster import ClusterChaosConfig, run_cluster_campaign
+
+JOBS = 384
+CHUNK = 96
+SEED = 12
+SHARD_COUNTS = (1, 2, 4, 8)
+DEGRADED_SHARDS = 4
+#: Kill shard 1 at round 3 of the 4 submission rounds (mid-campaign).
+DEGRADED_KILL = ((3, 1),)
+
+
+def _config(shards, kills=()):
+    return ClusterChaosConfig(
+        jobs=JOBS,
+        seed=SEED,
+        shards=shards,
+        chunk_jobs=CHUNK,
+        shard_queue=2 * CHUNK,
+        # 4 kernels means 4 compiled programs; the affinity token
+        # subdivides their hash ranges so >4 shards can share load.
+        affinity_stride=64,
+        validate_fraction=0.0,
+        kills=kills,
+    )
+
+
+def test_cluster_virtual_time_scaling(publish, results_dir):
+    points = []
+    for shards in SHARD_COUNTS:
+        report = run_cluster_campaign(_config(shards))
+        assert report.survived, f"{shards}-shard campaign lost jobs"
+        assert report.envelopes == JOBS
+        points.append(
+            {
+                "shards": shards,
+                "jobs": report.envelopes,
+                "virtual_seconds": round(report.virtual_seconds, 6),
+                "jobs_per_virtual_s": round(
+                    report.envelopes / report.virtual_seconds, 1
+                ),
+                "drain_rounds": report.drain_rounds,
+                "stolen": report.stolen,
+            }
+        )
+
+    degraded_report = run_cluster_campaign(
+        _config(DEGRADED_SHARDS, kills=DEGRADED_KILL)
+    )
+    # The acceptance bar: killing a shard mid-stream loses nothing --
+    # every accepted job still settles with exactly one envelope.
+    assert degraded_report.survived
+    assert degraded_report.envelopes == JOBS
+    assert degraded_report.shards_killed == 1
+    assert degraded_report.resubmitted > 0
+    degraded = {
+        "shards": DEGRADED_SHARDS,
+        "killed_mid_run": 1,
+        "jobs": degraded_report.envelopes,
+        "virtual_seconds": round(degraded_report.virtual_seconds, 6),
+        "jobs_per_virtual_s": round(
+            degraded_report.envelopes / degraded_report.virtual_seconds, 1
+        ),
+        "failover_resubmitted": degraded_report.resubmitted,
+        "lost": degraded_report.lost,
+    }
+
+    base = points[0]["jobs_per_virtual_s"]
+    speedups = [p["jobs_per_virtual_s"] / base for p in points]
+    healthy4 = next(
+        p["jobs_per_virtual_s"] for p in points if p["shards"] == 4
+    )
+    recovery = degraded["jobs_per_virtual_s"] / healthy4
+
+    rows = [
+        [
+            p["shards"],
+            p["jobs"],
+            f"{p['virtual_seconds'] * 1e3:.1f}",
+            f"{p['jobs_per_virtual_s']:,.0f}",
+            f"{speedup:.2f}x",
+            p["stolen"],
+        ]
+        for p, speedup in zip(points, speedups)
+    ]
+    rows.append(
+        [
+            "4 (1 killed)",
+            degraded["jobs"],
+            f"{degraded['virtual_seconds'] * 1e3:.1f}",
+            f"{degraded['jobs_per_virtual_s']:,.0f}",
+            f"{degraded['jobs_per_virtual_s'] / base:.2f}x",
+            degraded["failover_resubmitted"],
+        ]
+    )
+    publish(
+        "cluster_throughput",
+        render_table(
+            f"Cluster virtual-time scaling ({JOBS} mixed jobs, seed {SEED})",
+            [
+                "shards",
+                "jobs",
+                "virtual ms",
+                "jobs/virtual s",
+                "speedup",
+                "moved",
+            ],
+            rows,
+            note=(
+                "virtual time = max per-shard drain seconds per round "
+                "(shards modeled as parallel machines on one host core); "
+                f"degraded run kills 1 of 4 shards mid-campaign and "
+                f"recovers to {recovery:.0%} of healthy throughput with "
+                "zero lost jobs ('moved' = stolen jobs for healthy rows, "
+                "failover resubmissions for the degraded row)"
+            ),
+        ),
+    )
+
+    (results_dir / "BENCH_cluster.json").write_text(
+        json.dumps(
+            {
+                "benchmark": "cluster_virtual_time_scaling",
+                "workload": {
+                    "jobs": JOBS,
+                    "chunk_jobs": CHUNK,
+                    "seed": SEED,
+                    "kernels": ["bsw", "lcs", "dtw", "chain"],
+                    "affinity_stride": 64,
+                },
+                "scaling": points,
+                "degraded": degraded,
+                "recovery_vs_healthy_4shard": round(recovery, 4),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # Shape claims, kept lenient (hash imbalance is real at small N):
+    # throughput must rise monotonically with shard count...
+    for narrower, wider in zip(speedups, speedups[1:]):
+        assert wider > narrower
+    # ...meaningfully (4 shards at least double one shard; 8 beat 4).
+    assert speedups[SHARD_COUNTS.index(4)] >= 2.0
+    assert speedups[-1] >= 3.0
+    # Degraded mode recovers to >= (N-1)/N of the healthy cluster.
+    assert recovery >= (DEGRADED_SHARDS - 1) / DEGRADED_SHARDS

@@ -31,7 +31,12 @@ Console scripts (installed by ``pip install -e .``):
   (:mod:`repro.serve`): newline-delimited JSON over TCP or a Unix
   socket, per-tenant quotas, priority classes, backpressure, and
   graceful drain on SIGINT/SIGTERM; the engine underneath can use the
-  shared-memory warm-worker transport (``--transport shm``).
+  shared-memory warm-worker transport (``--transport shm``) or a
+  sharded cluster (``--shards N``).
+- ``gendp-cluster`` -- run a seeded cluster chaos campaign
+  (:mod:`repro.cluster`): N engine shards behind the consistent-hash
+  router, with deterministic shard kills/hangs/partitions and an
+  exactly-once survival report.
 
 All of them are thin shells over the library; they exist so a user can
 poke the framework without writing Python.
@@ -1068,6 +1073,119 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
 
 
 # ----------------------------------------------------------------------
+# gendp-cluster
+
+
+@_pipe_safe
+def cluster_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-cluster",
+        description=(
+            "Run a seeded chaos campaign against a sharded engine "
+            "cluster (consistent-hash routing, health-aware failover) "
+            "and report exactly-once survival metrics."
+        ),
+    )
+    parser.add_argument("--jobs", type=int, default=200, help="campaign size")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--kernels",
+        default="bsw,lcs,dtw,chain",
+        help="comma-separated engine kernels for the stream",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=4, help="initial shard count"
+    )
+    parser.add_argument("--chunk", type=int, default=48, help="jobs per round")
+    parser.add_argument(
+        "--kill",
+        action="append",
+        default=[],
+        metavar="ROUND:SHARD",
+        help="schedule a shard kill (repeatable), e.g. --kill 2:1",
+    )
+    parser.add_argument("--kill-rate", type=float, default=0.0)
+    parser.add_argument("--hang-rate", type=float, default=0.0)
+    parser.add_argument("--partition-rate", type=float, default=0.0)
+    parser.add_argument(
+        "--partition-rounds",
+        type=int,
+        default=2,
+        help="rounds a partitioned shard stays unreachable",
+    )
+    parser.add_argument(
+        "--validate-fraction",
+        type=float,
+        default=1.0,
+        help="fraction of ok results re-checked against the oracle",
+    )
+    parser.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the canonical JSON report (byte-identical per seed)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        default=None,
+        help="write a Chrome-trace JSON of the campaign",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="dump the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.cluster import ClusterChaosConfig, run_cluster_campaign
+
+    kills = []
+    for spec in args.kill:
+        try:
+            round_str, shard_str = spec.split(":", 1)
+            kills.append((int(round_str), int(shard_str)))
+        except ValueError:
+            parser.error(f"bad --kill {spec!r} (want ROUND:SHARD)")
+    kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+    try:
+        config = ClusterChaosConfig(
+            jobs=args.jobs,
+            seed=args.seed,
+            kernels=kernels,
+            shards=args.shards,
+            chunk_jobs=args.chunk,
+            kills=tuple(kills),
+            kill_rate=args.kill_rate,
+            hang_rate=args.hang_rate,
+            partition_rate=args.partition_rate,
+            partition_rounds=args.partition_rounds,
+            validate_fraction=args.validate_fraction,
+        )
+    except ValueError as error:
+        parser.error(str(error))
+
+    tracer = None
+    if args.trace_out:
+        from repro.obs.trace import TraceRecorder
+
+        tracer = TraceRecorder()
+    report = run_cluster_campaign(config, tracer=tracer)
+    if args.report_out:
+        with open(args.report_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print(f"wrote cluster report to {args.report_out}")
+    if tracer is not None and args.trace_out:
+        tracer.write(args.trace_out)
+        print(f"wrote cluster trace to {args.trace_out}")
+    if args.json:
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.survived else 1
+
+
+# ----------------------------------------------------------------------
 # gendp-serve
 
 
@@ -1099,6 +1217,15 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--workers", type=int, default=2, help="warm workers (shm/pickle)"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "dispatch through a sharded cluster of N engines with "
+            "health-aware routing and failover (0 = single engine)"
+        ),
     )
     parser.add_argument(
         "--warm-kernels",
@@ -1175,11 +1302,22 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
     )
     tracer = TraceRecorder() if args.trace_out else None
 
+    engine_config = EngineConfig(
+        max_queue=args.max_pending, transport=transport
+    )
+
+    def _front_door():
+        if args.shards > 0:
+            from repro.cluster import ClusterConfig, ClusterRouter
+
+            return ClusterRouter(
+                ClusterConfig(shards=args.shards, engine=engine_config),
+                tracer=tracer,
+            )
+        return Engine(engine_config, tracer=tracer)
+
     async def _serve() -> None:
-        with Engine(
-            EngineConfig(max_queue=args.max_pending, transport=transport),
-            tracer=tracer,
-        ) as engine:
+        with _front_door() as engine:
             server = GendpServer(engine, serve_config)
             await server.start()
             server.install_signal_handlers()

@@ -1,0 +1,322 @@
+"""Deterministic cluster chaos: seeded shard kills, hangs, partitions.
+
+A cluster campaign synthesizes the same deterministic job stream the
+engine-level campaigns use (:func:`repro.faults.chaos.synthesize_stream`),
+routes it through a real :class:`~repro.cluster.router.ClusterRouter`
+under a :class:`~repro.faults.shards.ShardFaultPlan`, and audits the
+exactly-once contract: every accepted job must settle with exactly one
+envelope -- a result from some shard, or a synthesized
+``cluster-fault`` -- no matter which shards die, hang or partition
+mid-stream.
+
+Determinism is end to end: the router runs on a
+:class:`~repro.cluster.clock.SimClock`, so every latency that feeds a
+health window (and through it every ejection, rejoin and steal
+decision) is a pure function of the seed; the
+:class:`ClusterReport` carries **only counts and names** -- no
+timings, ids or machine state -- so two campaigns with the same config
+serialize byte-identically.  The CI cluster-chaos smoke asserts
+exactly that, twice over, with a shard killed mid-campaign.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.cluster.clock import SimClock
+from repro.cluster.router import ClusterConfig, ClusterRouter
+from repro.engine import BackpressureError, EngineConfig, make_job
+from repro.faults.chaos import DEFAULT_KERNELS, synthesize_stream
+from repro.faults.shards import ShardFaultPlan
+from repro.obs.logs import get_logger, log_context
+
+_LOG = get_logger("repro.cluster.chaos")
+
+
+@dataclass(frozen=True)
+class ClusterChaosConfig:
+    """One cluster campaign's worth of knobs (all deterministic)."""
+
+    jobs: int = 200
+    seed: int = 0
+    kernels: Tuple[str, ...] = DEFAULT_KERNELS
+    #: Initial shard count.
+    shards: int = 4
+    #: Jobs submitted per drain round.
+    chunk_jobs: int = 48
+    #: Per-shard bounded queue (the admission limit each hop sees).
+    shard_queue: int = 96
+    #: Simulated seconds one drained job costs (virtual-time axis).
+    per_job_cost_s: float = 0.001
+    #: Shard-fault probabilities per (shard, round) draw.
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    partition_rate: float = 0.0
+    #: Explicit scheduled kills: ``(round, shard_ordinal)`` pairs --
+    #: the "kill one shard mid-campaign" smoke uses this, not a rate.
+    kills: Tuple[Tuple[int, int], ...] = ()
+    #: Rounds a partitioned shard stays unreachable.
+    partition_rounds: int = 2
+    #: Simulated seconds a hung shard's next drain loses.
+    hang_delay_s: float = 0.5
+    #: Cap on rate-drawn kills (scheduled kills are exempt).
+    max_kills: int = 1
+    #: Drain rounds allowed to settle stragglers after the stream.
+    settle_rounds: int = 16
+    #: Engine-side validation fraction (the corruption guard).
+    validate_fraction: float = 1.0
+    #: When > 0, job *i* carries ``_affinity = i % stride`` so one
+    #: program's hash range subdivides across shards (the scaling
+    #: benchmark needs more routing keys than there are kernels);
+    #: 0 keeps pure per-program affinity.
+    affinity_stride: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jobs <= 0:
+            raise ValueError("jobs must be positive")
+        if not self.kernels:
+            raise ValueError("kernels must name at least one engine kernel")
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.chunk_jobs <= 0:
+            raise ValueError("chunk_jobs must be positive")
+        if self.settle_rounds < 0:
+            raise ValueError("settle_rounds must be non-negative")
+        self.shard_plan()  # validates the fault rates eagerly
+
+    def shard_plan(self) -> ShardFaultPlan:
+        """The shard fault plan this config implies."""
+        return ShardFaultPlan(
+            seed=self.seed,
+            kill_rate=self.kill_rate,
+            hang_rate=self.hang_rate,
+            partition_rate=self.partition_rate,
+            kills=self.kills,
+            partition_rounds=self.partition_rounds,
+            hang_delay_s=self.hang_delay_s,
+            max_kills=self.max_kills,
+        )
+
+    def cluster_config(self) -> ClusterConfig:
+        """The router config this campaign runs under."""
+        return ClusterConfig(
+            shards=self.shards,
+            engine=EngineConfig(
+                max_queue=self.shard_queue,
+                workers=0,
+                validate_fraction=self.validate_fraction,
+            ),
+            per_job_cost_s=self.per_job_cost_s,
+            fault_plan=self.shard_plan(),
+        )
+
+
+@dataclass
+class ClusterReport:
+    """Survival metrics of one cluster campaign (deterministic only)."""
+
+    config: Dict[str, Any]
+    submitted: int = 0
+    rejected: int = 0
+    envelopes: int = 0
+    lost: int = 0
+    ok: int = 0
+    failed: int = 0
+    cluster_faults: int = 0
+    duplicate_envelopes: int = 0
+    routed: int = 0
+    route_fallbacks: int = 0
+    stolen: int = 0
+    resubmitted: int = 0
+    shards_killed: int = 0
+    shards_ejected: int = 0
+    shards_rejoined: int = 0
+    partitions_injected: int = 0
+    hangs_injected: int = 0
+    drain_rounds: int = 0
+    dead_letter_backlog: int = 0
+    virtual_seconds: float = 0.0
+    final_shard_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def survived(self) -> bool:
+        """Exactly-once held: nothing lost, nothing double-reported."""
+        return self.lost == 0 and self.duplicate_envelopes == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain, JSON-able, run-to-run-identical report."""
+        return {
+            "config": dict(self.config),
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "envelopes": self.envelopes,
+            "lost": self.lost,
+            "ok": self.ok,
+            "failed": self.failed,
+            "cluster_faults": self.cluster_faults,
+            "duplicate_envelopes": self.duplicate_envelopes,
+            "routed": self.routed,
+            "route_fallbacks": self.route_fallbacks,
+            "stolen": self.stolen,
+            "resubmitted": self.resubmitted,
+            "shards_killed": self.shards_killed,
+            "shards_ejected": self.shards_ejected,
+            "shards_rejoined": self.shards_rejoined,
+            "partitions_injected": self.partitions_injected,
+            "hangs_injected": self.hangs_injected,
+            "drain_rounds": self.drain_rounds,
+            "dead_letter_backlog": self.dead_letter_backlog,
+            "virtual_seconds": round(self.virtual_seconds, 6),
+            "final_shard_states": dict(sorted(self.final_shard_states.items())),
+            "survived": self.survived,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization (the byte-identity contract)."""
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n"
+
+    def render(self) -> str:
+        """Human-readable campaign summary."""
+        states = ", ".join(
+            f"{shard}={state}"
+            for shard, state in sorted(self.final_shard_states.items())
+        )
+        lines = [
+            "gendp-cluster: seeded cluster chaos report",
+            f"  submitted           : {self.submitted} "
+            f"(+{self.rejected} shed by backpressure)",
+            f"  result envelopes    : {self.envelopes} "
+            f"({self.ok} ok, {self.failed} failed, "
+            f"{self.cluster_faults} cluster-faults)",
+            f"  jobs lost           : {self.lost}",
+            f"  duplicates          : {self.duplicate_envelopes}",
+            f"  routing             : {self.routed} routed, "
+            f"{self.route_fallbacks} fallbacks, {self.stolen} stolen, "
+            f"{self.resubmitted} failover resubmits",
+            f"  shard faults        : {self.shards_killed} killed, "
+            f"{self.partitions_injected} partitions, "
+            f"{self.hangs_injected} hangs",
+            f"  breaker             : {self.shards_ejected} ejections, "
+            f"{self.shards_rejoined} rejoins",
+            f"  drain rounds        : {self.drain_rounds} "
+            f"({self.virtual_seconds:.3f} virtual s)",
+            f"  dead letters        : {self.dead_letter_backlog} unresolved",
+            f"  final shard states  : {states or 'none'}",
+            f"  verdict             : "
+            f"{'SURVIVED' if self.survived else 'FAILED'}",
+        ]
+        return "\n".join(lines)
+
+
+def run_cluster_campaign(
+    config: Optional[ClusterChaosConfig] = None,
+    tracer: Optional[object] = None,
+) -> ClusterReport:
+    """Run one deterministic cluster chaos campaign."""
+    config = config or ClusterChaosConfig()
+    stream = synthesize_stream(config)
+    report = ClusterReport(config=_config_dict(config))
+    clock = SimClock()
+    router = ClusterRouter(
+        config.cluster_config(), tracer=tracer, clock=clock
+    )
+    accepted_ids = set()
+    settled: Dict[int, Any] = {}
+    try:
+        with log_context(campaign="cluster", seed=config.seed):
+            for start in range(0, len(stream), config.chunk_jobs):
+                chunk = stream[start : start + config.chunk_jobs]
+                for offset, (kernel, payload) in enumerate(chunk):
+                    if config.affinity_stride > 0:
+                        payload = dict(
+                            payload,
+                            _affinity=(start + offset)
+                            % config.affinity_stride,
+                        )
+                    job = make_job(kernel, payload)
+                    try:
+                        accepted = router.submit(job)
+                    except BackpressureError:
+                        report.rejected += 1
+                        continue
+                    report.submitted += 1
+                    accepted_ids.add(accepted.job_id)
+                for result in router.drain():
+                    _settle(result, settled, report)
+            for _ in range(config.settle_rounds):
+                if not router.inflight and not router._orphans:
+                    break
+                for result in router.drain():
+                    _settle(result, settled, report)
+
+        report.envelopes = len(settled)
+        report.lost = len(accepted_ids - set(settled))
+        counters = router.metrics.counters
+        report.duplicate_envelopes += counters.get(
+            "cluster_duplicate_envelopes", 0
+        )
+        report.routed = counters.get("cluster_jobs_routed", 0)
+        report.route_fallbacks = counters.get("cluster_route_fallbacks", 0)
+        report.stolen = counters.get("cluster_jobs_stolen", 0)
+        report.resubmitted = counters.get("cluster_jobs_resubmitted", 0)
+        report.shards_killed = counters.get("cluster_shards_killed", 0)
+        report.shards_ejected = counters.get("cluster_shards_ejected", 0)
+        report.shards_rejoined = counters.get("cluster_shards_rejoined", 0)
+        report.partitions_injected = counters.get(
+            "cluster_partitions_injected", 0
+        )
+        report.hangs_injected = counters.get("cluster_hangs_injected", 0)
+        report.drain_rounds = counters.get("cluster_drain_rounds", 0)
+        report.dead_letter_backlog = len(router.dead_letters)
+        report.virtual_seconds = router.virtual_seconds
+        report.final_shard_states = router.shard_states()
+    finally:
+        router.close()
+    if not report.survived:
+        _LOG.warning(
+            "cluster campaign failed exactly-once",
+            extra={
+                "lost": report.lost,
+                "duplicates": report.duplicate_envelopes,
+            },
+        )
+    return report
+
+
+def _settle(result, settled: Dict[int, Any], report: ClusterReport) -> None:
+    if result.job_id in settled:
+        # The router already audits duplicates; this is belt and braces
+        # at the campaign boundary.
+        report.duplicate_envelopes += 1
+        return
+    settled[result.job_id] = result
+    if result.ok:
+        report.ok += 1
+    else:
+        report.failed += 1
+        if result.error and result.error.startswith("cluster-fault"):
+            report.cluster_faults += 1
+
+
+def _config_dict(config: ClusterChaosConfig) -> Dict[str, Any]:
+    return {
+        "jobs": config.jobs,
+        "seed": config.seed,
+        "kernels": list(config.kernels),
+        "shards": config.shards,
+        "chunk_jobs": config.chunk_jobs,
+        "shard_queue": config.shard_queue,
+        "per_job_cost_s": config.per_job_cost_s,
+        "kill_rate": config.kill_rate,
+        "hang_rate": config.hang_rate,
+        "partition_rate": config.partition_rate,
+        "kills": [list(pair) for pair in config.kills],
+        "partition_rounds": config.partition_rounds,
+        "hang_delay_s": config.hang_delay_s,
+        "max_kills": config.max_kills,
+        "settle_rounds": config.settle_rounds,
+        "validate_fraction": config.validate_fraction,
+        "affinity_stride": config.affinity_stride,
+    }

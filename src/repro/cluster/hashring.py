@@ -1,0 +1,121 @@
+"""Consistent hashing for shard routing.
+
+The cluster routes every job by its program-affinity key (the DFG
+content hash of the job's kernel -- see
+:meth:`repro.cluster.router.ClusterRouter.affinity_key`) so all jobs
+that share a compiled program land on the same shard and hit that
+shard's warm LRU cache.  A :class:`HashRing` gives that mapping the
+two properties the cluster needs:
+
+- **bounded rebalancing** -- adding or removing one shard of N remaps
+  roughly ``K/N`` of K keys, not all of them, so shard join/leave and
+  health ejection do not stampede every shard's program cache;
+- **cross-process determinism** -- positions come from blake2b digests
+  of ``"shard#replica"`` strings, never from Python's salted ``hash``,
+  so two processes (or two campaign runs) route identical keys to
+  identical shards.
+
+Each shard owns ``replicas`` virtual nodes to smooth the load split;
+with the default 64 the max/mean key imbalance across 4-8 shards stays
+within a few tens of percent, which the property tests pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def ring_hash(text: str) -> int:
+    """A 64-bit ring position that is a pure function of *text*."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """A consistent-hash ring over shard ids with virtual nodes."""
+
+    def __init__(self, replicas: int = 64):
+        if replicas <= 0:
+            raise ValueError("replicas must be positive")
+        self.replicas = replicas
+        self._points: List[Tuple[int, str]] = []  # sorted (position, shard)
+        self._shards: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # membership
+
+    def __len__(self) -> int:
+        return len(self._shards)
+
+    def __contains__(self, shard_id: str) -> bool:
+        return shard_id in self._shards
+
+    @property
+    def shards(self) -> List[str]:
+        """Member shard ids, sorted."""
+        return sorted(self._shards)
+
+    def add(self, shard_id: str) -> None:
+        """Add *shard_id*'s virtual nodes; idempotent."""
+        if shard_id in self._shards:
+            return
+        positions = [
+            ring_hash(f"{shard_id}#{replica}")
+            for replica in range(self.replicas)
+        ]
+        self._shards[shard_id] = positions
+        for position in positions:
+            self._insert(position, shard_id)
+
+    def remove(self, shard_id: str) -> None:
+        """Remove *shard_id*'s virtual nodes; idempotent."""
+        positions = self._shards.pop(shard_id, None)
+        if positions is None:
+            return
+        self._points = [
+            point for point in self._points if point[1] != shard_id
+        ]
+
+    def _insert(self, position: int, shard_id: str) -> None:
+        index = bisect_right(self._points, (position, shard_id))
+        self._points.insert(index, (position, shard_id))
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def route(self, key: str) -> Optional[str]:
+        """The shard owning *key*, or None on an empty ring."""
+        if not self._points:
+            return None
+        position = ring_hash(key)
+        index = bisect_right(self._points, (position, "￿"))
+        if index == len(self._points):
+            index = 0  # wrap around
+        return self._points[index][1]
+
+    def route_n(self, key: str, count: int) -> List[str]:
+        """Up to *count* distinct shards in ring order from *key*.
+
+        The first entry is :meth:`route`'s owner; the rest are the
+        failover preference order, so re-routing a key after an
+        ejection is deterministic and walks the same ring every
+        process would.
+        """
+        if not self._points or count <= 0:
+            return []
+        position = ring_hash(key)
+        start = bisect_right(self._points, (position, "￿"))
+        seen: List[str] = []
+        for offset in range(len(self._points)):
+            shard = self._points[(start + offset) % len(self._points)][1]
+            if shard not in seen:
+                seen.append(shard)
+                if len(seen) >= count:
+                    break
+        return seen
+
+    def assignments(self, keys: Sequence[str]) -> Dict[str, Optional[str]]:
+        """key -> owning shard for every key (test/audit helper)."""
+        return {key: self.route(key) for key in keys}

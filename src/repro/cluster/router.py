@@ -1,0 +1,806 @@
+"""The cluster front door: health-aware consistent-hash routing.
+
+A :class:`ClusterRouter` runs N independent :class:`~repro.engine.Engine`
+shards (each with its own transport, pool, program cache, breaker set
+and DLQ) behind the same ``submit()`` / ``drain()`` surface the single
+engine exposes, so every existing caller -- ``gendp-batch`` streams,
+chaos campaigns, the ``gendp-serve`` dispatcher -- can point at a
+cluster unchanged.
+
+Placement and robustness:
+
+- **routing** -- jobs route by their kernel's DFG content hash over a
+  consistent-hash ring (:mod:`repro.cluster.hashring`), so every job
+  that shares a compiled program lands on the shard whose LRU cache is
+  already warm for it; an unavailable or full shard falls through to
+  the next shard in deterministic ring order (``cluster_route_fallbacks``);
+- **health** -- each drain round heartbeats every shard and feeds its
+  drain outcome/latency into a rolling window
+  (:mod:`repro.cluster.health`); consecutive failures or missed
+  heartbeats open the shard's circuit breaker, which *ejects* it: its
+  hash range remaps onto the survivors (bounded, ~K/N keys) and its
+  queued jobs fail over.  A cooled-down breaker lets a rejoin probe
+  through and the shard takes its range back;
+- **failover** -- a killed shard's in-flight jobs (the pending ledger)
+  are resubmitted to surviving shards *exactly once per incident*,
+  bounded by ``max_resubmit_rounds``; a job that exhausts failover
+  gets a synthesized ``cluster-fault`` error envelope and parks in the
+  router's dead-letter queue -- no job is ever silently dropped, and
+  first-envelope-wins folding makes double-reporting impossible
+  (``cluster_duplicate_envelopes`` audits that it never happens);
+- **work stealing** -- before draining, queue depth outliers shed
+  their excess onto the least-loaded healthy shards, so one hot hash
+  range cannot stall the round;
+- **lifecycle** -- ``join()`` adds a shard (bounded key remap),
+  ``leave()`` drains a shard gracefully before closing it,
+  ``kill_shard()`` is the operator/chaos crash path.
+
+Time is injectable (:mod:`repro.cluster.clock`): chaos campaigns pass
+a :class:`~repro.cluster.clock.SimClock` so latency-driven decisions
+are seed-deterministic, and every drain round accounts **virtual
+time** -- the max of the per-shard drain seconds, modelling shards as
+parallel machines -- which is what ``results/BENCH_cluster.json``
+reports scaling against.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.cluster.clock import is_simulated, real_clock
+from repro.cluster.hashring import HashRing
+from repro.cluster.health import ShardHealth
+from repro.cluster.shard import EngineShard, ShardUnavailableError
+from repro.engine import BackpressureError, Engine, EngineConfig
+from repro.engine.dlq import DeadLetter, DeadLetterQueue
+from repro.engine.jobs import Job, JobResult
+from repro.engine.metrics import MetricsRegistry
+from repro.faults.shards import ShardFaultPlan
+from repro.obs.logs import get_logger, log_context
+
+_LOG = get_logger("repro.cluster.router")
+
+#: Cluster counters (fixed schema, mirrored by the drift test in
+#: ``tests/cluster``); every name has a real ``incr`` site here.
+CLUSTER_COUNTERS: Tuple[str, ...] = (
+    "cluster_jobs_routed",  # jobs placed on a shard by the ring
+    "cluster_route_fallbacks",  # ring hops past unavailable/full shards
+    "cluster_jobs_stolen",  # jobs moved by work stealing
+    "cluster_jobs_resubmitted",  # failover resubmissions after shard loss
+    "cluster_jobs_unroutable",  # synthesized cluster-fault envelopes
+    "cluster_duplicate_envelopes",  # exactly-once audit (must stay 0)
+    "cluster_shards_joined",  # shards added (initial + join())
+    "cluster_shards_left",  # graceful leaves completed
+    "cluster_shards_killed",  # crash kills (chaos or operator)
+    "cluster_shards_ejected",  # breaker-opened hash-range ejections
+    "cluster_shards_rejoined",  # post-cooldown rejoin probes admitted
+    "cluster_partitions_injected",  # shard-unreachable faults applied
+    "cluster_hangs_injected",  # slow-drain faults applied
+    "cluster_drain_rounds",  # router drain rounds executed
+)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Cluster topology and robustness knobs."""
+
+    #: Initial shard count.
+    shards: int = 4
+    #: Shard ids are ``{shard_prefix}-{ordinal}``.
+    shard_prefix: str = "shard"
+    #: Virtual nodes per shard on the consistent-hash ring.
+    replicas: int = 64
+    #: Engine template each shard instantiates (its own transport/pool).
+    engine: EngineConfig = field(default_factory=EngineConfig)
+    #: Rolling health-window length (drain rounds).
+    health_window: int = 16
+    #: Consecutive failed/missed rounds before a shard is ejected.
+    eject_threshold: int = 2
+    #: Rounds an ejected shard sits out before its rejoin probe.
+    rejoin_cooldown: int = 2
+    #: Drain latency (seconds) above which a round counts as slow.
+    slow_round_s: float = 1.0
+    #: Steal when a shard's queue exceeds ``steal_ratio`` x the mean.
+    steal_ratio: float = 2.0
+    #: Jobs one shard may shed per round (bounded rebalancing).
+    max_steal_per_round: int = 16
+    #: Failover resubmission rounds within one drain before a job gets
+    #: a synthesized ``cluster-fault`` envelope.
+    max_resubmit_rounds: int = 3
+    #: Router-level dead-letter queue capacity (cluster-fault jobs).
+    dlq_capacity: int = 256
+    #: Simulated seconds one drained job costs under a ``SimClock``.
+    per_job_cost_s: float = 0.001
+    #: Optional :class:`repro.faults.shards.ShardFaultPlan` driving
+    #: deterministic shard kills/hangs/partitions per drain round.
+    fault_plan: Optional[ShardFaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError("shards must be positive")
+        if self.replicas <= 0:
+            raise ValueError("replicas must be positive")
+        if self.steal_ratio < 1.0:
+            raise ValueError("steal_ratio must be >= 1")
+        if self.max_steal_per_round < 0:
+            raise ValueError("max_steal_per_round must be non-negative")
+        if self.max_resubmit_rounds < 1:
+            raise ValueError("max_resubmit_rounds must be at least 1")
+        if self.per_job_cost_s <= 0:
+            raise ValueError("per_job_cost_s must be positive")
+
+
+class ClusterRouter:
+    """N engine shards behind one engine-shaped front door."""
+
+    def __init__(
+        self,
+        config: Optional[ClusterConfig] = None,
+        tracer: Optional[object] = None,
+        clock: Optional[Callable[[], float]] = None,
+        engine_factory: Optional[Callable[[str], Engine]] = None,
+    ):
+        self.config = config or ClusterConfig()
+        self.tracer = tracer
+        self.clock = clock or real_clock
+        self.metrics = MetricsRegistry()
+        for counter in CLUSTER_COUNTERS:
+            self.metrics.incr(counter, 0)
+        self.ring = HashRing(replicas=self.config.replicas)
+        self._engine_factory = engine_factory or self._default_engine
+        self._shards: Dict[str, EngineShard] = {}
+        self._affinity: Dict[str, str] = {}
+        self._round = 0
+        self._next_ordinal = 0
+        self._virtual_seconds = 0.0
+        self._rounds: List[Dict[str, Any]] = []
+        self._inflight: "OrderedDict[int, Job]" = OrderedDict()
+        self._owner: Dict[int, str] = {}
+        self._resubmissions: Dict[int, int] = {}
+        self._orphans: List[Job] = []
+        self._dlq = DeadLetterQueue(capacity=max(self.config.dlq_capacity, 0))
+        self._rate_kills = 0
+        for _ in range(self.config.shards):
+            self.join()
+
+    def _default_engine(self, shard_id: str) -> Engine:
+        return Engine(self.config.engine, tracer=self.tracer, shard=shard_id)
+
+    def _new_health(self) -> ShardHealth:
+        return ShardHealth(
+            window=self.config.health_window,
+            eject_threshold=self.config.eject_threshold,
+            rejoin_cooldown=self.config.rejoin_cooldown,
+            slow_round_s=self.config.slow_round_s,
+        )
+
+    # ------------------------------------------------------------------
+    # membership
+
+    @property
+    def shards(self) -> Dict[str, EngineShard]:
+        """Shard id -> shard (live view; do not mutate)."""
+        return self._shards
+
+    def shard_states(self) -> Dict[str, str]:
+        """Shard id -> lifecycle state (the serve tier's stats hook)."""
+        return {
+            shard_id: shard.state
+            for shard_id, shard in sorted(self._shards.items())
+        }
+
+    def live_shards(self) -> List[EngineShard]:
+        return [
+            shard
+            for _, shard in sorted(self._shards.items())
+            if shard.state in ("active", "draining")
+        ]
+
+    def join(self, shard_id: Optional[str] = None) -> EngineShard:
+        """Add a shard; its hash range moves over (bounded remap)."""
+        ordinal = self._next_ordinal
+        self._next_ordinal += 1
+        shard_id = shard_id or f"{self.config.shard_prefix}-{ordinal}"
+        if shard_id in self._shards:
+            raise ValueError(f"shard {shard_id!r} already exists")
+        shard = EngineShard(
+            shard_id,
+            self._engine_factory(shard_id),
+            health=self._new_health(),
+            ordinal=ordinal,
+        )
+        self._shards[shard_id] = shard
+        self.ring.add(shard_id)
+        self.metrics.incr("cluster_shards_joined")
+        _LOG.info("shard joined", extra={"shard": shard_id})
+        if self.tracer is not None:
+            self.tracer.event("cluster:join", cat="cluster", shard=shard_id)
+        return shard
+
+    def leave(self, shard_id: str) -> None:
+        """Graceful leave: stop routing here; the backlog drains first."""
+        shard = self._shards[shard_id]
+        shard.begin_leave()
+        self.ring.remove(shard_id)
+        _LOG.info("shard leaving", extra={"shard": shard_id})
+        if self.tracer is not None:
+            self.tracer.event("cluster:leave", cat="cluster", shard=shard_id)
+
+    def kill_shard(self, shard_id: str) -> int:
+        """Crash a shard (operator/chaos path); returns orphan count.
+
+        Refused (returns -1) for the last live shard -- a cluster never
+        faults itself into total unavailability.
+        """
+        shard = self._shards[shard_id]
+        if shard.state not in ("active", "draining"):
+            return 0
+        if len(self.live_shards()) <= 1:
+            _LOG.warning(
+                "refusing to kill the last live shard",
+                extra={"shard": shard_id},
+            )
+            return -1
+        orphans = shard.kill()
+        self.ring.remove(shard_id)
+        self._orphans.extend(orphans)
+        self.metrics.incr("cluster_shards_killed")
+        _LOG.warning(
+            "shard killed",
+            extra={"shard": shard_id, "orphans": len(orphans)},
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                "cluster:kill",
+                cat="cluster",
+                shard=shard_id,
+                orphans=len(orphans),
+            )
+        return len(orphans)
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def affinity_key(self, kernel: str) -> str:
+        """The routing key: kernel + DFG content hash, memoized.
+
+        Content-addressed so two kernels computing the same objective
+        share a shard (and its compiled program); an unknown kernel
+        falls back to its name, still deterministic.
+        """
+        key = self._affinity.get(kernel)
+        if key is None:
+            try:
+                from repro.engine.runners import build_dfg
+
+                key = f"{kernel}:{build_dfg(kernel).content_hash()}"
+            except Exception:
+                key = kernel
+            self._affinity[kernel] = key
+        return key
+
+    def _route_key(self, job: Job) -> str:
+        key = self.affinity_key(job.kernel)
+        salt = job.payload.get("_affinity")
+        if salt is not None:
+            key = f"{key}/{salt}"
+        return key
+
+    def submit(self, job: Job) -> Job:
+        """Route *job* to its ring owner (or the next available shard).
+
+        Raises :class:`BackpressureError` when no shard can take it --
+        per-shard admission: every hop is bounded by that engine's own
+        queue limit.
+
+        Routing is per compiled program by default (every job sharing
+        a program shares a shard's warm cache).  When one program
+        dominates the stream, callers may spread it by adding an
+        ``_affinity`` token to the payload (a tile id, read group,
+        session...); the token subdivides that program's hash range
+        while staying fully deterministic.
+        """
+        key = self._route_key(job)
+        next_round = self._round + 1
+        route_start = self.tracer.now() if self.tracer is not None else 0.0
+        fallbacks = 0
+        for shard_id in self.ring.route_n(key, len(self.ring)):
+            shard = self._shards[shard_id]
+            if not shard.accepting(next_round):
+                fallbacks += 1
+                continue
+            try:
+                accepted = shard.submit(job)
+            except (BackpressureError, ShardUnavailableError):
+                fallbacks += 1
+                continue
+            self._inflight[accepted.job_id] = accepted
+            self._owner[accepted.job_id] = shard_id
+            self.metrics.incr("cluster_jobs_routed")
+            if fallbacks:
+                self.metrics.incr("cluster_route_fallbacks", fallbacks)
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "cluster:route",
+                    route_start,
+                    self.tracer.now(),
+                    cat="cluster",
+                    job_id=accepted.job_id,
+                    kernel=accepted.kernel,
+                    shard=shard_id,
+                    fallbacks=fallbacks,
+                )
+            return accepted
+        raise BackpressureError(
+            f"no shard can accept {job.kernel!r} "
+            f"({len(self.ring)} in ring, {fallbacks} refused)"
+        )
+
+    def submit_many(self, jobs: List[Job]) -> List[Job]:
+        return [self.submit(job) for job in jobs]
+
+    @property
+    def queued(self) -> int:
+        return sum(shard.queued for shard in self._shards.values())
+
+    @property
+    def inflight(self) -> int:
+        """Jobs routed but not yet settled with an envelope."""
+        return len(self._inflight)
+
+    # ------------------------------------------------------------------
+    # drain
+
+    def drain(self) -> List[JobResult]:
+        """One cluster drain round; results in submission order.
+
+        Jobs stranded on a *partitioned* shard stay in flight and
+        settle in a later round (see :meth:`drain_until_settled`);
+        jobs on a *killed* shard fail over inside this round.
+        """
+        if not self._inflight and not self._orphans:
+            return []
+        self._round += 1
+        round_number = self._round
+        self.metrics.incr("cluster_drain_rounds")
+        drain_start = self.tracer.now() if self.tracer is not None else 0.0
+        with log_context(cluster_round=round_number):
+            ordered = self._drain_round(round_number)
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "cluster:drain",
+                drain_start,
+                self.tracer.now(),
+                cat="cluster",
+                round=round_number,
+                jobs=len(ordered),
+                shards=len(self.live_shards()),
+            )
+        return ordered
+
+    def _drain_round(self, round_number: int) -> List[JobResult]:
+        self._apply_faults(round_number)
+        self._maybe_rejoin(round_number)
+        self._rebalance(round_number)
+
+        envelopes: Dict[int, JobResult] = {}
+        shard_seconds: Dict[str, float] = {}
+        shard_jobs: Dict[str, int] = {}
+        self._drain_shards(round_number, envelopes, shard_seconds, shard_jobs)
+
+        # Failover: resubmit orphans of killed/ejected shards, then
+        # drain the adopting shards so this round still settles them.
+        for _ in range(self.config.max_resubmit_rounds):
+            if not self._orphans:
+                break
+            adopted = self._resubmit_orphans(round_number, envelopes)
+            if not adopted:
+                break
+            self._drain_shards(
+                round_number,
+                envelopes,
+                shard_seconds,
+                shard_jobs,
+                only=adopted,
+            )
+        self._synthesize_leftovers(envelopes)
+
+        # Virtual-time accounting: shards are parallel machines, so the
+        # round costs the slowest shard's drain time, not the sum.
+        round_virtual = max(shard_seconds.values(), default=0.0)
+        self._virtual_seconds += round_virtual
+        if len(self._rounds) < 4096:
+            self._rounds.append(
+                {
+                    "round": round_number,
+                    "virtual_s": round_virtual,
+                    "shards": {
+                        shard_id: {
+                            "jobs": shard_jobs.get(shard_id, 0),
+                            "seconds": seconds,
+                        }
+                        for shard_id, seconds in sorted(shard_seconds.items())
+                    },
+                }
+            )
+
+        for shard in list(self._shards.values()):
+            if shard.finish_leave():
+                self.metrics.incr("cluster_shards_left")
+                _LOG.info("shard left", extra={"shard": shard.shard_id})
+
+        ordered: List[JobResult] = []
+        for job_id in list(self._inflight.keys()):
+            result = envelopes.get(job_id)
+            if result is None:
+                continue  # stranded on a partitioned shard; later round
+            ordered.append(result)
+            del self._inflight[job_id]
+            self._owner.pop(job_id, None)
+            self._resubmissions.pop(job_id, None)
+        return ordered
+
+    def drain_until_settled(self, max_rounds: int = 64) -> List[JobResult]:
+        """Drain rounds until nothing is in flight (or *max_rounds*).
+
+        Partitions heal with rounds, ejections fail over -- this is
+        the "no job may be silently dropped" closure campaigns and the
+        CLI use.
+        """
+        settled: List[JobResult] = []
+        for _ in range(max_rounds):
+            settled.extend(self.drain())
+            if not self._inflight and not self._orphans:
+                break
+        return settled
+
+    # ------------------------------------------------------------------
+    # drain internals
+
+    def _drain_shards(
+        self,
+        round_number: int,
+        envelopes: Dict[int, JobResult],
+        shard_seconds: Dict[str, float],
+        shard_jobs: Dict[str, int],
+        only: Optional[Set[str]] = None,
+    ) -> None:
+        for shard_id, shard in sorted(self._shards.items()):
+            if only is not None and shard_id not in only:
+                continue
+            if shard.state not in ("active", "draining"):
+                continue
+            if shard.partitioned(round_number):
+                if shard.health.miss(round_number):
+                    self._eject(shard, round_number)
+                continue
+            shard.health.beat(round_number)
+            if shard.queued == 0:
+                continue
+            jobs_count = shard.queued
+            hang = shard.take_hang_delay()
+            span_start = (
+                self.tracer.now() if self.tracer is not None else 0.0
+            )
+            started = self.clock()
+            try:
+                results = shard.drain()
+                drain_ok = True
+            except Exception as error:
+                # The engine drain is crash-safe; an exception past it
+                # means the shard itself is broken -- treat as a death.
+                _LOG.error(
+                    "shard drain raised",
+                    extra={
+                        "shard": shard_id,
+                        "error": f"{type(error).__name__}: {error}",
+                    },
+                )
+                results = []
+                drain_ok = False
+            if is_simulated(self.clock):
+                self.clock.advance(
+                    jobs_count * self.config.per_job_cost_s + hang
+                )
+                elapsed = self.clock() - started
+            else:
+                elapsed = self.clock() - started + hang
+            shard_seconds[shard_id] = (
+                shard_seconds.get(shard_id, 0.0) + elapsed
+            )
+            shard_jobs[shard_id] = shard_jobs.get(shard_id, 0) + len(results)
+            self.metrics.observe("shard_drain_s", elapsed)
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    "shard:drain",
+                    span_start,
+                    self.tracer.now(),
+                    cat="cluster",
+                    shard=shard_id,
+                    jobs=jobs_count,
+                    round=round_number,
+                    ok=drain_ok,
+                )
+            if drain_ok:
+                shard.health.record_drain(True, elapsed)
+                self._fold(shard_id, results, envelopes)
+            else:
+                if shard.health.record_drain(False, elapsed):
+                    self._eject(shard, round_number)
+
+    def _fold(
+        self,
+        shard_id: str,
+        results: List[JobResult],
+        envelopes: Dict[int, JobResult],
+    ) -> None:
+        """First envelope wins; duplicates are audited, never returned."""
+        for result in results:
+            if result.job_id in envelopes:
+                self.metrics.incr("cluster_duplicate_envelopes")
+                _LOG.warning(
+                    "duplicate envelope suppressed",
+                    extra={"shard": shard_id, "job_id": result.job_id},
+                )
+                continue
+            if result.shard is None:
+                result.shard = shard_id
+            envelopes[result.job_id] = result
+
+    def _eject(self, shard: EngineShard, round_number: int) -> None:
+        """Breaker opened: drop the shard's hash range, orphan its queue."""
+        if shard.shard_id not in self.ring:
+            return
+        self.ring.remove(shard.shard_id)
+        self._orphans.extend(shard.withdraw(None))
+        self.metrics.incr("cluster_shards_ejected")
+        _LOG.warning(
+            "shard ejected",
+            extra={"shard": shard.shard_id, "round": round_number},
+        )
+        if self.tracer is not None:
+            self.tracer.event(
+                "cluster:eject",
+                cat="cluster",
+                shard=shard.shard_id,
+                round=round_number,
+            )
+
+    def _maybe_rejoin(self, round_number: int) -> None:
+        """Cooled-down ejected shards get a rejoin probe (their range back)."""
+        for shard_id, shard in sorted(self._shards.items()):
+            if shard.state != "active" or shard_id in self.ring:
+                continue
+            if shard.partitioned(round_number):
+                continue
+            if shard.health.allow():
+                self.ring.add(shard_id)
+                self.metrics.incr("cluster_shards_rejoined")
+                _LOG.info(
+                    "shard rejoined (probe)",
+                    extra={"shard": shard_id, "round": round_number},
+                )
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "cluster:rejoin",
+                        cat="cluster",
+                        shard=shard_id,
+                        round=round_number,
+                    )
+
+    def _apply_faults(self, round_number: int) -> None:
+        plan = self.config.fault_plan
+        if plan is None or not plan.enabled:
+            return
+        for shard_id, shard in sorted(self._shards.items()):
+            if shard.state != "active":
+                continue
+            kind = plan.fault_for(shard.ordinal, round_number, self._rate_kills)
+            if kind is None:
+                continue
+            if kind == "kill":
+                if self.kill_shard(shard_id) >= 0 and (
+                    (round_number, shard.ordinal) not in plan.kills
+                ):
+                    self._rate_kills += 1
+            elif kind == "hang":
+                shard.mark_hung(plan.hang_delay_s)
+                self.metrics.incr("cluster_hangs_injected")
+            elif kind == "partition":
+                shard.mark_partitioned(round_number + plan.partition_rounds)
+                self.metrics.incr("cluster_partitions_injected")
+                _LOG.warning(
+                    "shard partitioned",
+                    extra={
+                        "shard": shard_id,
+                        "until_round": round_number + plan.partition_rounds,
+                    },
+                )
+
+    def _rebalance(self, round_number: int) -> None:
+        """Bounded work stealing: depth outliers shed onto healthy shards."""
+        donors_pool = [
+            shard
+            for shard in self.live_shards()
+            if shard.drainable(round_number) and shard.queued > 0
+        ]
+        targets_pool = [
+            shard
+            for shard in self.live_shards()
+            if shard.accepting(round_number)
+            and shard.health.classification == "healthy"
+        ]
+        if len(donors_pool) < 1 or len(targets_pool) < 1:
+            return
+        depths = {
+            shard.shard_id: shard.queued
+            for shard in set(donors_pool) | set(targets_pool)
+        }
+        mean = sum(depths.values()) / max(len(depths), 1)
+        if mean <= 0:
+            return
+        for donor in sorted(
+            donors_pool, key=lambda s: (-s.queued, s.shard_id)
+        ):
+            if donor.queued <= self.config.steal_ratio * mean:
+                continue
+            excess = min(
+                int(donor.queued - mean), self.config.max_steal_per_round
+            )
+            if excess <= 0:
+                continue
+            stolen = donor.withdraw(excess)
+            for job in stolen:
+                placed = False
+                for target in sorted(
+                    targets_pool, key=lambda s: (s.queued, s.shard_id)
+                ):
+                    if target.shard_id == donor.shard_id:
+                        continue
+                    try:
+                        target.adopt(job)
+                    except (BackpressureError, ShardUnavailableError):
+                        continue
+                    self._owner[job.job_id] = target.shard_id
+                    self.metrics.incr("cluster_jobs_stolen")
+                    placed = True
+                    break
+                if not placed:
+                    # Nobody could take it; hand it back to the donor
+                    # (it had room -- we just withdrew from it).
+                    donor.adopt(job)
+                    self._owner[job.job_id] = donor.shard_id
+
+    def _resubmit_orphans(
+        self, round_number: int, envelopes: Dict[int, JobResult]
+    ) -> Set[str]:
+        """Place orphaned in-flight jobs on survivors, exactly once.
+
+        Returns the shard ids that adopted work (they get a follow-up
+        drain this round).  Jobs that exhaust their resubmission budget
+        or find no shard stay orphaned for :meth:`_synthesize_leftovers`.
+        """
+        orphans, self._orphans = self._orphans, []
+        adopted: Set[str] = set()
+        leftovers: List[Job] = []
+        for job in orphans:
+            if job.job_id in envelopes:
+                continue  # already answered; never resubmit a settled job
+            times = self._resubmissions.get(job.job_id, 0)
+            if times >= self.config.max_resubmit_rounds:
+                leftovers.append(job)
+                continue
+            key = self._route_key(job)
+            placed = False
+            for shard_id in self.ring.route_n(key, len(self.ring)):
+                shard = self._shards[shard_id]
+                if not shard.accepting(round_number):
+                    continue
+                try:
+                    shard.adopt(job)
+                except (BackpressureError, ShardUnavailableError):
+                    continue
+                self._owner[job.job_id] = shard_id
+                self._resubmissions[job.job_id] = times + 1
+                self.metrics.incr("cluster_jobs_resubmitted")
+                adopted.add(shard_id)
+                placed = True
+                break
+            if not placed:
+                leftovers.append(job)
+        self._orphans = leftovers
+        return adopted
+
+    def _synthesize_leftovers(self, envelopes: Dict[int, JobResult]) -> None:
+        """Exactly-once floor: un-placeable jobs get error envelopes."""
+        orphans, self._orphans = self._orphans, []
+        for job in orphans:
+            if job.job_id in envelopes:
+                continue
+            self.metrics.incr("cluster_jobs_unroutable")
+            error = "cluster-fault: no shard available for failover"
+            envelopes[job.job_id] = JobResult(
+                job_id=job.job_id,
+                kernel=job.kernel,
+                ok=False,
+                error=error,
+                backend="none",
+            )
+            if not self._dlq.push(job, error):
+                _LOG.warning(
+                    "cluster DLQ full; letter dropped",
+                    extra={"job_id": job.job_id},
+                )
+
+    # ------------------------------------------------------------------
+    # reliability surface
+
+    @property
+    def dead_letters(self) -> List[DeadLetter]:
+        """Cluster-fault letters (per-shard engines keep their own DLQs)."""
+        return self._dlq.letters()
+
+    def replay_dead_letters(self) -> List[Job]:
+        """Replay cluster-level and every live shard's dead letters."""
+        replayed: List[Job] = []
+        letters = self._dlq.drain()
+        for index, letter in enumerate(letters):
+            try:
+                replayed.append(self.submit(letter.job))
+            except BackpressureError:
+                self._dlq.extend(letters[index:])
+                break
+            self._inflight[letter.job.job_id] = letter.job
+        for shard in self.live_shards():
+            for job in shard.replay_dead_letters():
+                self._inflight[job.job_id] = job
+                self._owner[job.job_id] = shard.shard_id
+                replayed.append(job)
+        return replayed
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+
+    @property
+    def round(self) -> int:
+        return self._round
+
+    @property
+    def virtual_seconds(self) -> float:
+        """Parallel-machine elapsed time across all drain rounds."""
+        return self._virtual_seconds
+
+    @property
+    def rounds(self) -> List[Dict[str, Any]]:
+        """Per-round drain accounting (bounded; benchmark input)."""
+        return list(self._rounds)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Cluster + per-shard metrics as one exporter-ready dict."""
+        snap = self.metrics.snapshot()
+        snap["cluster"] = {
+            "shards_total": len(self._shards),
+            "shards_live": len(self.live_shards()),
+            "shards_in_ring": len(self.ring),
+            "round": self._round,
+            "virtual_seconds": round(self._virtual_seconds, 6),
+            "inflight": len(self._inflight),
+            "dead_letter_backlog": len(self._dlq),
+        }
+        snap["shards"] = {
+            shard_id: shard.snapshot(self._round)
+            for shard_id, shard in sorted(self._shards.items())
+        }
+        return snap
+
+    def close(self) -> None:
+        for shard in self._shards.values():
+            shard.close()
+
+    def __enter__(self) -> "ClusterRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -20,6 +20,14 @@ STATE_CLOSED = "closed"
 STATE_OPEN = "open"
 STATE_HALF_OPEN = "half-open"
 
+#: Breaker state -> numeric gauge code (Prometheus can only scrape
+#: numbers; exporters render these with the state name as a label).
+BREAKER_CODES = {
+    STATE_CLOSED: 0,
+    STATE_HALF_OPEN: 1,
+    STATE_OPEN: 2,
+}
+
 
 class CircuitBreaker:
     """Consecutive-failure breaker with a batch-counted cooldown."""

@@ -78,6 +78,9 @@ class JobResult:
     backend: str = "inline"
     #: Per-stage seconds: queue_wait, compile, execute.
     timings: Dict[str, float] = field(default_factory=dict)
+    #: Cluster shard that produced this envelope (None outside a
+    #: :mod:`repro.cluster` deployment).
+    shard: Optional[str] = None
 
 
 _REQUIRED_PAYLOAD_KEYS: Dict[str, tuple] = {

@@ -35,7 +35,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.dpax.machine import INTEGER_ARRAYS
 from repro.engine.batcher import Batch, Batcher
-from repro.engine.breaker import CircuitBreaker
+from repro.engine.breaker import BREAKER_CODES, CircuitBreaker
 from repro.engine.cache import CompiledProgram, ProgramCache, compile_program
 from repro.engine.dlq import DeadLetter, DeadLetterQueue
 from repro.engine.executor import BatchOutcome, InlineExecutor, make_executor
@@ -150,9 +150,14 @@ class Engine:
         self,
         config: Optional[EngineConfig] = None,
         tracer: Optional[object] = None,
+        shard: Optional[str] = None,
     ):
         self.config = config or EngineConfig()
         self.tracer = tracer
+        #: Cluster shard label (None outside a cluster); stamps spans,
+        #: metrics snapshots and result envelopes so one shared tracer
+        #: can tell N shards apart.
+        self.shard = shard
         self.cache = ProgramCache(capacity=self.config.cache_capacity)
         self.batcher = Batcher(capacity=self.config.batch_capacity)
         self.executor = make_executor(
@@ -231,19 +236,22 @@ class Engine:
             # Correlation ids ride inside the payload so worker
             # processes (which cannot share the recorder) can stamp
             # their spans with the same trace/job ids.
-            payload = dict(
-                payload,
-                _trace={
-                    "trace_id": self.tracer.trace_id,
-                    "job_id": job.job_id,
-                },
-            )
+            trace_ids = {
+                "trace_id": self.tracer.trace_id,
+                "job_id": job.job_id,
+            }
+            if self.shard is not None:
+                trace_ids["shard"] = self.shard
+            payload = dict(payload, _trace=trace_ids)
         stamped = replace(job, payload=payload, submitted_at=time.monotonic())
         self._queue.append(stamped)
         self.metrics.incr("jobs_submitted")
         if self.tracer is not None:
             self.tracer.event(
-                "job:submit", job_id=stamped.job_id, kernel=stamped.kernel
+                "job:submit",
+                job_id=stamped.job_id,
+                kernel=stamped.kernel,
+                shard=self.shard,
             )
         return stamped
 
@@ -253,6 +261,25 @@ class Engine:
     @property
     def queued(self) -> int:
         return len(self._queue)
+
+    def withdraw(self, max_jobs: Optional[int] = None) -> List[Job]:
+        """Pull queued-but-undrained jobs back out (submission order).
+
+        The cluster's work stealer uses this to move load off a hot or
+        ejected shard.  Stealing takes from the *tail* of the queue, so
+        the oldest jobs -- the ones about to drain -- stay on the
+        engine that accepted them.
+        """
+        if max_jobs is None or max_jobs >= len(self._queue):
+            taken, self._queue = self._queue, []
+        elif max_jobs <= 0:
+            return []
+        else:
+            taken = self._queue[-max_jobs:]
+            self._queue = self._queue[:-max_jobs]
+        if taken:
+            self.metrics.incr("jobs_withdrawn", len(taken))
+        return taken
 
     # ------------------------------------------------------------------
     # drain
@@ -299,6 +326,8 @@ class Engine:
                 )
             if not result.ok and result.error != "deadline-expired":
                 self._dead_letter(job, result)
+            if result.shard is None:
+                result.shard = self.shard
             ordered.append(result)
         ok_count = sum(1 for result in ordered if result.ok)
         if self.tracer is not None:
@@ -309,6 +338,7 @@ class Engine:
                 jobs=len(jobs),
                 ok=ok_count,
                 failed=len(ordered) - ok_count,
+                shard=self.shard,
             )
         _LOG.info(
             "drain complete",
@@ -743,6 +773,18 @@ class Engine:
         snap["optimization"] = self.metrics.optimization()
         snap["quarantined"] = sorted(self._quarantined)
         snap["dead_letter_backlog"] = len(self._dlq)
+        if self.shard is not None:
+            snap["shard"] = self.shard
+        # Scrapeable reliability state: per-kernel breaker codes and
+        # instantaneous depth gauges (see repro.obs.export).
+        snap["breakers"] = {
+            kernel: float(BREAKER_CODES[breaker.state])
+            for kernel, breaker in sorted(self._breakers.items())
+        }
+        snap["gauges"] = {
+            "dlq_depth": float(len(self._dlq)),
+            "queue_depth": float(len(self._queue)),
+        }
         occupancy = self.metrics.histograms.get("batch_occupancy")
         snap["derived"] = {
             "cache_hit_rate": self.cache.stats.hit_rate,

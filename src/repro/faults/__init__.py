@@ -10,7 +10,11 @@ that are never exercised rot.  This package drives them on purpose:
   one integer seed and free when disabled;
 - :mod:`repro.faults.chaos` -- seeded chaos campaigns: run a mixed job
   stream through an engine under a plan and report survival metrics
-  (jobs lost, corruption escapes, degraded fraction).
+  (jobs lost, corruption escapes, degraded fraction);
+- :mod:`repro.faults.shards` -- :class:`ShardFaultPlan`, the same idea
+  one level up: a seed-driven schedule of shard kills, hangs and
+  partitions that :mod:`repro.cluster` replays for deterministic
+  cluster chaos.
 
 The CLI front end is ``gendp-chaos``; ``docs/reliability.md`` has the
 fault taxonomy and the hardening each fault class forced.
@@ -24,6 +28,7 @@ from repro.faults.plan import (
     seeded_rng,
     unit_draw,
 )
+from repro.faults.shards import SHARD_FAULT_KINDS, ShardFaultPlan
 
 __all__ = [
     "CampaignReport",
@@ -31,6 +36,8 @@ __all__ = [
     "FAULT_KINDS",
     "FaultPlan",
     "InjectedCompileError",
+    "SHARD_FAULT_KINDS",
+    "ShardFaultPlan",
     "run_campaign",
     "seeded_rng",
     "unit_draw",

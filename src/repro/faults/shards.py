@@ -1,0 +1,122 @@
+"""Seed-driven *cluster-granularity* fault schedules.
+
+:class:`~repro.faults.plan.FaultPlan` injects faults into individual
+jobs; a :class:`ShardFaultPlan` injects faults into whole **engine
+shards** of a :class:`repro.cluster.ClusterRouter`.  Decisions are pure
+functions of ``(seed, shard index, drain round)`` through the same
+blake2b :func:`~repro.faults.plan.unit_draw` primitive, so a cluster
+chaos campaign with a fixed seed kills, hangs and partitions the same
+shards at the same rounds in every process -- the property that makes
+cluster campaign reports byte-identical run to run.
+
+Shard fault kinds map onto the router's failure seams:
+
+=============  =====================================================
+kind           what it exercises
+=============  =====================================================
+``kill``       permanent shard death -> pending-job failover
+               resubmission, hash-range re-routing, exactly-once
+               result envelopes
+``hang``       one slow drain round -> rolling latency window,
+               degraded classification, cross-shard work stealing
+``partition``  shard unreachable for ``partition_rounds`` rounds ->
+               missed heartbeats, circuit-breaker ejection,
+               re-route, half-open probe and rejoin on heal
+=============  =====================================================
+
+Kills can also be **scheduled** explicitly (``kills=((round, shard
+index),)``), which is how the CI cluster smoke and the degraded-mode
+benchmark point kill exactly one shard mid-run.  The router refuses to
+kill the last live shard regardless of what the plan asks for, so a
+campaign can never fault itself into total unavailability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.faults.plan import unit_draw
+
+#: Shard fault kinds, in the order the cumulative draw checks them.
+SHARD_FAULT_KINDS = ("kill", "hang", "partition")
+
+
+@dataclass(frozen=True)
+class ShardFaultPlan:
+    """A deterministic schedule of shard-level faults."""
+
+    seed: int = 0
+    #: Per-(shard, round) probabilities; at most one kind per draw.
+    kill_rate: float = 0.0
+    hang_rate: float = 0.0
+    partition_rate: float = 0.0
+    #: Explicit kills as ``(round, shard_index)`` pairs -- applied in
+    #: addition to ``kill_rate`` draws.
+    kills: Tuple[Tuple[int, int], ...] = ()
+    #: Drain rounds a partitioned shard stays unreachable.
+    partition_rounds: int = 2
+    #: Extra simulated seconds a hung shard's drain takes.
+    hang_delay_s: float = 0.5
+    #: Ceiling on probabilistic kills across the whole campaign, so a
+    #: high ``kill_rate`` cannot grind a cluster down to one shard
+    #: (scheduled ``kills`` are exempt -- they are explicit intent).
+    max_kills: int = 1
+
+    def __post_init__(self) -> None:
+        for name, rate in (
+            ("kill_rate", self.kill_rate),
+            ("hang_rate", self.hang_rate),
+            ("partition_rate", self.partition_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        total = self.kill_rate + self.hang_rate + self.partition_rate
+        if total > 1.0:
+            raise ValueError(f"shard fault rates sum to {total} > 1")
+        if self.partition_rounds <= 0:
+            raise ValueError("partition_rounds must be positive")
+        if self.hang_delay_s < 0:
+            raise ValueError("hang_delay_s must be non-negative")
+        if self.max_kills < 0:
+            raise ValueError("max_kills must be non-negative")
+        for pair in self.kills:
+            if len(pair) != 2 or pair[0] < 1 or pair[1] < 0:
+                raise ValueError(
+                    "kills must be (round >= 1, shard_index >= 0) pairs"
+                )
+
+    @property
+    def enabled(self) -> bool:
+        """True when any shard fault can fire."""
+        return bool(
+            self.kill_rate
+            or self.hang_rate
+            or self.partition_rate
+            or self.kills
+        )
+
+    def fault_for(
+        self, shard_index: int, round_number: int, kills_so_far: int = 0
+    ) -> Optional[str]:
+        """The fault kind (or None) for *shard_index* at *round_number*.
+
+        *kills_so_far* counts probabilistic kills already applied this
+        campaign; once it reaches :attr:`max_kills`, the kill band of
+        the draw is skipped (the draw itself is still consumed, so
+        later kinds keep their per-round probabilities).
+        """
+        if (round_number, shard_index) in self.kills:
+            return "kill"
+        draw = unit_draw(self.seed, "shard", shard_index, round_number)
+        threshold = 0.0
+        for kind, rate in zip(
+            SHARD_FAULT_KINDS,
+            (self.kill_rate, self.hang_rate, self.partition_rate),
+        ):
+            threshold += rate
+            if draw < threshold:
+                if kind == "kill" and kills_so_far >= self.max_kills:
+                    return None
+                return kind
+        return None

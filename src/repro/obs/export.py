@@ -98,11 +98,16 @@ def _format_value(value: Any) -> str:
     return repr(number)
 
 
+#: Snapshot sections rendered with labels (or bare names) instead of
+#: the flattened ``<section>_<key>`` scheme below.
+_LABELED_SECTIONS: Tuple[str, ...] = ("gauges", "breakers", "shards")
+
+
 def _gauge_sections(snapshot: Dict[str, Any]) -> List[Tuple[str, float]]:
     """Flatten non-counter/histogram numeric content into gauges."""
     gauges: List[Tuple[str, float]] = []
     for section, content in snapshot.items():
-        if section in ("counters", "histograms"):
+        if section in ("counters", "histograms") or section in _LABELED_SECTIONS:
             continue
         if isinstance(content, bool):
             continue
@@ -147,6 +152,48 @@ def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
         name = _metric_name(namespace, metric)
         lines.append(f"# TYPE {name} gauge")
         lines.append(f"{name} {_format_value(value)}")
+
+    # Instantaneous state gauges ("gauges"): bare names, no flattening
+    # prefix -- these are first-class metrics (dlq_depth, queue_depth).
+    for key, value in sorted(snapshot.get("gauges", {}).items()):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            continue
+        name = _metric_name(namespace, str(key))
+        lines.append(f"# TYPE {name} gauge")
+        lines.append(f"{name} {_format_value(value)}")
+
+    # Per-kernel circuit-breaker state ("breakers"): one metric family
+    # with a kernel label (0=closed, 1=half-open, 2=open).
+    breakers = snapshot.get("breakers", {})
+    if isinstance(breakers, dict) and breakers:
+        name = _metric_name(namespace, "breaker_state")
+        lines.append(f"# TYPE {name} gauge")
+        for kernel, value in sorted(breakers.items()):
+            lines.append(f'{name}{{kernel="{kernel}"}} {_format_value(value)}')
+
+    # Per-shard cluster health/load ("shards"): every numeric gauge in
+    # a shard's snapshot becomes gendp_cluster_<metric>{shard="id"}.
+    shards = snapshot.get("shards", {})
+    if isinstance(shards, dict):
+        by_metric: Dict[str, List[Tuple[str, float]]] = {}
+        for shard_id, gauges in sorted(shards.items()):
+            if not isinstance(gauges, dict):
+                continue
+            for metric, value in gauges.items():
+                if isinstance(value, bool) or not isinstance(
+                    value, (int, float)
+                ):
+                    continue
+                by_metric.setdefault(str(metric), []).append(
+                    (str(shard_id), float(value))
+                )
+        for metric, series in sorted(by_metric.items()):
+            name = _metric_name(namespace, "cluster", metric)
+            lines.append(f"# TYPE {name} gauge")
+            for shard_id, value in series:
+                lines.append(
+                    f'{name}{{shard="{shard_id}"}} {_format_value(value)}'
+                )
 
     return "\n".join(lines) + "\n"
 

@@ -19,7 +19,7 @@ from repro.serve.admission import (
     AdmissionController,
     AdmissionDecision,
 )
-from repro.serve.client import ServeClient
+from repro.serve.client import ReconnectPolicy, ServeClient
 from repro.serve.quota import TenantQuotas, TokenBucket
 from repro.serve.server import SERVE_COUNTERS, GendpServer, ServeConfig
 from repro.serve.transport import BACKENDS, ShmExecutor, TransportConfig
@@ -30,6 +30,7 @@ __all__ = [
     "BACKENDS",
     "GendpServer",
     "PRIORITY_CLASSES",
+    "ReconnectPolicy",
     "SERVE_COUNTERS",
     "ServeClient",
     "ServeConfig",

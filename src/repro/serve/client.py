@@ -10,13 +10,56 @@ Responses are returned as plain dicts -- admission rejections come
 back as ``{"ok": False, "rejected": True, "error": "<reason>"}``
 rather than raising, because a rejection is an expected protocol
 outcome the caller usually branches on (back off, drop, retry).
+
+Transient transport failures are a different matter: a server restart
+mid-stream drops the connection and every in-flight waiter fails with
+:class:`ConnectionError`.  Pass a :class:`ReconnectPolicy` to
+``connect()`` and :meth:`ServeClient.request` will redial the same
+endpoint with bounded, *seeded* exponential backoff and resend the
+request on the fresh connection.  The retry is at-least-once -- only
+requests whose response never arrived are resent -- which matches the
+idempotent ops (``ping``/``stats``) and the serving tier's
+exactly-one-envelope-per-job accounting for submits.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
-from typing import Any, Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.plan import unit_draw
+
+#: Errors worth redialing through: the transport died underneath us.
+_TRANSIENT_ERRORS = (ConnectionError, OSError, asyncio.IncompleteReadError)
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Bounded, seeded exponential backoff for client redials."""
+
+    #: Redial attempts per failed request before the error propagates.
+    max_attempts: int = 3
+    #: First backoff delay; doubles each attempt.
+    base_backoff_s: float = 0.05
+    #: Backoff ceiling.
+    max_backoff_s: float = 1.0
+    #: Seeds the jitter -- two clients with the same seed back off
+    #: identically (reproducible reconnect storms in tests).
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise ValueError("backoff delays must be non-negative")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before redial *attempt* (0-based), jittered by seed."""
+        base = min(self.max_backoff_s, self.base_backoff_s * (2 ** attempt))
+        jitter = 0.5 + 0.5 * unit_draw(self.seed, "reconnect", attempt)
+        return base * jitter
 
 
 class ServeClient:
@@ -27,15 +70,33 @@ class ServeClient:
     many requests in flight (the server handles lines concurrently).
     """
 
-    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        endpoint: Optional[Tuple[str, int, Optional[str]]] = None,
+        reconnect: Optional[ReconnectPolicy] = None,
+    ):
         self._reader = reader
         self._writer = writer
+        self._endpoint = endpoint
+        self._reconnect_policy = reconnect
         self._next_id = 0
         self._waiters: Dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
+        #: Successful redials performed so far (observable in tests).
+        self.reconnects = 0
 
     # ------------------------------------------------------------------
     # connection management
+
+    @staticmethod
+    async def _open(
+        host: str, port: int, unix_socket: Optional[str]
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        if unix_socket:
+            return await asyncio.open_unix_connection(unix_socket)
+        return await asyncio.open_connection(host, port)
 
     @classmethod
     async def connect(
@@ -43,22 +104,46 @@ class ServeClient:
         host: str = "127.0.0.1",
         port: int = 0,
         unix_socket: Optional[str] = None,
+        reconnect: Optional[ReconnectPolicy] = None,
     ) -> "ServeClient":
-        if unix_socket:
-            reader, writer = await asyncio.open_unix_connection(unix_socket)
-        else:
-            reader, writer = await asyncio.open_connection(host, port)
-        client = cls(reader, writer)
+        reader, writer = await cls._open(host, port, unix_socket)
+        client = cls(
+            reader,
+            writer,
+            endpoint=(host, port, unix_socket),
+            reconnect=reconnect,
+        )
         client._reader_task = asyncio.create_task(client._read_loop())
         return client
+
+    async def _redial(self) -> None:
+        """Replace the dead connection with a fresh one (same endpoint)."""
+        if self._endpoint is None:
+            raise ConnectionError("client has no endpoint to redial")
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, *_TRANSIENT_ERRORS):
+                pass  # the loop died with the transport; expected here
+            self._reader_task = None
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except Exception:
+            pass  # the old transport is already broken
+        host, port, unix_socket = self._endpoint
+        self._reader, self._writer = await self._open(host, port, unix_socket)
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self.reconnects += 1
 
     async def close(self) -> None:
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
                 await self._reader_task
-            except asyncio.CancelledError:
-                pass
+            except (asyncio.CancelledError, *_TRANSIENT_ERRORS):
+                pass  # a dead transport is not an error when closing
             self._reader_task = None
         try:
             self._writer.close()
@@ -101,7 +186,35 @@ class ServeClient:
             self._waiters.clear()
 
     async def request(self, body: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one request object; await its matched response."""
+        """Send one request object; await its matched response.
+
+        With a :class:`ReconnectPolicy` attached, a transient transport
+        failure (reset, refused redial window, server restart) redials
+        the endpoint with seeded backoff and resends this request on
+        the new connection; the error propagates once the attempt
+        budget is spent.
+        """
+        policy = self._reconnect_policy
+        attempts = policy.max_attempts if policy is not None else 0
+        for attempt in range(attempts + 1):
+            try:
+                return await self._request_once(body)
+            except _TRANSIENT_ERRORS:
+                if attempt >= attempts:
+                    raise
+                await asyncio.sleep(policy.backoff_s(attempt))
+                try:
+                    await self._redial()
+                except _TRANSIENT_ERRORS:
+                    continue  # endpoint still down; next attempt redials
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    async def _request_once(self, body: Dict[str, Any]) -> Dict[str, Any]:
+        # A finished read loop means the transport is already dead: a
+        # waiter registered now would never be resolved (the loop's
+        # cleanup ran before we got here), so fail fast instead.
+        if self._reader_task is None or self._reader_task.done():
+            raise ConnectionError("connection lost")
         self._next_id += 1
         request_id = self._next_id
         body = dict(body, id=request_id)
@@ -114,6 +227,8 @@ class ServeClient:
             # the caller gets the write error; the waiter must not linger
             # for close() to fail later with nobody left to retrieve it
             self._waiters.pop(request_id, None)
+            if future.done():
+                future.exception()  # retrieved: no destructor warning
             raise
         return await future
 

@@ -116,7 +116,14 @@ class ServeConfig:
 
 
 class GendpServer:
-    """The asyncio serving front-end over one :class:`Engine`."""
+    """The asyncio serving front-end over one :class:`Engine`.
+
+    Anything engine-shaped works -- in particular a
+    :class:`repro.cluster.ClusterRouter` (``gendp-serve --shards N``)
+    slots in unchanged: per-shard admission happens inside the
+    router's ring walk, stats gain a ``shards`` topology map, and
+    result payloads carry the producing shard.
+    """
 
     def __init__(
         self,
@@ -141,6 +148,7 @@ class GendpServer:
         self._pending = 0
         self._draining = False
         self._server: Optional[asyncio.AbstractServer] = None
+        self._conn_writers: set = set()
         self._dispatcher_task: Optional[asyncio.Task] = None
         self._done = asyncio.Event()
         self._idle = asyncio.Event()
@@ -222,6 +230,16 @@ class GendpServer:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        # Sever open connections too: a stopped server must look dead to
+        # its clients (their pending requests fail fast and reconnect
+        # logic can kick in) rather than leaving zombie handlers that
+        # still answer on a listener that no longer exists.
+        for writer in list(self._conn_writers):
+            try:
+                writer.close()
+            except Exception:
+                pass
+        self._conn_writers.clear()
         if self._dispatcher_task is not None:
             self._dispatcher_task.cancel()
             try:
@@ -242,6 +260,16 @@ class GendpServer:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        if self._server is None:
+            # stop() ran between the accept and this task getting
+            # scheduled: the dispatcher is gone, so serving this
+            # connection would admit requests nobody will ever answer.
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+            return
         self.engine.metrics.incr("serve_connections")
         peer = writer.get_extra_info("peername") or writer.get_extra_info(
             "sockname"
@@ -250,6 +278,7 @@ class GendpServer:
             self.tracer.event("serve:accept", cat="serve", peer=str(peer))
         write_lock = asyncio.Lock()
         tasks: List[asyncio.Task] = []
+        self._conn_writers.add(writer)
         try:
             while True:
                 line = await reader.readline()
@@ -271,6 +300,7 @@ class GendpServer:
         ):
             pass
         finally:
+            self._conn_writers.discard(writer)
             try:
                 writer.close()
                 await writer.wait_closed()
@@ -345,7 +375,7 @@ class GendpServer:
 
     def _stats(self) -> Dict[str, Any]:
         counters = self.engine.metrics.snapshot().get("counters", {})
-        return {
+        stats = {
             "ok": True,
             "op": "stats",
             "draining": self._draining,
@@ -355,6 +385,11 @@ class GendpServer:
                 name: counters.get(name, 0) for name in SERVE_COUNTERS
             },
         }
+        # A cluster behind the server reports its shard topology too.
+        shard_states = getattr(self.engine, "shard_states", None)
+        if callable(shard_states):
+            stats["shards"] = shard_states()
+        return stats
 
     # ------------------------------------------------------------------
     # submission
@@ -418,7 +453,7 @@ class GendpServer:
         return future
 
     def _result_payload(self, result) -> Dict[str, Any]:
-        return {
+        payload = {
             "ok": result.ok,
             "job_id": result.job_id,
             "kernel": result.kernel,
@@ -427,6 +462,10 @@ class GendpServer:
             "backend": result.backend,
             "attempts": result.attempts,
         }
+        shard = getattr(result, "shard", None)
+        if shard is not None:
+            payload["shard"] = shard
+        return payload
 
     async def _submit_one(
         self, request: Mapping[str, Any], tenant: str
@@ -507,7 +546,12 @@ class GendpServer:
             if accepted:
                 # The drain is synchronous engine code; the default
                 # executor keeps the loop accepting while tables sweep.
-                results = await loop.run_in_executor(None, self.engine.drain)
+                # A cluster settles over multiple rounds (failover,
+                # partition healing), so prefer its settling drain.
+                drain = getattr(
+                    self.engine, "drain_until_settled", self.engine.drain
+                )
+                results = await loop.run_in_executor(None, drain)
                 by_id = {result.job_id: result for result in results}
                 for job, future in accepted:
                     result = by_id.get(job.job_id)

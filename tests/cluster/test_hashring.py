@@ -1,0 +1,134 @@
+"""Hash-ring properties: determinism, balance, bounded remapping.
+
+The cluster's failover story leans on three ring properties, each
+pinned here:
+
+- routing is a pure function of the key and the membership -- stable
+  across calls, orderings *and processes* (Python's salted ``hash``
+  must never leak in);
+- virtual nodes spread keys acceptably evenly;
+- join/leave remaps only ~K/N of K keys, so membership churn cannot
+  stampede every shard's program cache.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.cluster.hashring import HashRing, ring_hash
+
+KEYS = [f"kernel:{index}" for index in range(600)]
+
+
+def _ring(shards):
+    ring = HashRing()
+    for shard in shards:
+        ring.add(shard)
+    return ring
+
+
+class TestRingBasics:
+    def test_empty_ring_routes_nowhere(self):
+        assert HashRing().route("anything") is None
+        assert HashRing().route_n("anything", 3) == []
+
+    def test_single_shard_owns_everything(self):
+        ring = _ring(["only"])
+        assert all(ring.route(key) == "only" for key in KEYS)
+
+    def test_membership_is_idempotent(self):
+        ring = _ring(["a", "b"])
+        ring.add("a")
+        ring.remove("missing")
+        assert ring.shards == ["a", "b"]
+        assert len(ring) == 2
+        assert "a" in ring and "missing" not in ring
+
+    def test_route_n_starts_with_owner_and_is_distinct(self):
+        ring = _ring(["a", "b", "c", "d"])
+        for key in KEYS[:50]:
+            preference = ring.route_n(key, 4)
+            assert preference[0] == ring.route(key)
+            assert len(preference) == len(set(preference)) == 4
+
+    def test_route_n_caps_at_membership(self):
+        ring = _ring(["a", "b"])
+        assert len(ring.route_n("key", 10)) == 2
+
+
+class TestDeterminism:
+    def test_routing_ignores_insertion_order(self):
+        forward = _ring(["a", "b", "c", "d"])
+        backward = _ring(["d", "c", "b", "a"])
+        assert forward.assignments(KEYS) == backward.assignments(KEYS)
+
+    def test_routing_survives_remove_and_readd(self):
+        ring = _ring(["a", "b", "c"])
+        before = ring.assignments(KEYS)
+        ring.remove("b")
+        ring.add("b")
+        assert ring.assignments(KEYS) == before
+
+    def test_ring_hash_is_not_python_hash(self):
+        # blake2b positions, never the per-process salted hash().
+        assert ring_hash("shard-0#0") == ring_hash("shard-0#0")
+        assert ring_hash("a") != ring_hash("b")
+
+    def test_routing_is_identical_across_processes(self):
+        """A subprocess (fresh hash salt) routes every key the same."""
+        src_root = Path(__file__).resolve().parents[2] / "src"
+        script = (
+            "from repro.cluster.hashring import HashRing\n"
+            "ring = HashRing()\n"
+            "for shard in ('a', 'b', 'c', 'd'):\n"
+            "    ring.add(shard)\n"
+            "print(';'.join(ring.route(f'kernel:{i}') for i in range(200)))\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": str(src_root), "PYTHONHASHSEED": "random"},
+        )
+        ring = _ring(["a", "b", "c", "d"])
+        local = ";".join(ring.route(f"kernel:{i}") for i in range(200))
+        assert completed.stdout.strip() == local
+
+
+class TestBalanceAndRemapping:
+    def test_virtual_nodes_spread_load(self):
+        ring = _ring([f"shard-{index}" for index in range(4)])
+        counts = {shard: 0 for shard in ring.shards}
+        for key in KEYS:
+            counts[ring.route(key)] += 1
+        mean = len(KEYS) / len(counts)
+        # 64 virtual nodes keep the worst shard within ~2x the mean.
+        assert max(counts.values()) <= 2.0 * mean
+        assert min(counts.values()) >= 0.3 * mean
+
+    def test_join_remaps_about_k_over_n(self):
+        ring = _ring([f"shard-{index}" for index in range(4)])
+        before = ring.assignments(KEYS)
+        ring.add("shard-4")
+        after = ring.assignments(KEYS)
+        moved = sum(1 for key in KEYS if before[key] != after[key])
+        # Ideal is K/N = 1/5 of keys; allow 2x for virtual-node noise.
+        assert moved <= 2 * len(KEYS) / 5
+        # Every moved key moved TO the new shard, never between old ones.
+        assert all(
+            after[key] == "shard-4"
+            for key in KEYS
+            if before[key] != after[key]
+        )
+
+    def test_leave_remaps_only_the_leavers_keys(self):
+        ring = _ring([f"shard-{index}" for index in range(5)])
+        before = ring.assignments(KEYS)
+        ring.remove("shard-2")
+        after = ring.assignments(KEYS)
+        for key in KEYS:
+            if before[key] == "shard-2":
+                assert after[key] != "shard-2"
+            else:
+                assert after[key] == before[key]

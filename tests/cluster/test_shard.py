@@ -1,0 +1,144 @@
+"""EngineShard: lifecycle, pending ledger, fault flags, kill orphans."""
+
+import pytest
+
+from repro.cluster.shard import SHARD_STATE_CODES, EngineShard, ShardUnavailableError
+from repro.engine import BackpressureError, Engine, EngineConfig, make_job
+
+
+def _shard(shard_id="s0", max_queue=8):
+    engine = Engine(
+        EngineConfig(workers=0, max_queue=max_queue), shard=shard_id
+    )
+    return EngineShard(shard_id, engine)
+
+
+def _job():
+    return make_job("lcs", {"x": "ACGT", "y": "ACG"})
+
+
+class TestWorkAndLedger:
+    def test_submit_ledgers_and_drain_settles(self):
+        shard = _shard()
+        try:
+            accepted = shard.submit(_job())
+            assert shard.pending == 1
+            assert shard.queued == 1
+            results = shard.drain()
+            assert [r.job_id for r in results] == [accepted.job_id]
+            assert results[0].shard == "s0"
+            assert shard.pending == 0
+        finally:
+            shard.close()
+
+    def test_backpressure_propagates(self):
+        shard = _shard(max_queue=1)
+        try:
+            shard.submit(_job())
+            with pytest.raises(BackpressureError):
+                shard.submit(_job())
+        finally:
+            shard.close()
+
+    def test_withdraw_takes_from_the_tail(self):
+        shard = _shard()
+        try:
+            jobs = [shard.submit(_job()) for _ in range(4)]
+            taken = shard.withdraw(2)
+            assert [job.job_id for job in taken] == [
+                jobs[2].job_id,
+                jobs[3].job_id,
+            ]
+            # Withdrawn jobs leave the ledger: they are someone else's.
+            assert shard.pending == 2
+            assert shard.queued == 2
+        finally:
+            shard.close()
+
+    def test_withdraw_all_and_bounds(self):
+        shard = _shard()
+        try:
+            for _ in range(3):
+                shard.submit(_job())
+            assert shard.withdraw(0) == []
+            assert len(shard.withdraw(None)) == 3
+            assert shard.queued == 0
+        finally:
+            shard.close()
+
+
+class TestKillAndLifecycle:
+    def test_kill_orphans_pending_jobs(self):
+        shard = _shard()
+        submitted = [shard.submit(_job()) for _ in range(3)]
+        orphans = shard.kill()
+        assert {job.job_id for job in orphans} == {
+            job.job_id for job in submitted
+        }
+        assert shard.state == "dead"
+        assert shard.queued == 0  # a dead shard reports no load
+        with pytest.raises(ShardUnavailableError):
+            shard.submit(_job())
+
+    def test_drained_jobs_are_not_orphaned(self):
+        shard = _shard()
+        shard.submit(_job())
+        shard.drain()
+        survivor = shard.submit(_job())
+        orphans = shard.kill()
+        assert [job.job_id for job in orphans] == [survivor.job_id]
+
+    def test_graceful_leave_drains_backlog_first(self):
+        shard = _shard()
+        shard.submit(_job())
+        shard.begin_leave()
+        assert shard.state == "draining"
+        assert not shard.accepting(1)
+        assert shard.drainable(1)
+        assert not shard.finish_leave()  # backlog not empty yet
+        shard.drain()
+        assert shard.finish_leave()
+        assert shard.state == "left"
+
+    def test_state_codes_cover_all_states(self):
+        assert set(SHARD_STATE_CODES) == {"active", "draining", "left", "dead"}
+
+
+class TestFaultFlags:
+    def test_partition_blocks_then_heals(self):
+        shard = _shard()
+        try:
+            shard.mark_partitioned(until_round=3)
+            assert shard.partitioned(1) and shard.partitioned(2)
+            assert not shard.accepting(2)
+            assert not shard.drainable(2)
+            assert not shard.partitioned(3)
+            assert shard.accepting(3)
+        finally:
+            shard.close()
+
+    def test_hang_delay_is_consumed_once(self):
+        shard = _shard()
+        try:
+            shard.mark_hung(0.5)
+            shard.mark_hung(0.2)  # max wins, no stacking
+            assert shard.take_hang_delay() == 0.5
+            assert shard.take_hang_delay() == 0.0
+        finally:
+            shard.close()
+
+    def test_snapshot_gauges(self):
+        shard = _shard()
+        try:
+            shard.submit(_job())
+            shard.mark_partitioned(until_round=5)
+            snap = shard.snapshot(round_number=2)
+            assert snap["state"] == float(SHARD_STATE_CODES["active"])
+            assert snap["queued"] == 1.0
+            assert snap["pending"] == 1.0
+            assert snap["partitioned"] == 1.0
+            assert snap["dlq_depth"] == 0.0
+            # Healed partitions read 0 again (round-dependent gauge).
+            assert shard.snapshot(round_number=5)["partitioned"] == 0.0
+        finally:
+            shard.close()

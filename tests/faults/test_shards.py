@@ -1,0 +1,82 @@
+"""ShardFaultPlan: seed-determinism, scheduling, rate validation."""
+
+import pytest
+
+from repro.faults import SHARD_FAULT_KINDS, ShardFaultPlan
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            ShardFaultPlan(kill_rate=1.5)
+        with pytest.raises(ValueError):
+            ShardFaultPlan(hang_rate=-0.1)
+
+    def test_rates_must_sum_under_one(self):
+        with pytest.raises(ValueError):
+            ShardFaultPlan(kill_rate=0.5, hang_rate=0.4, partition_rate=0.3)
+
+    def test_kill_pairs_validated(self):
+        with pytest.raises(ValueError):
+            ShardFaultPlan(kills=((0, 1),))  # rounds are 1-based
+        with pytest.raises(ValueError):
+            ShardFaultPlan(kills=((1, -1),))
+
+    def test_enabled_reflects_any_fault_source(self):
+        assert not ShardFaultPlan().enabled
+        assert ShardFaultPlan(kills=((1, 0),)).enabled
+        assert ShardFaultPlan(hang_rate=0.1).enabled
+
+
+class TestScheduledKills:
+    def test_scheduled_kill_fires_at_its_round(self):
+        plan = ShardFaultPlan(kills=((3, 1),))
+        assert plan.fault_for(1, 3) == "kill"
+        assert plan.fault_for(1, 2) is None
+        assert plan.fault_for(0, 3) is None
+
+    def test_scheduled_kills_ignore_the_cap(self):
+        plan = ShardFaultPlan(kills=((2, 0), (3, 1)), max_kills=0)
+        assert plan.fault_for(0, 2, kills_so_far=99) == "kill"
+        assert plan.fault_for(1, 3, kills_so_far=99) == "kill"
+
+
+class TestDraws:
+    def test_draws_are_deterministic(self):
+        plan = ShardFaultPlan(
+            seed=5, kill_rate=0.1, hang_rate=0.2, partition_rate=0.2
+        )
+        schedule = [
+            plan.fault_for(shard, rnd)
+            for shard in range(8)
+            for rnd in range(1, 20)
+        ]
+        again = [
+            plan.fault_for(shard, rnd)
+            for shard in range(8)
+            for rnd in range(1, 20)
+        ]
+        assert schedule == again
+        assert any(kind is not None for kind in schedule)
+
+    def test_seed_changes_the_schedule(self):
+        kwargs = dict(kill_rate=0.1, hang_rate=0.2, partition_rate=0.2)
+        a = ShardFaultPlan(seed=1, **kwargs)
+        b = ShardFaultPlan(seed=2, **kwargs)
+        schedule_a = [a.fault_for(s, r) for s in range(8) for r in range(1, 20)]
+        schedule_b = [b.fault_for(s, r) for s in range(8) for r in range(1, 20)]
+        assert schedule_a != schedule_b
+
+    def test_kill_cap_suppresses_only_kills(self):
+        plan = ShardFaultPlan(seed=3, kill_rate=1.0, max_kills=1)
+        assert plan.fault_for(0, 1, kills_so_far=0) == "kill"
+        assert plan.fault_for(0, 1, kills_so_far=1) is None
+
+    def test_rates_approximate_frequencies(self):
+        plan = ShardFaultPlan(seed=7, hang_rate=0.5)
+        draws = [plan.fault_for(s, r) for s in range(20) for r in range(1, 51)]
+        hangs = sum(1 for kind in draws if kind == "hang")
+        assert 0.4 <= hangs / len(draws) <= 0.6
+
+    def test_kinds_are_the_documented_set(self):
+        assert SHARD_FAULT_KINDS == ("kill", "hang", "partition")

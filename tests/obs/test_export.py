@@ -120,3 +120,68 @@ def test_snapshot_json_injects_quantiles():
 def test_snapshot_json_is_deterministic():
     snapshot = _sample_snapshot()
     assert snapshot_json(snapshot) == snapshot_json(snapshot)
+
+
+def _labeled_snapshot():
+    return {
+        "counters": {"cluster_jobs_routed": 7},
+        "gauges": {"dlq_depth": 2, "queue_depth": 5},
+        "breakers": {"bsw": 0.0, "lcs": 2.0},
+        "shards": {
+            "shard-0": {"health": 0.0, "queued": 3.0},
+            "shard-1": {"health": 2.0, "queued": 0.0, "note": "text"},
+        },
+    }
+
+
+def test_prometheus_gauges_section_renders_bare_names():
+    text = prometheus_text(_labeled_snapshot())
+    assert "# TYPE gendp_dlq_depth gauge" in text
+    assert "gendp_dlq_depth 2" in text
+    assert "gendp_queue_depth 5" in text
+    # Not flattened through the generic <section>_<key> scheme.
+    assert "gendp_gauges_dlq_depth" not in text
+
+
+def test_prometheus_breakers_render_with_kernel_labels():
+    text = prometheus_text(_labeled_snapshot())
+    assert "# TYPE gendp_breaker_state gauge" in text
+    assert 'gendp_breaker_state{kernel="bsw"} 0' in text
+    assert 'gendp_breaker_state{kernel="lcs"} 2' in text
+    assert "gendp_breakers_" not in text
+
+
+def test_prometheus_shards_render_with_shard_labels():
+    text = prometheus_text(_labeled_snapshot())
+    assert "# TYPE gendp_cluster_health gauge" in text
+    assert 'gendp_cluster_health{shard="shard-0"} 0' in text
+    assert 'gendp_cluster_health{shard="shard-1"} 2' in text
+    assert 'gendp_cluster_queued{shard="shard-0"} 3' in text
+    # Non-numeric shard fields are skipped, not rendered as garbage.
+    assert "note" not in text
+    assert "gendp_shards_" not in text
+
+
+def test_labeled_sections_survive_snapshot_json():
+    document = json.loads(snapshot_json(_labeled_snapshot()))
+    assert document["gauges"]["dlq_depth"] == 2
+    assert document["breakers"]["lcs"] == 2.0
+    assert document["shards"]["shard-1"]["health"] == 2.0
+
+
+def test_cluster_router_snapshot_exports_end_to_end():
+    """The real ClusterRouter snapshot renders per-shard series."""
+    from repro.cluster import ClusterConfig, ClusterRouter, SimClock
+    from repro.engine import EngineConfig, make_job
+
+    config = ClusterConfig(
+        shards=2, engine=EngineConfig(workers=0, max_queue=16)
+    )
+    with ClusterRouter(config, clock=SimClock()) as router:
+        router.submit(make_job("lcs", {"x": "ACGT", "y": "ACG"}))
+        router.drain()
+        text = prometheus_text(router.snapshot())
+    assert "gendp_cluster_jobs_routed_total 1" in text
+    assert 'gendp_cluster_health{shard="shard-0"}' in text
+    assert 'gendp_cluster_health{shard="shard-1"}' in text
+    assert "# TYPE gendp_cluster_shards_in_ring gauge" in text

@@ -1,0 +1,138 @@
+"""ServeClient reconnect: seeded backoff, redial through a restart.
+
+The headline scenario kills the serving process mid-stream (hard
+``stop()``, which severs open connections) and brings a fresh server
+up on the same endpoint while the client is already retrying; with a
+:class:`ReconnectPolicy` attached the request lands on the new server
+and the stream continues.  Without a policy the transport error
+propagates, which is the pre-existing behaviour.
+"""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.engine import Engine, EngineConfig
+from repro.serve import ReconnectPolicy, ServeClient
+from repro.serve.server import GendpServer, ServeConfig
+
+BSW = {"query": "ACGTACGTAC", "target": "ACGTTGCA"}
+
+
+def run(coro):
+    return asyncio.run(asyncio.wait_for(coro, timeout=60))
+
+
+async def _start_server(sock):
+    engine = Engine(EngineConfig(max_queue=128))
+    server = GendpServer(engine, ServeConfig(unix_socket=sock))
+    await server.start()
+    return server
+
+
+async def _stop_server(server):
+    await server.stop()
+    server.engine.close()
+
+
+class TestPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReconnectPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ReconnectPolicy(base_backoff_s=-1.0)
+
+    def test_backoff_is_bounded_and_grows(self):
+        policy = ReconnectPolicy(base_backoff_s=0.1, max_backoff_s=0.5)
+        delays = [policy.backoff_s(attempt) for attempt in range(8)]
+        assert all(0.0 <= d <= 0.5 for d in delays)
+        # Jitter is in [0.5, 1.0) x base, so attempt 3 onward saturates
+        # against the ceiling and can never dip below attempt 0's max.
+        assert max(delays[3:]) >= max(delays[:1])
+
+    def test_backoff_is_seed_deterministic(self):
+        a = ReconnectPolicy(seed=7)
+        b = ReconnectPolicy(seed=7)
+        c = ReconnectPolicy(seed=8)
+        schedule_a = [a.backoff_s(i) for i in range(6)]
+        assert schedule_a == [b.backoff_s(i) for i in range(6)]
+        assert schedule_a != [c.backoff_s(i) for i in range(6)]
+
+
+class TestRestart:
+    def test_client_rides_through_a_server_restart(self, tmp_path):
+        """Kill the server mid-stream; the client redials and finishes."""
+        sock = str(tmp_path / "gendp.sock")
+
+        async def scenario():
+            first = await _start_server(sock)
+            policy = ReconnectPolicy(
+                max_attempts=8, base_backoff_s=0.02, max_backoff_s=0.1, seed=3
+            )
+            async with await ServeClient.connect(
+                unix_socket=sock, reconnect=policy
+            ) as client:
+                before = await client.submit("bsw", BSW)
+                assert before["ok"], before
+
+                # Hard kill: listener gone, open connections severed.
+                await _stop_server(first)
+                os.unlink(sock)
+
+                async def resurrect():
+                    await asyncio.sleep(0.05)
+                    return await _start_server(sock)
+
+                revival = asyncio.create_task(resurrect())
+                # Issued while the endpoint is down: the first attempt
+                # fails on the severed stream, redials spin until the
+                # new listener appears, then the request is resent.
+                after = await client.submit("bsw", BSW)
+                second = await revival
+                try:
+                    assert after["ok"], after
+                    assert after["value"] == before["value"]
+                    assert client.reconnects >= 1
+                    pong = await client.ping()
+                    assert pong["ok"]
+                finally:
+                    await _stop_server(second)
+
+        run(scenario())
+
+    def test_without_policy_the_error_propagates(self, tmp_path):
+        sock = str(tmp_path / "gendp.sock")
+
+        async def scenario():
+            server = await _start_server(sock)
+            async with await ServeClient.connect(unix_socket=sock) as client:
+                assert (await client.ping())["ok"]
+                await _stop_server(server)
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.submit("bsw", BSW)
+
+        run(scenario())
+
+    def test_redial_gives_up_after_the_attempt_budget(self, tmp_path):
+        sock = str(tmp_path / "gendp.sock")
+
+        async def scenario():
+            server = await _start_server(sock)
+            policy = ReconnectPolicy(
+                max_attempts=2, base_backoff_s=0.01, max_backoff_s=0.02
+            )
+            async with await ServeClient.connect(
+                unix_socket=sock, reconnect=policy
+            ) as client:
+                # Exchange one request first: a connection still sitting
+                # in the listen backlog never learns the server died (a
+                # unix-socket quirk); killed *mid-stream* it always does.
+                assert (await client.ping())["ok"]
+                await _stop_server(server)
+                os.unlink(sock)  # nobody is coming back this time
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.submit("bsw", BSW)
+                assert client.reconnects == 0  # every redial failed too
+
+        run(scenario())
