@@ -18,6 +18,14 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-chaos`` -- run a seeded fault-injection campaign
   (:mod:`repro.faults`) against the engine and report survival
   metrics: jobs lost, corruption escapes, degraded fraction.
+- ``gendp-recover`` -- operate on a write-ahead job journal
+  (:mod:`repro.durable`): ``inspect`` folds and prints its state,
+  ``verify`` checks the exactly-once invariants (exit 0 iff clean),
+  ``compact`` folds segments into an atomic snapshot, ``replay``
+  finishes a crashed run's orphans in a fresh engine, and ``chaos``
+  runs a seeded crash/recovery campaign with injected disk faults.
+  ``gendp-batch --journal DIR`` writes such a journal; restarting
+  with ``--recover`` picks up where the crash left off.
 - ``gendp-lint`` -- run the optimizer's report-only analyses
   (:mod:`repro.opt.lint`) over the compiled kernel programs and print
   structured diagnostics; fails only at error severity by default.
@@ -465,6 +473,29 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             "quantiles) as JSON to PATH"
         ),
     )
+    parser.add_argument(
+        "--journal",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write-ahead journal directory: jobs are journaled before "
+            "execution so a killed run can be finished with --recover"
+        ),
+    )
+    parser.add_argument(
+        "--fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="journal fsync policy (with --journal)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help=(
+            "replay the journal before submitting: completed jobs are "
+            "deduplicated, orphans of the crashed run re-execute"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.workers < 0:
         parser.error("--workers must be non-negative")
@@ -472,6 +503,8 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be non-negative")
     if args.chunk <= 0:
         parser.error("--chunk must be positive")
+    if args.recover and not args.journal:
+        parser.error("--recover requires --journal")
 
     import time as _time
 
@@ -488,16 +521,30 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         jobs = _synthesize_jobs(kernels, args.jobs, args.seed)
     by_id = {job.job_id: job for job in jobs}
 
+    durability = None
+    if args.journal:
+        from repro.durable import DurabilityConfig
+
+        durability = DurabilityConfig(
+            dir_path=args.journal, fsync=args.fsync
+        )
+
     config = EngineConfig(
         max_queue=max(len(jobs), 1),
         cache_capacity=args.cache_size,
         workers=args.workers,
         job_timeout_s=args.timeout,
+        durability=durability,
     )
     results: list = []
+    recovery = None
     failed_fast = False
     started = _time.perf_counter()
     with Engine(config) as engine, _graceful_shutdown() as shutdown:
+        if args.recover:
+            recovery = engine.recover()
+            results.extend(recovery.drained)
+            results.extend(engine.drain())
         for start in range(0, len(jobs), args.chunk):
             if shutdown.tripped:
                 break
@@ -518,19 +565,25 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
             handle.write(snapshot_json(snapshot))
             handle.write("\n")
 
-    validated = failed = 0
+    validated = failed = foreign = 0
     per_kernel: dict = {}
     total_cells = 0
     for result in results:
-        job = by_id[result.job_id]
+        # Recovered orphans belong to the *crashed* run's stream, so
+        # they have no job spec here -- count the envelope, skip the
+        # cell accounting and the reference validation.
+        job = by_id.get(result.job_id)
         row = per_kernel.setdefault(result.kernel, {"jobs": 0, "ok": 0, "valid": 0})
         row["jobs"] += 1
-        total_cells += payload_cells(job.kernel, job.payload)
+        if job is not None:
+            total_cells += payload_cells(job.kernel, job.payload)
+        else:
+            foreign += 1
         if not result.ok:
             failed += 1
             continue
         row["ok"] += 1
-        if args.no_validate:
+        if args.no_validate or job is None:
             continue
         if matches_reference(result.kernel, result.value, job.payload):
             row["valid"] += 1
@@ -543,6 +596,8 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         snapshot["jobs_drained"] = len(results)
         if interrupted is not None:
             snapshot["interrupted_by_signal"] = interrupted
+        if recovery is not None:
+            snapshot["recovery"] = recovery.to_dict()
         print(json.dumps(snapshot, indent=2, default=str))
     else:
         print(
@@ -569,6 +624,13 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
                 f"fail-fast           : stopped after {len(results)}/"
                 f"{len(jobs)} jobs (first failing chunk)"
             )
+        if recovery is not None:
+            print(
+                f"recovery            : {recovery.replayed_records} "
+                f"records replayed, {recovery.orphans_resubmitted} "
+                f"orphans re-executed, {recovery.completions_deduped} "
+                f"completions deduplicated"
+            )
         print(f"jobs/sec            : {len(results) / elapsed:,.1f}")
         print(f"cells/sec           : {total_cells / elapsed:,.0f}")
         print(f"DPMap compiles      : {cache['compiles']}")
@@ -594,12 +656,13 @@ def batch_main(argv: Optional[List[str]] = None) -> int:
         if execute:
             print(f"mean batch execute  : {execute['mean'] * 1e3:.2f} ms")
         if not args.no_validate:
-            verdict = "PASS" if validated == len(results) - failed and not failed else "FAIL"
-            print(f"validation          : {validated}/{len(results)} vs reference kernels [{verdict}]")
+            checkable = len(results) - failed - foreign
+            verdict = "PASS" if validated == checkable and not failed else "FAIL"
+            print(f"validation          : {validated}/{checkable} vs reference kernels [{verdict}]")
 
     if interrupted is not None:
         return 128 + interrupted
-    if failed or (not args.no_validate and validated != len(results)):
+    if failed or (not args.no_validate and validated + foreign != len(results)):
         return 1
     return 0
 
@@ -690,6 +753,263 @@ def chaos_main(argv: Optional[List[str]] = None) -> int:
     else:
         print(report.render())
     return 0 if report.survived else 1
+
+
+# ----------------------------------------------------------------------
+# gendp-recover
+
+
+def _journal_summary(dir_path: str):
+    """Fold *dir_path*'s journal read-only -> (state, summary dict)."""
+    from repro.durable import load_journal_state
+
+    state, issues = load_journal_state(dir_path)
+    summary = {
+        "segments": issues["segments"],
+        "snapshot_loaded": issues["snapshot_loaded"],
+        "snapshot_corrupt": issues["snapshot_corrupt"],
+        "records_replayed": state.replayed_records,
+        "max_seq": state.max_seq,
+        "accepted": len(state.accepted),
+        "completed": len(state.completed),
+        "dead_lettered": len(state.dead),
+        "orphans": len(state.orphans()),
+        "duplicate_completions": state.duplicate_completions,
+        "corrupt_frames": issues["corrupt_frames"],
+        "skipped_bytes": issues["skipped_bytes"],
+    }
+    return state, summary
+
+
+def _print_summary(summary: dict) -> None:
+    width = max(len(key) for key in summary)
+    for key, value in summary.items():
+        print(f"  {key:<{width}} : {value}")
+
+
+@_pipe_safe
+def recover_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-recover",
+        description=(
+            "Operate on a write-ahead job journal (repro.durable): "
+            "inspect or verify its folded state, compact it into an "
+            "atomic snapshot, replay a crashed run's orphans, or run "
+            "a seeded crash/recovery chaos campaign."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    inspect = sub.add_parser(
+        "inspect", help="fold the journal and print its state"
+    )
+    inspect.add_argument("journal", metavar="DIR")
+    inspect.add_argument("--json", action="store_true")
+
+    verify = sub.add_parser(
+        "verify",
+        help="exit nonzero unless the exactly-once invariants hold",
+    )
+    verify.add_argument("journal", metavar="DIR")
+    verify.add_argument(
+        "--strict",
+        action="store_true",
+        help=(
+            "also fail on orphans, corrupt frames and a corrupt "
+            "snapshot (a healthy *finished* run has none of them)"
+        ),
+    )
+    verify.add_argument("--json", action="store_true")
+
+    compact = sub.add_parser(
+        "compact", help="fold the segments into an atomic snapshot"
+    )
+    compact.add_argument("journal", metavar="DIR")
+
+    replay = sub.add_parser(
+        "replay",
+        help="recover into a fresh engine and finish the orphans",
+    )
+    replay.add_argument("journal", metavar="DIR")
+    replay.add_argument(
+        "--workers", type=int, default=0, help="worker processes"
+    )
+    replay.add_argument("--timeout", type=float, default=30.0)
+    replay.add_argument("--json", action="store_true")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "seeded crash/recovery campaign with injected disk "
+            "faults (journal in a temp dir)"
+        ),
+    )
+    chaos.add_argument("--jobs", type=int, default=120)
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument(
+        "--kernels",
+        default="bsw,lcs,dtw,chain",
+        help="comma-separated engine kernels for the stream",
+    )
+    chaos.add_argument("--chunk", type=int, default=24, help="jobs per drain")
+    chaos.add_argument("--crash-rate", type=float, default=0.25)
+    chaos.add_argument("--torn-rate", type=float, default=0.05)
+    chaos.add_argument("--bitflip-rate", type=float, default=0.05)
+    chaos.add_argument("--short-fsync-rate", type=float, default=0.0)
+    chaos.add_argument("--fail-rate", type=float, default=0.0)
+    chaos.add_argument(
+        "--fsync", choices=("always", "interval", "never"), default="interval"
+    )
+    chaos.add_argument(
+        "--no-verify-writes",
+        action="store_true",
+        help="disable read-back healing of torn/flipped journal writes",
+    )
+    chaos.add_argument(
+        "--compact-every",
+        type=int,
+        default=0,
+        help="compact after every Nth surviving chunk (0 = off)",
+    )
+    chaos.add_argument(
+        "--report-out",
+        metavar="PATH",
+        default=None,
+        help="write the canonical JSON report (byte-identical per seed)",
+    )
+    chaos.add_argument("--json", action="store_true")
+
+    args = parser.parse_args(argv)
+    import json as _json
+    import os as _os
+
+    if args.command == "chaos":
+        from repro.durable import RecoveryChaosConfig, run_recovery_campaign
+
+        kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+        try:
+            config = RecoveryChaosConfig(
+                jobs=args.jobs,
+                seed=args.seed,
+                kernels=kernels,
+                chunk_jobs=args.chunk,
+                crash_rate=args.crash_rate,
+                torn_rate=args.torn_rate,
+                bitflip_rate=args.bitflip_rate,
+                short_fsync_rate=args.short_fsync_rate,
+                fail_rate=args.fail_rate,
+                fsync=args.fsync,
+                verify_writes=not args.no_verify_writes,
+                compact_every=args.compact_every,
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        report = run_recovery_campaign(config)
+        if args.report_out:
+            with open(args.report_out, "w", encoding="utf-8") as handle:
+                handle.write(
+                    _json.dumps(report.to_dict(), indent=2, sort_keys=True)
+                )
+                handle.write("\n")
+            print(f"wrote recovery report to {args.report_out}")
+        if args.json:
+            print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return 0 if report.survived else 1
+
+    if not _os.path.isdir(args.journal):
+        parser.error(f"{args.journal!r} is not a journal directory")
+
+    if args.command == "inspect":
+        _state, summary = _journal_summary(args.journal)
+        if args.json:
+            print(_json.dumps(summary, indent=2, sort_keys=True))
+        else:
+            print(f"gendp-recover: journal state for {args.journal}")
+            _print_summary(summary)
+        return 0
+
+    if args.command == "verify":
+        _state, summary = _journal_summary(args.journal)
+        problems = []
+        if summary["duplicate_completions"]:
+            problems.append(
+                f"{summary['duplicate_completions']} duplicate "
+                f"completion record(s) -- exactly-once violated"
+            )
+        if args.strict:
+            if summary["orphans"]:
+                problems.append(
+                    f"{summary['orphans']} orphan(s) -- accepted jobs "
+                    f"without a terminal record"
+                )
+            if summary["corrupt_frames"]:
+                problems.append(
+                    f"{summary['corrupt_frames']} corrupt frame run(s) "
+                    f"({summary['skipped_bytes']} bytes discarded)"
+                )
+            if summary["snapshot_corrupt"]:
+                problems.append("snapshot is corrupt")
+        if args.json:
+            document = dict(summary, problems=problems, ok=not problems)
+            print(_json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(f"gendp-recover: verifying {args.journal}")
+            _print_summary(summary)
+            for problem in problems:
+                print(f"  FAIL: {problem}")
+            print(f"  verdict: {'FAIL' if problems else 'OK'}")
+        return 1 if problems else 0
+
+    if args.command == "compact":
+        import glob as _glob
+
+        from repro.durable import DurabilityConfig, Journal
+
+        pattern = _os.path.join(args.journal, "journal-*.seg")
+        before = len(_glob.glob(pattern))
+        journal = Journal(DurabilityConfig(dir_path=args.journal))
+        try:
+            journal.compact()
+        finally:
+            journal.close()
+        after = len(_glob.glob(pattern))
+        print(
+            f"compacted {args.journal}: {before} segment(s) -> "
+            f"snapshot + {after} fresh segment(s)"
+        )
+        return 0
+
+    # replay: recover into a fresh engine and drain the orphans.
+    from repro.durable import DurabilityConfig
+    from repro.engine import Engine, EngineConfig
+
+    _state, summary = _journal_summary(args.journal)
+    config = EngineConfig(
+        max_queue=max(summary["orphans"], 1),
+        workers=args.workers,
+        job_timeout_s=args.timeout,
+        durability=DurabilityConfig(dir_path=args.journal),
+    )
+    with Engine(config) as engine:
+        report = engine.recover()
+        drained = list(report.drained)
+        drained.extend(engine.drain())
+    ok = sum(1 for result in drained if result.ok)
+    if args.json:
+        document = report.to_dict()
+        document["drained_ok"] = ok
+        document["drained_failed"] = len(drained) - ok
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        print(f"gendp-recover: replayed {args.journal}")
+        _print_summary(report.to_dict())
+        print(
+            f"  drained {len(drained)} envelope(s) "
+            f"({ok} ok, {len(drained) - ok} failed)"
+        )
+    return 0 if report.duplicate_completions == 0 else 1
 
 
 # ----------------------------------------------------------------------
@@ -1138,13 +1458,32 @@ def cluster_main(argv: Optional[List[str]] = None) -> int:
 
     from repro.cluster import ClusterChaosConfig, run_cluster_campaign
 
+    if args.shards < 1:
+        parser.error("--shards must be positive")
+    # Validate every kill schedule up front: a malformed spec should
+    # fail here with a usage message, not as a KeyError three rounds
+    # into the campaign.
     kills = []
     for spec in args.kill:
+        round_str, sep, shard_str = spec.partition(":")
         try:
-            round_str, shard_str = spec.split(":", 1)
-            kills.append((int(round_str), int(shard_str)))
+            if not sep:
+                raise ValueError(spec)
+            round_index = int(round_str)
+            shard_index = int(shard_str)
         except ValueError:
-            parser.error(f"bad --kill {spec!r} (want ROUND:SHARD)")
+            parser.error(
+                f"bad --kill {spec!r}: want ROUND:SHARD with integer "
+                f"fields, e.g. --kill 2:1"
+            )
+        if round_index < 0:
+            parser.error(f"bad --kill {spec!r}: round must be non-negative")
+        if not 0 <= shard_index < args.shards:
+            parser.error(
+                f"bad --kill {spec!r}: shard ordinal out of range for "
+                f"--shards {args.shards} (valid: 0..{args.shards - 1})"
+            )
+        kills.append((round_index, shard_index))
     kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
     try:
         config = ClusterChaosConfig(
@@ -1261,12 +1600,35 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         help="write a Chrome-trace JSON of the serving session on exit",
     )
     parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "request-level write-ahead journal: submits carrying a "
+            "dedupe_id survive a server restart and resends are "
+            "answered without re-execution"
+        ),
+    )
+    parser.add_argument(
+        "--journal-fsync",
+        choices=("always", "interval", "never"),
+        default="interval",
+        help="journal fsync policy (with --journal-dir)",
+    )
+    parser.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="skip the journal replay at startup (with --journal-dir)",
+    )
+    parser.add_argument(
         "--duration",
         type=float,
         default=None,
         help="seconds to serve before draining (default: until signalled)",
     )
     args = parser.parse_args(argv)
+    if args.no_recover and not args.journal_dir:
+        parser.error("--no-recover requires --journal-dir")
 
     overrides = {}
     for spec in args.tenant_quota:
@@ -1299,6 +1661,9 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         default_rate=args.quota_rate,
         default_burst=args.quota_burst,
         tenant_quotas=overrides,
+        journal_dir=args.journal_dir,
+        journal_fsync=args.journal_fsync,
+        recover_on_start=not args.no_recover,
     )
     tracer = TraceRecorder() if args.trace_out else None
 

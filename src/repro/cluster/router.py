@@ -56,6 +56,7 @@ from repro.cluster.shard import EngineShard, ShardUnavailableError
 from repro.engine import BackpressureError, Engine, EngineConfig
 from repro.engine.dlq import DeadLetter, DeadLetterQueue
 from repro.engine.jobs import Job, JobResult
+from repro.engine.service import _journal_payload
 from repro.engine.metrics import MetricsRegistry
 from repro.faults.shards import ShardFaultPlan
 from repro.obs.logs import get_logger, log_context
@@ -116,6 +117,16 @@ class ClusterConfig:
     #: Optional :class:`repro.faults.shards.ShardFaultPlan` driving
     #: deterministic shard kills/hangs/partitions per drain round.
     fault_plan: Optional[ShardFaultPlan] = None
+    #: Optional :class:`repro.durable.journal.DurabilityConfig`: the
+    #: *router* keeps one write-ahead ledger for the whole cluster
+    #: (accept at routing, complete at delivery, dead-letter at the
+    #: synthesized-envelope floor), so :meth:`ClusterRouter.recover`
+    #: can replay in-flight jobs after a router crash.  Shard engines
+    #: should stay journal-less under it -- their queues are already
+    #: covered by this ledger.
+    durability: Optional[object] = None
+    #: Router DLQ overflow policy (see :mod:`repro.engine.dlq`).
+    dlq_overflow: str = "drop_newest"
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -160,7 +171,19 @@ class ClusterRouter:
         self._owner: Dict[int, str] = {}
         self._resubmissions: Dict[int, int] = {}
         self._orphans: List[Job] = []
-        self._dlq = DeadLetterQueue(capacity=max(self.config.dlq_capacity, 0))
+        self._dlq = DeadLetterQueue(
+            capacity=max(self.config.dlq_capacity, 0),
+            overflow=self.config.dlq_overflow,
+            metrics=self.metrics,
+        )
+        #: Cluster-wide write-ahead ledger (None without durability).
+        self.journal = None
+        if self.config.durability is not None:
+            from repro.durable.journal import Journal
+
+            self.journal = Journal(
+                self.config.durability, metrics=self.metrics
+            )
         self._rate_kills = 0
         for _ in range(self.config.shards):
             self.join()
@@ -316,6 +339,24 @@ class ClusterRouter:
             except (BackpressureError, ShardUnavailableError):
                 fallbacks += 1
                 continue
+            if self.journal is not None:
+                # Write-ahead: a job the ledger does not know is not
+                # routed.  A failed accept write pulls the job back off
+                # the shard (it is the queue tail -- the router is
+                # single-threaded) and propagates.
+                try:
+                    self.journal.append(
+                        "accept",
+                        job_id=accepted.job_id,
+                        kernel=accepted.kernel,
+                        payload=_journal_payload(accepted.payload),
+                        priority=accepted.priority,
+                    )
+                    self.metrics.incr("durable_accepts_logged")
+                except Exception:
+                    self.metrics.incr("durable_write_errors")
+                    shard.withdraw(1)
+                    raise
             self._inflight[accepted.job_id] = accepted
             self._owner[accepted.job_id] = shard_id
             self.metrics.incr("cluster_jobs_routed")
@@ -436,11 +477,26 @@ class ClusterRouter:
             result = envelopes.get(job_id)
             if result is None:
                 continue  # stranded on a partitioned shard; later round
+            if self.journal is not None:
+                self._journal_completion(result)
             ordered.append(result)
             del self._inflight[job_id]
             self._owner.pop(job_id, None)
             self._resubmissions.pop(job_id, None)
         return ordered
+
+    def _journal_completion(self, result: JobResult) -> None:
+        """Ledger a delivered envelope; failures are tolerated (the
+        job replays at the next recovery, where dedupe keeps the
+        accounting exactly-once)."""
+        fields: Dict[str, Any] = {"job_id": result.job_id, "ok": result.ok}
+        if result.error:
+            fields["error"] = result.error
+        try:
+            self.journal.append("complete", **fields)
+            self.metrics.incr("durable_completions_logged")
+        except Exception:
+            self.metrics.incr("durable_write_errors")
 
     def drain_until_settled(self, max_rounds: int = 64) -> List[JobResult]:
         """Drain rounds until nothing is in flight (or *max_rounds*).
@@ -728,7 +784,19 @@ class ClusterRouter:
                 error=error,
                 backend="none",
             )
-            if not self._dlq.push(job, error):
+            if self._dlq.push(job, error):
+                if self.journal is not None:
+                    try:
+                        self.journal.append(
+                            "dead_letter",
+                            job_id=job.job_id,
+                            error=error,
+                            attempts=1,
+                        )
+                        self.metrics.incr("durable_dead_letters_logged")
+                    except Exception:
+                        self.metrics.incr("durable_write_errors")
+            else:
                 _LOG.warning(
                     "cluster DLQ full; letter dropped",
                     extra={"job_id": job.job_id},
@@ -736,6 +804,25 @@ class ClusterRouter:
 
     # ------------------------------------------------------------------
     # reliability surface
+
+    def recover(self):
+        """Replay the cluster ledger after a router restart.
+
+        Delegates to :func:`repro.durable.recovery.recover_engine` --
+        the router satisfies the same surface a single engine does
+        (``journal`` / ``metrics`` / ``submit`` / ``drain`` /
+        ``_dlq``), so orphaned in-flight jobs re-route onto today's
+        shards under their original ids and journaled-terminal jobs
+        are never re-executed.  Returns the
+        :class:`~repro.durable.recovery.RecoveryReport`.
+        """
+        if self.journal is None:
+            raise ValueError(
+                "cluster has no ledger; set ClusterConfig.durability"
+            )
+        from repro.durable.recovery import recover_engine
+
+        return recover_engine(self)
 
     @property
     def dead_letters(self) -> List[DeadLetter]:
@@ -796,6 +883,8 @@ class ClusterRouter:
         return snap
 
     def close(self) -> None:
+        if self.journal is not None:
+            self.journal.close()
         for shard in self._shards.values():
             shard.close()
 

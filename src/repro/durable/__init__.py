@@ -1,0 +1,60 @@
+"""repro.durable -- write-ahead job journal and crash-consistent recovery.
+
+The serving tiers (:mod:`repro.engine`, :mod:`repro.serve`,
+:mod:`repro.cluster`) keep accepted-but-unfinished work in memory; a
+``kill -9`` loses it silently.  This package closes that hole:
+
+- :mod:`repro.durable.journal`  -- :class:`Journal`, an append-only
+  CRC32-framed write-ahead log in fixed-size segments with
+  configurable fsync policy, read-back write verification and atomic
+  snapshot compaction; :class:`DurabilityConfig` is the knob block
+  ``EngineConfig.durability`` takes;
+- :mod:`repro.durable.recovery` -- :func:`recover_engine`, the
+  startup replay: truncate the torn tail, deduplicate completed jobs
+  (exactly-once accounting), resubmit orphans under their original
+  ids and rehydrate the dead-letter queue;
+- :mod:`repro.durable.campaign` -- seeded crash/recovery chaos: a job
+  stream interleaved with process crashes and injected disk faults
+  (:class:`repro.faults.disk.DiskFaultPlan`), folded into a
+  byte-identical :class:`RecoveryCampaignReport` whose ``survived``
+  verdict is the crash-restart property -- every accepted job yields
+  exactly one envelope, with zero duplicates.
+
+The CLI front end is ``gendp-recover``; ``docs/reliability.md`` has
+the journal format and the recovery invariants.
+"""
+
+from repro.durable.campaign import (
+    RecoveryCampaignReport,
+    RecoveryChaosConfig,
+    run_recovery_campaign,
+)
+from repro.durable.journal import (
+    FSYNC_POLICIES,
+    RECORD_TYPES,
+    DurabilityConfig,
+    Journal,
+    JournalError,
+    JournalState,
+    JournalWriteError,
+    load_journal_state,
+    scan_segment,
+)
+from repro.durable.recovery import RecoveryReport, recover_engine
+
+__all__ = [
+    "DurabilityConfig",
+    "FSYNC_POLICIES",
+    "Journal",
+    "JournalError",
+    "JournalState",
+    "JournalWriteError",
+    "RECORD_TYPES",
+    "RecoveryCampaignReport",
+    "RecoveryChaosConfig",
+    "RecoveryReport",
+    "load_journal_state",
+    "recover_engine",
+    "run_recovery_campaign",
+    "scan_segment",
+]

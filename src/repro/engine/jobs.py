@@ -36,6 +36,21 @@ KERNEL_DIMENSIONS: Dict[str, int] = {
 _job_ids = itertools.count()
 
 
+def advance_job_ids(minimum: int) -> int:
+    """Ensure freshly minted job ids start at or above *minimum*.
+
+    Recovery (:mod:`repro.durable.recovery`) calls this with one past
+    the highest journaled id before resubmitting orphans, so a
+    recovered job and a brand-new submission can never share an id.
+    Returns the next id that will be issued.
+    """
+    global _job_ids
+    current = next(_job_ids)  # peek by consuming; re-issued below
+    nxt = max(current, minimum)
+    _job_ids = itertools.count(nxt)
+    return nxt
+
+
 class JobValidationError(ValueError):
     """Raised for unknown kernels or malformed payloads."""
 

@@ -70,6 +70,30 @@ OPT_COUNTERS: Tuple[str, ...] = (
     "opt_ways_repacked",  # ways moved to a different bundle by re-packing
 )
 
+#: Durability counters (prefixed ``durable_``), maintained by the
+#: write-ahead journal (:mod:`repro.durable.journal`) and the recovery
+#: replay (:mod:`repro.durable.recovery`) when ``EngineConfig.durability``
+#: is set.  ``durable_duplicate_completions`` is the exactly-once audit
+#: counter: recovery's dedupe working means it stays zero.
+DURABLE_COUNTERS: Tuple[str, ...] = (
+    "durable_records_appended",  # frames written to the journal
+    "durable_accepts_logged",  # jobs journaled before entering the queue
+    "durable_attempts_logged",  # dispatch attempts journaled
+    "durable_completions_logged",  # result envelopes journaled
+    "durable_dead_letters_logged",  # DLQ parks journaled
+    "durable_syncs",  # fsync calls issued (policy-dependent)
+    "durable_write_errors",  # appends lost to disk faults (tolerated)
+    "durable_writes_healed",  # bad frames caught by read-back verify
+    "durable_truncated_bytes",  # bytes dropped at torn-tail truncation
+    "durable_corrupt_frames",  # corrupt frame runs found at replay
+    "durable_recoveries",  # journal replays performed
+    "durable_replayed_records",  # records folded during replays
+    "durable_orphans_resubmitted",  # accepted-unfinished jobs re-queued
+    "durable_completions_deduped",  # journaled-terminal jobs not re-run
+    "durable_duplicate_completions",  # audit: 2nd completion per id (= 0)
+    "durable_compactions",  # snapshot compactions performed
+)
+
 
 @dataclass
 class Histogram:
@@ -170,6 +194,10 @@ class MetricsRegistry:
     def optimization(self) -> Dict[str, int]:
         """The program-optimizer counters as one fixed-schema dict."""
         return {name: self.counters.get(name, 0) for name in OPT_COUNTERS}
+
+    def durability(self) -> Dict[str, int]:
+        """The journal/recovery counters as one fixed-schema dict."""
+        return {name: self.counters.get(name, 0) for name in DURABLE_COUNTERS}
 
     def snapshot(self) -> Dict[str, object]:
         return {

@@ -45,7 +45,11 @@ from repro.engine.cache import CompiledProgram
 from repro.engine.jobs import JobValidationError
 from repro.guard.sentinels import Sentinel, make_sentinel
 from repro.kernels.chain import DEFAULT_AVG_SEED_WEIGHT, Anchor
-from repro.obs.trace import worker_span
+from repro.obs.trace import monotonic_epoch_clock, worker_span
+
+#: Worker-side span clock: wall-anchored monotonic, one anchor per
+#: worker process, matching the recorder's default timeline.
+_SPAN_CLOCK = monotonic_epoch_clock()
 from repro.kernels.pairhmm import (
     LOG_FRACTION_BITS,
     HMMParameters,
@@ -460,7 +464,7 @@ def run_job(
     # same way sentinel counts do, because workers are separate
     # processes and cannot share the recorder.
     trace = payload.get("_trace")
-    run_started = time.time() if trace is not None else 0.0
+    run_started = _SPAN_CLOCK() if trace is not None else 0.0
     try:
         _SENTINEL = sentinel
         value = _RUNNERS[kernel](compiled, payload, cell)
@@ -475,7 +479,7 @@ def run_job(
             worker_span(
                 "job:run",
                 run_started,
-                time.time(),
+                _SPAN_CLOCK(),
                 kernel=kernel,
                 trace_id=trace.get("trace_id") if isinstance(trace, dict) else None,
                 job_id=trace.get("job_id") if isinstance(trace, dict) else None,

@@ -55,6 +55,22 @@ class BackpressureError(RuntimeError):
     """The submission queue is full; caller must drain or shed load."""
 
 
+#: Payload keys stamped per-process (trace correlation ids, sentinel
+#: arming) that must not be replayed into a future process's payloads.
+_EPHEMERAL_PAYLOAD_KEYS = ("_trace", "_sentinels")
+
+
+def _journal_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """*payload* without the per-process keys ``submit`` stamped on."""
+    if any(key in payload for key in _EPHEMERAL_PAYLOAD_KEYS):
+        return {
+            key: value
+            for key, value in payload.items()
+            if key not in _EPHEMERAL_PAYLOAD_KEYS
+        }
+    return payload
+
+
 @dataclass(frozen=True)
 class EngineConfig:
     """Engine tuning knobs."""
@@ -115,6 +131,16 @@ class EngineConfig:
     #: None the classic ``workers`` knob rules, so existing configs are
     #: untouched.
     transport: Optional[object] = None
+    #: Durability seam (:class:`repro.durable.journal.DurabilityConfig`):
+    #: when set, the engine write-ahead journals job acceptance,
+    #: dispatch attempts, completions and dead-lettering, and
+    #: :meth:`Engine.recover` can replay the journal after a crash --
+    #: completed jobs deduplicated, orphans resubmitted, DLQ
+    #: rehydrated.  ``None`` (the default) costs nothing.
+    durability: Optional[object] = None
+    #: DLQ overflow policy: ``drop_newest`` (refuse the incoming
+    #: letter) or ``drop_oldest`` (evict the oldest to make room).
+    dlq_overflow: str = "drop_newest"
 
     def __post_init__(self) -> None:
         if self.max_queue <= 0:
@@ -173,7 +199,21 @@ class Engine:
         self._floor = InlineExecutor()
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._quarantined: Dict[str, str] = {}
-        self._dlq = DeadLetterQueue(capacity=max(self.config.dlq_capacity, 0))
+        self._dlq = DeadLetterQueue(
+            capacity=max(self.config.dlq_capacity, 0),
+            overflow=self.config.dlq_overflow,
+            metrics=self.metrics,
+        )
+        #: Write-ahead journal (None without ``config.durability``).
+        #: Imported lazily so an engine without durability never
+        #: touches :mod:`repro.durable`.
+        self.journal = None
+        if self.config.durability is not None:
+            from repro.durable.journal import Journal
+
+            self.journal = Journal(
+                self.config.durability, metrics=self.metrics
+            )
         self._validation_rng = random.Random(self.config.reliability_seed)
         self._compile_attempts: Dict[str, int] = {}
         self._pipelines: Dict[str, Optional[object]] = {}
@@ -244,6 +284,24 @@ class Engine:
                 trace_ids["shard"] = self.shard
             payload = dict(payload, _trace=trace_ids)
         stamped = replace(job, payload=payload, submitted_at=time.monotonic())
+        if self.journal is not None:
+            # Write-ahead: an un-journaled job is not accepted.  A
+            # failed accept write propagates to the caller (the job is
+            # refused, the queue untouched), so the journal can never
+            # know *less* than the engine does.
+            try:
+                self.journal.append(
+                    "accept",
+                    job_id=stamped.job_id,
+                    kernel=stamped.kernel,
+                    payload=_journal_payload(stamped.payload),
+                    priority=stamped.priority,
+                )
+                self.metrics.incr("durable_accepts_logged")
+            except Exception:
+                self.metrics.incr("durable_write_errors")
+                self.metrics.incr("jobs_rejected")
+                raise
         self._queue.append(stamped)
         self.metrics.incr("jobs_submitted")
         if self.tracer is not None:
@@ -326,6 +384,8 @@ class Engine:
                 )
             if not result.ok and result.error != "deadline-expired":
                 self._dead_letter(job, result)
+            if self.journal is not None:
+                self._journal_completion(result)
             if result.shard is None:
                 result.shard = self.shard
             ordered.append(result)
@@ -394,6 +454,17 @@ class Engine:
 
         batches = self.batcher.pack(live)
         self.metrics.incr("batches_total", len(batches))
+        if self.journal is not None:
+            # Attempt records are forensic (they tell a post-mortem
+            # which orphans died mid-execution vs queued); losing one
+            # to a disk fault is tolerated, never fatal to the drain.
+            for batch in batches:
+                for job in batch.jobs:
+                    try:
+                        self.journal.append("attempt", job_id=job.job_id)
+                        self.metrics.incr("durable_attempts_logged")
+                    except Exception:
+                        self.metrics.incr("durable_write_errors")
 
         # Resolve compiled programs: one cache lookup per *job* (the
         # hit-rate metric's unit), one DPMap compile per distinct key.
@@ -716,13 +787,45 @@ class Engine:
                 extra={"kernel": kernel, "reason": reason},
             )
 
+    def _journal_completion(self, result: JobResult) -> None:
+        """Journal a terminal envelope; write failures are tolerated.
+
+        A lost ``complete`` record re-executes the job at the next
+        recovery (at-least-once underneath), but the replay's dedupe
+        still folds it to exactly one terminal record per id.
+        """
+        fields: Dict[str, Any] = {
+            "job_id": result.job_id,
+            "ok": result.ok,
+        }
+        if result.error is not None:
+            fields["error"] = result.error
+        if self.config.durability.record_values and result.ok:
+            fields["value"] = result.value
+        try:
+            self.journal.append("complete", **fields)
+            self.metrics.incr("durable_completions_logged")
+        except Exception:
+            self.metrics.incr("durable_write_errors")
+
     def _dead_letter(self, job: Job, result: JobResult) -> None:
         if self.config.dlq_capacity <= 0:
             return
+        # ``push`` itself bumps ``dead_letters_dropped`` on overflow,
+        # so callers that ignore the return value still count drops.
         if self._dlq.push(job, result.error or "unknown", result.attempts):
             self.metrics.incr("dead_letters")
-        else:
-            self.metrics.incr("dead_letters_dropped")
+            if self.journal is not None:
+                try:
+                    self.journal.append(
+                        "dead_letter",
+                        job_id=job.job_id,
+                        error=result.error or "unknown",
+                        attempts=result.attempts,
+                    )
+                    self.metrics.incr("durable_dead_letters_logged")
+                except Exception:
+                    self.metrics.incr("durable_write_errors")
 
     # ------------------------------------------------------------------
     # reliability surface
@@ -761,6 +864,23 @@ class Engine:
             self.metrics.incr("dead_letters_replayed", len(replayed))
         return replayed
 
+    def recover(self):
+        """Replay the write-ahead journal after a restart.
+
+        Deduplicates completed jobs, resubmits orphans with their
+        original ids, rehydrates the DLQ, and returns a
+        :class:`repro.durable.recovery.RecoveryReport`.  The recovered
+        orphans sit in the queue afterwards -- the caller's next
+        :meth:`drain` delivers their envelopes.
+        """
+        if self.journal is None:
+            raise ValueError(
+                "engine has no journal; set EngineConfig.durability"
+            )
+        from repro.durable.recovery import recover_engine
+
+        return recover_engine(self)
+
     # ------------------------------------------------------------------
     # introspection / lifecycle
 
@@ -771,6 +891,7 @@ class Engine:
         snap["reliability"] = self.metrics.reliability()
         snap["sentinels"] = self.metrics.sentinels()
         snap["optimization"] = self.metrics.optimization()
+        snap["durability"] = self.metrics.durability()
         snap["quarantined"] = sorted(self._quarantined)
         snap["dead_letter_backlog"] = len(self._dlq)
         if self.shard is not None:
@@ -794,6 +915,8 @@ class Engine:
 
     def close(self) -> None:
         self.executor.close()
+        if self.journal is not None:
+            self.journal.close()
 
     def __enter__(self) -> "Engine":
         return self

@@ -14,13 +14,17 @@ that are never exercised rot.  This package drives them on purpose:
 - :mod:`repro.faults.shards` -- :class:`ShardFaultPlan`, the same idea
   one level up: a seed-driven schedule of shard kills, hangs and
   partitions that :mod:`repro.cluster` replays for deterministic
-  cluster chaos.
+  cluster chaos;
+- :mod:`repro.faults.disk`   -- :class:`DiskFaultPlan`, the same idea
+  one level *down*: seeded torn writes, bit flips, lying fsyncs and
+  ENOSPC against the write-ahead journal (:mod:`repro.durable`).
 
 The CLI front end is ``gendp-chaos``; ``docs/reliability.md`` has the
 fault taxonomy and the hardening each fault class forced.
 """
 
 from repro.faults.chaos import CampaignReport, ChaosConfig, run_campaign
+from repro.faults.disk import DISK_FAULT_KINDS, DiskFaultPlan, TornWriteError
 from repro.faults.plan import (
     FAULT_KINDS,
     FaultPlan,
@@ -33,11 +37,14 @@ from repro.faults.shards import SHARD_FAULT_KINDS, ShardFaultPlan
 __all__ = [
     "CampaignReport",
     "ChaosConfig",
+    "DISK_FAULT_KINDS",
+    "DiskFaultPlan",
     "FAULT_KINDS",
     "FaultPlan",
     "InjectedCompileError",
     "SHARD_FAULT_KINDS",
     "ShardFaultPlan",
+    "TornWriteError",
     "run_campaign",
     "seeded_rng",
     "unit_draw",

@@ -40,6 +40,7 @@ from repro.obs.server import MetricsServer
 from repro.obs.trace import (
     Span,
     TraceRecorder,
+    monotonic_epoch_clock,
     new_trace_id,
     validate_chrome_trace,
     worker_span,
@@ -58,6 +59,7 @@ __all__ = [
     "get_logger",
     "histogram_quantiles",
     "log_context",
+    "monotonic_epoch_clock",
     "new_trace_id",
     "prometheus_text",
     "quantile_from_buckets",

@@ -4,9 +4,12 @@ A :class:`TraceRecorder` collects **spans** (named intervals with
 start/end timestamps) and **instant events**, each carrying arbitrary
 correlation arguments (``trace_id``/``job_id``/``batch_id`` by
 convention -- see ``docs/observability.md``).  The clock is injectable
-so tests record deterministic timelines; the default is ``time.time``
-(wall clock), which keeps parent-process and worker-process timestamps
-on one comparable axis.
+so tests record deterministic timelines; the default is a
+*wall-anchored monotonic* clock (:func:`monotonic_epoch_clock`):
+readings look like epoch seconds, so parent-process and
+worker-process timestamps stay on one comparable axis, but they come
+from ``time.monotonic`` and therefore never step backwards when NTP
+slews or someone resets the wall clock mid-run.
 
 Export is the Chrome trace-event JSON format (the ``traceEvents``
 array of ``ph: "X"`` complete events and ``ph: "i"`` instants), which
@@ -36,6 +39,30 @@ _US = 1_000_000.0
 def new_trace_id() -> str:
     """A random 16-hex-digit trace id."""
     return os.urandom(8).hex()
+
+
+def monotonic_epoch_clock() -> Callable[[], float]:
+    """A wall-anchored monotonic clock (the recorder default).
+
+    ``time.time`` can jump backwards (NTP corrections, manual clock
+    changes), which yields negative span durations and out-of-order
+    Chrome traces.  The returned clock anchors ``time.monotonic`` to
+    the wall clock **once**, at creation: readings are epoch seconds
+    (each process anchors to the same wall clock, so parent and
+    worker timestamps stay comparable) but advance monotonically for
+    the life of the process.
+    """
+    anchor = time.time() - time.monotonic()
+
+    def clock() -> float:
+        return anchor + time.monotonic()
+
+    return clock
+
+
+#: One shared anchor per process, so every recorder (and re-created
+#: recorders in tests) reads the same timeline.
+_DEFAULT_CLOCK = monotonic_epoch_clock()
 
 
 def _thread_id() -> int:
@@ -69,13 +96,13 @@ class TraceRecorder:
 
     def __init__(
         self,
-        clock: Callable[[], float] = time.time,
+        clock: Optional[Callable[[], float]] = None,
         trace_id: Optional[str] = None,
         max_events: int = 1_000_000,
     ):
         if max_events <= 0:
             raise ValueError("max_events must be positive")
-        self.clock = clock
+        self.clock = clock if clock is not None else _DEFAULT_CLOCK
         self.trace_id = trace_id or new_trace_id()
         self.max_events = max_events
         self._spans: List[Span] = []

@@ -247,7 +247,15 @@ class ServeClient:
         payload: Dict[str, Any],
         tenant: Optional[str] = None,
         priority: Optional[str] = None,
+        dedupe_id: Optional[str] = None,
     ) -> Dict[str, Any]:
+        """Submit one job.
+
+        *dedupe_id* is the exactly-once handle for journaled servers
+        (``ServeConfig.journal_dir``): a resend after a reconnect --
+        including against a restarted server -- with the same id is
+        answered from the journal instead of re-executing.
+        """
         body: Dict[str, Any] = {
             "op": "submit",
             "kernel": kernel,
@@ -257,6 +265,8 @@ class ServeClient:
             body["tenant"] = tenant
         if priority is not None:
             body["priority"] = priority
+        if dedupe_id is not None:
+            body["dedupe_id"] = str(dedupe_id)
         return await self.request(body)
 
     async def submit_batch(

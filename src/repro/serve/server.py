@@ -63,6 +63,16 @@ _LOG = get_logger("repro.serve.server")
 #: Tenant used when a request names none.
 DEFAULT_TENANT = "default"
 
+
+def _client_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """The client's payload minus engine-private keys (``_trace``...);
+    per-process stamps must not be replayed at recovery."""
+    return {
+        key: value
+        for key, value in payload.items()
+        if not key.startswith("_")
+    }
+
 #: Counters the serving tier owns inside the engine's registry.  The
 #: obs exporters pick these up like any engine counter; the drift test
 #: in ``tests/serve`` pins this schema.
@@ -76,6 +86,9 @@ SERVE_COUNTERS = (
     "serve_dispatches",
     "serve_responses",
     "serve_errors",
+    "serve_journaled",
+    "serve_deduped",
+    "serve_recovered",
 )
 
 
@@ -103,6 +116,17 @@ class ServeConfig:
     )
     #: Seconds a drain waits for in-flight work before closing anyway.
     drain_timeout_s: float = 10.0
+    #: Directory for the request-level write-ahead journal
+    #: (:mod:`repro.durable`).  When set, ``submit`` requests carrying
+    #: a ``dedupe_id`` are journaled before execution and their
+    #: results after it, so a crashed server finishes accepted work at
+    #: restart and a reconnecting client's resend is answered from the
+    #: journal instead of re-executing.  None disables journaling.
+    journal_dir: Optional[str] = None
+    #: Fsync policy for the request journal.
+    journal_fsync: str = "interval"
+    #: Replay the request journal in :meth:`GendpServer.start`.
+    recover_on_start: bool = True
 
     def __post_init__(self) -> None:
         if self.max_pending <= 0:
@@ -153,6 +177,22 @@ class GendpServer:
         self._done = asyncio.Event()
         self._idle = asyncio.Event()
         self._idle.set()
+        #: Request-level WAL (None without ``config.journal_dir``);
+        #: keyed by client ``dedupe_id`` strings, result payloads
+        #: recorded so deduplicated resends answer without re-running.
+        self.journal = None
+        self._completed_requests: Dict[str, Dict[str, Any]] = {}
+        if self.config.journal_dir:
+            from repro.durable.journal import DurabilityConfig, Journal
+
+            self.journal = Journal(
+                DurabilityConfig(
+                    dir_path=self.config.journal_dir,
+                    fsync=self.config.journal_fsync,
+                    record_values=True,
+                ),
+                metrics=self.engine.metrics,
+            )
         for counter in SERVE_COUNTERS:
             self.engine.metrics.incr(counter, 0)
 
@@ -162,6 +202,19 @@ class GendpServer:
     async def start(self) -> "GendpServer":
         if self._server is not None:
             return self
+        if self.journal is not None and self.config.recover_on_start:
+            # Finish what a crashed predecessor accepted before taking
+            # new connections: orphaned requests re-execute, completed
+            # ones seed the dedupe cache.  Engine drains are sync, so
+            # keep the (not yet serving) loop responsive via executor.
+            recovered = await asyncio.get_running_loop().run_in_executor(
+                None, self._recover_requests
+            )
+            if recovered:
+                _LOG.info(
+                    "request journal replayed",
+                    extra={"recovered": recovered},
+                )
         if self.config.unix_socket:
             self._server = await asyncio.start_unix_server(
                 self._handle_connection, path=self.config.unix_socket
@@ -247,6 +300,8 @@ class GendpServer:
             except asyncio.CancelledError:
                 pass
             self._dispatcher_task = None
+        if self.journal is not None:
+            self.journal.close()
         self._done.set()
 
     async def serve_forever(self) -> None:
@@ -473,11 +528,109 @@ class GendpServer:
         rejection = self._admit(tenant)
         if rejection is not None:
             return rejection
+        dedupe_id = request.get("dedupe_id")
+        if dedupe_id is not None and self.journal is not None:
+            dedupe_id = str(dedupe_id)
+            cached = self._completed_requests.get(dedupe_id)
+            if cached is not None:
+                # A reconnecting client's resend: the journal already
+                # holds the answer; never execute the same request twice.
+                self.engine.metrics.incr("serve_deduped")
+                return dict(cached, deduped=True)
         job = self._build_job(request, tenant)
+        if dedupe_id is not None and self.journal is not None:
+            # Write-ahead: an un-journaled request is refused, so a
+            # crash can never lose a request the client believes is in.
+            try:
+                self.journal.append(
+                    "accept",
+                    job_id=dedupe_id,
+                    kernel=job.kernel,
+                    payload=_client_payload(job.payload),
+                    priority=job.priority,
+                    tenant=tenant,
+                )
+                self.engine.metrics.incr("serve_journaled")
+            except Exception as error:
+                self.engine.metrics.incr("serve_errors")
+                return {
+                    "ok": False,
+                    "rejected": True,
+                    "error": f"journal write failed: {error}",
+                }
         with log_context(job_id=job.job_id):
             future = await self._enqueue(job, tenant)
             result = await future
-            return self._result_payload(result)
+            payload = self._result_payload(result)
+            if dedupe_id is not None and self.journal is not None:
+                self._journal_request_complete(dedupe_id, payload)
+            return payload
+
+    def _journal_request_complete(
+        self, dedupe_id: str, payload: Dict[str, Any]
+    ) -> None:
+        """Record a request's answer; tolerated on failure (the job
+        re-executes at the next recovery, which is safe -- dedupe only
+        promises at-most-once *per journaled completion*)."""
+        try:
+            self.journal.append(
+                "complete",
+                job_id=dedupe_id,
+                ok=bool(payload.get("ok")),
+                value=payload,
+            )
+        except Exception:
+            self.engine.metrics.incr("durable_write_errors")
+            return
+        self._completed_requests[dedupe_id] = dict(payload)
+
+    def _recover_requests(self) -> int:
+        """Sync startup replay of the request journal.
+
+        Completed requests seed the dedupe cache; orphans (accepted
+        before a crash, never answered) re-execute through the engine
+        and their results are journaled, so the client's eventual
+        resend gets the answer without re-running.
+        """
+        from repro.engine.jobs import make_job as build
+
+        state, _issues = self.journal.load_state()
+        self.engine.metrics.incr("durable_recoveries")
+        for key, record in state.completed.items():
+            value = record.get("value")
+            if isinstance(value, dict):
+                self._completed_requests[str(key)] = value
+        pending = []
+        for record in state.orphans():
+            try:
+                job = build(
+                    str(record["kernel"]),
+                    dict(record.get("payload") or {}),
+                    priority=int(record.get("priority", 0)),
+                )
+                self.engine.submit(job)
+            except Exception:
+                _LOG.warning(
+                    "unrecoverable journaled request",
+                    extra={"dedupe_id": str(record.get("job_id"))},
+                )
+                continue
+            pending.append((str(record.get("job_id")), job))
+        if not pending:
+            return 0
+        drain = getattr(self.engine, "drain_until_settled", self.engine.drain)
+        by_id = {result.job_id: result for result in drain()}
+        recovered = 0
+        for dedupe_id, job in pending:
+            result = by_id.get(job.job_id)
+            if result is None:
+                continue
+            self._journal_request_complete(
+                dedupe_id, self._result_payload(result)
+            )
+            self.engine.metrics.incr("serve_recovered")
+            recovered += 1
+        return recovered
 
     async def _submit_batch(
         self, request: Mapping[str, Any], tenant: str

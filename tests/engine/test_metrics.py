@@ -13,6 +13,7 @@ from pathlib import Path
 import pytest
 
 from repro.engine.metrics import (
+    DURABLE_COUNTERS,
     Histogram,
     OPT_COUNTERS,
     RELIABILITY_COUNTERS,
@@ -112,6 +113,24 @@ class TestCounterSchemaDrift:
             SENTINEL_COUNTERS
         )
 
+    def test_durable_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in DURABLE_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_durable_counters_all_prefixed(self):
+        # The ``durable_`` prefix is the dashboard's namespace contract.
+        assert all(name.startswith("durable_") for name in DURABLE_COUNTERS)
+
     def test_schemas_are_disjoint_and_unique(self):
-        names = RELIABILITY_COUNTERS + SENTINEL_COUNTERS + OPT_COUNTERS
+        names = (
+            RELIABILITY_COUNTERS
+            + SENTINEL_COUNTERS
+            + OPT_COUNTERS
+            + DURABLE_COUNTERS
+        )
         assert len(names) == len(set(names))

@@ -167,3 +167,42 @@ def test_recorder_is_thread_safe():
     for thread in threads:
         thread.join()
     assert len(recorder) == 800
+
+
+class TestDefaultClock:
+    """The recorder default: wall-anchored, monotonic, injectable."""
+
+    def test_default_clock_is_not_raw_wall_time(self):
+        import time
+
+        recorder = TraceRecorder()
+        assert recorder.clock is not time.time
+
+    def test_default_clock_reads_like_epoch_seconds(self):
+        import time
+
+        recorder = TraceRecorder()
+        # Within a second of the wall clock: Chrome timestamps stay
+        # wall-anchored so multi-process traces share one axis.
+        assert abs(recorder.now() - time.time()) < 1.0
+
+    def test_monotonic_epoch_clock_never_steps_backwards(self):
+        from repro.obs.trace import monotonic_epoch_clock
+
+        clock = monotonic_epoch_clock()
+        readings = [clock() for _ in range(1000)]
+        assert readings == sorted(readings)
+
+    def test_clocks_share_a_process_timeline(self):
+        # Two recorders created at different times still agree, so
+        # spans folded across recorders stay ordered.
+        first = TraceRecorder()
+        second = TraceRecorder()
+        a = first.now()
+        b = second.now()
+        assert b >= a
+
+    def test_injected_clock_still_wins(self):
+        clock = FakeClock(start=42.0)
+        recorder = TraceRecorder(clock=clock)
+        assert recorder.now() == 42.0

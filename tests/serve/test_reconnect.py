@@ -136,3 +136,47 @@ class TestRestart:
                 assert client.reconnects == 0  # every redial failed too
 
         run(scenario())
+
+    def test_exhaustion_leaves_no_hung_waiters(self, tmp_path):
+        """Spent budget: typed error out, pending-futures map empty.
+
+        The failure mode this guards: a request registers a waiter,
+        the transport dies, and the waiter is left for a read loop
+        that will never resolve it -- the caller hangs forever
+        instead of seeing the error.
+        """
+        sock = str(tmp_path / "gendp.sock")
+
+        async def scenario():
+            server = await _start_server(sock)
+            policy = ReconnectPolicy(
+                max_attempts=2, base_backoff_s=0.01, max_backoff_s=0.02
+            )
+            async with await ServeClient.connect(
+                unix_socket=sock, reconnect=policy
+            ) as client:
+                assert (await client.ping())["ok"]
+                await _stop_server(server)
+                os.unlink(sock)  # the endpoint is gone for good
+                # Concurrent submits all spend their redial budgets:
+                # every one must *resolve* with a transport error
+                # inside the timeout, none may hang on an orphaned
+                # waiter.
+                results = await asyncio.wait_for(
+                    asyncio.gather(
+                        *(client.submit("bsw", BSW) for _ in range(4)),
+                        return_exceptions=True,
+                    ),
+                    timeout=30,
+                )
+                assert len(results) == 4
+                for result in results:
+                    assert isinstance(result, (ConnectionError, OSError))
+                assert client._waiters == {}  # nothing left pending
+                # The exhausted client stays in a sane state: further
+                # requests fail fast with the same typed error.
+                with pytest.raises((ConnectionError, OSError)):
+                    await client.ping()
+                assert client._waiters == {}
+
+        run(scenario())

@@ -231,6 +231,9 @@ def test_serve_counters_schema_is_stable(tmp_path):
         "serve_dispatches",
         "serve_responses",
         "serve_errors",
+        "serve_journaled",
+        "serve_deduped",
+        "serve_recovered",
     )
 
     async def scenario():
