@@ -29,6 +29,11 @@ Console scripts (installed by ``pip install -e .``):
 - ``gendp-lint`` -- run the optimizer's report-only analyses
   (:mod:`repro.opt.lint`) over the compiled kernel programs and print
   structured diagnostics; fails only at error severity by default.
+- ``gendp-analyze`` -- run the abstract-interpretation framework
+  (:mod:`repro.static`) over the compiled kernel programs: value-range
+  certification (which programs are provably sentinel-free and why the
+  others are not), register-file pressure, and PE-array wavefront
+  send/recv protocol analysis; text or ``--format json`` output.
 - ``gendp-trace`` -- run a job stream through the engine with a
   :class:`~repro.obs.trace.TraceRecorder` attached and write the
   Chrome-trace JSON (open it in Perfetto or ``chrome://tracing``).
@@ -1132,7 +1137,15 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         help="lowest severity that fails the run",
     )
     parser.add_argument(
-        "--json", action="store_true", help="dump the report as JSON"
+        "--json",
+        action="store_true",
+        help="dump the report as JSON (same as --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report rendering (default: text)",
     )
     args = parser.parse_args(argv)
 
@@ -1151,7 +1164,71 @@ def lint_main(argv: Optional[List[str]] = None) -> int:
         kernels = None
 
     report = run_lint(kernels)
-    if args.json:
+    if args.json or args.format == "json":
+        import json
+
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return report.exit_code(Severity.from_label(args.fail_on))
+
+
+# ----------------------------------------------------------------------
+# gendp-analyze
+
+
+@_pipe_safe
+def analyze_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-analyze",
+        description=(
+            "Run the abstract-interpretation framework over the compiled "
+            "kernel programs: value-range certification (which kernels "
+            "are provably sentinel-free), RF pressure, and wavefront "
+            "send/recv protocol analysis.  Exit 0 unless a diagnostic "
+            "reaches the --fail-on severity (default: error)."
+        ),
+    )
+    parser.add_argument(
+        "--kernels",
+        default=None,
+        help="comma-separated kernel subset (default: all six)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=("info", "warning", "error"),
+        default="error",
+        help="lowest severity that fails the run",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report rendering (default: text)",
+    )
+    parser.add_argument(
+        "--no-wavefront",
+        action="store_true",
+        help="skip the PE-array wavefront protocol analyses",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.diagnostics import Severity
+    from repro.guard.diff import DIFF_KERNELS
+    from repro.static import run_analysis
+
+    if args.kernels:
+        kernels = tuple(k.strip() for k in args.kernels.split(",") if k.strip())
+        unknown = [k for k in kernels if k not in DIFF_KERNELS]
+        if unknown:
+            parser.error(
+                f"unknown kernels {unknown}; choose from {list(DIFF_KERNELS)}"
+            )
+    else:
+        kernels = None
+
+    report = run_analysis(kernels, include_wavefront=not args.no_wavefront)
+    if args.format == "json":
         import json
 
         print(json.dumps(report.to_dict(), indent=2, sort_keys=True))

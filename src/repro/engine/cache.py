@@ -42,7 +42,11 @@ class CompiledProgram:
     stats) stays in the parent for inspection via ``mapping_stats``.
     ``program_hash`` digests the exact instruction encoding
     (:func:`repro.dpmap.codegen.program_content_hash`); ``opt_stats``
-    carries the optimizer's counters when a pass pipeline ran.
+    carries the optimizer's counters when a pass pipeline ran;
+    ``certificate`` is the static analyzer's safety certificate as a
+    plain dict (:func:`repro.static.certify.compiled_certificate`) --
+    ``certificate["sentinel_free"]`` is what lets the engine elide
+    runtime sentinel observation for this program.
     """
 
     kernel: str
@@ -55,6 +59,7 @@ class CompiledProgram:
     mapping_stats: Optional[object] = None
     program_hash: str = ""
     opt_stats: Optional[Dict[str, int]] = None
+    certificate: Optional[Dict[str, object]] = None
 
 
 @dataclass

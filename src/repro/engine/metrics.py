@@ -94,6 +94,19 @@ DURABLE_COUNTERS: Tuple[str, ...] = (
     "durable_compactions",  # snapshot compactions performed
 )
 
+#: Static-analysis counters (prefixed ``static_``), maintained by the
+#: compile seam (certificate issuance) and the dispatch/fold paths
+#: (sentinel elision and its soundness cross-check).
+#: ``static_certificate_violations`` is the soundness audit counter: a
+#: runtime sentinel firing on a program whose certificate proved it
+#: sentinel-free.  The analysis being sound means it stays zero.
+STATIC_COUNTERS: Tuple[str, ...] = (
+    "static_programs_certified",  # compiles whose certificate proves sentinel-freedom
+    "static_programs_uncertified",  # compiles analyzed but not provably safe
+    "static_sentinel_elisions",  # jobs whose sentinel observation was elided
+    "static_certificate_violations",  # audit: sentinel fired on certified program (= 0)
+)
+
 
 @dataclass
 class Histogram:
@@ -198,6 +211,10 @@ class MetricsRegistry:
     def durability(self) -> Dict[str, int]:
         """The journal/recovery counters as one fixed-schema dict."""
         return {name: self.counters.get(name, 0) for name in DURABLE_COUNTERS}
+
+    def static(self) -> Dict[str, int]:
+        """The static-analysis counters as one fixed-schema dict."""
+        return {name: self.counters.get(name, 0) for name in STATIC_COUNTERS}
 
     def snapshot(self) -> Dict[str, object]:
         return {

@@ -118,6 +118,15 @@ class EngineConfig:
     #: are watched for int32 overflow / lane saturation / log-domain
     #: underflow, folded into the ``sentinel_*`` metrics counters.
     sentinels: bool = False
+    #: When sentinels are armed, skip runtime observation for programs
+    #: whose compile-time :class:`ProgramSafetyCertificate` proves no
+    #: armed hazard can fire under the kernel's declared input contract
+    #: (see :mod:`repro.static`).  Elision restores the specialized
+    #: warm-cell fast path that sentinel observation otherwise forgoes;
+    #: uncertified programs keep full observation.  Set False to force
+    #: observation everywhere (the soundness cross-check then audits
+    #: certificates via ``static_certificate_violations``).
+    elide_sentinels: bool = True
     #: Run every compiled program through the optimizer's pass pipeline
     #: (:func:`repro.opt.default_pipeline`) before caching, with the
     #: kernel's consumed-output contract.  Optimized programs live on
@@ -522,7 +531,26 @@ class Engine:
             self.metrics.observe(
                 "batch_occupancy", batch.occupancy, bounds=OCCUPANCY_BOUNDS
             )
-            meta = {"hits": hits, "compile_s": compiled.compile_seconds}
+            certificate = compiled.certificate or {}
+            certified = bool(certificate.get("sentinel_free"))
+            meta = {
+                "hits": hits,
+                "compile_s": compiled.compile_seconds,
+                "certified": certified,
+            }
+            # Sentinel elision: a certificate proves no armed hazard
+            # can fire for in-contract inputs, so the observe hook is
+            # dropped before dispatch and the workers take the
+            # specialized fast path.  Payload dicts are per-job copies
+            # made at submit, so popping here mutates nothing shared.
+            if (
+                certified
+                and self.config.sentinels
+                and self.config.elide_sentinels
+            ):
+                for job in batch.jobs:
+                    if job.payload.pop("_sentinels", None):
+                        self.metrics.incr("static_sentinel_elisions")
             executable.append((batch, compiled, meta))
 
         # Circuit breaker: kernels whose pool batches keep dying are
@@ -638,6 +666,21 @@ class Engine:
                 # program can never be cached, let alone executed.
                 self.metrics.incr("verifier_rejections")
                 check.raise_if_violations()
+        # Value-range certification runs after the verifier so only
+        # structurally legal programs earn certificates.  An analysis
+        # failure degrades to "no certificate" (sentinels stay on);
+        # it must never fail the compile.
+        from repro.static.certify import compiled_certificate
+
+        certificate = compiled_certificate(kernel, compiled)
+        if certificate is not None:
+            if certificate.get("sentinel_free"):
+                self.metrics.incr("static_programs_certified")
+            else:
+                self.metrics.incr("static_programs_uncertified")
+            compiled = replace(compiled, certificate=certificate)
+        else:
+            self.metrics.incr("static_programs_uncertified")
         return compiled
 
     def _fold_outcome(
@@ -687,7 +730,19 @@ class Engine:
             value = result.get("value")
             error = result.get("error")
             if isinstance(value, dict) and "_sentinels" in value:
-                for name, count in value.pop("_sentinels").items():
+                counts = value.pop("_sentinels")
+                # Soundness cross-check: a certified program whose
+                # (non-elided) sentinels still fired means the static
+                # analysis lied.  The counter must stay zero; the
+                # property suite treats any increment as a hard
+                # failure.
+                if meta.get("certified") and any(
+                    int(count)
+                    for name, count in counts.items()
+                    if name != "values_observed"
+                ):
+                    self.metrics.incr("static_certificate_violations")
+                for name, count in counts.items():
                     self.metrics.incr(f"sentinel_{name}", int(count))
             if isinstance(value, dict) and "_trace_spans" in value:
                 spans = value.pop("_trace_spans")
@@ -892,6 +947,7 @@ class Engine:
         snap["sentinels"] = self.metrics.sentinels()
         snap["optimization"] = self.metrics.optimization()
         snap["durability"] = self.metrics.durability()
+        snap["static"] = self.metrics.static()
         snap["quarantined"] = sorted(self._quarantined)
         snap["dead_letter_backlog"] = len(self._dlq)
         if self.shard is not None:

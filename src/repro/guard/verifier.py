@@ -19,8 +19,15 @@ Three entry points:
 - :func:`check_instructions` -- the raw bundle list plus register maps;
 - :func:`check_control_program` -- Table 3 control streams: scratchpad
   / register direct-address bounds, address-register bounds, branch
-  and ``set`` ranges, and port directionality (``in`` is read-only,
-  ``out`` is write-only at PE scope).
+  and ``set`` ranges, port directionality (``in`` is read-only,
+  ``out`` is write-only at PE scope), and computed-offset scratchpad
+  windows via the static layer's address-register interval analysis.
+
+In SIMD-lane mode (``MachineLimits.simd_lanes > 1``) the
+read-before-write analysis additionally refines to *sub-lanes*: the
+pack shifts move register halves, so a register can be partially
+defined, and a lane-wise opcode reading sign-smeared lanes is flagged
+(``simd-lane-undefined``).
 
 The limits themselves live in one place per layer --
 :mod:`repro.isa.compute` for the CU shape, :mod:`repro.dpax.pe` for
@@ -185,6 +192,138 @@ def _slot_imms(slot: Optional[SlotOp]) -> List[int]:
     if slot is None:
         return []
     return [op.value for op in slot.operands if isinstance(op, Imm)]
+
+
+#: Cross-lane pack/unpack shifts: the only opcodes allowed to read a
+#: partially-defined register in SIMD-lane mode.  They move register
+#: halves deliberately; every other opcode operates lane-wise and
+#: would consume garbage lanes.
+_PACK_SHIFTS = frozenset({Opcode.SHL16, Opcode.SHR16})
+
+
+def _undefined_lanes(mask: int, lanes: int) -> List[int]:
+    return [lane for lane in range(lanes) if not mask & (1 << lane)]
+
+
+def _shifted_mask(opcode: Opcode, mask: int, lanes: int) -> int:
+    """Defined-lane mask after a 16-bit pack shift.
+
+    ``SHL16`` fills the low half with zeros (defined) and promotes the
+    old low half; ``SHR16`` demotes the old high half and smears the
+    sign bit across the new high half -- sign smear is not lane data,
+    so those lanes come out undefined.
+    """
+    half = lanes // 2
+    full = (1 << lanes) - 1
+    if opcode is Opcode.SHL16:
+        return ((mask << half) & full) | ((1 << half) - 1)
+    return mask >> half
+
+
+def _slot_lane_mask(
+    slot: Optional[SlotOp],
+    masks: Dict[int, int],
+    lanes: int,
+    where: Dict[str, object],
+    out: List[Violation],
+) -> Optional[int]:
+    """Defined-lane bitmask of one ALU slot's output (bit i = lane i).
+
+    Immediates broadcast to every lane, so they are fully defined;
+    untracked registers default to fully defined (``read-before-write``
+    already covers never-written registers -- this pass only adds the
+    sub-lane refinement).
+    """
+    if slot is None:
+        return None
+    full = (1 << lanes) - 1
+    operand_masks = [
+        full if isinstance(op, Imm) else masks.get(op.index, full)
+        for op in slot.operands
+    ]
+    if slot.opcode in _PACK_SHIFTS:
+        mask = operand_masks[0] if operand_masks else full
+        return _shifted_mask(slot.opcode, mask, lanes)
+    result = full
+    for op, mask in zip(slot.operands, operand_masks):
+        if isinstance(op, Reg) and mask != full:
+            out.append(
+                Violation(
+                    rule="simd-lane-undefined",
+                    message=(
+                        f"{slot.opcode.value} reads r{op.index} whose "
+                        f"lane(s) {_undefined_lanes(mask, lanes)} are "
+                        f"undefined in {lanes}-lane mode (a pack shift "
+                        "left them holding sign smear, not lane data)"
+                    ),
+                    **where,
+                )
+            )
+        result &= mask
+    return result
+
+
+def _check_lane_definedness(
+    instructions: Sequence[VLIWInstruction],
+    input_regs: Dict[str, int],
+    limits: MachineLimits,
+    out: List[Violation],
+) -> None:
+    """SIMD sub-lane extension of the read-before-write analysis.
+
+    The scalar pass tracks whole registers; in lane mode a register
+    can be *partially* defined -- ``SHR16`` moves only the high half
+    of its operand into the low half of its result and sign-smears the
+    rest.  This pass tracks which lanes of each register hold real
+    data (inputs arrive fully packed) and flags any lane-wise opcode
+    reading lanes nothing defined.  Evaluation mirrors the functional
+    model (mul slot, else leaf slots then tree root), and as in the
+    scalar pass reads see the pre-bundle register image.
+    """
+    lanes = limits.simd_lanes
+    full = (1 << lanes) - 1
+    masks: Dict[int, int] = {
+        index: full
+        for index in input_regs.values()
+        if 0 <= index < limits.rf_size
+    }
+    for bundle_index, bundle in enumerate(instructions):
+        writes: Dict[int, int] = {}
+        for way_index, way in enumerate(bundle.ways):
+            where = {"bundle": bundle_index, "way": f"cu{way_index}"}
+            if way.kind == "mul":
+                result = _slot_lane_mask(way.mul, masks, lanes, where, out)
+            else:
+                left = _slot_lane_mask(way.left, masks, lanes, where, out)
+                right = _slot_lane_mask(way.right, masks, lanes, where, out)
+                if way.root is None:
+                    result = left if way.left is not None else right
+                elif way.root in _PACK_SHIFTS:
+                    mask = full if left is None else left
+                    result = _shifted_mask(way.root, mask, lanes)
+                else:
+                    result = full
+                    for leaf, leaf_mask in (("left", left), ("right", right)):
+                        if leaf_mask is None:
+                            continue
+                        if leaf_mask != full:
+                            out.append(
+                                Violation(
+                                    rule="simd-lane-undefined",
+                                    message=(
+                                        f"{way.root.value} root consumes "
+                                        f"the {leaf} leaf output with "
+                                        "undefined lane(s) "
+                                        f"{_undefined_lanes(leaf_mask, lanes)}"
+                                        f" in {lanes}-lane mode"
+                                    ),
+                                    **where,
+                                )
+                            )
+                        result &= leaf_mask
+            if 0 <= way.dest.index < limits.rf_size:
+                writes[way.dest.index] = full if result is None else result
+        masks.update(writes)
 
 
 def _check_way(
@@ -465,6 +604,9 @@ def check_instructions(
             index for index in dests if 0 <= index < limits.rf_size
         )
 
+    if limits.simd_lanes > 1:
+        _check_lane_definedness(instructions, input_regs, limits, out)
+
     for name, index in sorted(output_regs.items()):
         if not 0 <= index < limits.rf_size:
             out.append(
@@ -652,4 +794,19 @@ def check_control_program(
                         bundle=index,
                     )
                 )
+
+    # Computed (indirect) scratchpad offsets.  The direct checks above
+    # see only literal indices; an indirect access walks wherever its
+    # address register points.  The static layer's interval analysis
+    # bounds every address register at every instruction, turning "this
+    # access can only land past the scratchpad" into an error and "no
+    # write window can reach this read window" into a warning (windows
+    # are joined over all paths, so loops stay sound).
+    from repro.static.hazards import control_spm_diagnostics
+
+    out.extend(
+        diagnostic
+        for diagnostic in control_spm_diagnostics(instructions, limits.spm_size)
+        if diagnostic.severity >= Severity.WARNING
+    )
     return out

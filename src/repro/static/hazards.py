@@ -1,0 +1,478 @@
+"""Hazard and deadlock analyses over control threads and cell programs.
+
+Three analyses, all emitting the shared :class:`repro.diagnostics.
+Diagnostic` schema so ``gendp-analyze`` and the verifier speak one
+severity model:
+
+- **Scratchpad access analysis** -- abstract interpretation of the
+  decoder's address registers (LI/ADDI/ADD over the interval domain,
+  branch-aware worklist fixpoint with widening) resolves computed SPM
+  offsets to intervals.  Definitely-out-of-bounds indirect accesses
+  are errors; reads of slots no write can ever reach are flagged, and
+  overlapping write ranges are reported as aliases.
+- **RF pressure** -- exact backward liveness
+  (:func:`repro.opt.model.peak_live`) against the machine's register
+  file capacity, tighter than lint's allocation-width heuristic.
+- **FIFO protocol analysis** -- statically counts port operations in
+  every control thread of a wavefront load-out by abstract execution
+  (address registers concrete, everything else opaque) and checks
+  send/recv conservation on each link.  A mismatch means a PE blocks
+  forever on a pop that never arrives: the PE-array deadlock the
+  simulator would otherwise only reveal by hanging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.diagnostics import Diagnostic, Severity
+from repro.isa.control import (
+    BRANCH_OPS,
+    ControlInstruction,
+    ControlOp,
+    Loc,
+    PORT_SPACES,
+    Space,
+)
+from repro.opt.model import peak_live
+from repro.static.intervals import Interval
+
+#: Joins at a CFG node beyond this count switch to widening, bounding
+#: the fixpoint on loops whose trip counts the analysis cannot see.
+_WIDEN_AFTER = 4
+
+#: Step budget for the concrete port-op counter; the largest wavefront
+#: load-outs in the tests run a few thousand control steps.
+_PORT_COUNT_BUDGET = 1_000_000
+
+
+def _successors(
+    index: int, instruction: ControlInstruction, length: int
+) -> List[int]:
+    if instruction.op is ControlOp.HALT:
+        return []
+    successors = []
+    if index + 1 < length:
+        successors.append(index + 1)
+    if instruction.op in BRANCH_OPS and instruction.offset is not None:
+        target = index + instruction.offset
+        if 0 <= target < length:
+            successors.append(target)
+    return successors
+
+
+def _transfer_aregs(
+    instruction: ControlInstruction, state: Dict[int, Interval]
+) -> Dict[int, Interval]:
+    op = instruction.op
+    if op is ControlOp.LI:
+        dest = instruction.dest
+        if dest is not None and dest.space is Space.ADDR:
+            state = dict(state)
+            state[dest.index] = Interval.const(instruction.imm)
+        return state
+    if op is ControlOp.ADDI:
+        state = dict(state)
+        base = state.get(instruction.rs1, Interval.const(0))
+        state[instruction.rd] = Interval(
+            None if base.lo is None else base.lo + instruction.imm,
+            None if base.hi is None else base.hi + instruction.imm,
+        )
+        return state
+    if op is ControlOp.ADD:
+        state = dict(state)
+        a = state.get(instruction.rs1, Interval.const(0))
+        b = state.get(instruction.rs2, Interval.const(0))
+        state[instruction.rd] = Interval(
+            None if a.lo is None or b.lo is None else a.lo + b.lo,
+            None if a.hi is None or b.hi is None else a.hi + b.hi,
+        )
+        return state
+    if op is ControlOp.MV:
+        dest = instruction.dest
+        if dest is not None and dest.space is Space.ADDR:
+            # Loaded from memory: value unknown to this analysis.
+            state = dict(state)
+            state[dest.index] = Interval.top()
+        return state
+    return state
+
+
+def _join_states(
+    old: Dict[int, Interval],
+    new: Dict[int, Interval],
+    widen: bool,
+) -> Tuple[Dict[int, Interval], bool]:
+    merged = dict(old)
+    changed = False
+    for index, interval in new.items():
+        if index not in merged:
+            merged[index] = interval
+            changed = True
+            continue
+        grown = merged[index].join(interval)
+        if not grown.within(merged[index]):
+            merged[index] = (
+                merged[index].widen(grown) if widen else grown
+            )
+            changed = True
+    return merged, changed
+
+
+def areg_value_intervals(
+    instructions: Sequence[ControlInstruction],
+) -> List[Dict[int, Interval]]:
+    """Per-instruction *entry* states of the address registers.
+
+    Address registers reset to zero, so an untouched register is the
+    constant 0; registers loaded from memory (``mv a<i>, s...``) go to
+    top.  Branch targets are join points; widening past a visit budget
+    bounds loops with data-dependent trip counts.
+    """
+    length = len(instructions)
+    states: List[Optional[Dict[int, Interval]]] = [None] * length
+    visits = [0] * length
+    if length == 0:
+        return []
+    states[0] = {}
+    worklist = [0]
+    while worklist:
+        index = worklist.pop()
+        entry = states[index]
+        exit_state = _transfer_aregs(instructions[index], entry)
+        for successor in _successors(index, instructions[index], length):
+            visits[successor] += 1
+            if states[successor] is None:
+                states[successor] = dict(exit_state)
+                worklist.append(successor)
+                continue
+            merged, changed = _join_states(
+                states[successor],
+                exit_state,
+                widen=visits[successor] > _WIDEN_AFTER,
+            )
+            if changed:
+                states[successor] = merged
+                worklist.append(successor)
+    return [state if state is not None else {} for state in states]
+
+
+def _loc_interval(
+    loc: Loc, state: Dict[int, Interval]
+) -> Interval:
+    if loc.indirect:
+        return state.get(loc.index, Interval.const(0))
+    return Interval.const(loc.index)
+
+
+def _spm_accesses(
+    instructions: Sequence[ControlInstruction],
+    states: List[Dict[int, Interval]],
+) -> Tuple[List[Tuple[int, Loc, Interval]], List[Tuple[int, Loc, Interval]]]:
+    """(writes, reads): (instruction index, loc, address interval)."""
+    writes: List[Tuple[int, Loc, Interval]] = []
+    reads: List[Tuple[int, Loc, Interval]] = []
+    for index, instruction in enumerate(instructions):
+        state = states[index]
+        dest, src = instruction.dest, instruction.src
+        if dest is not None and dest.space is Space.SPM:
+            writes.append((index, dest, _loc_interval(dest, state)))
+        if src is not None and src.space is Space.SPM:
+            reads.append((index, src, _loc_interval(src, state)))
+    return writes, reads
+
+
+def control_spm_diagnostics(
+    instructions: Sequence[ControlInstruction],
+    spm_size: int,
+) -> List[Diagnostic]:
+    """Computed-offset scratchpad hazards for one control thread."""
+    states = areg_value_intervals(instructions)
+    writes, reads = _spm_accesses(instructions, states)
+    spm_bounds = Interval(0, spm_size - 1)
+    out: List[Diagnostic] = []
+
+    for index, loc, interval in writes + reads:
+        if not loc.indirect:
+            continue  # direct slots are checked by the verifier already
+        if interval.meet(spm_bounds) is None:
+            out.append(
+                Diagnostic(
+                    rule="spm-indirect-out-of-bounds",
+                    message=(
+                        f"indirect scratchpad access via a{loc.index} "
+                        f"resolves to {interval}, entirely outside the "
+                        f"{spm_size}-word scratchpad"
+                    ),
+                    bundle=index,
+                )
+            )
+
+    write_ranges = [interval for _, _, interval in writes]
+    for index, loc, interval in reads:
+        if not loc.indirect:
+            continue  # literal slots: scripted preloads read reset state
+        clamped = interval.meet(spm_bounds)
+        if clamped is None:
+            continue  # already reported out-of-bounds above
+        if any(
+            clamped.meet(written) is not None for written in write_ranges
+        ):
+            continue
+        out.append(
+            Diagnostic(
+                rule="spm-read-before-write",
+                message=(
+                    f"scratchpad read at {clamped} but no write in this "
+                    "program can reach that range; the read sees reset "
+                    "zeros"
+                ),
+                bundle=index,
+                severity=Severity.WARNING,
+            )
+        )
+
+    # Overlapping *indirect* write ranges can silently alias distinct
+    # logical cells -- worth a note, not a failure.
+    indirect_writes = [
+        (index, interval)
+        for index, loc, interval in writes
+        if loc.indirect and interval.meet(spm_bounds) is not None
+    ]
+    for position, (index, interval) in enumerate(indirect_writes):
+        for other_index, other in indirect_writes[position + 1 :]:
+            if interval.meet(other) is not None:
+                out.append(
+                    Diagnostic(
+                        rule="spm-write-alias",
+                        message=(
+                            f"indirect scratchpad writes at instructions "
+                            f"{index} and {other_index} may alias "
+                            f"({interval} overlaps {other})"
+                        ),
+                        bundle=index,
+                        severity=Severity.INFO,
+                    )
+                )
+                break
+    return out
+
+
+# ----------------------------------------------------------------------
+# RF pressure from exact liveness
+
+
+def rf_pressure_diagnostics(
+    name: str,
+    program,
+    rf_size: int,
+) -> List[Diagnostic]:
+    """Peak simultaneous liveness vs the register file's capacity."""
+    peak = peak_live(
+        list(program.instructions),
+        dict(program.input_regs),
+        dict(program.output_regs),
+    )
+    out: List[Diagnostic] = []
+    if peak > rf_size:
+        out.append(
+            Diagnostic(
+                rule="rf-live-exceeds-capacity",
+                message=(
+                    f"{name}: {peak} values live at once; the register "
+                    f"file holds {rf_size}"
+                ),
+            )
+        )
+    elif peak >= 0.75 * rf_size:
+        out.append(
+            Diagnostic(
+                rule="rf-live-pressure",
+                message=(
+                    f"{name}: peak liveness {peak} of {rf_size} registers "
+                    "(>= 75%); rebanding or spill planning advised"
+                ),
+                severity=Severity.WARNING,
+            )
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# FIFO / stream protocol analysis
+
+
+def count_port_ops(
+    instructions: Sequence[ControlInstruction],
+    max_steps: int = _PORT_COUNT_BUDGET,
+) -> Optional[Dict[str, Dict[str, int]]]:
+    """Statically execute one control thread, counting port traffic.
+
+    Only address registers are tracked concretely (they drive every
+    loop bound the generators emit); all data movement is opaque.
+    Returns ``{space: {"reads": n, "writes": n}}`` for the port
+    spaces, or ``None`` when the thread branches on a value the
+    analysis cannot see (an areg loaded from memory) or exceeds the
+    step budget -- callers must then fall back to runtime checks.
+    """
+    counts = {
+        space.value: {"reads": 0, "writes": 0}
+        for space in (Space.IN, Space.OUT, Space.FIFO)
+    }
+    aregs: Dict[int, Optional[int]] = {}
+    pc = 0
+    steps = 0
+    length = len(instructions)
+    while 0 <= pc < length:
+        steps += 1
+        if steps > max_steps:
+            return None
+        instruction = instructions[pc]
+        op = instruction.op
+        if op is ControlOp.HALT:
+            return counts
+        dest, src = instruction.dest, instruction.src
+        if src is not None and src.space in PORT_SPACES:
+            counts[src.space.value]["reads"] += 1
+        if dest is not None and dest.space in PORT_SPACES:
+            counts[dest.space.value]["writes"] += 1
+        if op is ControlOp.LI and dest is not None:
+            if dest.space is Space.ADDR:
+                aregs[dest.index] = instruction.imm
+        elif op is ControlOp.ADDI:
+            base = aregs.get(instruction.rs1, 0)
+            aregs[instruction.rd] = (
+                None if base is None else base + instruction.imm
+            )
+        elif op is ControlOp.ADD:
+            a = aregs.get(instruction.rs1, 0)
+            b = aregs.get(instruction.rs2, 0)
+            aregs[instruction.rd] = (
+                None if a is None or b is None else a + b
+            )
+        elif op is ControlOp.MV and dest is not None:
+            if dest.space is Space.ADDR:
+                aregs[dest.index] = None
+        elif op in BRANCH_OPS:
+            a = aregs.get(instruction.rs1, 0)
+            b = aregs.get(instruction.rs2, 0)
+            if a is None or b is None:
+                return None
+            taken = {
+                ControlOp.BEQ: a == b,
+                ControlOp.BNE: a != b,
+                ControlOp.BGE: a >= b,
+                ControlOp.BLT: a < b,
+            }[op]
+            if taken:
+                pc += instruction.offset
+                continue
+        pc += 1
+    return counts
+
+
+def _link_mismatch(
+    rule: str, message: str
+) -> Diagnostic:
+    return Diagnostic(rule=rule, message=message)
+
+
+def wavefront_protocol_diagnostics(programs) -> List[Diagnostic]:
+    """Send/recv conservation across one wavefront load-out.
+
+    *programs* is a :class:`repro.mapping.wavefront2d.WavefrontPrograms`
+    (duck-typed: ``array_control`` + ``pe_control`` suffice).  Checks,
+    per link of the systolic chain ``array -> pe0 -> ... -> tail ->
+    array`` plus the array FIFO back-channel, that the words pushed
+    equal the words popped; any imbalance leaves some thread blocked
+    on a port forever.
+    """
+    out: List[Diagnostic] = []
+    array_counts = count_port_ops(programs.array_control)
+    pe_counts = [count_port_ops(thread) for thread in programs.pe_control]
+    if array_counts is None or any(c is None for c in pe_counts):
+        out.append(
+            Diagnostic(
+                rule="fifo-protocol-unknown",
+                message=(
+                    "a control thread is not statically evaluable "
+                    "(data-dependent loop bound); protocol conservation "
+                    "not proven"
+                ),
+                severity=Severity.WARNING,
+            )
+        )
+        return out
+
+    pe_count = len(pe_counts)
+    # The array's OUT feeds PE 0's IN; PE i's OUT feeds PE i+1's IN;
+    # the tail PE's OUT returns to the array's IN.
+    links = [
+        (
+            "array.out",
+            array_counts["out"]["writes"],
+            "pe0.in",
+            pe_counts[0]["in"]["reads"],
+        )
+    ]
+    for index in range(pe_count - 1):
+        links.append(
+            (
+                f"pe{index}.out",
+                pe_counts[index]["out"]["writes"],
+                f"pe{index + 1}.in",
+                pe_counts[index + 1]["in"]["reads"],
+            )
+        )
+    links.append(
+        (
+            f"pe{pe_count - 1}.out",
+            pe_counts[pe_count - 1]["out"]["writes"],
+            "array.in",
+            array_counts["in"]["reads"],
+        )
+    )
+    for sender, sent, receiver, received in links:
+        if sent != received:
+            out.append(
+                _link_mismatch(
+                    "stream-send-recv-mismatch",
+                    f"{sender} pushes {sent} words but {receiver} pops "
+                    f"{received}; the array deadlocks on the "
+                    f"{'pop' if received > sent else 'push'}",
+                )
+            )
+
+    # FIFO back-channel: the array preloads boundary words and the tail
+    # PE appends one boundary set per pass; PE 0 pops.  More pops than
+    # pushes is guaranteed starvation (deadlock).  A push surplus is
+    # normal -- the tail's final-pass words have no next pass to feed --
+    # but is surfaced as a note so an unexpected imbalance is visible.
+    fifo_writes = array_counts["fifo"]["writes"] + sum(
+        counts["fifo"]["writes"] for counts in pe_counts
+    )
+    fifo_reads = array_counts["fifo"]["reads"] + sum(
+        counts["fifo"]["reads"] for counts in pe_counts
+    )
+    if fifo_reads > fifo_writes:
+        out.append(
+            _link_mismatch(
+                "fifo-send-recv-mismatch",
+                f"PE-array FIFO sees {fifo_writes} pushes but "
+                f"{fifo_reads} pops; the wavefront deadlocks on the "
+                "missing words",
+            )
+        )
+    elif fifo_writes > fifo_reads:
+        out.append(
+            Diagnostic(
+                rule="fifo-residual-words",
+                message=(
+                    f"{fifo_writes - fifo_reads} words remain queued in "
+                    "the PE-array FIFO at halt (the tail PE's final-pass "
+                    "boundary set)"
+                ),
+                severity=Severity.INFO,
+            )
+        )
+    return out

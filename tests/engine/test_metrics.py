@@ -18,6 +18,7 @@ from repro.engine.metrics import (
     OPT_COUNTERS,
     RELIABILITY_COUNTERS,
     SENTINEL_COUNTERS,
+    STATIC_COUNTERS,
 )
 from repro.guard.sentinels import SENTINEL_FIELDS
 
@@ -126,11 +127,24 @@ class TestCounterSchemaDrift:
         # The ``durable_`` prefix is the dashboard's namespace contract.
         assert all(name.startswith("durable_") for name in DURABLE_COUNTERS)
 
+    def test_static_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in STATIC_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_static_counters_all_prefixed(self):
+        assert all(name.startswith("static_") for name in STATIC_COUNTERS)
+
     def test_schemas_are_disjoint_and_unique(self):
         names = (
             RELIABILITY_COUNTERS
             + SENTINEL_COUNTERS
             + OPT_COUNTERS
             + DURABLE_COUNTERS
+            + STATIC_COUNTERS
         )
         assert len(names) == len(set(names))

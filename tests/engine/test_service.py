@@ -362,7 +362,12 @@ class TestStaticVerification:
 
 class TestSentinels:
     def test_sentinel_counters_folded_into_metrics(self):
-        with Engine(EngineConfig(sentinels=True)) as engine:
+        # elide_sentinels=False forces observation even though LCS is
+        # certified sentinel-free, exercising the fold path (and the
+        # certificate soundness cross-check, which must stay silent).
+        with Engine(
+            EngineConfig(sentinels=True, elide_sentinels=False)
+        ) as engine:
             engine.submit(_lcs_job())
             result = engine.drain()[0]
             assert result.ok
@@ -371,6 +376,21 @@ class TestSentinels:
             counters = engine.metrics.sentinels()
             assert counters["sentinel_values_observed"] > 0
             assert counters["sentinel_int32_overflows"] == 0
+            assert (
+                engine.metrics.counter("static_certificate_violations") == 0
+            )
+
+    def test_certified_program_elides_observation_by_default(self):
+        # LCS's certificate proves no armed hazard can fire, so the
+        # default config skips the observe hook entirely.
+        with Engine(EngineConfig(sentinels=True)) as engine:
+            engine.submit(_lcs_job())
+            assert engine.drain()[0].ok
+            assert (
+                engine.metrics.sentinels()["sentinel_values_observed"] == 0
+            )
+            assert engine.metrics.counter("static_sentinel_elisions") == 1
+            assert engine.metrics.counter("static_programs_certified") == 1
 
     def test_sentinels_off_by_default(self):
         with Engine() as engine:

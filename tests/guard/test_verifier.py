@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.dfg.graph import Opcode
+from repro.diagnostics import Severity
 from repro.dpmap.codegen import compile_cell
 from repro.engine.cache import compile_program
 from repro.engine.runners import build_dfg
@@ -16,8 +17,19 @@ from repro.guard.verifier import (
     check_instructions,
     check_program,
 )
-from repro.isa.compute import Imm, Reg, SlotOp
-from repro.isa.control import ControlOp, Loc, Space, branch, li, mv, set_unit
+from repro.isa.compute import CUInstruction, Imm, Reg, SlotOp, VLIWInstruction
+from repro.isa.control import (
+    ControlOp,
+    Loc,
+    Space,
+    addi,
+    areg,
+    branch,
+    li,
+    mv,
+    set_unit,
+    spm,
+)
 
 
 def _rules(result):
@@ -183,3 +195,100 @@ class TestControlPrograms:
         instructions = [li(Loc(Space.ADDR, 99), 0)]
         rules = {v.rule for v in check_control_program(instructions)}
         assert "address-register-out-of-range" in rules
+
+
+class TestComputedSpmOffsets:
+    """The interval extension: indirect accesses the direct checks miss."""
+
+    def test_indirect_write_past_scratchpad_is_error(self):
+        # a0 = spm_size (one past the end), then write s[a0]: every
+        # reachable address is out of bounds, but the direct `spm-bound`
+        # check sees only the areg *name* and stays silent.
+        instructions = [
+            li(areg(0), 4096),
+            mv(spm(0, indirect=True), Loc(Space.REG, 0)),
+        ]
+        violations = check_control_program(instructions)
+        rules = {v.rule for v in violations}
+        assert "spm-indirect-out-of-bounds" in rules
+        assert all(v.severity == Severity.ERROR for v in violations)
+
+    def test_indirect_read_of_unwritten_window_warns(self):
+        # Reads s[a0] with a0 = 100 while the only write lands at s0.
+        instructions = [
+            li(areg(0), 100),
+            li(spm(0), 7),
+            mv(Loc(Space.REG, 1), spm(0, indirect=True)),
+        ]
+        violations = check_control_program(instructions)
+        assert any(
+            v.rule == "spm-read-before-write"
+            and v.severity == Severity.WARNING
+            for v in violations
+        )
+
+    def test_indirect_loop_within_bounds_is_clean(self):
+        # A scripted loop walking s[a0] over a window it also writes.
+        instructions = [
+            li(areg(0), 0),
+            li(areg(1), 8),
+            li(spm(0, indirect=True), 0),
+            mv(Loc(Space.REG, 2), spm(0, indirect=True)),
+            addi(0, 0, 1),
+            branch(ControlOp.BNE, 0, 1, -3),
+        ]
+        assert not check_control_program(instructions)
+
+
+class TestSimdLaneDefinedness:
+    """Sub-lane read-before-write: SHR16 sign smear is not lane data."""
+
+    @staticmethod
+    def _bundle(way):
+        return VLIWInstruction(cu0=way)
+
+    def test_lane_wise_read_of_shr16_smear_is_flagged(self):
+        unpack = CUInstruction(
+            kind="tree",
+            dest=Reg(2),
+            left=SlotOp(Opcode.SHR16, (Reg(0),)),
+        )
+        consume = CUInstruction(
+            kind="tree",
+            dest=Reg(3),
+            left=SlotOp(Opcode.ADD, (Reg(2), Imm(1))),
+        )
+        bundles = [self._bundle(unpack), self._bundle(consume)]
+        # Scalar mode: whole-register tracking sees r2 written -- clean.
+        assert not check_instructions(bundles, {"x": 0}, {"y": 3})
+        lanes = MachineLimits(simd_lanes=4)
+        violations = check_instructions(bundles, {"x": 0}, {"y": 3}, limits=lanes)
+        flagged = [v for v in violations if v.rule == "simd-lane-undefined"]
+        assert flagged and flagged[0].bundle == 1
+
+    def test_pack_after_unpack_restores_all_lanes(self):
+        # SHL16(SHR16(x)) repacks the surviving half over defined zeros:
+        # every lane of r3 is defined again, so the consumer is clean.
+        unpack = CUInstruction(
+            kind="tree",
+            dest=Reg(2),
+            left=SlotOp(Opcode.SHR16, (Reg(0),)),
+        )
+        repack = CUInstruction(
+            kind="tree",
+            dest=Reg(3),
+            left=SlotOp(Opcode.SHL16, (Reg(2),)),
+        )
+        consume = CUInstruction(
+            kind="tree",
+            dest=Reg(4),
+            left=SlotOp(Opcode.ADD, (Reg(3), Imm(1))),
+        )
+        bundles = [self._bundle(w) for w in (unpack, repack, consume)]
+        lanes = MachineLimits(simd_lanes=4)
+        assert not check_instructions(bundles, {"x": 0}, {"y": 4}, limits=lanes)
+
+    def test_scalar_mode_is_unchanged(self):
+        for kernel in DIFF_KERNELS:
+            for name, program in compile_kernel_programs(kernel).verifiable():
+                assert check_program(program, name=name).ok

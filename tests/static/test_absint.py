@@ -1,0 +1,102 @@
+"""Forward dataflow engine: observation mirroring and the feedback fixpoint."""
+
+from repro.dpmap.codegen import compile_cell, run_program
+from repro.engine.runners import build_dfg
+from repro.static.absint import (
+    MAX_FIXPOINT_ITERATIONS,
+    analyze_fixpoint,
+    analyze_program,
+)
+from repro.static.contracts import kernel_contract
+from repro.static.intervals import Interval
+
+
+def _observe_count(kernel, inputs):
+    """Concrete observe-callback count for one cell execution."""
+    program = compile_cell(build_dfg(kernel))
+    calls = []
+    run_program(program, inputs, observe=calls.append)
+    return program, calls
+
+
+class TestAnalyzeProgram:
+    def test_observation_sequence_matches_runtime_shape(self):
+        # The certificate speaks for "every value the sentinel would
+        # see", which requires the abstract pass to issue exactly one
+        # interval per runtime observe call, in the same order.
+        program, calls = _observe_count(
+            "lcs", {"x": 3, "y": 3, "c_diag": 5, "c_up": 2, "c_left": 7}
+        )
+        contract = kernel_contract("lcs")
+        analysis = analyze_program(
+            program, dict(contract.inputs), contract.match_range
+        )
+        assert len(analysis.observed) == len(calls)
+
+    def test_concrete_values_inside_abstract_observations(self):
+        program, calls = _observe_count(
+            "dtw", {"a": 100, "b": 260, "d_diag": 9, "d_up": 4, "d_left": 11}
+        )
+        contract = kernel_contract("dtw")
+        analysis = analyze_program(
+            program, dict(contract.inputs), contract.match_range
+        )
+        for value, interval in zip(calls, analysis.observed):
+            assert interval.contains(value)
+
+    def test_unseeded_inputs_start_at_top(self):
+        program = compile_cell(build_dfg("lcs"))
+        analysis = analyze_program(program, {})
+        assert all(
+            interval == Interval.top()
+            for interval in analysis.inputs.values()
+        )
+
+    def test_outputs_reported(self):
+        program = compile_cell(build_dfg("dtw"))
+        contract = kernel_contract("dtw")
+        analysis = analyze_program(program, dict(contract.inputs))
+        assert set(analysis.outputs) == set(program.output_regs)
+
+
+class TestAnalyzeFixpoint:
+    def test_monotone_accumulator_is_not_inductively_closed(self):
+        # DTW's distance grows every cell; no finite contract can be a
+        # recurrence invariant.
+        program = compile_cell(build_dfg("dtw"))
+        contract = kernel_contract("dtw")
+        result = analyze_fixpoint(
+            program,
+            dict(contract.inputs),
+            dict(contract.feedback),
+            contract.match_range,
+        )
+        assert not result.inductively_closed
+        assert result.iterations < MAX_FIXPOINT_ITERATIONS
+
+    def test_widening_forces_convergence(self):
+        # Even with feedback edges that grow forever, widening to the
+        # rails must terminate well under the iteration cap, and the
+        # steady inputs must cover the declared contract.
+        program = compile_cell(build_dfg("chain"))
+        contract = kernel_contract("chain")
+        result = analyze_fixpoint(
+            program,
+            dict(contract.inputs),
+            dict(contract.feedback),
+            contract.match_range,
+        )
+        assert result.iterations < MAX_FIXPOINT_ITERATIONS
+        for name, names in contract.feedback.items():
+            for target in names:
+                declared = contract.inputs[target]
+                assert declared.within(result.steady_inputs[target])
+
+    def test_no_feedback_is_single_pass(self):
+        program = compile_cell(build_dfg("lcs"))
+        contract = kernel_contract("lcs")
+        result = analyze_fixpoint(
+            program, dict(contract.inputs), {}, contract.match_range
+        )
+        # One ascent pass plus the narrowing recompute.
+        assert result.iterations == 2

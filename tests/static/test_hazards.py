@@ -1,0 +1,207 @@
+"""Hazard analyses: areg intervals, SPM windows, RF pressure, protocol."""
+
+from types import SimpleNamespace
+
+from repro.diagnostics import Severity
+from repro.dpmap.codegen import compile_cell
+from repro.engine.runners import build_dfg
+from repro.isa.control import (
+    ControlOp,
+    FIFO_PORT,
+    IN_PORT,
+    Loc,
+    OUT_PORT,
+    Space,
+    addi,
+    areg,
+    branch,
+    halt,
+    li,
+    mv,
+    reg,
+    spm,
+)
+from repro.mapping.kernels2d import bsw_wavefront_spec
+from repro.mapping.wavefront2d import build_wavefront_programs
+from repro.static.hazards import (
+    areg_value_intervals,
+    control_spm_diagnostics,
+    count_port_ops,
+    rf_pressure_diagnostics,
+    wavefront_protocol_diagnostics,
+)
+
+
+class TestAregIntervals:
+    def test_loop_counter_is_bounded(self):
+        # for a0 in 0..8: the entry state at the loop body must bound
+        # a0 without running the loop concretely.
+        instructions = [
+            li(areg(0), 0),
+            li(areg(1), 8),
+            addi(0, 0, 1),
+            branch(ControlOp.BNE, 0, 1, -1),
+            halt(),
+        ]
+        states = areg_value_intervals(instructions)
+        body_entry = states[2][0]
+        assert body_entry.contains(0) and body_entry.contains(7)
+
+    def test_mv_from_memory_is_top(self):
+        instructions = [mv(areg(0), spm(5)), halt()]
+        states = areg_value_intervals(instructions)
+        assert not states[1][0].bounded
+
+
+class TestControlSpm:
+    def test_definite_out_of_bounds_is_error(self):
+        instructions = [
+            li(areg(0), 5000),
+            mv(spm(0, indirect=True), reg(0)),
+        ]
+        diagnostics = control_spm_diagnostics(instructions, 2048)
+        assert any(
+            d.rule == "spm-indirect-out-of-bounds"
+            and d.severity is Severity.ERROR
+            for d in diagnostics
+        )
+
+    def test_in_bounds_loop_is_clean(self):
+        instructions = [
+            li(areg(0), 0),
+            li(areg(1), 16),
+            li(spm(0, indirect=True), 1),
+            mv(reg(0), spm(0, indirect=True)),
+            addi(0, 0, 1),
+            branch(ControlOp.BNE, 0, 1, -3),
+        ]
+        assert not control_spm_diagnostics(instructions, 2048)
+
+    def test_unreachable_read_window_warns(self):
+        instructions = [
+            li(spm(0), 1),
+            li(areg(0), 500),
+            mv(reg(0), spm(0, indirect=True)),
+        ]
+        diagnostics = control_spm_diagnostics(instructions, 2048)
+        assert any(
+            d.rule == "spm-read-before-write"
+            and d.severity is Severity.WARNING
+            for d in diagnostics
+        )
+
+
+class TestRfPressure:
+    def test_kernel_cells_fit_the_default_rf(self):
+        program = compile_cell(build_dfg("bsw"))
+        assert not rf_pressure_diagnostics("bsw", program, 64)
+
+    def test_tiny_rf_reports_capacity_error(self):
+        program = compile_cell(build_dfg("bsw"))
+        diagnostics = rf_pressure_diagnostics("bsw", program, 2)
+        assert any(
+            d.rule == "rf-live-exceeds-capacity"
+            and d.severity is Severity.ERROR
+            for d in diagnostics
+        )
+
+
+class TestPortCounting:
+    def test_counts_loop_iterations(self):
+        instructions = [
+            li(areg(0), 0),
+            li(areg(1), 3),
+            mv(OUT_PORT, reg(0)),
+            addi(0, 0, 1),
+            branch(ControlOp.BNE, 0, 1, -2),
+            halt(),
+        ]
+        counts = count_port_ops(instructions)
+        assert counts["out"]["writes"] == 3
+
+    def test_data_dependent_branch_bails(self):
+        instructions = [
+            mv(areg(0), spm(5)),  # areg from memory: opaque
+            branch(ControlOp.BEQ, 0, 0, 1),
+            halt(),
+        ]
+        assert count_port_ops(instructions) is None
+
+    def test_runaway_loop_hits_budget(self):
+        instructions = [
+            li(areg(0), 0),
+            branch(ControlOp.BEQ, 0, 0, 0),  # spin forever
+        ]
+        assert count_port_ops(instructions, max_steps=1000) is None
+
+
+def _thread(*instructions):
+    return list(instructions)
+
+
+class TestWavefrontProtocol:
+    def test_real_loadout_has_no_errors(self):
+        programs = build_wavefront_programs(
+            bsw_wavefront_spec(), target_length=8, query_length=4, pe_count=4
+        )
+        diagnostics = wavefront_protocol_diagnostics(programs)
+        assert all(d.severity < Severity.ERROR for d in diagnostics)
+
+    def test_stream_imbalance_is_deadlock_error(self):
+        programs = SimpleNamespace(
+            array_control=_thread(
+                mv(OUT_PORT, reg(0)),
+                mv(OUT_PORT, reg(0)),  # pushes 2
+                mv(reg(1), IN_PORT),
+                halt(),
+            ),
+            pe_control=[
+                _thread(
+                    mv(reg(0), IN_PORT),  # pops only 1
+                    mv(OUT_PORT, reg(0)),
+                    halt(),
+                )
+            ],
+        )
+        diagnostics = wavefront_protocol_diagnostics(programs)
+        assert any(
+            d.rule == "stream-send-recv-mismatch" for d in diagnostics
+        )
+
+    def test_fifo_starvation_is_error_but_residual_is_note(self):
+        starved = SimpleNamespace(
+            array_control=_thread(mv(Loc(Space.FIFO), reg(0)), halt()),
+            pe_control=[
+                _thread(
+                    mv(reg(0), FIFO_PORT),
+                    mv(reg(0), FIFO_PORT),  # pops 2, pushed 1
+                    halt(),
+                )
+            ],
+        )
+        diagnostics = wavefront_protocol_diagnostics(starved)
+        assert any(d.rule == "fifo-send-recv-mismatch" for d in diagnostics)
+
+        residual = SimpleNamespace(
+            array_control=_thread(
+                mv(Loc(Space.FIFO), reg(0)),
+                mv(Loc(Space.FIFO), reg(0)),
+                halt(),
+            ),
+            pe_control=[_thread(mv(reg(0), FIFO_PORT), halt())],
+        )
+        diagnostics = wavefront_protocol_diagnostics(residual)
+        notes = [d for d in diagnostics if d.rule == "fifo-residual-words"]
+        assert notes and notes[0].severity is Severity.INFO
+
+    def test_unevaluable_thread_warns_instead_of_guessing(self):
+        programs = SimpleNamespace(
+            array_control=_thread(
+                mv(areg(0), spm(5)),
+                branch(ControlOp.BEQ, 0, 0, 1),
+                halt(),
+            ),
+            pe_control=[_thread(halt())],
+        )
+        diagnostics = wavefront_protocol_diagnostics(programs)
+        assert [d.rule for d in diagnostics] == ["fifo-protocol-unknown"]

@@ -1,0 +1,93 @@
+"""The gendp-analyze report: structure, exit codes, CLI plumbing."""
+
+import json
+
+from repro.diagnostics import Severity
+from repro.static import run_analysis
+from repro.static.report import AnalysisReport, ProgramAnalysisEntry
+
+
+class TestRunAnalysis:
+    def test_full_sweep_is_clean_and_certifies_two_plus(self):
+        report = run_analysis()
+        assert report.ok, report.render()
+        assert len(report.certified) >= 2
+        assert report.exit_code(Severity.ERROR) == 0
+
+    def test_kernel_subset(self):
+        report = run_analysis(["dtw"])
+        names = [p.name for p in report.programs]
+        assert "dtw" in names and "dtw:wavefront" in names
+        assert report.certified == ("dtw",)
+
+    def test_wavefront_can_be_skipped(self):
+        report = run_analysis(["dtw"], include_wavefront=False)
+        assert [p.name for p in report.programs] == ["dtw"]
+
+    def test_json_shape_is_stable(self):
+        report = run_analysis(["chain"], include_wavefront=False)
+        data = json.loads(json.dumps(report.to_dict()))
+        assert set(data) == {
+            "programs",
+            "certified",
+            "errors",
+            "warnings",
+            "notes",
+            "ok",
+        }
+        program = data["programs"][0]
+        assert program["name"] == "chain"
+        # Harness-only interval tables stay out of the artifact.
+        assert "observed_intervals" not in program["certificate"]
+
+    def test_render_mentions_certification_status(self):
+        text = run_analysis(["bsw"], include_wavefront=False).render()
+        assert "sentinels stay armed" in text
+        assert "possible-lane-saturation" in text
+
+
+class TestExitCodes:
+    def test_fail_on_threshold(self):
+        report = run_analysis(["bsw"], include_wavefront=False)
+        # BSW carries a lane-saturation warning: failing at warning
+        # severity flips the exit code, failing at error does not.
+        assert report.exit_code(Severity.ERROR) == 0
+        assert report.exit_code(Severity.WARNING) == 1
+
+    def test_empty_report_is_ok(self):
+        report = AnalysisReport(programs=())
+        assert report.ok and report.exit_code() == 0
+
+
+class TestCli:
+    def test_analyze_main_text_and_json(self, capsys):
+        from repro.cli import analyze_main
+
+        assert analyze_main(["--kernels", "dtw", "--no-wavefront"]) == 0
+        text = capsys.readouterr().out
+        assert "certified" in text
+
+        assert (
+            analyze_main(
+                ["--kernels", "dtw", "--no-wavefront", "--format", "json"]
+            )
+            == 0
+        )
+        data = json.loads(capsys.readouterr().out)
+        assert data["ok"] and data["certified"] == ["dtw"]
+
+    def test_analyze_main_fail_on_warning(self, capsys):
+        from repro.cli import analyze_main
+
+        code = analyze_main(
+            ["--kernels", "bsw", "--no-wavefront", "--fail-on", "warning"]
+        )
+        capsys.readouterr()
+        assert code == 1
+
+    def test_lint_main_format_json(self, capsys):
+        from repro.cli import lint_main
+
+        assert lint_main(["--format", "json", "--kernels", "dtw"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert "programs" in data
