@@ -36,10 +36,23 @@ Console scripts (installed by ``pip install -e .``):
   send/recv protocol analysis; text or ``--format json`` output.
 - ``gendp-trace`` -- run a job stream through the engine with a
   :class:`~repro.obs.trace.TraceRecorder` attached and write the
-  Chrome-trace JSON (open it in Perfetto or ``chrome://tracing``).
+  Chrome-trace JSON (open it in Perfetto or ``chrome://tracing``);
+  ``--replay BLACKBOX`` instead converts a flight-recorder black-box
+  dump (:mod:`repro.slo.flight`) into the same viewable format.
 - ``gendp-metrics`` -- render a saved metrics snapshot as Prometheus
   text or JSON (``render``), or serve a live/saved snapshot over a
-  stdlib HTTP scrape endpoint (``serve``).
+  stdlib HTTP scrape endpoint (``serve``; ``--slo`` attaches the
+  burn-rate evaluator and a ``/slo`` endpoint).
+- ``gendp-slo`` -- evaluate SLO burn rates (:mod:`repro.slo`) over a
+  saved snapshot, a replayed snapshot stream, or a live scrape
+  endpoint: ``check`` gates CI (``--fail-on burn``), ``report``
+  prints the full objective/window state, ``watch`` polls live, and
+  ``synth`` writes deterministic replay fixtures.
+- ``gendp-bench`` -- benchmark trajectory tracking
+  (:mod:`repro.slo.bench`): ``collect`` normalizes ``BENCH_*.json``
+  results into ``results/trajectory.jsonl``, ``compare`` gates them
+  against committed baselines (exit 1 on regression), ``baseline``
+  (re)seeds the baseline file.
 - ``gendp-serve`` -- run the asyncio serving tier
   (:mod:`repro.serve`): newline-delimited JSON over TCP or a Unix
   socket, per-tenant quotas, priority classes, backpressure, and
@@ -1241,6 +1254,39 @@ def analyze_main(argv: Optional[List[str]] = None) -> int:
 # gendp-trace
 
 
+def _trace_replay(blackbox_path: str, out_path: str) -> int:
+    """``gendp-trace --replay``: black-box dump -> Chrome trace."""
+    import json
+
+    from repro.obs.trace import validate_chrome_trace
+    from repro.slo.flight import blackbox_to_chrome_trace, load_blackbox
+
+    try:
+        document = load_blackbox(blackbox_path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot replay {blackbox_path!r}: {error}")
+    trace = blackbox_to_chrome_trace(document)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"trace schema violation: {problem}", file=sys.stderr)
+        return 1
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    entries = document.get("entries", [])
+    kinds: dict = {}
+    for entry in entries:
+        kinds[entry.get("kind", "?")] = kinds.get(entry.get("kind", "?"), 0) + 1
+    print(f"black box    : {blackbox_path}")
+    print(f"reason       : {document.get('reason')}")
+    print(f"entries      : {len(entries)} "
+          f"({', '.join(f'{k}={v}' for k, v in sorted(kinds.items()))})")
+    print(f"events       : {len(trace['traceEvents'])}")
+    print(f"trace written: {out_path}")
+    return 0
+
+
 @_pipe_safe
 def trace_main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
@@ -1248,7 +1294,17 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         description=(
             "Run a job stream through the execution engine with tracing "
             "attached and write the Chrome-trace JSON (Perfetto / "
-            "chrome://tracing)."
+            "chrome://tracing).  With --replay, convert a flight-recorder "
+            "black-box dump into the same viewable format instead."
+        ),
+    )
+    parser.add_argument(
+        "--replay",
+        metavar="BLACKBOX",
+        default=None,
+        help=(
+            "convert a black-box JSON dump (written on crash/DLQ/"
+            "SLO-burn trips) to Chrome-trace instead of running jobs"
         ),
     )
     parser.add_argument(
@@ -1296,6 +1352,9 @@ def trace_main(argv: Optional[List[str]] = None) -> int:
         parser.error("--workers must be non-negative")
     if not 0.0 <= args.validate_fraction <= 1.0:
         parser.error("--validate-fraction must be in [0, 1]")
+
+    if args.replay:
+        return _trace_replay(args.replay, args.out)
 
     from repro.engine import Engine, EngineConfig
     from repro.obs.logs import configure_json_logging
@@ -1426,6 +1485,15 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
         help="seconds to serve before exiting (default: until interrupted)",
     )
     serve.add_argument("--namespace", default="gendp")
+    serve.add_argument(
+        "--slo",
+        action="store_true",
+        help=(
+            "attach the burn-rate evaluator: every scrape advances the "
+            "SLO windows, /metrics gains gendp_slo_* series and /slo "
+            "serves the full status document"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.obs.export import prometheus_text, snapshot_json
@@ -1450,14 +1518,21 @@ def metrics_main(argv: Optional[List[str]] = None) -> int:
 
     from repro.obs.server import MetricsServer
 
+    slo_engine = None
+    if args.slo:
+        from repro.slo import SLOEngine
+
+        slo_engine = SLOEngine()
     server = MetricsServer(
         lambda: snapshot,
         host=args.host,
         port=args.port,
         namespace=args.namespace,
+        slo=slo_engine,
     )
     with server:
-        print(f"serving metrics on {server.url}/metrics (and /metrics.json)")
+        endpoints = "/metrics.json" + (" and /slo" if args.slo else "")
+        print(f"serving metrics on {server.url}/metrics (and {endpoints})")
         try:
             if args.duration is not None:
                 _time.sleep(args.duration)
@@ -1774,6 +1849,458 @@ def serve_main(argv: Optional[List[str]] = None) -> int:
         tracer.write(args.trace_out)
         print(f"wrote serve trace to {args.trace_out}")
     return 0
+
+
+# ----------------------------------------------------------------------
+# gendp-slo
+
+
+def _load_replay_stream(path: str) -> List[dict]:
+    """Parse a replay JSONL file of ``{"t": seconds, "snapshot": {...}}``."""
+    import json
+
+    records: List[dict] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as error:
+                    raise SystemExit(f"replay {path!r} line {number}: {error}")
+                if not isinstance(record, dict) or "snapshot" not in record:
+                    raise SystemExit(
+                        f"replay {path!r} line {number}: want "
+                        '{"t": seconds, "snapshot": {...}}'
+                    )
+                records.append(record)
+    except OSError as error:
+        raise SystemExit(f"cannot read replay {path!r}: {error}")
+    if not records:
+        raise SystemExit(f"replay {path!r} contains no records")
+    return records
+
+
+def _fetch_snapshot(source: str) -> dict:
+    """A metrics snapshot from a file path or an HTTP scrape URL."""
+    if source.startswith(("http://", "https://")):
+        import json
+        from urllib.request import urlopen
+
+        try:
+            with urlopen(source, timeout=10.0) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except Exception as error:
+            raise SystemExit(f"cannot scrape {source!r}: {error}")
+    return _load_snapshot(source)
+
+
+def _slo_render(status: dict) -> str:
+    """The human rendering of :meth:`SLOEngine.status`."""
+    lines = [
+        f"gendp-slo: {len(status['objectives'])} objective(s), "
+        f"{status['evaluations']} evaluation(s)"
+    ]
+    for doc in status["objectives"]:
+        verdict = "BURNING" if doc["burning"] else "ok"
+        windows = []
+        for window in doc["windows"]:
+            burn = window["burn_long"]
+            shown = "-" if burn is None else f"{burn:.1f}"
+            windows.append(
+                f"{window['window']} {shown}/{window['max_burn']:g}"
+            )
+        events = doc.get("events")
+        seen = f" ({events['good']}/{events['total']} good)" if events else ""
+        lines.append(
+            f"  {doc['name']:<18} target {doc['target']:.3f}  "
+            f"{verdict:<8} burn: {', '.join(windows)}{seen}"
+        )
+    if status["alerts"]:
+        lines.append("alert sequence:")
+        for alert in status["alerts"]:
+            lines.append(
+                f"  t={alert['at']:<8g} {alert['state']:<8} "
+                f"{alert['objective']}/{alert['window']} "
+                f"(long {alert['burn_long']:.1f}, "
+                f"probe {alert['burn_probe']:.1f})"
+            )
+    lines.append(f"verdict: {'BURN' if status['burning'] else 'OK'}")
+    return "\n".join(lines)
+
+
+@_pipe_safe
+def slo_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-slo",
+        description=(
+            "Evaluate SLO burn rates (multi-window multi-burn-rate, "
+            "Google-SRE style) over saved snapshots, replayed snapshot "
+            "streams, or a live scrape endpoint."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_source(command) -> None:
+        command.add_argument(
+            "--metrics",
+            metavar="PATH",
+            default=None,
+            help=(
+                "saved snapshot JSON; its cumulative totals are "
+                "measured from a zero origin"
+            ),
+        )
+        command.add_argument(
+            "--replay",
+            metavar="PATH",
+            default=None,
+            help='replay JSONL of {"t": seconds, "snapshot": {...}}',
+        )
+
+    check = sub.add_parser(
+        "check", help="evaluate once and gate on the verdict (CI)"
+    )
+    _add_source(check)
+    check.add_argument(
+        "--fail-on",
+        choices=("burn", "none"),
+        default="burn",
+        help="exit nonzero when any objective burns (default: burn)",
+    )
+    check.add_argument("--json", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="print the full objective/window state"
+    )
+    _add_source(report)
+    report.add_argument("--json", action="store_true")
+
+    watch = sub.add_parser(
+        "watch", help="poll a live snapshot source and print transitions"
+    )
+    watch.add_argument(
+        "source",
+        metavar="URL_OR_PATH",
+        help="metrics.json scrape URL or snapshot file to poll",
+    )
+    watch.add_argument("--interval", type=float, default=5.0)
+    watch.add_argument(
+        "--count", type=int, default=0, help="polls before exiting (0 = forever)"
+    )
+
+    synth = sub.add_parser(
+        "synth", help="write a deterministic replay fixture (JSONL)"
+    )
+    synth.add_argument("--out", required=True, metavar="PATH")
+    synth.add_argument(
+        "--mode",
+        choices=("burn", "healthy"),
+        default="burn",
+        help="healthy ticks then a hard burn, or healthy-only",
+    )
+    synth.add_argument("--healthy-ticks", type=int, default=6)
+    synth.add_argument("--burn-ticks", type=int, default=6)
+    synth.add_argument("--tick", type=float, default=10.0)
+    synth.add_argument("--events-per-tick", type=int, default=50)
+
+    args = parser.parse_args(argv)
+    import json as _json
+
+    from repro.slo import SLOEngine
+
+    if args.command == "synth":
+        from repro.slo import synthesize_burn_replay
+
+        try:
+            records = synthesize_burn_replay(
+                healthy_ticks=args.healthy_ticks,
+                burn_ticks=args.burn_ticks,
+                tick_s=args.tick,
+                events_per_tick=args.events_per_tick,
+                mode=args.mode,
+            )
+        except ValueError as error:
+            parser.error(str(error))
+        with open(args.out, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(_json.dumps(record, sort_keys=True) + "\n")
+        print(f"wrote {len(records)} replay tick(s) to {args.out} "
+              f"(mode: {args.mode})")
+        return 0
+
+    if args.command == "watch":
+        import time as _time
+
+        engine = SLOEngine()
+        polls = 0
+        try:
+            while True:
+                snapshot = _fetch_snapshot(args.source)
+                for alert in engine.observe(snapshot):
+                    print(
+                        f"{alert.state.upper():<9} {alert.objective}/"
+                        f"{alert.window} (long {alert.burn_long:.1f}, "
+                        f"probe {alert.burn_probe:.1f})",
+                        flush=True,
+                    )
+                polls += 1
+                if args.count and polls >= args.count:
+                    break
+                _time.sleep(args.interval)
+        except KeyboardInterrupt:
+            pass
+        print(_slo_render(engine.status()))
+        return 1 if engine.burning else 0
+
+    # check / report: one deterministic evaluation pass.
+    if bool(args.metrics) == bool(args.replay):
+        parser.error(f"{args.command} needs exactly one of --metrics or --replay")
+    engine = SLOEngine()
+    if args.replay:
+        for record in _load_replay_stream(args.replay):
+            engine.observe(record["snapshot"], at=float(record.get("t", 0.0)))
+    else:
+        # A single saved snapshot holds one finished run's cumulative
+        # totals; difference it against a zero origin one probe apart
+        # so both windows of every rule see the run's events.
+        snapshot = _fetch_snapshot(args.metrics)
+        probe = min(window.probe_s for window in engine.windows)
+        engine.observe({"counters": {}, "histograms": {}}, at=0.0)
+        engine.observe(snapshot, at=probe)
+
+    status = engine.status()
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+    else:
+        print(_slo_render(status))
+    if args.command == "check" and args.fail_on == "burn" and engine.burning:
+        return 1
+    return 0
+
+
+# ----------------------------------------------------------------------
+# gendp-bench
+
+
+def _bench_inputs(files: List[str], results_dir: str) -> List[str]:
+    """Explicit BENCH files, or every ``BENCH_*.json`` under the dir."""
+    if files:
+        return files
+    import glob as _glob
+    import os as _os
+
+    found = sorted(_glob.glob(_os.path.join(results_dir, "BENCH_*.json")))
+    if not found:
+        raise SystemExit(f"no BENCH_*.json files under {results_dir!r}")
+    return found
+
+
+def _bench_load(paths: List[str]) -> dict:
+    """``{benchmark: {metric: value}}`` from BENCH files."""
+    from repro.slo.bench import load_bench_file
+
+    metrics_by_bench = {}
+    for path in paths:
+        try:
+            benchmark, metrics = load_bench_file(path)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"cannot load benchmark {path!r}: {error}")
+        metrics_by_bench[benchmark] = metrics
+    return metrics_by_bench
+
+
+@_pipe_safe
+def bench_main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="gendp-bench",
+        description=(
+            "Track benchmark results over time and gate regressions: "
+            "collect normalizes BENCH_*.json into the trajectory log, "
+            "compare gates against committed baselines, baseline "
+            "(re)seeds them."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _add_inputs(command) -> None:
+        command.add_argument(
+            "files",
+            nargs="*",
+            metavar="BENCH_JSON",
+            help="benchmark result files (default: results/BENCH_*.json)",
+        )
+        command.add_argument("--results-dir", default="results")
+
+    collect = sub.add_parser(
+        "collect", help="append normalized records to the trajectory log"
+    )
+    _add_inputs(collect)
+    collect.add_argument(
+        "--trajectory",
+        metavar="PATH",
+        default=None,
+        help="trajectory JSONL (default: <results-dir>/trajectory.jsonl)",
+    )
+    collect.add_argument(
+        "--revision", default=None, help="revision tag for the records"
+    )
+    collect.add_argument(
+        "--timestamp", default=None, help="ISO timestamp (default: now, UTC)"
+    )
+    collect.add_argument("--json", action="store_true")
+
+    compare_cmd = sub.add_parser(
+        "compare", help="gate current results against baselines (CI)"
+    )
+    _add_inputs(compare_cmd)
+    compare_cmd.add_argument(
+        "--baselines",
+        metavar="PATH",
+        default=None,
+        help="baseline file (default: <results-dir>/bench_baselines.json)",
+    )
+    compare_cmd.add_argument(
+        "--show-ok",
+        action="store_true",
+        help="also list metrics inside their tolerance band",
+    )
+    compare_cmd.add_argument("--json", action="store_true")
+
+    baseline_cmd = sub.add_parser(
+        "baseline", help="(re)seed the baseline file from current results"
+    )
+    _add_inputs(baseline_cmd)
+    baseline_cmd.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="output path (default: <results-dir>/bench_baselines.json)",
+    )
+    baseline_cmd.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="tolerance band, percent (default: 25)",
+    )
+
+    args = parser.parse_args(argv)
+    import json as _json
+    import os as _os
+
+    paths = _bench_inputs(args.files, args.results_dir)
+    metrics_by_bench = _bench_load(paths)
+
+    if args.command == "collect":
+        from repro.slo.bench import append_trajectory, trajectory_record
+
+        timestamp = args.timestamp
+        if timestamp is None:
+            from datetime import datetime, timezone
+
+            timestamp = datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            )
+        records = [
+            trajectory_record(
+                benchmark,
+                metrics_by_bench[benchmark],
+                timestamp=timestamp,
+                revision=args.revision,
+            )
+            for benchmark in sorted(metrics_by_bench)
+        ]
+        trajectory = args.trajectory or _os.path.join(
+            args.results_dir, "trajectory.jsonl"
+        )
+        added = append_trajectory(trajectory, records)
+        if args.json:
+            print(_json.dumps(records, indent=2, sort_keys=True))
+        for record in records:
+            print(
+                f"collected {record['benchmark']}: "
+                f"{len(record['metrics'])} metric(s)"
+            )
+        print(f"appended {added} record(s) to {trajectory}")
+        return 0
+
+    if args.command == "baseline":
+        from repro.slo.bench import DEFAULT_TOLERANCE_PCT, generate_baselines
+
+        tolerance = (
+            args.tolerance if args.tolerance is not None
+            else DEFAULT_TOLERANCE_PCT
+        )
+        if tolerance <= 0:
+            parser.error("--tolerance must be positive")
+        baselines = generate_baselines(metrics_by_bench, tolerance)
+        out = args.out or _os.path.join(
+            args.results_dir, "bench_baselines.json"
+        )
+        with open(out, "w", encoding="utf-8") as handle:
+            _json.dump(baselines, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        gated = sum(
+            1
+            for entries in baselines["benchmarks"].values()
+            for entry in entries.values()
+            if entry["direction"] != "info"
+        )
+        total = sum(
+            len(entries) for entries in baselines["benchmarks"].values()
+        )
+        print(
+            f"wrote {out}: {len(baselines['benchmarks'])} benchmark(s), "
+            f"{total} metric(s), {gated} gated at {tolerance:g}%"
+        )
+        return 0
+
+    # compare
+    from repro.slo.bench import compare, gate, load_baselines
+
+    baselines_path = args.baselines or _os.path.join(
+        args.results_dir, "bench_baselines.json"
+    )
+    try:
+        baselines = load_baselines(baselines_path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"cannot load baselines: {error}")
+    findings = compare(metrics_by_bench, baselines)
+    failures = gate(findings)
+    if args.json:
+        document = {
+            "findings": findings,
+            "failures": len(failures),
+            "ok": not failures,
+        }
+        print(_json.dumps(document, indent=2, sort_keys=True))
+    else:
+        counts: dict = {}
+        for finding in findings:
+            counts[finding["status"]] = counts.get(finding["status"], 0) + 1
+        for finding in findings:
+            status = finding["status"]
+            if status in ("ok", "info") and not args.show_ok:
+                continue
+            delta = finding.get("delta_pct")
+            shown = "n/a" if delta is None else f"{delta:+.1f}%"
+            print(
+                f"  {status.upper():<9} {finding['benchmark']}."
+                f"{finding['metric']}  baseline {finding['baseline']:g}  "
+                f"current "
+                f"{'-' if finding['current'] is None else format(finding['current'], 'g')}"
+                f"  delta {shown} (tol {finding['tolerance_pct']:g}%, "
+                f"{finding['direction']})"
+            )
+        summary = ", ".join(
+            f"{counts.get(status, 0)} {status}"
+            for status in ("ok", "improved", "regressed", "missing", "info")
+        )
+        print(f"gendp-bench: {summary}")
+        print(f"verdict: {'FAIL' if failures else 'OK'}")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

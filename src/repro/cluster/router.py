@@ -152,10 +152,15 @@ class ClusterRouter:
         tracer: Optional[object] = None,
         clock: Optional[Callable[[], float]] = None,
         engine_factory: Optional[Callable[[str], Engine]] = None,
+        flight: Optional[object] = None,
     ):
         self.config = config or ClusterConfig()
         self.tracer = tracer
         self.clock = clock or real_clock
+        #: Optional :class:`repro.slo.flight.FlightRecorder`, shared
+        #: with every default-built shard engine: kills, ejections and
+        #: unroutable-job dead letters trip it.
+        self.flight = flight
         self.metrics = MetricsRegistry()
         for counter in CLUSTER_COUNTERS:
             self.metrics.incr(counter, 0)
@@ -189,7 +194,22 @@ class ClusterRouter:
             self.join()
 
     def _default_engine(self, shard_id: str) -> Engine:
-        return Engine(self.config.engine, tracer=self.tracer, shard=shard_id)
+        return Engine(
+            self.config.engine,
+            tracer=self.tracer,
+            shard=shard_id,
+            flight=self.flight,
+        )
+
+    def _flight_trip(self, reason: str, **context: Any) -> None:
+        """Trip the flight recorder; forensics never fail the router."""
+        if self.flight is None:
+            return
+        try:
+            self.flight.note_counters(self.metrics.counters)
+            self.flight.trip(reason, **context)
+        except Exception:
+            pass
 
     def _new_health(self) -> ShardHealth:
         return ShardHealth(
@@ -270,6 +290,9 @@ class ClusterRouter:
         self.ring.remove(shard_id)
         self._orphans.extend(orphans)
         self.metrics.incr("cluster_shards_killed")
+        self._flight_trip(
+            "shard-kill", shard=shard_id, orphans=len(orphans)
+        )
         _LOG.warning(
             "shard killed",
             extra={"shard": shard_id, "orphans": len(orphans)},
@@ -612,6 +635,9 @@ class ClusterRouter:
         self.ring.remove(shard.shard_id)
         self._orphans.extend(shard.withdraw(None))
         self.metrics.incr("cluster_shards_ejected")
+        self._flight_trip(
+            "shard-eject", shard=shard.shard_id, round=round_number
+        )
         _LOG.warning(
             "shard ejected",
             extra={"shard": shard.shard_id, "round": round_number},
@@ -785,6 +811,12 @@ class ClusterRouter:
                 backend="none",
             )
             if self._dlq.push(job, error):
+                self._flight_trip(
+                    "dead-letter",
+                    job_id=job.job_id,
+                    kernel=job.kernel,
+                    error=error,
+                )
                 if self.journal is not None:
                     try:
                         self.journal.append(

@@ -178,6 +178,7 @@ def recover_engine(engine: Any, resubmit: bool = True) -> RecoveryReport:
             corrupt_frames=report.corrupt_frames,
             shard=getattr(engine, "shard", None),
         )
+    _flight_dump(engine, journal, report)
     _LOG.info(
         "journal replayed",
         extra={
@@ -188,6 +189,36 @@ def recover_engine(engine: Any, resubmit: bool = True) -> RecoveryReport:
         },
     )
     return report
+
+
+def _flight_dump(engine: Any, journal: Any, report: RecoveryReport) -> None:
+    """Black-box the replay beside the journal it recovered from.
+
+    A recovery means the previous process died; the flight ring holds
+    that process's successor context plus the replay spans, and the
+    report pins what the journal said.  The dump lands in
+    ``<journal_dir>/blackbox/`` so the forensics travel with the data
+    they explain.  Best-effort: a dump failure never fails recovery.
+    """
+    flight = getattr(engine, "flight", None)
+    dir_path = getattr(journal, "dir_path", None)
+    if flight is None or not dir_path:
+        return
+    import os
+
+    try:
+        # Fold the post-replay counter state into the ring first, so
+        # even a fresh process's box carries what the engine knew.
+        counters = getattr(getattr(engine, "metrics", None), "counters", None)
+        if counters:
+            flight.note_counters(counters)
+        flight.dump(
+            "recovery",
+            dir_path=os.path.join(dir_path, "blackbox"),
+            **report.to_dict(),
+        )
+    except Exception:
+        pass
 
 
 def _rehydrate_dlq(engine: Any, state: Any) -> int:

@@ -186,6 +186,7 @@ class Engine:
         config: Optional[EngineConfig] = None,
         tracer: Optional[object] = None,
         shard: Optional[str] = None,
+        flight: Optional[object] = None,
     ):
         self.config = config or EngineConfig()
         self.tracer = tracer
@@ -193,6 +194,19 @@ class Engine:
         #: metrics snapshots and result envelopes so one shared tracer
         #: can tell N shards apart.
         self.shard = shard
+        #: Optional :class:`repro.slo.flight.FlightRecorder`; the
+        #: reliability machinery trips it (black-box dump) on DLQ
+        #: pushes, breaker opens, sentinel firings and drain faults.
+        #: An attached tracer without its own flight tap inherits this
+        #: one, so spans land in the ring too.
+        self.flight = flight
+        if (
+            flight is not None
+            and tracer is not None
+            and getattr(tracer, "flight", None) is None
+            and hasattr(tracer, "flight")
+        ):
+            tracer.flight = flight
         self.cache = ProgramCache(capacity=self.config.cache_capacity)
         self.batcher = Batcher(capacity=self.config.batch_capacity)
         self.executor = make_executor(
@@ -376,6 +390,9 @@ class Engine:
             self.metrics.incr("drain_faults")
             self._last_drain_fault = f"{type(error).__name__}: {error}"
             _LOG.error("drain fault: %s", self._last_drain_fault)
+            self._flight_trip(
+                "drain-fault", error=self._last_drain_fault, jobs=len(jobs)
+            )
 
         ordered: List[JobResult] = []
         for job in jobs:
@@ -588,6 +605,9 @@ class Engine:
                 if outcome.degraded:
                     if breaker.record_failure():
                         self.metrics.incr("breaker_opened")
+                        self._flight_trip(
+                            "breaker-open", kernel=batch.kernel
+                        )
                 else:
                     breaker.record_success()
             self._fold_outcome(batch, meta, outcome, dispatch_time, results)
@@ -744,6 +764,18 @@ class Engine:
                     self.metrics.incr("static_certificate_violations")
                 for name, count in counts.items():
                     self.metrics.incr(f"sentinel_{name}", int(count))
+                hazards = {
+                    name: int(count)
+                    for name, count in counts.items()
+                    if name != "values_observed" and int(count)
+                }
+                if hazards:
+                    self._flight_trip(
+                        "sentinel",
+                        job_id=job.job_id,
+                        kernel=job.kernel,
+                        **hazards,
+                    )
             if isinstance(value, dict) and "_trace_spans" in value:
                 spans = value.pop("_trace_spans")
                 if self.tracer is not None:
@@ -870,6 +902,13 @@ class Engine:
         # so callers that ignore the return value still count drops.
         if self._dlq.push(job, result.error or "unknown", result.attempts):
             self.metrics.incr("dead_letters")
+            self._flight_trip(
+                "dead-letter",
+                job_id=job.job_id,
+                kernel=job.kernel,
+                error=result.error or "unknown",
+                attempts=result.attempts,
+            )
             if self.journal is not None:
                 try:
                     self.journal.append(
@@ -881,6 +920,18 @@ class Engine:
                     self.metrics.incr("durable_dead_letters_logged")
                 except Exception:
                     self.metrics.incr("durable_write_errors")
+
+    def _flight_trip(self, reason: str, **context: Any) -> None:
+        """Trip the flight recorder; forensics never fail the engine."""
+        if self.flight is None:
+            return
+        try:
+            if self.shard is not None:
+                context.setdefault("shard", self.shard)
+            self.flight.note_counters(self.metrics.counters)
+            self.flight.trip(reason, **context)
+        except Exception:
+            pass
 
     # ------------------------------------------------------------------
     # reliability surface
@@ -967,6 +1018,20 @@ class Engine:
             "cache_hit_rate": self.cache.stats.hit_rate,
             "mean_batch_occupancy": occupancy.mean if occupancy else 0.0,
         }
+        if self.flight is not None:
+            # Fold the flight ring's own counters into the scrape (the
+            # recorder may keep a separate registry) plus ring gauges.
+            counters = dict(snap.get("counters", {}))
+            from repro.slo.flight import FLIGHT_COUNTERS
+
+            for name in FLIGHT_COUNTERS:
+                counters[name] = self.flight.metrics.counter(name)
+            snap["counters"] = counters
+            snap["flight"] = {
+                "ring_entries": float(len(self.flight)),
+                "ring_dropped": float(self.flight.dropped),
+                "dumps_written": float(self.flight.dumps_written),
+            }
         return snap
 
     def close(self) -> None:

@@ -50,6 +50,13 @@ def quantile_from_buckets(
     total = sum(int(count) for _, count in buckets)
     if total == 0:
         return 0.0
+    # The extreme quantiles are the observed extremes when tracked:
+    # interpolation would otherwise report a bucket edge below the
+    # smallest (or above the largest) value ever observed.
+    if q == 0.0 and minimum is not None:
+        return float(minimum)
+    if q == 1.0 and maximum is not None:
+        return float(maximum)
     target = q * total
     cumulative = 0
     lower = 0.0 if minimum is None else float(minimum)
@@ -100,7 +107,13 @@ def _format_value(value: Any) -> str:
 
 #: Snapshot sections rendered with labels (or bare names) instead of
 #: the flattened ``<section>_<key>`` scheme below.
-_LABELED_SECTIONS: Tuple[str, ...] = ("gauges", "breakers", "shards")
+_LABELED_SECTIONS: Tuple[str, ...] = (
+    "gauges",
+    "breakers",
+    "shards",
+    "tenants",
+    "slo",
+)
 
 
 def _gauge_sections(snapshot: Dict[str, Any]) -> List[Tuple[str, float]]:
@@ -123,20 +136,76 @@ def _gauge_sections(snapshot: Dict[str, Any]) -> List[Tuple[str, float]]:
     return gauges
 
 
+def _family(lines: List[str], metric: str, kind: str, help_text: str) -> None:
+    """Open one metric family: HELP then TYPE, in spec order."""
+    from repro.obs.promcheck import escape_help_text
+
+    lines.append(f"# HELP {metric} {escape_help_text(help_text)}")
+    lines.append(f"# TYPE {metric} {kind}")
+
+
+def _labeled_gauges(
+    lines: List[str],
+    namespace: str,
+    section: Any,
+    label: str,
+    prefix: str = "",
+    help_suffix: str = "",
+) -> None:
+    """Render a ``{key: {metric: value}}`` section as labelled gauge
+    families (``<namespace>_<prefix>_<metric>{<label>="key"}``)."""
+    from repro.obs.promcheck import escape_label_value
+
+    if not isinstance(section, dict):
+        return
+    by_metric: Dict[str, List[Tuple[str, float]]] = {}
+    for key, gauges in sorted(section.items()):
+        if not isinstance(gauges, dict):
+            continue
+        for metric, value in gauges.items():
+            if isinstance(value, bool) or not isinstance(
+                value, (int, float)
+            ):
+                continue
+            by_metric.setdefault(str(metric), []).append(
+                (str(key), float(value))
+            )
+    for metric, series in sorted(by_metric.items()):
+        name = _metric_name(namespace, prefix, metric)
+        _family(
+            lines, name, "gauge", f"Per-{label} {metric}{help_suffix}."
+        )
+        for key, value in series:
+            lines.append(
+                f'{name}{{{label}="{escape_label_value(key)}"}} '
+                f"{_format_value(value)}"
+            )
+
+
 def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
-    """Render a metrics snapshot in Prometheus text exposition format."""
+    """Render a metrics snapshot in Prometheus text exposition format.
+
+    Spec-conformant by the :mod:`repro.obs.promcheck` checker: every
+    family opens with ``HELP``/``TYPE``, label values are escaped, and
+    histogram families expose only ``_bucket``/``_sum``/``_count``
+    (derived quantiles live in a separate ``<metric>_quantile`` gauge
+    family -- a quantile-labelled sample inside a histogram family is
+    a grammar violation real scrapers reject).
+    """
+    from repro.obs.promcheck import escape_label_value
+
     lines: List[str] = []
 
     for name, value in sorted(snapshot.get("counters", {}).items()):
         # Counter names already ending in _total keep a single suffix.
         suffix = "" if name.endswith("_total") else "total"
         metric = _metric_name(namespace, name, suffix)
-        lines.append(f"# TYPE {metric} counter")
+        _family(lines, metric, "counter", f"Cumulative count of {name}")
         lines.append(f"{metric} {_format_value(value)}")
 
     for name, histogram in sorted(snapshot.get("histograms", {}).items()):
         metric = _metric_name(namespace, name)
-        lines.append(f"# TYPE {metric} histogram")
+        _family(lines, metric, "histogram", f"Distribution of {name}")
         cumulative = 0
         for bound, count in histogram.get("buckets", []):
             cumulative += int(count)
@@ -144,13 +213,25 @@ def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
             lines.append(f'{metric}_bucket{{le="{le}"}} {cumulative}')
         lines.append(f"{metric}_sum {_format_value(histogram.get('sum', 0.0))}")
         lines.append(f"{metric}_count {int(histogram.get('count', 0))}")
+        # Derived quantiles are their own gauge family: the histogram
+        # family's sample namespace is reserved for bucket/sum/count.
+        quantile_metric = _metric_name(namespace, name, "quantile")
+        _family(
+            lines,
+            quantile_metric,
+            "gauge",
+            f"Estimated quantiles of {name}",
+        )
         for label, value in histogram_quantiles(histogram).items():
             quantile = int(label[1:]) / 100.0
-            lines.append(f'{metric}{{quantile="{quantile}"}} {_format_value(value)}')
+            lines.append(
+                f'{quantile_metric}{{quantile="{quantile}"}} '
+                f"{_format_value(value)}"
+            )
 
     for metric, value in sorted(_gauge_sections(snapshot)):
         name = _metric_name(namespace, metric)
-        lines.append(f"# TYPE {name} gauge")
+        _family(lines, name, "gauge", f"Snapshot gauge {metric}")
         lines.append(f"{name} {_format_value(value)}")
 
     # Instantaneous state gauges ("gauges"): bare names, no flattening
@@ -159,7 +240,7 @@ def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
         if isinstance(value, bool) or not isinstance(value, (int, float)):
             continue
         name = _metric_name(namespace, str(key))
-        lines.append(f"# TYPE {name} gauge")
+        _family(lines, name, "gauge", f"Instantaneous {key}")
         lines.append(f"{name} {_format_value(value)}")
 
     # Per-kernel circuit-breaker state ("breakers"): one metric family
@@ -167,33 +248,32 @@ def prometheus_text(snapshot: Dict[str, Any], namespace: str = "gendp") -> str:
     breakers = snapshot.get("breakers", {})
     if isinstance(breakers, dict) and breakers:
         name = _metric_name(namespace, "breaker_state")
-        lines.append(f"# TYPE {name} gauge")
+        _family(
+            lines,
+            name,
+            "gauge",
+            "Circuit-breaker state (0=closed, 1=half-open, 2=open)",
+        )
         for kernel, value in sorted(breakers.items()):
-            lines.append(f'{name}{{kernel="{kernel}"}} {_format_value(value)}')
+            lines.append(
+                f'{name}{{kernel="{escape_label_value(kernel)}"}} '
+                f"{_format_value(value)}"
+            )
 
     # Per-shard cluster health/load ("shards"): every numeric gauge in
     # a shard's snapshot becomes gendp_cluster_<metric>{shard="id"}.
-    shards = snapshot.get("shards", {})
-    if isinstance(shards, dict):
-        by_metric: Dict[str, List[Tuple[str, float]]] = {}
-        for shard_id, gauges in sorted(shards.items()):
-            if not isinstance(gauges, dict):
-                continue
-            for metric, value in gauges.items():
-                if isinstance(value, bool) or not isinstance(
-                    value, (int, float)
-                ):
-                    continue
-                by_metric.setdefault(str(metric), []).append(
-                    (str(shard_id), float(value))
-                )
-        for metric, series in sorted(by_metric.items()):
-            name = _metric_name(namespace, "cluster", metric)
-            lines.append(f"# TYPE {name} gauge")
-            for shard_id, value in series:
-                lines.append(
-                    f'{name}{{shard="{shard_id}"}} {_format_value(value)}'
-                )
+    _labeled_gauges(
+        lines, namespace, snapshot.get("shards"), "shard", prefix="cluster"
+    )
+
+    # Per-tenant usage ("tenants", repro.slo.accounting): counters are
+    # already tenant_-prefixed, so no extra family prefix.
+    _labeled_gauges(lines, namespace, snapshot.get("tenants"), "tenant")
+
+    # Per-objective burn state ("slo", repro.slo.burnrate).
+    _labeled_gauges(
+        lines, namespace, snapshot.get("slo"), "objective", prefix="slo"
+    )
 
     return "\n".join(lines) + "\n"
 

@@ -1,0 +1,272 @@
+"""A strict Prometheus text-exposition-format line checker.
+
+:func:`check_exposition` walks one scrape body line by line and
+returns problem strings (empty list = clean).  It encodes the rules
+from the exposition-format spec that a hand-rolled exporter most
+easily violates:
+
+- metric and label names must match the spec grammar;
+- label values must escape ``\\``, ``"`` and newlines;
+- ``# HELP`` / ``# TYPE`` appear at most once per family, before any
+  of its samples, with ``HELP`` before ``TYPE``;
+- a family's samples are consecutive (no interleaving families);
+- a ``histogram`` family exposes **only** ``_bucket``/``_sum``/
+  ``_count`` samples, every ``_bucket`` carries ``le``, cumulative
+  bucket counts are non-decreasing, the ``+Inf`` bucket exists and
+  equals ``_count``;
+- sample values parse as floats (``NaN``/``+Inf``/``-Inf`` allowed).
+
+This is the satellite guard for :func:`repro.obs.export.prometheus_text`:
+the test suite scrapes a rich snapshot and asserts zero problems, so
+an exporter regression (an unescaped label, a stray series inside a
+histogram family) fails loudly instead of breaking real scrapers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)(?: (?P<timestamp>-?\d+))?$"
+)
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+#: Sample suffixes a histogram family may expose.
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _parse_labels(raw: str) -> Optional[List[Tuple[str, str]]]:
+    """Parse a label body; None on grammar violations.
+
+    Hand-rolled scanner because escaped quotes inside values defeat a
+    naive split: ``a="x\\"y",b="z"`` is two labels.
+    """
+    labels: List[Tuple[str, str]] = []
+    position = 0
+    length = len(raw)
+    while position < length:
+        equals = raw.find('="', position)
+        if equals < 0:
+            return None
+        name = raw[position:equals]
+        if not _LABEL_NAME_RE.match(name):
+            return None
+        cursor = equals + 2
+        value_chars: List[str] = []
+        while cursor < length:
+            char = raw[cursor]
+            if char == "\\":
+                if cursor + 1 >= length or raw[cursor + 1] not in (
+                    "\\",
+                    '"',
+                    "n",
+                ):
+                    return None  # illegal escape sequence
+                value_chars.append(raw[cursor : cursor + 2])
+                cursor += 2
+                continue
+            if char == '"':
+                break
+            if char == "\n":
+                return None  # raw newline must be escaped as \n
+            value_chars.append(char)
+            cursor += 1
+        else:
+            return None  # unterminated value
+        labels.append((name, "".join(value_chars)))
+        cursor += 1  # past the closing quote
+        if cursor < length:
+            if raw[cursor] != ",":
+                return None
+            cursor += 1
+        position = cursor
+    return labels
+
+
+def _parse_value(raw: str) -> Optional[float]:
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": float("inf"), "-Inf": float("-inf")}.get(
+            raw, float("nan")
+        )
+    try:
+        return float(raw)
+    except ValueError:
+        return None
+
+
+def _family_of(sample_name: str, histograms: set) -> str:
+    """The metric family a sample belongs to (histogram suffixes fold
+    onto their base family)."""
+    for suffix in _HISTOGRAM_SUFFIXES:
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in histograms:
+                return base
+    return sample_name
+
+
+def check_exposition(text: str) -> List[str]:
+    """Validate one exposition body; returns problem strings."""
+    problems: List[str] = []
+    if text and not text.endswith("\n"):
+        problems.append("body must end with a newline")
+    declared_type: Dict[str, str] = {}
+    declared_help: set = set()
+    histograms: set = set()
+    seen_samples: set = set()
+    closed_families: set = set()
+    current_family: Optional[str] = None
+    #: histogram family -> list of (le, cumulative_count)
+    buckets: Dict[str, List[Tuple[float, float]]] = {}
+    counts: Dict[str, float] = {}
+
+    def close(family: Optional[str]) -> None:
+        if family is not None:
+            closed_families.add(family)
+
+    for number, line in enumerate(text.splitlines(), start=1):
+        where = f"line {number}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                if parts[1:2] and parts[1] in ("HELP", "TYPE"):
+                    problems.append(f"{where}: malformed {parts[1]} comment")
+                continue  # free-form comments are legal
+            keyword, name = parts[1], parts[2]
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(
+                    f"{where}: illegal metric name {name!r} in {keyword}"
+                )
+                continue
+            if name != current_family:
+                close(current_family)
+                current_family = name
+            if name in closed_families:
+                problems.append(
+                    f"{where}: {keyword} for {name} after its family closed"
+                )
+            if keyword == "HELP":
+                if name in declared_help:
+                    problems.append(f"{where}: duplicate HELP for {name}")
+                if name in declared_type:
+                    problems.append(
+                        f"{where}: HELP for {name} must precede its TYPE"
+                    )
+                declared_help.add(name)
+            else:
+                if len(parts) < 4 or parts[3] not in _TYPES:
+                    problems.append(
+                        f"{where}: TYPE {name} has invalid type "
+                        f"{parts[3] if len(parts) > 3 else ''!r}"
+                    )
+                    continue
+                if name in declared_type:
+                    problems.append(f"{where}: duplicate TYPE for {name}")
+                declared_type[name] = parts[3]
+                if parts[3] == "histogram":
+                    histograms.add(name)
+            continue
+
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"{where}: unparseable sample {line!r}")
+            continue
+        sample_name = match.group("name")
+        family = _family_of(sample_name, histograms)
+        if family != current_family:
+            close(current_family)
+            current_family = family
+            if family in closed_families:
+                problems.append(
+                    f"{where}: samples of {family} are not consecutive"
+                )
+        labels_raw = match.group("labels")
+        labels = _parse_labels(labels_raw) if labels_raw else []
+        if labels is None:
+            problems.append(f"{where}: bad label syntax {labels_raw!r}")
+            labels = []
+        label_names = [name for name, _ in labels]
+        if len(label_names) != len(set(label_names)):
+            problems.append(f"{where}: duplicate label names")
+        value = _parse_value(match.group("value"))
+        if value is None:
+            problems.append(
+                f"{where}: unparseable value {match.group('value')!r}"
+            )
+            continue
+        series_key = (sample_name, tuple(sorted(labels)))
+        if series_key in seen_samples:
+            problems.append(
+                f"{where}: duplicate sample {sample_name}"
+                f"{dict(labels) if labels else ''}"
+            )
+        seen_samples.add(series_key)
+
+        family_type = declared_type.get(family)
+        if family_type == "histogram":
+            suffix = sample_name[len(family) :]
+            if suffix not in _HISTOGRAM_SUFFIXES:
+                problems.append(
+                    f"{where}: sample {sample_name!r} inside histogram "
+                    f"family {family} (only _bucket/_sum/_count allowed)"
+                )
+            if suffix == "_bucket":
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        f"{where}: histogram bucket without le label"
+                    )
+                else:
+                    bound = _parse_value(le)
+                    if bound is None:
+                        problems.append(
+                            f"{where}: unparseable le value {le!r}"
+                        )
+                    else:
+                        buckets.setdefault(family, []).append(
+                            (bound, value)
+                        )
+            elif suffix == "_count":
+                counts[family] = value
+
+    for family, series in buckets.items():
+        bounds = [bound for bound, _ in series]
+        if bounds != sorted(bounds):
+            problems.append(
+                f"{family}: bucket le bounds are not ascending"
+            )
+        cumulative = [count for _, count in series]
+        if cumulative != sorted(cumulative):
+            problems.append(
+                f"{family}: cumulative bucket counts decrease"
+            )
+        if not any(bound == float("inf") for bound in bounds):
+            problems.append(f"{family}: missing +Inf bucket")
+        elif family in counts and series[-1][1] != counts[family]:
+            problems.append(
+                f"{family}: +Inf bucket ({series[-1][1]}) != _count "
+                f"({counts[family]})"
+            )
+    return problems
+
+
+def escape_label_value(value: Any) -> str:
+    """Escape one label value per the exposition-format spec."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def escape_help_text(value: str) -> str:
+    """Escape HELP text (backslash and newline only, per spec)."""
+    return str(value).replace("\\", "\\\\").replace("\n", "\\n")

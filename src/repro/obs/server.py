@@ -6,7 +6,13 @@ saved snapshot file) and serves:
 
 - ``GET /metrics`` -- Prometheus text format;
 - ``GET /metrics.json`` -- the JSON snapshot with derived quantiles;
-- ``GET /healthz`` -- liveness probe.
+- ``GET /healthz`` -- liveness probe;
+- ``GET /slo`` -- SLO burn-rate status (404 without an evaluator).
+
+When an :class:`repro.slo.burnrate.SLOEngine` is attached, every
+scrape also feeds it the fresh snapshot (so burn windows advance at
+scrape cadence, the Prometheus-native arrangement) and the text
+exposition gains the ``gendp_slo_*`` series.
 
 ``port=0`` binds an ephemeral port (tests, parallel CI); the bound
 port is available after :meth:`MetricsServer.start`.  The CLI front
@@ -34,13 +40,25 @@ class MetricsServer:
         host: str = "127.0.0.1",
         port: int = 0,
         namespace: str = "gendp",
+        slo: Optional[object] = None,
     ):
         self.snapshot_fn = snapshot_fn
         self.host = host
         self.namespace = namespace
+        #: Optional :class:`repro.slo.burnrate.SLOEngine`.
+        self.slo = slo
         self._requested_port = port
         self._server: Optional[ThreadingHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
+
+    def _snapshot(self) -> Dict[str, Any]:
+        """One scrape: pull the snapshot, advance the SLO evaluator,
+        and annotate the snapshot with its state."""
+        snapshot = self.snapshot_fn()
+        if self.slo is not None:
+            self.slo.observe(snapshot)
+            snapshot = self.slo.annotate(snapshot)
+        return snapshot
 
     # ------------------------------------------------------------------
 
@@ -63,14 +81,25 @@ class MetricsServer:
                         self._respond(
                             200,
                             prometheus_text(
-                                server.snapshot_fn(), namespace=server.namespace
+                                server._snapshot(), namespace=server.namespace
                             ),
                             "text/plain; version=0.0.4; charset=utf-8",
                         )
                     elif path == "/metrics.json":
                         self._respond(
                             200,
-                            snapshot_json(server.snapshot_fn()),
+                            snapshot_json(server._snapshot()),
+                            "application/json",
+                        )
+                    elif path == "/slo" and server.slo is not None:
+                        import json as _json
+
+                        server._snapshot()  # advance the evaluator
+                        self._respond(
+                            200,
+                            _json.dumps(
+                                server.slo.status(), indent=2, sort_keys=True
+                            ),
                             "application/json",
                         )
                     elif path == "/healthz":

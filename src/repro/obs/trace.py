@@ -99,12 +99,25 @@ class TraceRecorder:
         clock: Optional[Callable[[], float]] = None,
         trace_id: Optional[str] = None,
         max_events: int = 1_000_000,
+        flight: Optional[object] = None,
+        flight_sample: float = 1.0,
     ):
         if max_events <= 0:
             raise ValueError("max_events must be positive")
+        if not 0.0 <= flight_sample <= 1.0:
+            raise ValueError("flight_sample must be in [0, 1]")
         self.clock = clock if clock is not None else _DEFAULT_CLOCK
         self.trace_id = trace_id or new_trace_id()
         self.max_events = max_events
+        #: Optional :class:`repro.slo.flight.FlightRecorder` tap:
+        #: every kept span is mirrored into the flight ring.
+        #: ``flight_sample`` is the head-sampling knob -- a
+        #: deterministic keep-every-Nth accumulator (not a RNG, so
+        #: identical runs tap identical spans), at 0.25 every 4th span
+        #: reaches the ring.
+        self.flight = flight
+        self.flight_sample = flight_sample
+        self._flight_acc = 0.0
         self._spans: List[Span] = []
         self._dropped = 0
         self._lock = threading.Lock()
@@ -121,6 +134,19 @@ class TraceRecorder:
                 self._dropped += 1
                 return
             self._spans.append(span)
+            if self.flight is None or self.flight_sample <= 0.0:
+                return
+            self._flight_acc += self.flight_sample
+            if self._flight_acc < 1.0:
+                return
+            self._flight_acc -= 1.0
+        # Outside the recorder lock: the flight ring has its own.
+        try:
+            self.flight.record_span(
+                span.name, span.cat, span.start, span.end, span.args
+            )
+        except Exception:
+            pass  # forensics must never fail the traced path
 
     def add_span(
         self,

@@ -57,6 +57,7 @@ from repro.serve.admission import (
     priority_for,
 )
 from repro.serve.quota import TenantQuotas
+from repro.slo.accounting import TenantLedger
 
 _LOG = get_logger("repro.serve.server")
 
@@ -154,9 +155,14 @@ class GendpServer:
         engine: Engine,
         config: Optional[ServeConfig] = None,
         tracer: Optional[object] = None,
+        ledger: Optional[TenantLedger] = None,
     ):
         self.engine = engine
         self.config = config or ServeConfig()
+        #: Per-tenant usage ledger (always on -- folding a counter per
+        #: request is cheap, and billing data that starts at tenant
+        #: zero is worth far more than the branch it saves).
+        self.ledger = ledger if ledger is not None else TenantLedger()
         # Default to the engine's tracer so serve spans and engine
         # spans land in one timeline.
         self.tracer = tracer if tracer is not None else engine.tracer
@@ -367,12 +373,13 @@ class GendpServer:
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
         response: Dict[str, Any],
-    ) -> None:
+    ) -> int:
         data = (json.dumps(response, default=str) + "\n").encode("utf-8")
         async with write_lock:
             writer.write(data)
             await writer.drain()
         self.engine.metrics.incr("serve_responses")
+        return len(data)
 
     async def _handle_line(
         self,
@@ -426,7 +433,10 @@ class GendpServer:
                 response["id"] = request_id
             if trace_id is not None:
                 response.setdefault("trace_id", trace_id)
-            await self._respond(writer, write_lock, response)
+            sent = await self._respond(writer, write_lock, response)
+            # Transport accounting: the tenant pays for the NDJSON
+            # bytes both ways -- exact, no apportionment needed.
+            self.ledger.record_transport(tenant, len(line) + sent)
 
     def _stats(self) -> Dict[str, Any]:
         counters = self.engine.metrics.snapshot().get("counters", {})
@@ -439,6 +449,7 @@ class GendpServer:
             "counters": {
                 name: counters.get(name, 0) for name in SERVE_COUNTERS
             },
+            "tenants": self.ledger.snapshot_section(),
         }
         # A cluster behind the server reports its shard topology too.
         shard_states = getattr(self.engine, "shard_states", None)
@@ -462,6 +473,9 @@ class GendpServer:
                 admitted=decision.admitted,
                 reason=decision.reason,
             )
+        self.ledger.record_admission(
+            tenant, decision.admitted, decision.reason
+        )
         if decision.admitted:
             self.engine.metrics.incr("serve_admitted")
             return None
@@ -615,16 +629,20 @@ class GendpServer:
                     extra={"dedupe_id": str(record.get("job_id"))},
                 )
                 continue
-            pending.append((str(record.get("job_id")), job))
+            tenant = str(record.get("tenant") or DEFAULT_TENANT)
+            pending.append((str(record.get("job_id")), tenant, job))
         if not pending:
             return 0
         drain = getattr(self.engine, "drain_until_settled", self.engine.drain)
         by_id = {result.job_id: result for result in drain()}
         recovered = 0
-        for dedupe_id, job in pending:
+        for dedupe_id, tenant, job in pending:
             result = by_id.get(job.job_id)
             if result is None:
                 continue
+            # Recovered work is billed to its original tenant too --
+            # the crash does not comp the job.
+            self.ledger.record_result(tenant, job, result)
             self._journal_request_complete(
                 dedupe_id, self._result_payload(result)
             )
@@ -685,17 +703,18 @@ class GendpServer:
         start = self.tracer.now() if self.tracer is not None else 0.0
         tenants = sorted({tenant for _, tenant, _ in batch})
         with log_context(trace_id=trace_id):
-            accepted: List[Tuple[Any, asyncio.Future]] = []
+            accepted: List[Tuple[Any, str, asyncio.Future]] = []
             for job, tenant, future in batch:
                 with log_context(tenant=tenant, job_id=job.job_id):
                     try:
                         self.engine.submit(job)
-                        accepted.append((job, future))
+                        accepted.append((job, tenant, future))
                     except Exception as error:  # incl. BackpressureError
-                        self._resolve(
-                            future,
-                            _ErrorResult(job, f"{type(error).__name__}: {error}"),
+                        result = _ErrorResult(
+                            job, f"{type(error).__name__}: {error}"
                         )
+                        self.ledger.record_result(tenant, job, result)
+                        self._resolve(future, result)
             if accepted:
                 # The drain is synchronous engine code; the default
                 # executor keeps the loop accepting while tables sweep.
@@ -706,10 +725,11 @@ class GendpServer:
                 )
                 results = await loop.run_in_executor(None, drain)
                 by_id = {result.job_id: result for result in results}
-                for job, future in accepted:
+                for job, tenant, future in accepted:
                     result = by_id.get(job.job_id)
                     if result is None:
                         result = _ErrorResult(job, "lost in drain")
+                    self.ledger.record_result(tenant, job, result)
                     self._resolve(future, result)
         if self.tracer is not None:
             self.tracer.add_span(

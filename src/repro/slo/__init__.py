@@ -1,0 +1,69 @@
+"""repro.slo: SLOs, per-tenant accounting, flight recording, and
+perf-regression tracking -- the second-generation observability layer
+over :mod:`repro.obs`.
+
+- :mod:`repro.slo.objectives` -- declarative latency/availability
+  objectives over ``MetricsRegistry.snapshot()`` dicts;
+- :mod:`repro.slo.burnrate` -- multi-window multi-burn-rate alerting
+  with a deterministic (injectable-clock) alert sequence;
+- :mod:`repro.slo.accounting` -- the per-tenant usage ledger;
+- :mod:`repro.slo.flight` -- the bounded flight recorder and its
+  black-box dumps;
+- :mod:`repro.slo.bench` -- benchmark trajectory + baseline gating.
+
+CLI front ends: ``gendp-slo`` and ``gendp-bench``.
+"""
+
+from repro.slo.accounting import TENANT_COUNTERS, TenantLedger, estimate_cells
+from repro.slo.bench import (
+    append_trajectory,
+    compare,
+    extract_metrics,
+    generate_baselines,
+    load_baselines,
+)
+from repro.slo.burnrate import (
+    DEFAULT_WINDOWS,
+    SLO_COUNTERS,
+    Alert,
+    BurnWindow,
+    SLOEngine,
+    synthesize_burn_replay,
+)
+from repro.slo.flight import (
+    FLIGHT_COUNTERS,
+    FlightRecorder,
+    blackbox_to_chrome_trace,
+    canonical_blackbox,
+    load_blackbox,
+)
+from repro.slo.objectives import (
+    DEFAULT_OBJECTIVES,
+    SLObjective,
+    objective_from_dict,
+)
+
+__all__ = [
+    "TENANT_COUNTERS",
+    "TenantLedger",
+    "estimate_cells",
+    "append_trajectory",
+    "compare",
+    "extract_metrics",
+    "generate_baselines",
+    "load_baselines",
+    "DEFAULT_WINDOWS",
+    "SLO_COUNTERS",
+    "Alert",
+    "BurnWindow",
+    "SLOEngine",
+    "synthesize_burn_replay",
+    "FLIGHT_COUNTERS",
+    "FlightRecorder",
+    "blackbox_to_chrome_trace",
+    "canonical_blackbox",
+    "load_blackbox",
+    "DEFAULT_OBJECTIVES",
+    "SLObjective",
+    "objective_from_dict",
+]

@@ -1,0 +1,304 @@
+"""Benchmark trajectory tracking and regression gating.
+
+The four ``results/BENCH_*.json`` files each grew their own shape
+(configuration tables, scaling curves, stream phases, certification
+grids).  This module gives them one **shared metric namespace**
+without rewriting them: :func:`extract_metrics` walks any BENCH
+document and flattens every numeric leaf to a dotted path, using
+label-like keys (``label``, ``program``, ``shards``, ``records``) as
+path segments so list entries stay addressable
+(``configurations.shm-warm.jobs_per_s``).
+
+On top of that:
+
+- :func:`append_trajectory` appends one normalized record per
+  benchmark per run to ``results/trajectory.jsonl`` -- the append-only
+  perf history CI uploads as an artifact;
+- :func:`compare` gates current metrics against committed baselines
+  (``results/bench_baselines.json``) with per-metric tolerance bands
+  and directions (``higher`` is better / ``lower`` is better /
+  ``info`` = tracked, never gated), so losing the shm warm-worker win
+  or the scaling curve fails CI instead of shipping silently;
+- :func:`generate_baselines` seeds the baseline file from current
+  results, inferring directions from metric names.
+
+``gendp-bench`` (:mod:`repro.cli`) is the front end: ``collect``,
+``compare``, ``baseline``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+#: Keys whose values name their containing dict (become path segments).
+LABEL_KEYS: Tuple[str, ...] = (
+    "label",
+    "program",
+    "kernel",
+    "name",
+    "shards",
+    "records",
+)
+
+#: Keys never flattened into metrics (identity/config, not measurement).
+SKIP_KEYS: Tuple[str, ...] = ("seed", "timestamp", "generated_at")
+
+#: Default tolerance band, percent, for generated baselines.
+DEFAULT_TOLERANCE_PCT = 25.0
+
+#: Substrings that mark a metric as higher-is-better.
+_HIGHER_HINTS = (
+    "per_s",
+    "per_sec",
+    "per_virtual_s",
+    "throughput",
+    "speedup",
+    "hit_rate",
+    "amortization",
+    "survived",
+    "recovered",
+    "efficiency",
+)
+
+#: Substrings/suffixes that mark a metric as lower-is-better.
+_LOWER_HINTS = (
+    "latency",
+    "overhead",
+    "cycles",
+    "_ms",
+    "_us",
+    "p50",
+    "p95",
+    "p99",
+    "lost",
+    "errors",
+    "duplicates",
+)
+
+
+def infer_direction(metric: str) -> str:
+    """``higher`` / ``lower`` / ``info`` from the metric's name."""
+    lowered = metric.lower()
+    leaf = lowered.rsplit(".", 1)[-1]
+    if any(hint in leaf for hint in _HIGHER_HINTS):
+        return "higher"
+    if any(hint in leaf for hint in _LOWER_HINTS) or leaf.endswith("_s"):
+        return "lower"
+    return "info"
+
+
+def _segment(value: Any) -> str:
+    return str(value).replace(".", "_").replace(" ", "_")
+
+
+def _label_for(item: Mapping[str, Any]) -> Optional[str]:
+    for key in LABEL_KEYS:
+        if key in item and isinstance(item[key], (str, int, float)):
+            return _segment(item[key])
+    return None
+
+
+def extract_metrics(
+    document: Any, prefix: str = ""
+) -> Dict[str, float]:
+    """Flatten every numeric leaf of a BENCH document to dotted paths."""
+    metrics: Dict[str, float] = {}
+    if isinstance(document, Mapping):
+        for key, value in document.items():
+            if key in SKIP_KEYS or key in LABEL_KEYS:
+                continue
+            path = f"{prefix}.{_segment(key)}" if prefix else _segment(key)
+            metrics.update(extract_metrics(value, path))
+    elif isinstance(document, (list, tuple)):
+        for index, item in enumerate(document):
+            if isinstance(item, Mapping):
+                label = _label_for(item) or str(index)
+                path = f"{prefix}.{label}" if prefix else label
+                metrics.update(extract_metrics(item, path))
+            # Scalar lists (bucket arrays etc.) are shapes, not metrics.
+    elif isinstance(document, bool):
+        pass  # flags are config, not measurements
+    elif isinstance(document, (int, float)):
+        if prefix:
+            metrics[prefix] = float(document)
+    return metrics
+
+
+def benchmark_name(path: str) -> str:
+    """``results/BENCH_serving.json`` -> ``serving``."""
+    stem = os.path.splitext(os.path.basename(path))[0]
+    return stem[len("BENCH_") :] if stem.startswith("BENCH_") else stem
+
+
+def load_bench_file(path: str) -> Tuple[str, Dict[str, float]]:
+    """One BENCH file as ``(benchmark, metrics)``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return benchmark_name(path), extract_metrics(document)
+
+
+def trajectory_record(
+    benchmark: str,
+    metrics: Mapping[str, float],
+    timestamp: Optional[str] = None,
+    revision: Optional[str] = None,
+) -> Dict[str, Any]:
+    """One normalized trajectory line (the shared BENCH schema)."""
+    record: Dict[str, Any] = {
+        "schema": "gendp-bench/1",
+        "benchmark": benchmark,
+        "metrics": {key: metrics[key] for key in sorted(metrics)},
+    }
+    if timestamp is not None:
+        record["timestamp"] = timestamp
+    if revision is not None:
+        record["revision"] = revision
+    return record
+
+
+def append_trajectory(path: str, records: List[Dict[str, Any]]) -> int:
+    """Append *records* to the JSONL trajectory; returns lines added."""
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+    return len(records)
+
+
+def read_trajectory(path: str) -> List[Dict[str, Any]]:
+    """Parse the trajectory file, skipping malformed lines."""
+    records: List[Dict[str, Any]] = []
+    if not os.path.exists(path):
+        return records
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if isinstance(record, dict):
+                records.append(record)
+    return records
+
+
+# ----------------------------------------------------------------------
+# baselines and gating
+
+
+def generate_baselines(
+    metrics_by_bench: Mapping[str, Mapping[str, float]],
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> Dict[str, Any]:
+    """Seed a baseline document from current results.
+
+    Only metrics with an inferable direction are gated; the rest are
+    recorded as ``info`` so the trajectory still tracks them.
+    """
+    baselines: Dict[str, Any] = {"schema": "gendp-bench-baselines/1"}
+    benchmarks: Dict[str, Any] = {}
+    for benchmark in sorted(metrics_by_bench):
+        entries: Dict[str, Any] = {}
+        for metric in sorted(metrics_by_bench[benchmark]):
+            entries[metric] = {
+                "value": metrics_by_bench[benchmark][metric],
+                "tolerance_pct": tolerance_pct,
+                "direction": infer_direction(metric),
+            }
+        benchmarks[benchmark] = entries
+    baselines["benchmarks"] = benchmarks
+    return baselines
+
+
+def load_baselines(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or "benchmarks" not in document:
+        raise ValueError(f"{path} is not a gendp-bench baseline file")
+    return document
+
+
+def compare(
+    metrics_by_bench: Mapping[str, Mapping[str, float]],
+    baselines: Mapping[str, Any],
+) -> List[Dict[str, Any]]:
+    """Gate current metrics against baselines.
+
+    Returns one finding per baselined metric with ``status`` in:
+
+    - ``ok`` -- within the tolerance band (or moved the good way);
+    - ``regressed`` -- beyond tolerance in the bad direction (gates);
+    - ``improved`` -- beyond tolerance in the good direction;
+    - ``missing`` -- baselined metric absent from current results
+      (gates: a vanished benchmark is a silent regression too);
+    - ``info`` -- tracked, never gated.
+    """
+    findings: List[Dict[str, Any]] = []
+    for benchmark in sorted(baselines.get("benchmarks", {})):
+        entries = baselines["benchmarks"][benchmark]
+        current_metrics = metrics_by_bench.get(benchmark, {})
+        for metric in sorted(entries):
+            entry = entries[metric]
+            baseline_value = float(entry["value"])
+            tolerance_pct = float(
+                entry.get("tolerance_pct", DEFAULT_TOLERANCE_PCT)
+            )
+            direction = str(entry.get("direction", "info"))
+            finding = {
+                "benchmark": benchmark,
+                "metric": metric,
+                "baseline": baseline_value,
+                "tolerance_pct": tolerance_pct,
+                "direction": direction,
+            }
+            if metric not in current_metrics:
+                finding["current"] = None
+                finding["status"] = (
+                    "info" if direction == "info" else "missing"
+                )
+                findings.append(finding)
+                continue
+            current = float(current_metrics[metric])
+            finding["current"] = current
+            if baseline_value == 0.0:
+                delta_pct = 0.0 if current == 0.0 else float("inf")
+            else:
+                delta_pct = (
+                    (current - baseline_value) / abs(baseline_value) * 100.0
+                )
+            finding["delta_pct"] = (
+                round(delta_pct, 3) if delta_pct != float("inf") else None
+            )
+            if direction == "info":
+                finding["status"] = "info"
+            elif direction == "higher":
+                if delta_pct < -tolerance_pct:
+                    finding["status"] = "regressed"
+                elif delta_pct > tolerance_pct:
+                    finding["status"] = "improved"
+                else:
+                    finding["status"] = "ok"
+            else:  # lower is better
+                if delta_pct > tolerance_pct:
+                    finding["status"] = "regressed"
+                elif delta_pct < -tolerance_pct:
+                    finding["status"] = "improved"
+                else:
+                    finding["status"] = "ok"
+            findings.append(finding)
+    return findings
+
+
+def gate(findings: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """The findings that should fail CI (regressed or missing)."""
+    return [
+        finding
+        for finding in findings
+        if finding["status"] in ("regressed", "missing")
+    ]

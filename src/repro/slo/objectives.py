@@ -1,0 +1,177 @@
+"""Declarative service-level objectives over metrics snapshots.
+
+An :class:`SLObjective` names a user-visible promise ("99% of jobs
+finish under 500 ms", "99.9% of admitted requests succeed") and knows
+how to read its **good/total event counts** out of one
+``MetricsRegistry.snapshot()`` dict.  Everything downstream -- the
+burn-rate evaluator (:mod:`repro.slo.burnrate`), the ``/slo``
+endpoint, ``gendp-slo`` -- consumes objectives only through
+:meth:`SLObjective.events`, so adding an objective is one declaration,
+not a new code path.
+
+Two kinds:
+
+- ``latency``: good events are histogram observations at or under
+  ``threshold_s``.  The engine's fixed-bucket histograms make this
+  exact as long as the threshold sits on a bucket bound (the
+  constructor enforces nothing -- a mid-bucket threshold simply counts
+  the enclosing bucket's floor, which is conservative).
+- ``availability``: good/bad events are counter sums (``good`` minus
+  nothing vs ``bad``); total is their sum.
+
+Both read **cumulative** counts; windowing (and therefore burn rates)
+lives in the evaluator, which differences snapshots over time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+#: The objective kinds :meth:`SLObjective.events` understands.
+OBJECTIVE_KINDS = ("latency", "availability")
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One declarative objective over the snapshot contract."""
+
+    #: Stable identifier (a Prometheus label value; keep it short).
+    name: str
+    #: ``latency`` or ``availability``.
+    kind: str
+    #: Target good/total ratio in (0, 1); the error budget is
+    #: ``1 - target``.
+    target: float
+    #: One-line human description for reports.
+    description: str = ""
+    #: Latency only: histogram name in ``snapshot["histograms"]``.
+    histogram: str = ""
+    #: Latency only: observations at/under this bound are good.
+    threshold_s: float = 0.0
+    #: Availability only: counters whose sum is the good-event count.
+    good: Tuple[str, ...] = field(default_factory=tuple)
+    #: Availability only: counters whose sum is the bad-event count.
+    bad: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if self.kind not in OBJECTIVE_KINDS:
+            raise ValueError(
+                f"kind must be one of {OBJECTIVE_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 < self.target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if self.kind == "latency" and not self.histogram:
+            raise ValueError("latency objectives need a histogram name")
+        if self.kind == "availability" and not (self.good or self.bad):
+            raise ValueError("availability objectives need counters")
+
+    @property
+    def budget(self) -> float:
+        """The error budget (allowed bad fraction)."""
+        return 1.0 - self.target
+
+    def events(self, snapshot: Dict[str, Any]) -> Tuple[int, int]:
+        """Cumulative ``(good, total)`` event counts from *snapshot*.
+
+        Missing histograms/counters read as zero, so an objective can
+        be declared before its subsystem ever runs (a cold serve tier
+        has no ``serve_*`` counters yet).
+        """
+        if self.kind == "latency":
+            return self._latency_events(snapshot)
+        return self._availability_events(snapshot)
+
+    def _latency_events(self, snapshot: Dict[str, Any]) -> Tuple[int, int]:
+        histogram = (snapshot.get("histograms") or {}).get(self.histogram)
+        if not isinstance(histogram, dict):
+            return (0, 0)
+        good = 0
+        for bound, count in histogram.get("buckets", []):
+            if isinstance(bound, (int, float)) and not isinstance(
+                bound, bool
+            ):
+                if float(bound) <= self.threshold_s:
+                    good += int(count)
+        return (good, int(histogram.get("count", 0)))
+
+    def _availability_events(
+        self, snapshot: Dict[str, Any]
+    ) -> Tuple[int, int]:
+        counters = snapshot.get("counters") or {}
+        good = sum(int(counters.get(name, 0)) for name in self.good)
+        bad = sum(int(counters.get(name, 0)) for name in self.bad)
+        return (good, good + bad)
+
+    def to_dict(self) -> Dict[str, Any]:
+        doc: Dict[str, Any] = {
+            "name": self.name,
+            "kind": self.kind,
+            "target": self.target,
+            "description": self.description,
+        }
+        if self.kind == "latency":
+            doc["histogram"] = self.histogram
+            doc["threshold_s"] = self.threshold_s
+        else:
+            doc["good"] = list(self.good)
+            doc["bad"] = list(self.bad)
+        return doc
+
+
+def objective_from_dict(doc: Dict[str, Any]) -> SLObjective:
+    """Rebuild an objective from :meth:`SLObjective.to_dict` (or a
+    hand-written config file entry)."""
+    return SLObjective(
+        name=str(doc["name"]),
+        kind=str(doc["kind"]),
+        target=float(doc["target"]),
+        description=str(doc.get("description", "")),
+        histogram=str(doc.get("histogram", "")),
+        threshold_s=float(doc.get("threshold_s", 0.0)),
+        good=tuple(doc.get("good", ())),
+        bad=tuple(doc.get("bad", ())),
+    )
+
+
+#: The objectives every gendp deployment watches out of the box.
+#: Latency thresholds sit on DEFAULT_LATENCY_BOUNDS bucket edges so
+#: the good-event count is exact, not interpolated.
+DEFAULT_OBJECTIVES: Tuple[SLObjective, ...] = (
+    SLObjective(
+        name="job-latency",
+        kind="latency",
+        target=0.99,
+        description="99% of batch executions finish within 500 ms",
+        histogram="execute_s",
+        threshold_s=0.5,
+    ),
+    SLObjective(
+        name="job-availability",
+        kind="availability",
+        target=0.99,
+        description="99% of drained jobs complete without error",
+        good=("jobs_completed",),
+        bad=("jobs_failed",),
+    ),
+    SLObjective(
+        name="serve-admission",
+        kind="availability",
+        target=0.995,
+        description="99.5% of serve requests clear admission control",
+        good=("serve_admitted",),
+        bad=(
+            "serve_rejected_draining",
+            "serve_rejected_backpressure",
+            "serve_rejected_quota",
+        ),
+    ),
+    SLObjective(
+        name="durability",
+        kind="availability",
+        target=0.999,
+        description="99.9% of journal appends land intact",
+        good=("durable_records_appended",),
+        bad=("durable_write_errors", "durable_corrupt_frames"),
+    ),
+)

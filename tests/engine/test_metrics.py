@@ -21,6 +21,9 @@ from repro.engine.metrics import (
     STATIC_COUNTERS,
 )
 from repro.guard.sentinels import SENTINEL_FIELDS
+from repro.slo.accounting import TENANT_COUNTERS
+from repro.slo.burnrate import SLO_COUNTERS
+from repro.slo.flight import FLIGHT_COUNTERS
 
 SRC_ROOT = Path(__file__).resolve().parents[2] / "src" / "repro"
 
@@ -139,6 +142,42 @@ class TestCounterSchemaDrift:
     def test_static_counters_all_prefixed(self):
         assert all(name.startswith("static_") for name in STATIC_COUNTERS)
 
+    def test_slo_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in SLO_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_slo_counters_all_prefixed(self):
+        assert all(name.startswith("slo_") for name in SLO_COUNTERS)
+
+    def test_tenant_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in TENANT_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_tenant_counters_all_prefixed(self):
+        assert all(name.startswith("tenant_") for name in TENANT_COUNTERS)
+
+    def test_flight_counters_have_incr_sites(self):
+        blob = _source_blob()
+        missing = [
+            name
+            for name in FLIGHT_COUNTERS
+            if not re.search(rf"incr\(\s*[\"']{name}[\"']", blob)
+        ]
+        assert missing == []
+
+    def test_flight_counters_all_prefixed(self):
+        assert all(name.startswith("flight_") for name in FLIGHT_COUNTERS)
+
     def test_schemas_are_disjoint_and_unique(self):
         names = (
             RELIABILITY_COUNTERS
@@ -146,5 +185,8 @@ class TestCounterSchemaDrift:
             + OPT_COUNTERS
             + DURABLE_COUNTERS
             + STATIC_COUNTERS
+            + SLO_COUNTERS
+            + TENANT_COUNTERS
+            + FLIGHT_COUNTERS
         )
         assert len(names) == len(set(names))

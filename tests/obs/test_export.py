@@ -47,6 +47,69 @@ def test_quantile_clamps_to_observed_range():
 def test_quantile_rejects_out_of_range_q():
     with pytest.raises(ValueError):
         quantile_from_buckets([[1.0, 1]], 1.5)
+    with pytest.raises(ValueError):
+        quantile_from_buckets([[1.0, 1]], -0.01)
+
+
+def test_quantile_extremes_return_observed_extremes():
+    # q=0 / q=1 must report the tracked min/max, not a bucket edge.
+    buckets = [[10.0, 100], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.0, minimum=0.3) == 0.3
+    assert quantile_from_buckets(buckets, 1.0, maximum=9.7) == 9.7
+    # Without tracked extremes they fall back to interpolation/edges.
+    assert quantile_from_buckets(buckets, 0.0) == 0.0
+    assert quantile_from_buckets(buckets, 1.0) == 10.0
+
+
+def test_quantile_skips_empty_buckets():
+    # Mass only in the third bucket: the median interpolates there,
+    # never dividing by an empty bucket's zero count.
+    buckets = [[1.0, 0], [2.0, 0], [4.0, 10], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(3.0)
+
+
+def test_quantile_exactly_on_cumulative_boundary():
+    # target == cumulative count of a bucket lands at its upper bound.
+    buckets = [[1.0, 5], [2.0, 5], ["inf", 0]]
+    assert quantile_from_buckets(buckets, 0.5) == pytest.approx(1.0)
+
+
+def test_quantile_single_observation():
+    buckets = [[1.0, 1], ["inf", 0]]
+    assert (
+        quantile_from_buckets(buckets, 0.5, minimum=0.7, maximum=0.7) == 0.7
+    )
+
+
+def test_quantile_all_mass_in_overflow_bucket():
+    buckets = [[1.0, 0], ["inf", 5]]
+    # With a tracked maximum the overflow bucket reports it ...
+    assert quantile_from_buckets(buckets, 0.5, maximum=8.0) == 8.0
+    # ... without one, the last finite bound is the only safe answer.
+    assert quantile_from_buckets(buckets, 0.5) == 1.0
+
+
+def test_quantile_clamp_beats_interpolation():
+    # Interpolation would give 5.0; the tracked range [4.2, 4.4] is
+    # tighter and wins on both sides.
+    buckets = [[10.0, 100], ["inf", 0]]
+    assert (
+        quantile_from_buckets(buckets, 0.5, minimum=4.2, maximum=4.4) == 4.4
+    )
+
+
+def test_quantile_negative_bounds():
+    # DP scores can be negative; interpolation must work below zero.
+    buckets = [[-5.0, 4], [0.0, 4], ["inf", 0]]
+    value = quantile_from_buckets(buckets, 0.25, minimum=-9.0)
+    assert -9.0 <= value <= -5.0
+
+
+def test_histogram_quantile_rejects_out_of_range_q():
+    histogram = Histogram(bounds=(1.0,))
+    histogram.observe(0.5)
+    with pytest.raises(ValueError):
+        histogram.quantile(2.0)
 
 
 def test_histogram_quantile_method_matches_exporter():
@@ -88,10 +151,13 @@ def test_prometheus_text_counters_and_histograms():
     # No double _total suffix for counters already ending in _total.
     assert "gendp_batches_total 2" in text
     assert "_total_total" not in text
-    # Cumulative buckets plus sum/count plus quantile gauges.
+    # Cumulative buckets plus sum/count; derived quantiles live in
+    # their own gauge family (a quantile-labelled sample inside the
+    # histogram family would violate the exposition grammar).
     assert 'gendp_execute_s_bucket{le="+Inf"} 3' in text
     assert "gendp_execute_s_count 3" in text
-    assert 'gendp_execute_s{quantile="0.5"}' in text
+    assert 'gendp_execute_s_quantile{quantile="0.5"}' in text
+    assert "# TYPE gendp_execute_s_quantile gauge" in text
     # Non-histogram sections flatten to gauges.
     assert "# TYPE gendp_derived_cache_hit_rate gauge" in text
     assert "gendp_quarantined_count 1" in text

@@ -1,0 +1,230 @@
+"""The strict exposition-format checker, and the exporter under it.
+
+Two halves: unit tests proving :func:`check_exposition` catches each
+class of spec violation, and the satellite guard -- rich real
+snapshots (engine counters/histograms, breaker labels, shard and
+tenant sections, SLO gauges) rendered by ``prometheus_text`` must
+scrape clean.
+"""
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.obs.export import prometheus_text
+from repro.obs.promcheck import (
+    check_exposition,
+    escape_help_text,
+    escape_label_value,
+)
+
+
+def _assert_clean(text: str) -> None:
+    assert check_exposition(text) == []
+
+
+def _assert_flagged(text: str, needle: str) -> None:
+    problems = check_exposition(text)
+    assert any(needle in problem for problem in problems), problems
+
+
+class TestViolationDetection:
+    def test_empty_body_is_clean(self):
+        _assert_clean("")
+
+    def test_missing_trailing_newline(self):
+        _assert_flagged("a_total 1", "end with a newline")
+
+    def test_illegal_metric_name(self):
+        _assert_flagged("# TYPE 9bad counter\n", "illegal metric name")
+
+    def test_invalid_type_keyword(self):
+        _assert_flagged("# TYPE a_total notatype\n", "invalid type")
+
+    def test_help_must_precede_type(self):
+        text = "# TYPE a counter\n# HELP a text\na 1\n"
+        _assert_flagged(text, "must precede its TYPE")
+
+    def test_duplicate_type(self):
+        text = "# TYPE a counter\n# TYPE a counter\na 1\n"
+        _assert_flagged(text, "duplicate TYPE")
+
+    def test_duplicate_help(self):
+        text = "# HELP a x\n# HELP a y\na 1\n"
+        _assert_flagged(text, "duplicate HELP")
+
+    def test_interleaved_families(self):
+        text = "a 1\nb 1\na{x=\"1\"} 2\n"
+        _assert_flagged(text, "not consecutive")
+
+    def test_duplicate_sample(self):
+        text = 'a{x="1"} 1\na{x="1"} 2\n'
+        _assert_flagged(text, "duplicate sample")
+
+    def test_label_order_does_not_mask_duplicates(self):
+        text = 'a{x="1",y="2"} 1\na{y="2",x="1"} 2\n'
+        _assert_flagged(text, "duplicate sample")
+
+    def test_unparseable_value(self):
+        _assert_flagged("a one\n", "unparseable value")
+
+    def test_special_values_are_legal(self):
+        _assert_clean("a +Inf\nb -Inf\nc NaN\nd 1e-9\n")
+
+    def test_unescaped_quote_in_label_value(self):
+        _assert_flagged('a{x="b"c"} 1\n', "bad label syntax")
+
+    def test_illegal_escape_sequence(self):
+        _assert_flagged('a{x="b\\tc"} 1\n', "bad label syntax")
+
+    def test_escaped_quote_and_comma_parse(self):
+        # The naive comma-split failure mode: a value containing an
+        # escaped quote and a comma is still ONE label.
+        _assert_clean('a{x="b\\"y,z",w="2"} 1\n')
+
+    def test_bad_label_name(self):
+        _assert_flagged('a{9x="1"} 1\n', "bad label syntax")
+
+    def test_duplicate_label_names(self):
+        _assert_flagged('a{x="1",x="2"} 1\n', "duplicate label names")
+
+
+HISTOGRAM_OK = (
+    "# TYPE h histogram\n"
+    'h_bucket{le="0.5"} 2\n'
+    'h_bucket{le="+Inf"} 3\n'
+    "h_sum 1.2\n"
+    "h_count 3\n"
+)
+
+
+class TestHistogramRules:
+    def test_well_formed_histogram_is_clean(self):
+        _assert_clean(HISTOGRAM_OK)
+
+    def test_stray_series_inside_histogram_family(self):
+        # The exporter bug this checker was written to catch: a
+        # quantile-labelled gauge sample published under the histogram
+        # family name (pre-fix prometheus_text did exactly this).
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 3\n'
+            "h_sum 1.2\n"
+            "h_count 3\n"
+            'h{quantile="0.5"} 0.4\n'
+        )
+        _assert_flagged(text, "only _bucket/_sum/_count")
+
+    def test_bucket_without_le(self):
+        text = "# TYPE h histogram\nh_bucket 3\nh_count 3\n"
+        _assert_flagged(text, "without le label")
+
+    def test_non_ascending_bounds(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="1.0"} 1\n'
+            'h_bucket{le="0.5"} 2\n'
+            'h_bucket{le="+Inf"} 3\n'
+            "h_count 3\n"
+        )
+        _assert_flagged(text, "not ascending")
+
+    def test_decreasing_cumulative_counts(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.5"} 3\n'
+            'h_bucket{le="+Inf"} 2\n'
+            "h_count 2\n"
+        )
+        _assert_flagged(text, "counts decrease")
+
+    def test_missing_inf_bucket(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="0.5"} 2\n' "h_count 3\n"
+        _assert_flagged(text, "missing +Inf")
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 2\n'
+            "h_count 3\n"
+        )
+        _assert_flagged(text, "!= _count")
+
+
+class TestEscaping:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_escape_help_text_leaves_quotes(self):
+        assert escape_help_text('a"b\nc') == 'a"b\\nc'
+
+    def test_escaped_value_round_trips_through_checker(self):
+        value = escape_label_value('x"y\\z')
+        _assert_clean(f'a{{k="{value}"}} 1\n')
+
+
+def _rich_snapshot():
+    """An engine-shaped snapshot exercising every exporter section."""
+    registry = MetricsRegistry()
+    registry.incr("jobs_completed", 9)
+    registry.incr("batches_total", 3)
+    for value in (0.001, 0.05, 0.4, 2.0):
+        registry.observe("execute_s", value)
+    for value in (0.01, 0.02):
+        registry.observe("queue_wait_s", value)
+    snapshot = registry.snapshot()
+    snapshot["derived"] = {"cache_hit_rate": 0.75}
+    snapshot["gauges"] = {"queue_depth": 4, "dlq_depth": 0}
+    # A breaker kernel name with every character the escaper handles.
+    snapshot["breakers"] = {"bsw": 0.0, 'we"ird\\name': 2.0}
+    snapshot["shards"] = {
+        "shard-0": {"health": 0.0, "queued": 1.0},
+        "shard-1": {"health": 2.0, "queued": 0.0},
+    }
+    snapshot["quarantined"] = ["lcs"]
+    return snapshot
+
+
+class TestExporterIsSpecClean:
+    """The satellite guard: prometheus_text output scrapes clean."""
+
+    def test_rich_snapshot_scrapes_clean(self):
+        _assert_clean(prometheus_text(_rich_snapshot()))
+
+    def test_tenant_and_slo_sections_scrape_clean(self):
+        from repro.slo import SLOEngine, TenantLedger, synthesize_burn_replay
+
+        ledger = TenantLedger()
+        ledger.record_admission("acme", True)
+        ledger.record_admission("evil\"corp", False, reason="quota")
+        ledger.record_transport("acme", 512)
+        slo = SLOEngine()
+        for record in synthesize_burn_replay(mode="burn"):
+            slo.observe(record["snapshot"], at=record["t"])
+        snapshot = slo.annotate(ledger.annotate(_rich_snapshot()))
+        text = prometheus_text(snapshot)
+        _assert_clean(text)
+        assert 'gendp_tenant_jobs_submitted{tenant="acme"} 1' in text
+        assert 'gendp_slo_target{objective="job-latency"}' in text
+
+    def test_live_engine_snapshot_scrapes_clean(self):
+        from repro.engine import Engine, EngineConfig, make_job
+
+        with Engine(EngineConfig(workers=0, max_queue=8)) as engine:
+            engine.submit(make_job("lcs", {"x": "ACGT", "y": "ACG"}))
+            engine.drain()
+            snapshot = engine.snapshot()
+        _assert_clean(prometheus_text(snapshot))
+
+    def test_old_quantile_format_would_be_flagged(self):
+        # Regression pin: the pre-fix exporter emitted
+        # ``gendp_execute_s{quantile="0.5"}`` inside the histogram
+        # family; assert the checker rejects that shape so the fix
+        # cannot quietly revert.
+        text = (
+            "# TYPE gendp_execute_s histogram\n"
+            'gendp_execute_s_bucket{le="+Inf"} 3\n'
+            "gendp_execute_s_sum 1.0\n"
+            "gendp_execute_s_count 3\n"
+            'gendp_execute_s{quantile="0.5"} 0.2\n'
+        )
+        assert check_exposition(text) != []

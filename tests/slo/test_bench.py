@@ -1,0 +1,285 @@
+"""Benchmark trajectory tracking and regression gating.
+
+The acceptance scenario: an injected throughput regression beyond the
+tolerance band must surface as ``regressed`` and gate (non-empty
+:func:`gate` result), while info metrics and improvements never gate.
+"""
+
+import json
+
+import pytest
+
+from repro.slo.bench import (
+    DEFAULT_TOLERANCE_PCT,
+    append_trajectory,
+    benchmark_name,
+    compare,
+    extract_metrics,
+    gate,
+    generate_baselines,
+    infer_direction,
+    load_baselines,
+    load_bench_file,
+    read_trajectory,
+    trajectory_record,
+)
+
+
+class TestExtractMetrics:
+    def test_flattens_nested_numeric_leaves(self):
+        document = {"engine": {"jobs_per_s": 120.5, "depth": 3}}
+        assert extract_metrics(document) == {
+            "engine.jobs_per_s": 120.5,
+            "engine.depth": 3.0,
+        }
+
+    def test_list_entries_use_label_keys_as_segments(self):
+        document = {
+            "configurations": [
+                {"label": "shm-warm", "jobs_per_s": 900.0},
+                {"label": "tcp-cold", "jobs_per_s": 400.0},
+            ]
+        }
+        metrics = extract_metrics(document)
+        assert metrics["configurations.shm-warm.jobs_per_s"] == 900.0
+        assert metrics["configurations.tcp-cold.jobs_per_s"] == 400.0
+
+    def test_unlabeled_list_entries_fall_back_to_indices(self):
+        metrics = extract_metrics({"rows": [{"v": 1.0}, {"v": 2.0}]})
+        assert metrics == {"rows.0.v": 1.0, "rows.1.v": 2.0}
+
+    def test_label_values_are_segment_sanitized(self):
+        metrics = extract_metrics(
+            {"runs": [{"name": "v1.2 fast", "p99": 0.5}]}
+        )
+        assert metrics == {"runs.v1_2_fast.p99": 0.5}
+
+    def test_skips_identity_keys_bools_and_scalar_lists(self):
+        document = {
+            "seed": 42,
+            "timestamp": 1234.5,
+            "ok": True,
+            "bounds": [0.1, 0.5, 1.0],
+            "value": 7,
+        }
+        assert extract_metrics(document) == {"value": 7.0}
+
+    def test_numeric_label_keys_segment_but_do_not_measure(self):
+        document = {"scaling": [{"shards": 4, "jobs_per_s": 50.0}]}
+        metrics = extract_metrics(document)
+        assert metrics == {"scaling.4.jobs_per_s": 50.0}
+
+    def test_real_bench_files_flatten_nonempty(self):
+        import glob
+
+        paths = sorted(glob.glob("results/BENCH_*.json"))
+        assert paths, "repo must ship BENCH files"
+        for path in paths:
+            benchmark, metrics = load_bench_file(path)
+            assert metrics, f"{benchmark} flattened to nothing"
+            assert all(
+                isinstance(value, float) for value in metrics.values()
+            )
+
+
+class TestDirectionInference:
+    @pytest.mark.parametrize(
+        "metric,expected",
+        [
+            ("engine.jobs_per_s", "higher"),
+            ("cluster.degraded.jobs_per_virtual_s", "higher"),
+            ("cache.hit_rate", "higher"),
+            ("serve.speedup", "higher"),
+            ("latency_p99_ms", "lower"),
+            ("drain.overhead_pct", "lower"),
+            ("recovery.elapsed_s", "lower"),
+            ("jobs.lost", "lower"),
+            ("config.batch_capacity", "info"),
+        ],
+    )
+    def test_name_hints(self, metric, expected):
+        assert infer_direction(metric) == expected
+
+    def test_only_the_leaf_segment_decides(self):
+        # "latency" in a parent segment must not force lower-is-better
+        # on a throughput leaf.
+        assert infer_direction("latency_suite.jobs_per_s") == "higher"
+
+
+class TestTrajectory:
+    def test_benchmark_name_strips_prefix(self):
+        assert benchmark_name("results/BENCH_serving.json") == "serving"
+        assert benchmark_name("odd.json") == "odd"
+
+    def test_append_and_read_round_trip(self, tmp_path):
+        path = str(tmp_path / "nested" / "trajectory.jsonl")
+        records = [
+            trajectory_record(
+                "serving",
+                {"jobs_per_s": 100.0},
+                timestamp="2026-08-08T00:00:00Z",
+                revision="abc123",
+            ),
+            trajectory_record("static", {"programs": 5.0}),
+        ]
+        assert append_trajectory(path, records) == 2
+        assert append_trajectory(path, records[:1]) == 1  # appends
+        loaded = read_trajectory(path)
+        assert len(loaded) == 3
+        assert loaded[0]["schema"] == "gendp-bench/1"
+        assert loaded[0]["benchmark"] == "serving"
+        assert loaded[0]["metrics"] == {"jobs_per_s": 100.0}
+        assert loaded[0]["revision"] == "abc123"
+        assert "timestamp" not in loaded[1]
+
+    def test_read_skips_malformed_lines(self, tmp_path):
+        path = tmp_path / "trajectory.jsonl"
+        path.write_text('{"benchmark": "a"}\nnot json\n\n[1,2]\n')
+        records = read_trajectory(str(path))
+        assert records == [{"benchmark": "a"}]
+
+    def test_read_missing_file_is_empty(self, tmp_path):
+        assert read_trajectory(str(tmp_path / "absent.jsonl")) == []
+
+
+CURRENT = {
+    "serving": {
+        "jobs_per_s": 1000.0,
+        "latency_p99_ms": 5.0,
+        "batch_capacity": 64.0,
+    }
+}
+
+
+def _baselines(**overrides):
+    document = generate_baselines(CURRENT)
+    for metric, value in overrides.items():
+        document["benchmarks"]["serving"][metric]["value"] = value
+    return document
+
+
+class TestGating:
+    def test_identical_results_all_ok_or_info(self):
+        findings = compare(CURRENT, _baselines())
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["jobs_per_s"] == "ok"
+        assert statuses["latency_p99_ms"] == "ok"
+        assert statuses["batch_capacity"] == "info"
+        assert gate(findings) == []
+
+    def test_injected_throughput_regression_gates(self):
+        """The acceptance criterion: a real regression fails the gate."""
+        # Baseline says 2000 jobs/s; current 1000 is a 50% loss, far
+        # beyond the 25% band.
+        findings = compare(CURRENT, _baselines(jobs_per_s=2000.0))
+        regressed = [f for f in findings if f["status"] == "regressed"]
+        assert [f["metric"] for f in regressed] == ["jobs_per_s"]
+        assert regressed[0]["delta_pct"] == -50.0
+        assert gate(findings) == regressed
+
+    def test_latency_regression_gates_in_the_lower_direction(self):
+        findings = compare(CURRENT, _baselines(latency_p99_ms=2.0))
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["latency_p99_ms"] == "regressed"
+
+    def test_improvements_are_reported_not_gated(self):
+        findings = compare(CURRENT, _baselines(jobs_per_s=500.0))
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["jobs_per_s"] == "improved"
+        assert gate(findings) == []
+
+    def test_missing_gated_metric_fails_but_missing_info_does_not(self):
+        findings = compare({"serving": {}}, _baselines())
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["jobs_per_s"] == "missing"
+        assert statuses["latency_p99_ms"] == "missing"
+        assert statuses["batch_capacity"] == "info"  # info never gates
+        assert len(gate(findings)) == 2
+
+    def test_info_drift_never_gates(self):
+        current = {"serving": {**CURRENT["serving"], "batch_capacity": 9.0}}
+        findings = compare(current, _baselines())
+        statuses = {f["metric"]: f["status"] for f in findings}
+        assert statuses["batch_capacity"] == "info"
+        assert gate(findings) == []
+
+    def test_zero_baseline_is_exact_match_only(self):
+        baselines = {
+            "benchmarks": {
+                "b": {
+                    "errors": {
+                        "value": 0.0,
+                        "tolerance_pct": 25.0,
+                        "direction": "lower",
+                    }
+                }
+            }
+        }
+        ok = compare({"b": {"errors": 0.0}}, baselines)
+        assert ok[0]["status"] == "ok"
+        bad = compare({"b": {"errors": 3.0}}, baselines)
+        assert bad[0]["status"] == "regressed"
+        assert bad[0]["delta_pct"] is None  # inf renders as null
+
+    def test_tolerance_band_edges_do_not_gate(self):
+        findings = compare(
+            {"serving": {"jobs_per_s": 750.0}},
+            {
+                "benchmarks": {
+                    "serving": {
+                        "jobs_per_s": {
+                            "value": 1000.0,
+                            "tolerance_pct": 25.0,
+                            "direction": "higher",
+                        }
+                    }
+                }
+            },
+        )
+        assert findings[0]["status"] == "ok"  # exactly -25% stays ok
+
+
+class TestBaselines:
+    def test_generate_load_round_trip(self, tmp_path):
+        document = generate_baselines(CURRENT, tolerance_pct=10.0)
+        assert document["schema"] == "gendp-bench-baselines/1"
+        entry = document["benchmarks"]["serving"]["jobs_per_s"]
+        assert entry == {
+            "value": 1000.0,
+            "tolerance_pct": 10.0,
+            "direction": "higher",
+        }
+        path = tmp_path / "baselines.json"
+        path.write_text(json.dumps(document))
+        assert load_baselines(str(path)) == document
+
+    def test_load_rejects_non_baseline_documents(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "other"}')
+        with pytest.raises(ValueError):
+            load_baselines(str(path))
+
+    def test_default_tolerance_applied_when_entry_omits_it(self):
+        baselines = {
+            "benchmarks": {
+                "b": {"jobs_per_s": {"value": 100.0, "direction": "higher"}}
+            }
+        }
+        findings = compare({"b": {"jobs_per_s": 80.0}}, baselines)
+        assert findings[0]["tolerance_pct"] == DEFAULT_TOLERANCE_PCT
+        assert findings[0]["status"] == "ok"  # -20% inside default band
+
+    def test_committed_baselines_pass_against_shipped_results(self):
+        """The repo's own gate must be green at HEAD."""
+        import glob
+        import os
+
+        path = "results/bench_baselines.json"
+        if not os.path.exists(path):
+            pytest.skip("baselines not committed yet")
+        baselines = load_baselines(path)
+        metrics = {}
+        for bench_path in glob.glob("results/BENCH_*.json"):
+            benchmark, values = load_bench_file(bench_path)
+            metrics[benchmark] = values
+        assert gate(compare(metrics, baselines)) == []

@@ -1,0 +1,117 @@
+"""Declarative objectives: event extraction, budgets, round-trips."""
+
+import pytest
+
+from repro.engine.metrics import MetricsRegistry
+from repro.slo.objectives import (
+    DEFAULT_OBJECTIVES,
+    SLObjective,
+    objective_from_dict,
+)
+
+LATENCY = SLObjective(
+    name="lat",
+    kind="latency",
+    target=0.99,
+    histogram="execute_s",
+    threshold_s=0.5,
+)
+AVAILABILITY = SLObjective(
+    name="avail",
+    kind="availability",
+    target=0.999,
+    good=("jobs_completed",),
+    bad=("jobs_failed",),
+)
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="weird", target=0.9)
+
+    def test_rejects_target_outside_open_interval(self):
+        for target in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                SLObjective(
+                    name="x",
+                    kind="latency",
+                    target=target,
+                    histogram="h",
+                )
+
+    def test_latency_needs_histogram(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="latency", target=0.9)
+
+    def test_availability_needs_counters(self):
+        with pytest.raises(ValueError):
+            SLObjective(name="x", kind="availability", target=0.9)
+
+    def test_budget_is_one_minus_target(self):
+        assert LATENCY.budget == pytest.approx(0.01)
+        assert AVAILABILITY.budget == pytest.approx(0.001)
+
+
+class TestEventExtraction:
+    def test_latency_counts_buckets_at_or_under_threshold(self):
+        snapshot = {
+            "histograms": {
+                "execute_s": {
+                    "count": 10,
+                    "buckets": [[0.1, 3], [0.5, 4], [5.0, 2], ["inf", 1]],
+                }
+            }
+        }
+        # 0.1 and 0.5 bounds are <= 0.5s; 5.0 and inf are not.
+        assert LATENCY.events(snapshot) == (7, 10)
+
+    def test_latency_ignores_infinite_bound_strings(self):
+        snapshot = {
+            "histograms": {
+                "execute_s": {"count": 2, "buckets": [["inf", 2]]}
+            }
+        }
+        assert LATENCY.events(snapshot) == (0, 2)
+
+    def test_latency_missing_histogram_reads_zero(self):
+        assert LATENCY.events({"histograms": {}}) == (0, 0)
+        assert LATENCY.events({}) == (0, 0)
+
+    def test_availability_sums_counter_lists(self):
+        snapshot = {"counters": {"jobs_completed": 95, "jobs_failed": 5}}
+        assert AVAILABILITY.events(snapshot) == (95, 100)
+
+    def test_availability_missing_counters_read_zero(self):
+        assert AVAILABILITY.events({"counters": {}}) == (0, 0)
+
+    def test_real_registry_snapshot_round_trips(self):
+        registry = MetricsRegistry()
+        registry.incr("jobs_completed", 3)
+        for value in (0.1, 0.2, 0.9):
+            registry.observe("execute_s", value)
+        snapshot = registry.snapshot()
+        good, total = LATENCY.events(snapshot)
+        assert total == 3
+        assert good == 2  # 0.9 lands above the 0.5 bound
+
+
+class TestSerialization:
+    @pytest.mark.parametrize("objective", [LATENCY, AVAILABILITY])
+    def test_to_dict_round_trips(self, objective):
+        assert objective_from_dict(objective.to_dict()) == objective
+
+    def test_default_objectives_round_trip_and_are_unique(self):
+        names = [objective.name for objective in DEFAULT_OBJECTIVES]
+        assert len(names) == len(set(names))
+        for objective in DEFAULT_OBJECTIVES:
+            assert objective_from_dict(objective.to_dict()) == objective
+
+    def test_default_latency_thresholds_sit_on_bucket_bounds(self):
+        # Exactness contract: a latency threshold off the bucket grid
+        # silently undercounts good events.
+        from repro.engine.metrics import DEFAULT_LATENCY_BOUNDS
+
+        for objective in DEFAULT_OBJECTIVES:
+            if objective.kind == "latency":
+                assert objective.threshold_s in DEFAULT_LATENCY_BOUNDS
